@@ -1,0 +1,64 @@
+//! The paper's Translator case study on the simulated wireless network:
+//! batch size decided at runtime, with simulated latency showing why it
+//! matters.
+//!
+//! ```sh
+//! cargo run -p brmi-apps --example translator_pipeline
+//! ```
+
+use std::sync::Arc;
+
+use brmi::BatchExecutor;
+use brmi_apps::translator::{
+    brmi_translate_all, rmi_translate_all, DictionaryTranslator, TranslatorSkeleton,
+    TranslatorStub, Word,
+};
+use brmi_rmi::{Connection, RmiServer};
+use brmi_transport::clock::VirtualClock;
+use brmi_transport::sim::SimTransport;
+use brmi_transport::NetworkProfile;
+use brmi_wire::RemoteError;
+
+fn main() -> Result<(), RemoteError> {
+    let server = RmiServer::new();
+    BatchExecutor::install(&server);
+    let translator = DictionaryTranslator::english_to_french();
+    let words: Vec<Word> = translator
+        .known_words()
+        .into_iter()
+        .map(|w| Word::new(&w, "en"))
+        .collect();
+    server.bind("translator", TranslatorSkeleton::remote_arc(translator))?;
+
+    // The paper's wireless testbed, in virtual time.
+    let clock = VirtualClock::new();
+    let transport = SimTransport::new(
+        server.clone(),
+        NetworkProfile::wireless_54mbps(),
+        clock.clone(),
+    );
+    let conn = Connection::new(Arc::new(transport));
+    let remote = conn.lookup("translator")?;
+
+    println!("translating {} words over simulated 54 Mbps wireless\n", words.len());
+
+    clock.reset();
+    let rmi = rmi_translate_all(&TranslatorStub::new(remote.clone()), &words)?;
+    let rmi_ms = clock.elapsed_millis();
+
+    clock.reset();
+    let brmi = brmi_translate_all(&conn, &remote, &words)?;
+    let brmi_ms = clock.elapsed_millis();
+
+    assert_eq!(rmi, brmi, "both clients must translate identically");
+    for (word, result) in words.iter().zip(&brmi) {
+        match result {
+            Ok(translated) => println!("  {:>8} -> {}", word.text, translated.text),
+            Err(exception) => println!("  {:>8} -> ({exception})", word.text),
+        }
+    }
+    println!("\nRMI:  one request per word  = {rmi_ms:.2} ms simulated");
+    println!("BRMI: one batch for all words = {brmi_ms:.2} ms simulated");
+    println!("speedup: {:.1}x", rmi_ms / brmi_ms);
+    Ok(())
+}

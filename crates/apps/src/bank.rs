@@ -1,0 +1,329 @@
+//! The Bank case study (paper Section 5.1): a credit-card management
+//! system whose BRMI client folds account lookup, purchases and a balance
+//! query into one batch, using a custom exception policy to abort only
+//! when the lookup itself fails.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use brmi::policy::CustomPolicy;
+use brmi::{remote_interface, Batch};
+use brmi_rmi::{Connection, RemoteRef};
+use brmi_wire::invocation::ExceptionAction;
+use brmi_wire::RemoteError;
+use parking_lot::{Mutex, RwLock};
+
+remote_interface! {
+    /// A credit card account (the paper's `CreditCard`).
+    pub interface CreditCard {
+        /// Remaining credit line.
+        fn get_credit_line() -> f64;
+        /// Charges the card.
+        fn make_purchase(amount: f64);
+        /// Total charged so far.
+        fn get_balance() -> f64;
+    }
+}
+
+remote_interface! {
+    /// Account creation and lookup (the paper's `CreditManager`).
+    pub interface CreditManager {
+        /// Finds an existing account; throws `AccountNotFoundException`.
+        fn find_credit_account(customer: String) -> remote CreditCard;
+        /// Creates an account; throws `DuplicateAccountException`.
+        fn create_account(customer: String, limit: f64) -> remote CreditCard;
+    }
+}
+
+/// One account's server-side state.
+pub struct Account {
+    limit: f64,
+    balance: Mutex<f64>,
+}
+
+impl Account {
+    fn new(limit: f64) -> Arc<Self> {
+        Arc::new(Account {
+            limit,
+            balance: Mutex::new(0.0),
+        })
+    }
+}
+
+impl CreditCard for Account {
+    fn get_credit_line(&self) -> Result<f64, RemoteError> {
+        Ok(self.limit - *self.balance.lock())
+    }
+
+    fn make_purchase(&self, amount: f64) -> Result<(), RemoteError> {
+        if amount <= 0.0 {
+            return Err(RemoteError::application(
+                "InvalidAmountException",
+                format!("purchase amount must be positive, got {amount}"),
+            ));
+        }
+        let mut balance = self.balance.lock();
+        if *balance + amount > self.limit {
+            return Err(RemoteError::application(
+                "OverdraftException",
+                format!("purchase of {amount} exceeds credit line"),
+            ));
+        }
+        *balance += amount;
+        Ok(())
+    }
+
+    fn get_balance(&self) -> Result<f64, RemoteError> {
+        Ok(*self.balance.lock())
+    }
+}
+
+/// The bank: customer name → account.
+#[derive(Default)]
+pub struct Bank {
+    accounts: RwLock<HashMap<String, Arc<Account>>>,
+}
+
+impl Bank {
+    /// Creates an empty bank.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Bank::default())
+    }
+
+    /// Server-side convenience used by fixtures.
+    pub fn open_account(&self, customer: &str, limit: f64) -> Arc<Account> {
+        let account = Account::new(limit);
+        self.accounts
+            .write()
+            .insert(customer.to_owned(), Arc::clone(&account));
+        account
+    }
+
+    /// Balance inspection for tests.
+    pub fn balance_of(&self, customer: &str) -> Option<f64> {
+        self.accounts
+            .read()
+            .get(customer)
+            .map(|account| *account.balance.lock())
+    }
+}
+
+impl CreditManager for Bank {
+    fn find_credit_account(&self, customer: String) -> Result<Arc<dyn CreditCard>, RemoteError> {
+        self.accounts
+            .read()
+            .get(&customer)
+            .cloned()
+            .map(|account| account as Arc<dyn CreditCard>)
+            .ok_or_else(|| {
+                RemoteError::application(
+                    "AccountNotFoundException",
+                    format!("no account for customer {customer}"),
+                )
+            })
+    }
+
+    fn create_account(
+        &self,
+        customer: String,
+        limit: f64,
+    ) -> Result<Arc<dyn CreditCard>, RemoteError> {
+        let mut accounts = self.accounts.write();
+        if accounts.contains_key(&customer) {
+            return Err(RemoteError::application(
+                "DuplicateAccountException",
+                format!("account already exists for {customer}"),
+            ));
+        }
+        let account = Account::new(limit);
+        accounts.insert(customer, Arc::clone(&account));
+        Ok(account as Arc<dyn CreditCard>)
+    }
+}
+
+/// Outcome of a purchase session: per-purchase results plus the remaining
+/// credit line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// One entry per attempted purchase: `None` for success, the exception
+    /// name for a failure.
+    pub purchase_errors: Vec<Option<String>>,
+    /// Remaining credit line, or the exception that made it unavailable.
+    pub credit_line: Result<f64, String>,
+}
+
+/// RMI client: lookup + n purchases + credit line = `2 + n` round trips.
+///
+/// # Errors
+///
+/// Only lookup failures abort the session; purchase failures are recorded
+/// in the report, matching the BRMI policy below.
+pub fn rmi_purchase_session(
+    manager: &CreditManagerStub,
+    customer: &str,
+    amounts: &[f64],
+) -> Result<SessionReport, RemoteError> {
+    let account = manager.find_credit_account(customer.to_owned())?;
+    let mut purchase_errors = Vec::with_capacity(amounts.len());
+    for &amount in amounts {
+        purchase_errors.push(match account.make_purchase(amount) {
+            Ok(()) => None,
+            Err(err) => Some(err.exception().to_owned()),
+        });
+    }
+    let credit_line = account
+        .get_credit_line()
+        .map_err(|err| err.exception().to_owned());
+    Ok(SessionReport {
+        purchase_errors,
+        credit_line,
+    })
+}
+
+/// The paper's exception policy for the bank batch: continue by default,
+/// break when the account lookup at position 0 fails.
+pub fn bank_policy() -> CustomPolicy {
+    let mut policy = CustomPolicy::new();
+    policy.set_default_action(ExceptionAction::Continue);
+    policy.set_action(
+        "AccountNotFoundException",
+        "find_credit_account",
+        0,
+        ExceptionAction::Break,
+    );
+    policy
+}
+
+/// BRMI client: the whole session in one round trip (Section 5.1).
+///
+/// # Errors
+///
+/// Communication failures at `flush`. Lookup failure surfaces through the
+/// report's `credit_line` (the policy broke the batch), mirroring where
+/// the paper's client sees it re-thrown from `creditLineFuture.get()`.
+pub fn brmi_purchase_session(
+    conn: &Connection,
+    manager_ref: &RemoteRef,
+    customer: &str,
+    amounts: &[f64],
+) -> Result<SessionReport, RemoteError> {
+    let batch = Batch::new(conn.clone(), bank_policy());
+    let manager = BCreditManager::new(&batch, manager_ref);
+    let account = manager.find_credit_account(customer.to_owned());
+    let purchases: Vec<_> = amounts
+        .iter()
+        .map(|&amount| account.make_purchase(amount))
+        .collect();
+    let credit_line = account.get_credit_line();
+    batch.flush()?;
+
+    Ok(SessionReport {
+        purchase_errors: purchases
+            .into_iter()
+            .map(|purchase| match purchase.get() {
+                Ok(()) => None,
+                Err(err) => Some(err.exception().to_owned()),
+            })
+            .collect(),
+        credit_line: credit_line
+            .get()
+            .map_err(|err| err.exception().to_owned()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::AppRig;
+
+    fn rig() -> (AppRig, Arc<Bank>) {
+        let bank = Bank::new();
+        bank.open_account("alice", 1000.0);
+        let rig = AppRig::serve("bank", CreditManagerSkeleton::remote_arc(bank.clone()));
+        (rig, bank)
+    }
+
+    #[test]
+    fn sessions_agree_between_rmi_and_brmi() {
+        let (rig_a, bank_a) = rig();
+        let (rig_b, bank_b) = rig();
+        let amounts = [123.0, 456.0, 2000.0, 10.0]; // one overdraft
+        let rmi = rmi_purchase_session(
+            &CreditManagerStub::new(rig_a.root.clone()),
+            "alice",
+            &amounts,
+        )
+        .unwrap();
+        let brmi = brmi_purchase_session(&rig_b.conn, &rig_b.root, "alice", &amounts).unwrap();
+        assert_eq!(rmi, brmi);
+        assert_eq!(bank_a.balance_of("alice"), bank_b.balance_of("alice"));
+        assert_eq!(bank_a.balance_of("alice"), Some(123.0 + 456.0 + 10.0));
+        assert_eq!(
+            rmi.purchase_errors,
+            vec![None, None, Some("OverdraftException".to_owned()), None]
+        );
+        assert_eq!(rmi.credit_line, Ok(1000.0 - 589.0));
+    }
+
+    #[test]
+    fn brmi_session_is_one_round_trip() {
+        let (rig, _bank) = rig();
+        rig.stats.reset();
+        brmi_purchase_session(&rig.conn, &rig.root, "alice", &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(rig.stats.requests(), 1);
+
+        rig.stats.reset();
+        rmi_purchase_session(
+            &CreditManagerStub::new(rig.root.clone()),
+            "alice",
+            &[1.0, 2.0, 3.0],
+        )
+        .unwrap();
+        assert_eq!(rig.stats.requests(), 2 + 3, "RMI: lookup + n + credit line");
+    }
+
+    #[test]
+    fn failed_lookup_breaks_the_batch() {
+        let (rig, bank) = rig();
+        let report = brmi_purchase_session(&rig.conn, &rig.root, "mallory", &[9.0]).unwrap();
+        // The policy broke at the lookup: nothing was purchased, and the
+        // failure re-throws from the dependent futures.
+        assert_eq!(
+            report.purchase_errors,
+            vec![Some("AccountNotFoundException".to_owned())]
+        );
+        assert_eq!(
+            report.credit_line,
+            Err("AccountNotFoundException".to_owned())
+        );
+        assert_eq!(bank.balance_of("mallory"), None);
+    }
+
+    #[test]
+    fn create_account_rejects_duplicates() {
+        let (rig, _bank) = rig();
+        let stub = CreditManagerStub::new(rig.root.clone());
+        let card = stub.create_account("bob".into(), 50.0).unwrap();
+        card.make_purchase(20.0).unwrap();
+        assert_eq!(card.get_balance().unwrap(), 20.0);
+        let err = stub.create_account("bob".into(), 10.0).unwrap_err();
+        assert_eq!(err.exception(), "DuplicateAccountException");
+    }
+
+    #[test]
+    fn invalid_amount_is_rejected_in_both_clients() {
+        let (rig, _bank) = rig();
+        let rmi = rmi_purchase_session(
+            &CreditManagerStub::new(rig.root.clone()),
+            "alice",
+            &[-5.0],
+        )
+        .unwrap();
+        let brmi = brmi_purchase_session(&rig.conn, &rig.root, "alice", &[-5.0]).unwrap();
+        assert_eq!(rmi, brmi);
+        assert_eq!(
+            rmi.purchase_errors,
+            vec![Some("InvalidAmountException".to_owned())]
+        );
+    }
+}

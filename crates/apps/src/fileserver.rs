@@ -1,0 +1,787 @@
+//! The Remote File Server — the paper's running example (Sections 3 and
+//! 5.1) and its macro benchmark (Section 5.4).
+//!
+//! A server exposes a hierarchical view of an in-memory filesystem through
+//! the `Directory`/`RemoteFile` interfaces; clients list files, read
+//! attributes, fetch contents and delete by date — each written twice, as
+//! a plain RMI client and as a BRMI client with identical observable
+//! behaviour.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+
+use brmi::policy::AbortPolicy;
+use brmi::{remote_interface, Batch, BatchFuture};
+use brmi_rmi::{Connection, RemoteRef};
+use brmi_wire::{DateMillis, RemoteError};
+use parking_lot::RwLock;
+
+remote_interface! {
+    /// A file in the remote filesystem (the paper's `RemoteFile`).
+    pub interface RemoteFile {
+        /// The file's name.
+        fn get_name() -> String;
+        /// True for directories.
+        fn is_directory() -> bool;
+        /// Last-modified timestamp.
+        fn last_modified() -> DateMillis;
+        /// Size in bytes.
+        fn length() -> i64;
+        /// The file contents (the macro benchmark's transfer payload).
+        fn read_contents() -> Vec<u8>;
+        /// Removes the file from its directory.
+        fn delete();
+    }
+}
+
+remote_interface! {
+    /// A directory of remote files (the paper's `Directory`).
+    pub interface Directory {
+        /// Looks up one file by name.
+        fn get_file(name: String) -> remote RemoteFile;
+        /// Lists every file — the cursor source of the running example.
+        fn list_files() -> remote_array RemoteFile;
+        /// Number of entries.
+        fn file_count() -> i32;
+        /// Stores a copy of `file` (name, date and contents) in this
+        /// directory — the receiving end of the paper's copy-between-
+        /// folders cursor scenario (Section 3.4).
+        fn add_file_copy(file: remote RemoteFile);
+    }
+}
+
+/// In-memory file entry backing the service.
+pub struct FsFile {
+    name: String,
+    modified: DateMillis,
+    data: RwLock<Vec<u8>>,
+    deleted: AtomicBool,
+    parent: Weak<InMemoryDirectory>,
+}
+
+impl RemoteFile for FsFile {
+    fn get_name(&self) -> Result<String, RemoteError> {
+        Ok(self.name.clone())
+    }
+
+    fn is_directory(&self) -> Result<bool, RemoteError> {
+        Ok(false)
+    }
+
+    fn last_modified(&self) -> Result<DateMillis, RemoteError> {
+        Ok(self.modified)
+    }
+
+    fn length(&self) -> Result<i64, RemoteError> {
+        Ok(self.data.read().len() as i64)
+    }
+
+    fn read_contents(&self) -> Result<Vec<u8>, RemoteError> {
+        if self.deleted.load(Ordering::Relaxed) {
+            return Err(RemoteError::application(
+                "FileNotFoundException",
+                format!("file was deleted: {}", self.name),
+            ));
+        }
+        Ok(self.data.read().clone())
+    }
+
+    fn delete(&self) -> Result<(), RemoteError> {
+        self.deleted.store(true, Ordering::Relaxed);
+        if let Some(parent) = self.parent.upgrade() {
+            parent
+                .entries
+                .write()
+                .retain(|entry| entry.name != self.name);
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory directory service.
+pub struct InMemoryDirectory {
+    entries: RwLock<Vec<Arc<FsFile>>>,
+    weak_self: Weak<InMemoryDirectory>,
+}
+
+impl InMemoryDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Arc<Self> {
+        Arc::new_cyclic(|weak_self| InMemoryDirectory {
+            entries: RwLock::new(Vec::new()),
+            weak_self: Weak::clone(weak_self),
+        })
+    }
+
+    /// Adds a file with the given attributes; returns the entry.
+    pub fn add_file(
+        self: &Arc<Self>,
+        name: &str,
+        modified: DateMillis,
+        data: Vec<u8>,
+    ) -> Arc<FsFile> {
+        let file = Arc::new(FsFile {
+            name: name.to_owned(),
+            modified,
+            data: RwLock::new(data),
+            deleted: AtomicBool::new(false),
+            parent: Arc::downgrade(self),
+        });
+        self.entries.write().push(Arc::clone(&file));
+        file
+    }
+
+    /// Populates the paper's macro-benchmark workload: `count` files of
+    /// `size` bytes each, named `file0..`, held in memory so disk access
+    /// cannot taint measurements (Section 5.4).
+    pub fn populate(self: &Arc<Self>, count: usize, size: usize) {
+        for i in 0..count {
+            self.add_file(
+                &format!("file{i}"),
+                DateMillis(1_000 * i as i64),
+                vec![(i % 251) as u8; size],
+            );
+        }
+    }
+
+    /// Names of the live entries.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.read().iter().map(|f| f.name.clone()).collect()
+    }
+}
+
+impl Directory for InMemoryDirectory {
+    fn get_file(&self, name: String) -> Result<Arc<dyn RemoteFile>, RemoteError> {
+        self.entries
+            .read()
+            .iter()
+            .find(|entry| entry.name == name)
+            .cloned()
+            .map(|entry| entry as Arc<dyn RemoteFile>)
+            .ok_or_else(|| {
+                RemoteError::application(
+                    "FileNotFoundException",
+                    format!("no such file: {name}"),
+                )
+            })
+    }
+
+    fn list_files(&self) -> Result<Vec<Arc<dyn RemoteFile>>, RemoteError> {
+        Ok(self
+            .entries
+            .read()
+            .iter()
+            .cloned()
+            .map(|entry| entry as Arc<dyn RemoteFile>)
+            .collect())
+    }
+
+    fn file_count(&self) -> Result<i32, RemoteError> {
+        Ok(self.entries.read().len() as i32)
+    }
+
+    fn add_file_copy(&self, file: Arc<dyn RemoteFile>) -> Result<(), RemoteError> {
+        // Under BRMI `file` is the actual source object (local calls);
+        // under RMI it is a loopback proxy re-entering the middleware.
+        let name = file.get_name()?;
+        let modified = file.last_modified()?;
+        let data = file.read_contents()?;
+        let copy = Arc::new(FsFile {
+            name,
+            modified,
+            data: RwLock::new(data),
+            deleted: AtomicBool::new(false),
+            parent: Weak::clone(&self.weak_self),
+        });
+        self.entries.write().push(copy);
+        Ok(())
+    }
+}
+
+/// One row of a directory listing, as printed by the paper's client.
+///
+/// Also acts as a Data Transfer Object for the hand-optimized
+/// [`DirectoryFacade`] baseline — it marshals like a Java `Serializable`
+/// value class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListingRow {
+    /// File name.
+    pub name: String,
+    /// True for directories.
+    pub is_directory: bool,
+    /// Last-modified timestamp.
+    pub last_modified: DateMillis,
+    /// File length in bytes.
+    pub length: i64,
+}
+
+impl brmi_wire::ToValue for ListingRow {
+    fn to_value(&self) -> brmi_wire::Value {
+        brmi_wire::Value::List(vec![
+            brmi_wire::ToValue::to_value(&self.name),
+            brmi_wire::ToValue::to_value(&self.is_directory),
+            brmi_wire::ToValue::to_value(&self.last_modified),
+            brmi_wire::ToValue::to_value(&self.length),
+        ])
+    }
+}
+
+impl brmi_wire::FromValue for ListingRow {
+    fn from_value(value: brmi_wire::Value) -> Result<Self, RemoteError> {
+        let items = value.into_list()?;
+        let mut items = items.into_iter();
+        let mut next = |what: &str| {
+            items.next().ok_or_else(|| {
+                RemoteError::marshal(format!("listing row missing field: {what}"))
+            })
+        };
+        Ok(ListingRow {
+            name: brmi_wire::FromValue::from_value(next("name")?)?,
+            is_directory: brmi_wire::FromValue::from_value(next("is_directory")?)?,
+            last_modified: brmi_wire::FromValue::from_value(next("last_modified")?)?,
+            length: brmi_wire::FromValue::from_value(next("length")?)?,
+        })
+    }
+}
+
+remote_interface! {
+    /// The hand-optimized **Remote Facade** over a directory — the Data
+    /// Transfer Object pattern of the paper's related work (Fowler;
+    /// Alur's Value Objects). One purpose-built method per client access
+    /// pattern returns everything in a single serializable value.
+    ///
+    /// This is the design BRMI renders unnecessary: it matches BRMI's
+    /// round-trip count, but only by changing the *server* for each
+    /// client pattern, which is exactly the maintenance burden the paper
+    /// opens with. The `dto_facade` benchmark compares the two.
+    pub interface DirectoryFacade {
+        /// Every file's attributes in one round trip.
+        fn listing_dto() -> Vec<ListingRow>;
+        /// Named files' contents in one round trip.
+        fn fetch_dto(names: Vec<String>) -> Vec<(String, Vec<u8>)>;
+    }
+}
+
+/// Facade implementation wrapping the plain directory service.
+pub struct FacadeServer {
+    directory: Arc<InMemoryDirectory>,
+}
+
+impl FacadeServer {
+    /// Wraps `directory`.
+    pub fn new(directory: Arc<InMemoryDirectory>) -> Arc<Self> {
+        Arc::new(FacadeServer { directory })
+    }
+}
+
+impl DirectoryFacade for FacadeServer {
+    fn listing_dto(&self) -> Result<Vec<ListingRow>, RemoteError> {
+        let files = self.directory.list_files()?;
+        files
+            .iter()
+            .map(|file| {
+                Ok(ListingRow {
+                    name: file.get_name()?,
+                    is_directory: file.is_directory()?,
+                    last_modified: file.last_modified()?,
+                    length: file.length()?,
+                })
+            })
+            .collect()
+    }
+
+    fn fetch_dto(&self, names: Vec<String>) -> Result<Vec<(String, Vec<u8>)>, RemoteError> {
+        names
+            .into_iter()
+            .map(|name| {
+                let file = self.directory.get_file(name.clone())?;
+                Ok((name, file.read_contents()?))
+            })
+            .collect()
+    }
+}
+
+/// Listing through the hand-written facade: one round trip, like BRMI —
+/// but only because the server was rewritten for this client.
+///
+/// # Errors
+///
+/// Any remote failure.
+pub fn dto_listing(facade: &DirectoryFacadeStub) -> Result<Vec<ListingRow>, RemoteError> {
+    facade.listing_dto()
+}
+
+/// Bulk fetch through the hand-written facade: one round trip.
+///
+/// # Errors
+///
+/// Any remote failure (one missing file fails the whole call — the DTO
+/// pattern has no per-item exception story).
+pub fn dto_fetch(
+    facade: &DirectoryFacadeStub,
+    names: &[String],
+) -> Result<Vec<(String, Vec<u8>)>, RemoteError> {
+    facade.fetch_dto(names.to_vec())
+}
+
+/// RMI listing client (Section 5.1): `1 + 4n` remote calls.
+///
+/// # Errors
+///
+/// Any remote failure from the listing or attribute calls.
+pub fn rmi_listing(root: &DirectoryStub) -> Result<Vec<ListingRow>, RemoteError> {
+    let files = root.list_files()?;
+    let mut rows = Vec::with_capacity(files.len());
+    for file in &files {
+        rows.push(ListingRow {
+            name: file.get_name()?,
+            is_directory: file.is_directory()?,
+            last_modified: file.last_modified()?,
+            length: file.length()?,
+        });
+    }
+    Ok(rows)
+}
+
+/// BRMI listing client (Section 5.1): a single remote call via a cursor.
+///
+/// # Errors
+///
+/// Communication failures at `flush`, or remote failures via the futures.
+pub fn brmi_listing(conn: &Connection, root: &RemoteRef) -> Result<Vec<ListingRow>, RemoteError> {
+    let batch = Batch::new(conn.clone(), AbortPolicy);
+    let directory = BDirectory::new(&batch, root);
+    let cursor = directory.list_files();
+    let name = cursor.get_name();
+    let is_directory = cursor.is_directory();
+    let last_modified = cursor.last_modified();
+    let length = cursor.length();
+    batch.flush()?;
+
+    let mut rows = Vec::new();
+    while cursor.advance() {
+        rows.push(ListingRow {
+            name: name.get()?,
+            is_directory: is_directory.get()?,
+            last_modified: last_modified.get()?,
+            length: length.get()?,
+        });
+    }
+    Ok(rows)
+}
+
+/// RMI transfer client (Section 5.4): fetch `names` by name and read each
+/// one's contents — `2n` remote calls.
+///
+/// # Errors
+///
+/// Lookup or read failures.
+pub fn rmi_fetch(
+    root: &DirectoryStub,
+    names: &[String],
+) -> Result<Vec<(String, Vec<u8>)>, RemoteError> {
+    let mut out = Vec::with_capacity(names.len());
+    for name in names {
+        let file = root.get_file(name.clone())?;
+        out.push((name.clone(), file.read_contents()?));
+    }
+    Ok(out)
+}
+
+/// BRMI transfer client (Section 5.4): the same fetch in one round trip.
+///
+/// # Errors
+///
+/// Communication failures at `flush`, or per-file failures via the futures.
+pub fn brmi_fetch(
+    conn: &Connection,
+    root: &RemoteRef,
+    names: &[String],
+) -> Result<Vec<(String, Vec<u8>)>, RemoteError> {
+    let batch = Batch::new(conn.clone(), AbortPolicy);
+    let directory = BDirectory::new(&batch, root);
+    let futures: Vec<(String, BatchFuture<Vec<u8>>)> = names
+        .iter()
+        .map(|name| {
+            let file = directory.get_file(name.clone());
+            (name.clone(), file.read_contents())
+        })
+        .collect();
+    batch.flush()?;
+    futures
+        .into_iter()
+        .map(|(name, contents)| Ok((name, contents.get()?)))
+        .collect()
+}
+
+/// Per-file outcome of a tolerant bulk read: the contents, or the name
+/// of the remote exception that file raised.
+pub type TolerantRead = (String, Result<Vec<u8>, String>);
+
+/// BRMI per-file contents with per-file error reporting in **one** round
+/// trip: the `Continue` policy lets each file fail independently, and the
+/// exception handling happens after `flush`, when the futures are
+/// accessed (paper Section 3.3).
+///
+/// Returns one entry per name: the contents, or the remote exception's
+/// name. Compare [`crate::implicit_clients::implicit_read_all_tolerant`],
+/// which needs a round trip per file to keep the same semantics.
+///
+/// # Errors
+///
+/// Communication failures at `flush` only.
+pub fn brmi_read_all_tolerant(
+    conn: &Connection,
+    root: &RemoteRef,
+    names: &[String],
+) -> Result<Vec<TolerantRead>, RemoteError> {
+    let batch = Batch::new(conn.clone(), brmi::policy::ContinuePolicy);
+    let directory = BDirectory::new(&batch, root);
+    let futures: Vec<(String, BatchFuture<Vec<u8>>)> = names
+        .iter()
+        .map(|name| {
+            let file = directory.get_file(name.clone());
+            (name.clone(), file.read_contents())
+        })
+        .collect();
+    batch.flush()?;
+    Ok(futures
+        .into_iter()
+        .map(|(name, contents)| {
+            (
+                name,
+                contents.get().map_err(|e| e.exception().to_owned()),
+            )
+        })
+        .collect())
+}
+
+/// BRMI "delete files older than a cutoff" (Section 3.5): exactly two
+/// batches — one to read dates, one to delete the selected elements.
+///
+/// Returns the names of the deleted files.
+///
+/// # Errors
+///
+/// Communication failures at either flush.
+pub fn brmi_delete_older_than(
+    conn: &Connection,
+    root: &RemoteRef,
+    cutoff: DateMillis,
+) -> Result<Vec<String>, RemoteError> {
+    let batch = Batch::new(conn.clone(), AbortPolicy);
+    let directory = BDirectory::new(&batch, root);
+    let cursor = directory.list_files();
+    let date = cursor.last_modified();
+    let name = cursor.get_name();
+    batch.flush_and_continue()?;
+
+    let mut deleted = Vec::new();
+    while cursor.advance() {
+        if date.get()?.before(cutoff) {
+            deleted.push(name.get()?);
+            cursor.delete();
+        }
+    }
+    batch.flush()?;
+    Ok(deleted)
+}
+
+/// RMI equivalent of [`brmi_delete_older_than`], for differential tests:
+/// `1 + 2n + deletions` remote calls.
+///
+/// # Errors
+///
+/// Any remote failure.
+pub fn rmi_delete_older_than(
+    root: &DirectoryStub,
+    cutoff: DateMillis,
+) -> Result<Vec<String>, RemoteError> {
+    let files = root.list_files()?;
+    let mut deleted = Vec::new();
+    for file in &files {
+        if file.last_modified()?.before(cutoff) {
+            deleted.push(file.get_name()?);
+            file.delete()?;
+        }
+    }
+    Ok(deleted)
+}
+
+/// BRMI folder copy (Section 3.4: "it would be possible to copy all files
+/// from one folder to another using cursors"): one batch, where the
+/// cursor over the source directory is the *argument* of calls on the
+/// destination directory.
+///
+/// # Errors
+///
+/// Communication failures at `flush`; per-file failures via `ok()`.
+pub fn brmi_copy_all(
+    conn: &Connection,
+    src: &RemoteRef,
+    dst: &RemoteRef,
+) -> Result<u32, RemoteError> {
+    let batch = Batch::new(conn.clone(), AbortPolicy);
+    let source = BDirectory::new(&batch, src);
+    let destination = BDirectory::new(&batch, dst);
+    let cursor = source.list_files();
+    destination.add_file_copy(&cursor);
+    batch.flush()?;
+    cursor.ok()?;
+    Ok(cursor.element_count().unwrap_or(0))
+}
+
+/// RMI folder copy, for differential tests: `1 + n` calls, plus three
+/// loopback calls per file on the server (the marshalled source stubs).
+///
+/// # Errors
+///
+/// Any remote failure.
+pub fn rmi_copy_all(src: &DirectoryStub, dst: &DirectoryStub) -> Result<u32, RemoteError> {
+    let files = src.list_files()?;
+    for file in &files {
+        dst.add_file_copy(file)?;
+    }
+    Ok(files.len() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::AppRig;
+
+    fn rig(count: usize, size: usize) -> (AppRig, Arc<InMemoryDirectory>) {
+        let dir = InMemoryDirectory::new();
+        dir.populate(count, size);
+        let rig = AppRig::serve("files", DirectorySkeleton::remote_arc(dir.clone()));
+        (rig, dir)
+    }
+
+    #[test]
+    fn listings_agree_between_rmi_and_brmi() {
+        let (rig, _dir) = rig(10, 64);
+        let rmi = rmi_listing(&DirectoryStub::new(rig.root.clone())).unwrap();
+        let brmi = brmi_listing(&rig.conn, &rig.root).unwrap();
+        assert_eq!(rmi.len(), 10);
+        assert_eq!(rmi, brmi);
+    }
+
+    #[test]
+    fn listing_round_trip_counts_match_the_paper() {
+        let (rig, _dir) = rig(10, 16);
+        rig.stats.reset();
+        rmi_listing(&DirectoryStub::new(rig.root.clone())).unwrap();
+        assert_eq!(rig.stats.requests(), 1 + 4 * 10, "RMI: 1 + 4n calls");
+        rig.stats.reset();
+        brmi_listing(&rig.conn, &rig.root).unwrap();
+        assert_eq!(rig.stats.requests(), 1, "BRMI: one call");
+    }
+
+    #[test]
+    fn fetch_transfers_identical_bytes() {
+        let (rig, dir) = rig(5, 1000);
+        let names = dir.names();
+        let rmi = rmi_fetch(&DirectoryStub::new(rig.root.clone()), &names).unwrap();
+        let brmi = brmi_fetch(&rig.conn, &rig.root, &names).unwrap();
+        assert_eq!(rmi, brmi);
+        assert_eq!(rmi[0].1.len(), 1000);
+    }
+
+    #[test]
+    fn fetch_missing_file_fails_identically() {
+        let (rig, _dir) = rig(2, 10);
+        let names = vec!["nope".to_owned()];
+        let rmi_err = rmi_fetch(&DirectoryStub::new(rig.root.clone()), &names).unwrap_err();
+        let brmi_err = brmi_fetch(&rig.conn, &rig.root, &names).unwrap_err();
+        assert_eq!(rmi_err.exception(), "FileNotFoundException");
+        assert_eq!(brmi_err.exception(), rmi_err.exception());
+    }
+
+    #[test]
+    fn delete_older_than_needs_exactly_two_batches() {
+        let (rig, dir) = rig(6, 8); // modified = 0,1000,...,5000
+        rig.stats.reset();
+        let deleted =
+            brmi_delete_older_than(&rig.conn, &rig.root, DateMillis(3_000)).unwrap();
+        assert_eq!(rig.stats.requests(), 2, "two batches (paper §3.5)");
+        assert_eq!(deleted, vec!["file0", "file1", "file2"]);
+        assert_eq!(dir.names(), vec!["file3", "file4", "file5"]);
+    }
+
+    #[test]
+    fn delete_older_than_agrees_with_rmi() {
+        let (rig_a, dir_a) = rig(6, 8);
+        let (rig_b, dir_b) = rig(6, 8);
+        let rmi = rmi_delete_older_than(
+            &DirectoryStub::new(rig_a.root.clone()),
+            DateMillis(2_500),
+        )
+        .unwrap();
+        let brmi = brmi_delete_older_than(&rig_b.conn, &rig_b.root, DateMillis(2_500)).unwrap();
+        assert_eq!(rmi, brmi);
+        assert_eq!(dir_a.names(), dir_b.names());
+    }
+
+    #[test]
+    fn get_file_then_attributes_is_three_calls_rmi_one_call_brmi() {
+        // The paper's opening example (Section 3.1).
+        let (rig, _dir) = rig(3, 10);
+        rig.stats.reset();
+        let stub = DirectoryStub::new(rig.root.clone());
+        let index = stub.get_file("file1".into()).unwrap();
+        let _name = index.get_name().unwrap();
+        let _size = index.length().unwrap();
+        assert_eq!(rig.stats.requests(), 3);
+
+        rig.stats.reset();
+        let batch = Batch::new(rig.conn.clone(), AbortPolicy);
+        let root = BDirectory::new(&batch, &rig.root);
+        let index = root.get_file("file1".into());
+        let name = index.get_name();
+        let size = index.length();
+        batch.flush().unwrap();
+        assert_eq!(rig.stats.requests(), 1);
+        assert_eq!(name.get().unwrap(), "file1");
+        assert_eq!(size.get().unwrap(), 10);
+    }
+
+    #[test]
+    fn folder_copy_via_cursor_is_one_round_trip_with_no_loopback() {
+        let (rig, src_dir) = rig(4, 32);
+        let dst_dir = InMemoryDirectory::new();
+        let dst_ref = rig
+            .conn
+            .reference(rig.server.export(DirectorySkeleton::remote_arc(dst_dir.clone())));
+
+        rig.stats.reset();
+        let copied = brmi_copy_all(&rig.conn, &rig.root, &dst_ref).unwrap();
+        assert_eq!(copied, 4);
+        assert_eq!(rig.stats.requests(), 1, "whole folder copy in one batch");
+        assert_eq!(dst_dir.names(), src_dir.names());
+        assert_eq!(
+            rig.server.loopback_calls(),
+            0,
+            "BRMI hands the destination the actual source files"
+        );
+    }
+
+    #[test]
+    fn folder_copy_rmi_pays_loopback_per_file() {
+        let (rig, src_dir) = rig(4, 32);
+        let dst_dir = InMemoryDirectory::new();
+        let dst_ref = rig
+            .conn
+            .reference(rig.server.export(DirectorySkeleton::remote_arc(dst_dir.clone())));
+        let copied = rmi_copy_all(
+            &DirectoryStub::new(rig.root.clone()),
+            &DirectoryStub::new(dst_ref),
+        )
+        .unwrap();
+        assert_eq!(copied, 4);
+        assert_eq!(dst_dir.names(), src_dir.names());
+        assert_eq!(
+            rig.server.loopback_calls(),
+            3 * 4,
+            "name + date + contents per file re-enter the middleware"
+        );
+    }
+
+    #[test]
+    fn copied_files_preserve_contents_and_dates() {
+        let (rig, _src) = rig(3, 64);
+        let dst_dir = InMemoryDirectory::new();
+        let dst_ref = rig
+            .conn
+            .reference(rig.server.export(DirectorySkeleton::remote_arc(dst_dir.clone())));
+        brmi_copy_all(&rig.conn, &rig.root, &dst_ref).unwrap();
+        let src_rows = brmi_listing(&rig.conn, &rig.root).unwrap();
+        let dst_rows = {
+            let batch = Batch::new(rig.conn.clone(), AbortPolicy);
+            let d = BDirectory::new(&batch, &dst_ref);
+            let cursor = d.list_files();
+            let name = cursor.get_name();
+            let modified = cursor.last_modified();
+            let length = cursor.length();
+            batch.flush().unwrap();
+            let mut rows = Vec::new();
+            while cursor.advance() {
+                rows.push(ListingRow {
+                    name: name.get().unwrap(),
+                    is_directory: false,
+                    last_modified: modified.get().unwrap(),
+                    length: length.get().unwrap(),
+                });
+            }
+            rows
+        };
+        assert_eq!(src_rows, dst_rows);
+    }
+
+    #[test]
+    fn dto_facade_matches_brmi_listing_in_one_round_trip() {
+        let (rig, dir) = rig(7, 32);
+        let facade_ref = rig
+            .conn
+            .reference(rig.server.export(DirectoryFacadeSkeleton::remote_arc(
+                FacadeServer::new(dir),
+            )));
+        rig.stats.reset();
+        let dto = dto_listing(&DirectoryFacadeStub::new(facade_ref)).unwrap();
+        assert_eq!(rig.stats.requests(), 1, "facade: one purpose-built call");
+        let brmi = brmi_listing(&rig.conn, &rig.root).unwrap();
+        assert_eq!(dto, brmi);
+    }
+
+    #[test]
+    fn dto_fetch_matches_brmi_but_fails_wholesale_on_missing_files() {
+        let (rig, dir) = rig(4, 100);
+        let names = dir.names();
+        let facade_ref = rig
+            .conn
+            .reference(rig.server.export(DirectoryFacadeSkeleton::remote_arc(
+                FacadeServer::new(dir),
+            )));
+        let facade = DirectoryFacadeStub::new(facade_ref);
+        let dto = dto_fetch(&facade, &names).unwrap();
+        let brmi = brmi_fetch(&rig.conn, &rig.root, &names).unwrap();
+        assert_eq!(dto, brmi);
+
+        // One bad name sinks the whole DTO call; BRMI's Continue policy
+        // reports per-file outcomes instead.
+        let mut with_bad = names.clone();
+        with_bad.push("missing".to_owned());
+        let err = dto_fetch(&facade, &with_bad).unwrap_err();
+        assert_eq!(err.exception(), "FileNotFoundException");
+        let tolerant = brmi_read_all_tolerant(&rig.conn, &rig.root, &with_bad).unwrap();
+        assert_eq!(tolerant.len(), 5);
+        assert!(tolerant[..4].iter().all(|(_, r)| r.is_ok()));
+        assert!(tolerant[4].1.is_err());
+    }
+
+    #[test]
+    fn listing_row_round_trips_through_the_value_model() {
+        use brmi_wire::{FromValue, ToValue};
+        let row = ListingRow {
+            name: "a.txt".into(),
+            is_directory: false,
+            last_modified: DateMillis(123_456),
+            length: 789,
+        };
+        let back = ListingRow::from_value(row.to_value()).unwrap();
+        assert_eq!(row, back);
+        let err = ListingRow::from_value(brmi_wire::Value::I32(3)).unwrap_err();
+        assert_eq!(err.kind(), brmi_wire::RemoteErrorKind::BadArguments);
+    }
+
+    #[test]
+    fn deleted_file_read_fails() {
+        let (rig, dir) = rig(1, 4);
+        let file = dir.entries.read()[0].clone();
+        let stub = DirectoryStub::new(rig.root.clone());
+        let remote = stub.get_file("file0".into()).unwrap();
+        remote.delete().unwrap();
+        assert!(file.deleted.load(Ordering::Relaxed));
+        let err = remote.read_contents().unwrap_err();
+        assert_eq!(err.exception(), "FileNotFoundException");
+    }
+}

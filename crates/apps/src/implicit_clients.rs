@@ -1,0 +1,345 @@
+//! Implicit-batching clients for the benchmark scenarios.
+//!
+//! The paper compares explicit batching against *implicit* systems (Thor
+//! batched futures, communication restructuring, Future-based RMI) only
+//! subjectively, because no public Java implementation existed. These
+//! clients drive the same workloads through [`brmi_implicit`], written
+//! the way the corresponding implicit system would execute the *natural*
+//! RMI client: calls are delayed, demands force a flush, and a
+//! [`barrier`](brmi_implicit::ImplicitRuntime::barrier) stands at every
+//! point where an implicit analysis must flush (entry to an exception
+//! handler, value-dependent control flow).
+//!
+//! Each function documents its round-trip count so the benchmarks and
+//! differential tests can assert the paper's qualitative claims:
+//! implicit batching lands *between* RMI and BRMI on loops (no cursors),
+//! matches BRMI on straight-line code, and degrades to per-call round
+//! trips under fine-grained exception handling.
+//!
+//! A modelling note on the trailing round trip: like Future-based RMI,
+//! the runtime keeps remote results server-side between flushes, so a
+//! client that ever forced a partial flush ends with a live server
+//! session. Releasing it costs one final round trip —
+//! an honest cost of not knowing, as the explicit client does, which
+//! flush is the last one.
+
+use brmi_implicit::{ImplicitRuntime, Lazy};
+use brmi_rmi::{Connection, RemoteRef};
+use brmi_wire::{DateMillis, RemoteError};
+
+use crate::fileserver::{BDirectory, BRemoteFile, DirectoryStub, ListingRow, TolerantRead};
+use crate::list::BRemoteList;
+use crate::noop::BNoop;
+
+/// No-op sequence under implicit batching: all `n` calls are delayed and
+/// the final flush ships them together — **1 round trip**, same as BRMI
+/// (straight-line code is implicit batching's best case).
+///
+/// # Errors
+///
+/// Transport failures at the final flush.
+pub fn implicit_noops(conn: &Connection, root: &RemoteRef, n: usize) -> Result<(), RemoteError> {
+    let rt = ImplicitRuntime::new(conn.clone());
+    let noop: BNoop = rt.stub(root);
+    let pending: Vec<Lazy<()>> = (0..n).map(|_| rt.lazy(noop.noop())).collect();
+    rt.finish()?;
+    for call in pending {
+        call.get()?;
+    }
+    Ok(())
+}
+
+/// Linked-list traversal under implicit batching: the `next()` chain is
+/// remote-returning, so nothing is demanded until the final value —
+/// **2 round trips** (the demand flush plus the session release),
+/// against BRMI's 1 and RMI's `n + 1`.
+///
+/// # Errors
+///
+/// Transport failures; `EndOfListException` when the chain is shorter
+/// than `n`.
+pub fn implicit_nth_value(
+    conn: &Connection,
+    head: &RemoteRef,
+    n: usize,
+) -> Result<i32, RemoteError> {
+    let rt = ImplicitRuntime::new(conn.clone());
+    let mut current: BRemoteList = rt.stub(head);
+    for _ in 0..n {
+        current = current.next();
+    }
+    let value = rt.lazy(current.get_value());
+    let result = value.get();
+    rt.finish()?;
+    result
+}
+
+/// Directory listing as the natural implicit client: the file array is
+/// fetched eagerly (implicit systems have no cursors, so the remote
+/// references cross the wire), then each loop iteration demands that
+/// file's attributes before printing them — forcing one flush per file.
+///
+/// **`2 + n` round trips** (array fetch, `n` per-iteration flushes, the
+/// session release), against RMI's `1 + 4n` and BRMI's 1.
+///
+/// # Errors
+///
+/// Any remote failure from the listing or attribute calls.
+pub fn implicit_listing(
+    conn: &Connection,
+    root: &RemoteRef,
+) -> Result<Vec<ListingRow>, RemoteError> {
+    let stub = DirectoryStub::new(RemoteRef::from_parts(conn.clone(), root.id()));
+    let files = stub.list_files()?;
+    let rt = ImplicitRuntime::new(conn.clone());
+    let mut rows = Vec::with_capacity(files.len());
+    for file in &files {
+        let delayed: BRemoteFile = rt.stub(file.remote_ref());
+        let name = rt.lazy(delayed.get_name());
+        let is_directory = rt.lazy(delayed.is_directory());
+        let last_modified = rt.lazy(delayed.last_modified());
+        let length = rt.lazy(delayed.length());
+        // The loop body "prints" the row: demanding `name` forces the
+        // flush; the sibling attributes ride along in the same batch.
+        rows.push(ListingRow {
+            name: name.get()?,
+            is_directory: is_directory.get()?,
+            last_modified: last_modified.get()?,
+            length: length.get()?,
+        });
+    }
+    rt.finish()?;
+    Ok(rows)
+}
+
+/// Directory listing as the *best case* an implicit optimizer could reach
+/// by restructuring the loop (Yeung & Kelly): all attribute calls are
+/// recorded before any value is consumed.
+///
+/// **3 round trips** (array fetch, one batched flush, session release) —
+/// still short of BRMI's 1, because the array of remote references must
+/// cross the wire and the optimizer cannot prove the flush final.
+///
+/// # Errors
+///
+/// Any remote failure from the listing or attribute calls.
+pub fn implicit_listing_restructured(
+    conn: &Connection,
+    root: &RemoteRef,
+) -> Result<Vec<ListingRow>, RemoteError> {
+    let stub = DirectoryStub::new(RemoteRef::from_parts(conn.clone(), root.id()));
+    let files = stub.list_files()?;
+    let rt = ImplicitRuntime::new(conn.clone());
+    let delayed: Vec<_> = files
+        .iter()
+        .map(|file| {
+            let f: BRemoteFile = rt.stub(file.remote_ref());
+            (
+                rt.lazy(f.get_name()),
+                rt.lazy(f.is_directory()),
+                rt.lazy(f.last_modified()),
+                rt.lazy(f.length()),
+            )
+        })
+        .collect();
+    let rows = delayed
+        .into_iter()
+        .map(|(name, is_directory, last_modified, length)| {
+            Ok(ListingRow {
+                name: name.get()?,
+                is_directory: is_directory.get()?,
+                last_modified: last_modified.get()?,
+                length: length.get()?,
+            })
+        })
+        .collect::<Result<Vec<_>, RemoteError>>()?;
+    rt.finish()?;
+    Ok(rows)
+}
+
+/// Per-file contents with per-file exception handling, under implicit
+/// batching. The `match` on each file's outcome is an exception-handler
+/// boundary, so the implicit analysis must flush before entering it
+/// (Section 1 of the paper lists exception handling as a batching
+/// blocker) — **`n + 1` round trips**.
+///
+/// Compare [`crate::fileserver::brmi_read_all_tolerant`], which keeps the
+/// same per-file semantics in **one** round trip with a `Continue`
+/// policy.
+///
+/// # Errors
+///
+/// Transport failures only; per-file failures come back as `Err` rows.
+pub fn implicit_read_all_tolerant(
+    conn: &Connection,
+    root: &RemoteRef,
+    names: &[String],
+) -> Result<Vec<TolerantRead>, RemoteError> {
+    let rt = ImplicitRuntime::new(conn.clone());
+    let directory: BDirectory = rt.stub(root);
+    let mut out = Vec::with_capacity(names.len());
+    for name in names {
+        let file = directory.get_file(name.clone());
+        let contents = rt.lazy(file.read_contents());
+        // Entering the handler forces the flush: the implicit system
+        // must know this iteration's outcome before the catch block.
+        rt.barrier()?;
+        out.push((
+            name.clone(),
+            contents.get().map_err(|e| e.exception().to_owned()),
+        ));
+    }
+    rt.finish()?;
+    Ok(out)
+}
+
+/// Delete-files-older-than-cutoff under implicit batching: the natural
+/// loop demands each file's date to decide, so every iteration flushes —
+/// **`n + 2` round trips** against the explicit client's 2 (paper
+/// Section 3.5).
+///
+/// Returns the names of the deleted files.
+///
+/// # Errors
+///
+/// Any remote failure.
+pub fn implicit_delete_older_than(
+    conn: &Connection,
+    root: &RemoteRef,
+    cutoff: DateMillis,
+) -> Result<Vec<String>, RemoteError> {
+    let stub = DirectoryStub::new(RemoteRef::from_parts(conn.clone(), root.id()));
+    let files = stub.list_files()?;
+    let rt = ImplicitRuntime::new(conn.clone());
+    let mut deleted = Vec::new();
+    for file in &files {
+        let delayed: BRemoteFile = rt.stub(file.remote_ref());
+        let date = rt.lazy(delayed.last_modified());
+        let name = rt.lazy(delayed.get_name());
+        if date.get()?.before(cutoff) {
+            deleted.push(name.get()?);
+            let _ = delayed.delete(); // delayed; ships with the next flush
+        }
+    }
+    rt.finish()?;
+    Ok(deleted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fileserver::{
+        brmi_listing, brmi_read_all_tolerant, rmi_listing, DirectorySkeleton, InMemoryDirectory,
+    };
+    use crate::list::{ListNode, RemoteListSkeleton};
+    use crate::noop::{NoopServer, NoopSkeleton};
+    use crate::testkit::AppRig;
+
+    #[test]
+    fn implicit_noops_run_once_in_one_round_trip() {
+        let server = NoopServer::new();
+        let rig = AppRig::serve("noop", NoopSkeleton::remote_arc(server.clone()));
+        rig.stats.reset();
+        implicit_noops(&rig.conn, &rig.root, 7).unwrap();
+        assert_eq!(server.calls(), 7);
+        assert_eq!(rig.stats.requests(), 1, "straight-line code: one flush");
+    }
+
+    #[test]
+    fn implicit_traversal_matches_rmi_and_costs_two_trips() {
+        let rig = AppRig::serve(
+            "list",
+            RemoteListSkeleton::remote_arc(ListNode::chain(&[5, 6, 7, 8])),
+        );
+        rig.stats.reset();
+        let value = implicit_nth_value(&rig.conn, &rig.root, 3).unwrap();
+        assert_eq!(value, 8);
+        assert_eq!(rig.stats.requests(), 2, "demand flush + session release");
+    }
+
+    #[test]
+    fn implicit_traversal_past_tail_rethrows_at_demand() {
+        let rig = AppRig::serve(
+            "list",
+            RemoteListSkeleton::remote_arc(ListNode::chain(&[1])),
+        );
+        let err = implicit_nth_value(&rig.conn, &rig.root, 3).unwrap_err();
+        assert_eq!(err.exception(), "EndOfListException");
+    }
+
+    fn file_rig(count: usize) -> (AppRig, std::sync::Arc<InMemoryDirectory>) {
+        let dir = InMemoryDirectory::new();
+        dir.populate(count, 16);
+        let rig = AppRig::serve("files", DirectorySkeleton::remote_arc(dir.clone()));
+        (rig, dir)
+    }
+
+    #[test]
+    fn implicit_listing_agrees_with_rmi_and_brmi() {
+        let (rig, _dir) = file_rig(6);
+        let rmi = rmi_listing(&DirectoryStub::new(rig.root.clone())).unwrap();
+        let implicit = implicit_listing(&rig.conn, &rig.root).unwrap();
+        let restructured = implicit_listing_restructured(&rig.conn, &rig.root).unwrap();
+        let brmi = brmi_listing(&rig.conn, &rig.root).unwrap();
+        assert_eq!(rmi, implicit);
+        assert_eq!(rmi, restructured);
+        assert_eq!(rmi, brmi);
+    }
+
+    #[test]
+    fn implicit_listing_round_trips_sit_between_rmi_and_brmi() {
+        let (rig, _dir) = file_rig(8);
+        rig.stats.reset();
+        implicit_listing(&rig.conn, &rig.root).unwrap();
+        assert_eq!(rig.stats.requests(), 2 + 8, "1 fetch + n demands + release");
+
+        rig.stats.reset();
+        implicit_listing_restructured(&rig.conn, &rig.root).unwrap();
+        assert_eq!(rig.stats.requests(), 3, "fetch + one flush + release");
+    }
+
+    #[test]
+    fn fine_grained_handlers_force_per_call_flushes() {
+        let (rig, _dir) = file_rig(4);
+        let mut names: Vec<String> = (0..4).map(|i| format!("file{i}")).collect();
+        names.insert(2, "missing".to_owned());
+
+        rig.stats.reset();
+        let implicit = implicit_read_all_tolerant(&rig.conn, &rig.root, &names).unwrap();
+        assert_eq!(rig.stats.requests(), names.len() as u64 + 1);
+
+        rig.stats.reset();
+        let explicit = brmi_read_all_tolerant(&rig.conn, &rig.root, &names).unwrap();
+        assert_eq!(rig.stats.requests(), 1, "Continue policy: one round trip");
+
+        assert_eq!(implicit, explicit);
+        assert_eq!(
+            implicit[2].1,
+            Err("FileNotFoundException".to_owned()),
+            "the missing file fails without affecting its neighbours"
+        );
+        assert!(implicit[3].1.is_ok());
+    }
+
+    #[test]
+    fn implicit_delete_agrees_with_explicit_but_pays_per_file() {
+        let (rig_a, dir_a) = file_rig(6);
+        let (rig_b, dir_b) = file_rig(6);
+        rig_a.stats.reset();
+        let implicit =
+            implicit_delete_older_than(&rig_a.conn, &rig_a.root, DateMillis(3_000)).unwrap();
+        assert_eq!(rig_a.stats.requests(), 6 + 2);
+        let explicit =
+            crate::fileserver::brmi_delete_older_than(&rig_b.conn, &rig_b.root, DateMillis(3_000))
+                .unwrap();
+        assert_eq!(implicit, explicit);
+        assert_eq!(dir_a.names(), dir_b.names());
+    }
+
+    #[test]
+    fn empty_listing_is_harmless() {
+        let (rig, _dir) = file_rig(0);
+        let rows = implicit_listing(&rig.conn, &rig.root).unwrap();
+        assert!(rows.is_empty());
+    }
+}

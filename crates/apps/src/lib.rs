@@ -1,0 +1,32 @@
+//! # brmi-apps
+//!
+//! The BRMI paper's case-study applications and micro-benchmark services,
+//! re-implemented in Rust (paper Sections 5.1 and 5.3):
+//!
+//! * [`fileserver`] — the Remote File Server running example and macro
+//!   benchmark: directory listings, bulk fetches, delete-by-date.
+//! * [`bank`] — credit-card management with the custom exception policy.
+//! * [`translator`] — a one-word-at-a-time service batched dynamically.
+//! * [`list`] — linked-list traversal (Figures 7–9).
+//! * [`simulation`] — the Simulation/Balancer identity benchmark
+//!   (Figures 10–11).
+//! * [`noop`] — the no-op overhead benchmark (Figures 5–6).
+//! * [`implicit_clients`] — the same workloads driven through the
+//!   implicit-batching baseline ([`brmi_implicit`]), quantifying the
+//!   paper's related-work comparison.
+//!
+//! Every application ships an RMI client and a BRMI client with identical
+//! observable behaviour; the unit tests in each module are differential
+//! tests asserting exactly that, plus the paper's round-trip counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod fileserver;
+pub mod implicit_clients;
+pub mod list;
+pub mod noop;
+pub mod simulation;
+pub mod testkit;
+pub mod translator;

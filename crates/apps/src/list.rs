@@ -1,0 +1,197 @@
+//! The linked-list traversal micro-benchmark (paper Section 5.3,
+//! Figures 7–9): traversing a variable-length chain of remote references.
+//!
+//! Three client variants reproduce the paper's three measurements:
+//! plain RMI (one round trip per hop), BRMI with a single batch (one round
+//! trip total), and BRMI flushing after every call (batch size 1 —
+//! Figure 9 — which still beats RMI because remote results are never
+//! marshalled).
+
+use std::sync::Arc;
+
+use brmi::policy::AbortPolicy;
+use brmi::{remote_interface, Batch};
+use brmi_rmi::{Connection, RemoteRef};
+use brmi_wire::RemoteError;
+use parking_lot::Mutex;
+
+remote_interface! {
+    /// A linked list of remote nodes (the paper's `RemoteList`).
+    pub interface RemoteList {
+        /// The successor node; throws `EndOfListException` at the tail.
+        fn next() -> remote RemoteList;
+        /// This node's value.
+        fn get_value() -> i32;
+    }
+}
+
+/// Server-side list node.
+pub struct ListNode {
+    value: i32,
+    next: Mutex<Option<Arc<ListNode>>>,
+}
+
+impl ListNode {
+    /// Builds a chain holding `values`; returns the head.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `values` is empty.
+    pub fn chain(values: &[i32]) -> Arc<ListNode> {
+        assert!(!values.is_empty(), "a list needs at least one node");
+        let mut iter = values.iter().rev();
+        let mut node = Arc::new(ListNode {
+            value: *iter.next().expect("nonempty"),
+            next: Mutex::new(None),
+        });
+        for &value in iter {
+            node = Arc::new(ListNode {
+                value,
+                next: Mutex::new(Some(node)),
+            });
+        }
+        node
+    }
+}
+
+impl RemoteList for ListNode {
+    fn next(&self) -> Result<Arc<dyn RemoteList>, RemoteError> {
+        self.next
+            .lock()
+            .clone()
+            .map(|node| node as Arc<dyn RemoteList>)
+            .ok_or_else(|| {
+                RemoteError::application("EndOfListException", "reached the tail")
+            })
+    }
+
+    fn get_value(&self) -> Result<i32, RemoteError> {
+        Ok(self.value)
+    }
+}
+
+/// RMI traversal: `n` `next()` calls plus one `get_value()` —
+/// `n + 1` round trips.
+///
+/// # Errors
+///
+/// `EndOfListException` when the chain is shorter than `n`.
+pub fn rmi_nth_value(head: &RemoteListStub, n: usize) -> Result<i32, RemoteError> {
+    let mut current = head.clone();
+    for _ in 0..n {
+        current = current.next()?;
+    }
+    current.get_value()
+}
+
+/// BRMI traversal in a single batch: one round trip regardless of `n`.
+///
+/// # Errors
+///
+/// Communication failures at `flush`; `EndOfListException` re-thrown from
+/// the future when the chain is too short.
+pub fn brmi_nth_value(conn: &Connection, head: &RemoteRef, n: usize) -> Result<i32, RemoteError> {
+    let batch = Batch::new(conn.clone(), AbortPolicy);
+    let mut current = BRemoteList::new(&batch, head);
+    for _ in 0..n {
+        current = current.next();
+    }
+    let value = current.get_value();
+    batch.flush()?;
+    value.get()
+}
+
+/// BRMI traversal with batch size 1 (Figure 9): `flush_and_continue`
+/// after every recorded call, so each hop is its own round trip — yet no
+/// remote result ever crosses the wire.
+///
+/// # Errors
+///
+/// As for [`brmi_nth_value`].
+pub fn brmi_nth_value_unbatched(
+    conn: &Connection,
+    head: &RemoteRef,
+    n: usize,
+) -> Result<i32, RemoteError> {
+    let batch = Batch::new(conn.clone(), AbortPolicy);
+    let mut current = BRemoteList::new(&batch, head);
+    for _ in 0..n {
+        current = current.next();
+        batch.flush_and_continue()?;
+        current.ok()?;
+    }
+    let value = current.get_value();
+    batch.flush()?;
+    value.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::AppRig;
+
+    fn rig(values: &[i32]) -> AppRig {
+        AppRig::serve(
+            "list",
+            RemoteListSkeleton::remote_arc(ListNode::chain(values)),
+        )
+    }
+
+    #[test]
+    fn all_three_clients_agree() {
+        let rig = rig(&[10, 20, 30, 40, 50]);
+        for n in 0..5 {
+            let rmi = rmi_nth_value(&RemoteListStub::new(rig.root.clone()), n).unwrap();
+            let single = brmi_nth_value(&rig.conn, &rig.root, n).unwrap();
+            let unbatched = brmi_nth_value_unbatched(&rig.conn, &rig.root, n).unwrap();
+            assert_eq!(rmi, single);
+            assert_eq!(rmi, unbatched);
+            assert_eq!(rmi, 10 * (n as i32 + 1));
+        }
+    }
+
+    #[test]
+    fn round_trip_counts_match_the_paper() {
+        let rig = rig(&[1, 2, 3, 4, 5, 6]);
+        let n = 5;
+
+        rig.stats.reset();
+        rmi_nth_value(&RemoteListStub::new(rig.root.clone()), n).unwrap();
+        assert_eq!(rig.stats.requests(), n as u64 + 1, "RMI: n+1 trips");
+
+        rig.stats.reset();
+        brmi_nth_value(&rig.conn, &rig.root, n).unwrap();
+        assert_eq!(rig.stats.requests(), 1, "BRMI: one trip");
+
+        rig.stats.reset();
+        brmi_nth_value_unbatched(&rig.conn, &rig.root, n).unwrap();
+        assert_eq!(
+            rig.stats.requests(),
+            n as u64 + 1,
+            "unbatched BRMI: n+1 trips of batch size 1"
+        );
+    }
+
+    #[test]
+    fn traversal_past_the_tail_fails_identically() {
+        let rig = rig(&[1, 2]);
+        let rmi = rmi_nth_value(&RemoteListStub::new(rig.root.clone()), 5).unwrap_err();
+        let brmi = brmi_nth_value(&rig.conn, &rig.root, 5).unwrap_err();
+        let unbatched = brmi_nth_value_unbatched(&rig.conn, &rig.root, 5).unwrap_err();
+        assert_eq!(rmi.exception(), "EndOfListException");
+        assert_eq!(brmi.exception(), rmi.exception());
+        assert_eq!(unbatched.exception(), rmi.exception());
+    }
+
+    #[test]
+    fn rmi_exports_grow_with_traversal_but_brmi_do_not() {
+        let rig = rig(&[1, 2, 3, 4]);
+        let before = rig.server.table().len();
+        rmi_nth_value(&RemoteListStub::new(rig.root.clone()), 3).unwrap();
+        assert_eq!(rig.server.table().len(), before + 3, "RMI exports per hop");
+
+        let before = rig.server.table().len();
+        brmi_nth_value(&rig.conn, &rig.root, 3).unwrap();
+        assert_eq!(rig.server.table().len(), before, "BRMI exports nothing");
+    }
+}

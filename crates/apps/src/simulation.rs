@@ -1,0 +1,217 @@
+//! The remote-simulation micro-benchmark (paper Section 5.3,
+//! Figures 10–11): a `Simulation` service whose steps repeatedly invoke a
+//! `Balancer` that the *client* obtained and passed back.
+//!
+//! Under RMI the balancer argument arrives as a marshalled stub, so every
+//! `balance()` inside a step is a loopback middleware call; under BRMI the
+//! batch executor hands the step the identical local object, so
+//! `balance()` is a plain method call (Section 4.4). `flush` is called
+//! after every step, so the measured benefit is purely identity
+//! preservation, exactly as in the paper.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use brmi::policy::AbortPolicy;
+use brmi::{remote_interface, Batch};
+use brmi_rmi::{Connection, RemoteRef};
+use brmi_wire::RemoteError;
+use parking_lot::Mutex;
+
+remote_interface! {
+    /// Load-balancing hook invoked by every simulation step.
+    pub interface Balancer {
+        /// One balancing action.
+        fn balance();
+        /// How many times this balancer ran.
+        fn invocations() -> i64;
+    }
+}
+
+remote_interface! {
+    /// The simulation service (the paper's `Simulation`).
+    pub interface Simulation {
+        /// Creates the balancer the client will parameterize steps with.
+        fn create_balancer() -> remote Balancer;
+        /// Runs one step, calling `balancer.balance()` `reps` times;
+        /// returns the step number.
+        fn perform_simulation_step(reps: i32, balancer: remote Balancer) -> i32;
+        /// Aggregate result over all steps.
+        fn get_simulation_results() -> f64;
+    }
+}
+
+/// Server-side balancer.
+#[derive(Default)]
+pub struct RoundRobinBalancer {
+    invocations: AtomicU64,
+}
+
+impl Balancer for RoundRobinBalancer {
+    fn balance(&self) -> Result<(), RemoteError> {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn invocations(&self) -> Result<i64, RemoteError> {
+        Ok(self.invocations.load(Ordering::Relaxed) as i64)
+    }
+}
+
+/// Server-side simulation state.
+#[derive(Default)]
+pub struct SimulationServer {
+    steps: AtomicU64,
+    accumulator: Mutex<f64>,
+}
+
+impl SimulationServer {
+    /// Creates a fresh simulation.
+    pub fn new() -> Arc<Self> {
+        Arc::new(SimulationServer::default())
+    }
+
+    /// Steps executed so far (test introspection).
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+}
+
+impl Simulation for SimulationServer {
+    fn create_balancer(&self) -> Result<Arc<dyn Balancer>, RemoteError> {
+        Ok(Arc::new(RoundRobinBalancer::default()))
+    }
+
+    fn perform_simulation_step(
+        &self,
+        reps: i32,
+        balancer: Arc<dyn Balancer>,
+    ) -> Result<i32, RemoteError> {
+        if reps < 0 {
+            return Err(RemoteError::application(
+                "InvalidRepsException",
+                format!("reps must be non-negative, got {reps}"),
+            ));
+        }
+        for _ in 0..reps {
+            // Local call under BRMI; loopback middleware call under RMI.
+            balancer.balance()?;
+        }
+        let step = self.steps.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.accumulator.lock() += f64::from(reps);
+        Ok(step as i32)
+    }
+
+    fn get_simulation_results(&self) -> Result<f64, RemoteError> {
+        Ok(*self.accumulator.lock())
+    }
+}
+
+/// RMI driver: `create_balancer`, then one `perform_simulation_step` per
+/// step, then `get_simulation_results` — and `reps` loopback calls inside
+/// every step.
+///
+/// # Errors
+///
+/// Any remote failure.
+pub fn rmi_run(stub: &SimulationStub, steps: usize, reps: i32) -> Result<f64, RemoteError> {
+    let balancer = stub.create_balancer()?;
+    for _ in 0..steps {
+        stub.perform_simulation_step(reps, &balancer)?;
+    }
+    stub.get_simulation_results()
+}
+
+/// BRMI driver: identical call sequence, flushing after every step
+/// (batch size 1, as in the paper) — the speedup comes solely from
+/// identity preservation.
+///
+/// # Errors
+///
+/// Communication failures at any flush; remote failures via futures.
+pub fn brmi_run(
+    conn: &Connection,
+    simulation_ref: &RemoteRef,
+    steps: usize,
+    reps: i32,
+) -> Result<f64, RemoteError> {
+    let batch = Batch::new(conn.clone(), AbortPolicy);
+    let simulation = BSimulation::new(&batch, simulation_ref);
+    let balancer = simulation.create_balancer();
+    batch.flush_and_continue()?;
+    for _ in 0..steps {
+        let step = simulation.perform_simulation_step(reps, &balancer);
+        batch.flush_and_continue()?;
+        step.get()?;
+    }
+    let results = simulation.get_simulation_results();
+    batch.flush()?;
+    results.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::AppRig;
+
+    fn rig() -> (AppRig, Arc<SimulationServer>) {
+        let simulation = SimulationServer::new();
+        let rig = AppRig::serve(
+            "simulation",
+            SimulationSkeleton::remote_arc(simulation.clone()),
+        );
+        (rig, simulation)
+    }
+
+    #[test]
+    fn both_drivers_compute_the_same_result() {
+        let (rig_a, sim_a) = rig();
+        let (rig_b, sim_b) = rig();
+        let rmi = rmi_run(&SimulationStub::new(rig_a.root.clone()), 10, 3).unwrap();
+        let brmi = brmi_run(&rig_b.conn, &rig_b.root, 10, 3).unwrap();
+        assert_eq!(rmi, brmi);
+        assert_eq!(rmi, 30.0);
+        assert_eq!(sim_a.steps(), 10);
+        assert_eq!(sim_b.steps(), 10);
+    }
+
+    #[test]
+    fn rmi_pays_loopback_calls_brmi_does_not() {
+        let (rig_rmi, _sim) = rig();
+        rmi_run(&SimulationStub::new(rig_rmi.root.clone()), 5, 4).unwrap();
+        assert_eq!(
+            rig_rmi.server.loopback_calls(),
+            5 * 4,
+            "every balance() under RMI is a loopback middleware call"
+        );
+
+        let (rig_brmi, _sim) = rig();
+        brmi_run(&rig_brmi.conn, &rig_brmi.root, 5, 4).unwrap();
+        assert_eq!(
+            rig_brmi.server.loopback_calls(),
+            0,
+            "BRMI resolves the balancer to the local object"
+        );
+    }
+
+    #[test]
+    fn round_trip_counts_are_steps_plus_bookkeeping() {
+        let (rig, _sim) = rig();
+        rig.stats.reset();
+        rmi_run(&SimulationStub::new(rig.root.clone()), 8, 1).unwrap();
+        assert_eq!(rig.stats.requests(), 1 + 8 + 1);
+
+        rig.stats.reset();
+        brmi_run(&rig.conn, &rig.root, 8, 1).unwrap();
+        assert_eq!(rig.stats.requests(), 1 + 8 + 1, "flush per step, as in the paper");
+    }
+
+    #[test]
+    fn negative_reps_fail_in_both_drivers() {
+        let (rig, _sim) = rig();
+        let rmi = rmi_run(&SimulationStub::new(rig.root.clone()), 1, -1).unwrap_err();
+        let brmi = brmi_run(&rig.conn, &rig.root, 1, -1).unwrap_err();
+        assert_eq!(rmi.exception(), "InvalidRepsException");
+        assert_eq!(brmi.exception(), rmi.exception());
+    }
+}

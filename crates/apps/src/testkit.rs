@@ -1,0 +1,57 @@
+//! Test/bench rig shared by all case-study applications: a server with
+//! batching installed, an in-process transport with traffic counters, and
+//! a connection with the application root looked up.
+
+use std::sync::Arc;
+
+use brmi::BatchExecutor;
+use brmi_rmi::{Connection, RemoteObject, RemoteRef, RmiServer};
+use brmi_transport::inproc::InProcTransport;
+use brmi_transport::TransportStats;
+
+/// A ready-to-use client/server pair over an in-process transport.
+pub struct AppRig {
+    /// The server (batching installed).
+    pub server: Arc<RmiServer>,
+    /// The batch executor, for session introspection.
+    pub executor: Arc<BatchExecutor>,
+    /// Client connection.
+    pub conn: Connection,
+    /// Reference to the exported application root.
+    pub root: RemoteRef,
+    /// Round-trip counters for the transport.
+    pub stats: Arc<TransportStats>,
+}
+
+impl AppRig {
+    /// Exports `root` under `name` and connects a client to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the bind fails (name collision), which cannot happen on
+    /// a fresh server.
+    pub fn serve(name: &str, root: Arc<dyn RemoteObject>) -> AppRig {
+        let server = RmiServer::new();
+        let executor = BatchExecutor::install(&server);
+        let id = server.bind(name, root).expect("fresh server bind");
+        let transport = InProcTransport::new(server.clone());
+        let stats = transport.stats();
+        let conn = Connection::new(Arc::new(transport));
+        let root = conn.reference(id);
+        AppRig {
+            server,
+            executor,
+            conn,
+            root,
+            stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for AppRig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppRig")
+            .field("requests", &self.stats.requests())
+            .finish_non_exhaustive()
+    }
+}

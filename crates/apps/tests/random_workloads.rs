@@ -1,0 +1,147 @@
+//! Randomized differential workloads: seeded `rand` workload generators
+//! drive the RMI and BRMI clients of each application against separate but
+//! identically-initialized servers and assert identical outcomes.
+
+use brmi_apps::bank::{
+    brmi_purchase_session, rmi_purchase_session, Bank, CreditManagerSkeleton, CreditManagerStub,
+};
+use brmi_apps::fileserver::{
+    brmi_delete_older_than, brmi_fetch, rmi_delete_older_than, rmi_fetch, DirectorySkeleton,
+    DirectoryStub, InMemoryDirectory,
+};
+use brmi_apps::testkit::AppRig;
+use brmi_apps::translator::{
+    brmi_translate_all, rmi_translate_all, DictionaryTranslator, TranslatorSkeleton,
+    TranslatorStub, Word,
+};
+use brmi_wire::DateMillis;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn file_rigs(rng: &mut StdRng) -> (AppRig, AppRig, Vec<String>) {
+    let count = rng.gen_range(1..12);
+    let make = |rng: &mut StdRng| {
+        let dir = InMemoryDirectory::new();
+        // Sizes/dates must match across the two rigs: derive from index.
+        for i in 0..count {
+            dir.add_file(
+                &format!("f{i}"),
+                DateMillis(i as i64 * 500),
+                vec![i as u8; (i + 1) * 13],
+            );
+        }
+        let _ = rng;
+        AppRig::serve("files", DirectorySkeleton::remote_arc(dir))
+    };
+    let a = make(rng);
+    let b = make(rng);
+    let names = (0..count).map(|i| format!("f{i}")).collect();
+    (a, b, names)
+}
+
+#[test]
+fn random_fetch_workloads_agree() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    for _ in 0..20 {
+        let (rig_a, rig_b, names) = file_rigs(&mut rng);
+        // A random multiset of names, some possibly missing.
+        let wanted: Vec<String> = (0..rng.gen_range(0..8))
+            .map(|_| {
+                if rng.gen_bool(0.15) {
+                    "missing".to_owned()
+                } else {
+                    names[rng.gen_range(0..names.len())].clone()
+                }
+            })
+            .collect();
+        let rmi = rmi_fetch(&DirectoryStub::new(rig_a.root.clone()), &wanted);
+        let brmi = brmi_fetch(&rig_b.conn, &rig_b.root, &wanted);
+        match (rmi, brmi) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b),
+            (Err(a), Err(b)) => assert_eq!(a.exception(), b.exception()),
+            (a, b) => panic!("divergent outcomes: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn random_delete_cutoffs_agree() {
+    let mut rng = StdRng::seed_from_u64(0xDE1E7E);
+    for _ in 0..20 {
+        let (rig_a, rig_b, _names) = file_rigs(&mut rng);
+        let cutoff = DateMillis(rng.gen_range(-100..7000));
+        let rmi = rmi_delete_older_than(&DirectoryStub::new(rig_a.root.clone()), cutoff).unwrap();
+        let brmi = brmi_delete_older_than(&rig_b.conn, &rig_b.root, cutoff).unwrap();
+        assert_eq!(rmi, brmi, "cutoff {cutoff}");
+    }
+}
+
+#[test]
+fn random_purchase_sessions_agree() {
+    let mut rng = StdRng::seed_from_u64(0xBA27);
+    for _ in 0..25 {
+        let limit = rng.gen_range(50.0..500.0);
+        let make = || {
+            let bank = Bank::new();
+            bank.open_account("c", limit);
+            AppRig::serve("bank", CreditManagerSkeleton::remote_arc(bank))
+        };
+        let rig_a = make();
+        let rig_b = make();
+        let amounts: Vec<f64> = (0..rng.gen_range(0..10))
+            .map(|_| rng.gen_range(-20.0..200.0))
+            .collect();
+        let customer = if rng.gen_bool(0.2) { "ghost" } else { "c" };
+        let rmi = rmi_purchase_session(
+            &CreditManagerStub::new(rig_a.root.clone()),
+            customer,
+            &amounts,
+        );
+        let brmi = brmi_purchase_session(&rig_b.conn, &rig_b.root, customer, &amounts);
+        match (rmi, brmi) {
+            (Ok(a), Ok(b)) => {
+                // The RMI client aborts on lookup failure with an error;
+                // the BRMI client reports it through the futures. Compare
+                // only when both produced reports.
+                assert_eq!(a, b);
+            }
+            (Err(a), Ok(b)) => {
+                // RMI lookup failure vs BRMI policy break: both must blame
+                // the same exception.
+                assert_eq!(
+                    Err::<f64, _>(a.exception().to_owned()),
+                    b.credit_line
+                );
+            }
+            (a, b) => panic!("divergent outcomes: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn random_translation_batches_agree() {
+    let mut rng = StdRng::seed_from_u64(0x7A35);
+    let vocabulary = DictionaryTranslator::english_to_french().known_words();
+    for _ in 0..25 {
+        let make = || {
+            AppRig::serve(
+                "t",
+                TranslatorSkeleton::remote_arc(DictionaryTranslator::english_to_french()),
+            )
+        };
+        let rig_a = make();
+        let rig_b = make();
+        let words: Vec<Word> = (0..rng.gen_range(0..15))
+            .map(|_| {
+                if rng.gen_bool(0.25) {
+                    Word::new("unknowable", "en")
+                } else {
+                    Word::new(&vocabulary[rng.gen_range(0..vocabulary.len())], "en")
+                }
+            })
+            .collect();
+        let rmi = rmi_translate_all(&TranslatorStub::new(rig_a.root.clone()), &words).unwrap();
+        let brmi = brmi_translate_all(&rig_b.conn, &rig_b.root, &words).unwrap();
+        assert_eq!(rmi, brmi);
+    }
+}

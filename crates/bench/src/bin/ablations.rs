@@ -1,0 +1,21 @@
+//! Runs the design-choice ablations from DESIGN.md §5 —
+//! `cargo run -p brmi-bench --bin ablations`.
+//!
+//! * A: identity preservation on/off (column "RMI" = exporting executor);
+//! * B: cursor vs two-batch listing (column "RMI" = two-batch variant);
+//! * C: exception-policy overhead (column "RMI" = 16-rule custom policy);
+//! * D: varint vs fixed-width codec (column "RMI" = fixed-width).
+
+use brmi_transport::NetworkProfile;
+
+fn main() {
+    let lan = NetworkProfile::lan_1gbps();
+    let wireless = NetworkProfile::wireless_54mbps();
+    println!("BRMI ablations (columns renamed per variant; see header comments)\n");
+    brmi_bench::figures::ablation_identity(&lan).print();
+    brmi_bench::figures::ablation_identity(&wireless).print();
+    brmi_bench::figures::ablation_cursor(&lan).print();
+    brmi_bench::figures::ablation_policy(&lan).print();
+    brmi_bench::figures::ablation_codec(&wireless).print();
+    brmi_bench::figures::ablation_codec_payload(&wireless).print();
+}

@@ -1,0 +1,9 @@
+//! Regenerates every figure of the paper's evaluation in one run —
+//! `cargo run -p brmi-bench --bin all_figures`.
+
+fn main() {
+    println!("BRMI evaluation — all paper figures (simulated network, virtual time)\n");
+    for figure in brmi_bench::figures::all_paper_figures() {
+        figure.print();
+    }
+}

@@ -1,0 +1,9 @@
+//! Runs the extension experiments (implicit-batching baseline, DTO
+//! facade) — `cargo run -p brmi-bench --bin extensions`.
+
+fn main() {
+    println!("BRMI extension experiments (comparators the paper lacked)\n");
+    for figure in brmi_bench::extensions::all_extension_figures() {
+        figure.print();
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 5 (no-op benchmark, LAN) — run with `cargo run -p brmi-bench --bin fig05_noop_lan`.
+
+fn main() {
+    brmi_bench::figures::noop_figure("fig05", &brmi_transport::NetworkProfile::lan_1gbps()).print();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Figure 7 (linked-list traversal, LAN) — run with `cargo run -p brmi-bench --bin fig07_list_lan`.
+
+fn main() {
+    brmi_bench::figures::list_figure("fig07", &brmi_transport::NetworkProfile::lan_1gbps()).print();
+}

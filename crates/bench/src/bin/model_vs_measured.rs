@@ -1,0 +1,99 @@
+//! Prints the analytic model's predictions next to the simulator's
+//! measurements for every construct —
+//! `cargo run -p brmi-bench --bin model_vs_measured`.
+//!
+//! The count columns must agree exactly and the time columns to within
+//! clock rounding; `cargo test -p brmi-bench --test model_check`
+//! enforces both.
+
+use brmi_apps::fileserver::{
+    brmi_fetch, brmi_listing, rmi_fetch, rmi_listing, DirectorySkeleton, DirectoryStub,
+    InMemoryDirectory,
+};
+use brmi_apps::list::{
+    brmi_nth_value, brmi_nth_value_unbatched, rmi_nth_value, ListNode, RemoteListSkeleton,
+    RemoteListStub,
+};
+use brmi_apps::noop::{brmi_noops, rmi_noops, NoopServer, NoopSkeleton, NoopStub};
+use brmi_bench::model::{counts, predicted_ms_from_stats, TrafficCounts};
+use brmi_bench::rig::SimRig;
+use brmi_transport::NetworkProfile;
+
+fn row(name: &str, rig: &SimRig, expected: TrafficCounts, work: impl FnOnce()) {
+    let loopback_before = rig.server.loopback_calls();
+    let simulated = rig.measure_ms(work);
+    let loopback = rig.server.loopback_calls() - loopback_before;
+    let predicted = predicted_ms_from_stats(rig.profile(), &rig.stats, loopback);
+    println!(
+        "{name:<28} {:>5}/{:<5} {:>5}/{:<5} {predicted:>10.4} {simulated:>10.4}",
+        expected.round_trips,
+        rig.stats.requests(),
+        expected.remote_refs,
+        rig.stats.remote_refs(),
+    );
+}
+
+fn main() {
+    let profile = NetworkProfile::lan_1gbps();
+    println!("Analytic model vs simulator (LAN profile)\n");
+    println!(
+        "{:<28} {:>11} {:>11} {:>10} {:>10}",
+        "scenario", "trips p/m", "refs p/m", "model ms", "sim ms"
+    );
+
+    let n = 5u64;
+    let rig = SimRig::new(&profile, NoopSkeleton::remote_arc(NoopServer::new()));
+    let stub = NoopStub::new(rig.root.clone());
+    row("rmi noop x5", &rig, counts::rmi_noop(n), || {
+        rmi_noops(&stub, n as usize).unwrap();
+    });
+    row("brmi noop x5", &rig, counts::brmi_noop(n), || {
+        brmi_noops(&rig.conn, &rig.root, n as usize).unwrap();
+    });
+
+    let values: Vec<i32> = (0..8).collect();
+    let rig = SimRig::new(
+        &profile,
+        RemoteListSkeleton::remote_arc(ListNode::chain(&values)),
+    );
+    let stub = RemoteListStub::new(rig.root.clone());
+    row("rmi list x5", &rig, counts::rmi_list(n), || {
+        rmi_nth_value(&stub, n as usize).unwrap();
+    });
+    row("brmi list x5", &rig, counts::brmi_list(n), || {
+        brmi_nth_value(&rig.conn, &rig.root, n as usize).unwrap();
+    });
+    row(
+        "brmi list x5 (size-1)",
+        &rig,
+        counts::brmi_list_unbatched(n),
+        || {
+            brmi_nth_value_unbatched(&rig.conn, &rig.root, n as usize).unwrap();
+        },
+    );
+
+    let dir = InMemoryDirectory::new();
+    dir.populate(10, 1024);
+    let rig = SimRig::new(&profile, DirectorySkeleton::remote_arc(dir));
+    let stub = DirectoryStub::new(rig.root.clone());
+    let names: Vec<String> = (0..n).map(|i| format!("file{i}")).collect();
+    row("rmi fetch x5", &rig, counts::rmi_fetch(n), || {
+        rmi_fetch(&stub, &names).unwrap();
+    });
+    row("brmi fetch x5", &rig, counts::brmi_fetch(n), || {
+        brmi_fetch(&rig.conn, &rig.root, &names).unwrap();
+    });
+    row("rmi listing (10 files)", &rig, counts::rmi_listing(10), || {
+        rmi_listing(&stub).unwrap();
+    });
+    row(
+        "brmi listing (10 files)",
+        &rig,
+        counts::brmi_listing(10),
+        || {
+            brmi_listing(&rig.conn, &rig.root).unwrap();
+        },
+    );
+
+    println!("\n(p/m = predicted/measured; times agree to clock rounding)");
+}

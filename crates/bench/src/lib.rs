@@ -1,0 +1,133 @@
+//! # brmi-bench
+//!
+//! The experimental harness reproducing every figure of the BRMI paper's
+//! evaluation (Section 5). The *real* middleware runs over the
+//! [simulated network](brmi_transport::sim) in virtual time, so a full
+//! sweep is deterministic and finishes in milliseconds of wall time while
+//! reporting the latency a physical testbed would exhibit.
+//!
+//! * [`rig`] — simulated client/server pairs per network profile;
+//! * [`figures`] — one scenario per paper figure (5–13) plus ablations;
+//! * [`extensions`] — experiments beyond the paper: the implicit-batching
+//!   baseline and the hand-written DTO facade, measured against BRMI;
+//! * [`model`] — analytic performance models for every construct (the
+//!   Detmold & Oudshoorn extension the paper proposes as future work),
+//!   validated against the simulator in `tests/model_check.rs`;
+//! * binaries `fig05_noop_lan` … `fig13_files_wireless`, `all_figures`,
+//!   `ablations` and `extensions` print paper-style series;
+//! * `benches/middleware_cpu.rs` (Criterion) measures the real CPU cost of
+//!   recording, encoding and executing batches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod figures;
+pub mod model;
+pub mod rig;
+
+/// One measured series pair for a figure: RMI vs BRMI over a parameter
+/// sweep, in simulated milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Figure id, e.g. `"fig05"`.
+    pub id: &'static str,
+    /// Paper caption, e.g. `"No-op Benchmark (LAN)"`.
+    pub title: String,
+    /// Meaning of the x axis.
+    pub x_label: &'static str,
+    /// Sweep points.
+    pub x: Vec<u32>,
+    /// RMI milliseconds per point.
+    pub rmi_ms: Vec<f64>,
+    /// BRMI milliseconds per point.
+    pub brmi_ms: Vec<f64>,
+}
+
+impl Figure {
+    /// Prints the figure as the paper-style series table.
+    pub fn print(&self) {
+        println!("{} — {}", self.id, self.title);
+        println!("{:>24} {:>12} {:>12}", self.x_label, "RMI (ms)", "BRMI (ms)");
+        for ((x, rmi), brmi) in self.x.iter().zip(&self.rmi_ms).zip(&self.brmi_ms) {
+            println!("{x:>24} {rmi:>12.3} {brmi:>12.3}");
+        }
+        println!();
+    }
+
+    /// Least-squares slope of a series in ms per x unit.
+    pub fn slope(x: &[u32], y: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        let sx: f64 = x.iter().map(|&v| f64::from(v)).sum();
+        let sy: f64 = y.iter().sum();
+        let sxx: f64 = x.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let sxy: f64 = x.iter().zip(y).map(|(&v, &w)| f64::from(v) * w).sum();
+        (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    }
+
+    /// Slope of the RMI series.
+    pub fn rmi_slope(&self) -> f64 {
+        Self::slope(&self.x, &self.rmi_ms)
+    }
+
+    /// Slope of the BRMI series.
+    pub fn brmi_slope(&self) -> f64 {
+        Self::slope(&self.x, &self.brmi_ms)
+    }
+}
+
+/// A measured comparison with any number of named series — used by the
+/// extension experiments (implicit-batching baseline, DTO facade) that
+/// compare more than the paper's two systems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiFigure {
+    /// Experiment id, e.g. `"extA"`.
+    pub id: &'static str,
+    /// Caption.
+    pub title: String,
+    /// Meaning of the x axis.
+    pub x_label: &'static str,
+    /// Sweep points.
+    pub x: Vec<u32>,
+    /// Named series, milliseconds per sweep point.
+    pub series: Vec<(&'static str, Vec<f64>)>,
+}
+
+impl MultiFigure {
+    /// Prints the comparison as a series table.
+    pub fn print(&self) {
+        println!("{} — {}", self.id, self.title);
+        print!("{:>24}", self.x_label);
+        for (name, _) in &self.series {
+            print!(" {name:>16}");
+        }
+        println!();
+        for (row, x) in self.x.iter().enumerate() {
+            print!("{x:>24}");
+            for (_, values) in &self.series {
+                print!(" {:>16.3}", values[row]);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    /// The series with the given name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no series has that name (a bug in the caller).
+    pub fn series_named(&self, name: &str) -> &[f64] {
+        &self
+            .series
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no series named {name}"))
+            .1
+    }
+
+    /// Least-squares slope of the named series in ms per x unit.
+    pub fn slope_of(&self, name: &str) -> f64 {
+        Figure::slope(&self.x, self.series_named(name))
+    }
+}

@@ -1,0 +1,267 @@
+//! Analytic performance models for RMI and BRMI — the extension the
+//! paper proposes as future work (Section 6, citing Detmold &
+//! Oudshoorn's RPC models, the paper's reference 8): *"Their analytic models could be
+//! extended to model the performance properties of the new optimization
+//! constructs of BRMI such as array cursors and chained batches."*
+//!
+//! The model decomposes a client's cost as
+//!
+//! ```text
+//! T = R·(RTT + c_call) + B·(1/bw + c_byte) + F·c_ref + L·c_loop
+//! ```
+//!
+//! with `R` round trips, `B` payload bytes, `F` marshalled remote
+//! references and `L` server loopback calls. Per construct, the model
+//! predicts `R`, `F` and `L` in closed form ([`TrafficCounts`] below);
+//! bytes are taken from the real codec (they depend on encodings the
+//! model has no business duplicating).
+//!
+//! `tests/model_check.rs` validates both halves against the real
+//! middleware running in the simulator: the predicted counts must match
+//! the observed traffic *exactly*, and the formula must reproduce the
+//! simulated time to within floating-point error.
+
+use brmi_transport::{NetworkProfile, TransportStats};
+
+/// Closed-form traffic prediction for one client scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficCounts {
+    /// Network round trips.
+    pub round_trips: u64,
+    /// Remote references marshalled (both directions).
+    pub remote_refs: u64,
+    /// Server-side loopback middleware calls.
+    pub loopback_calls: u64,
+}
+
+/// Predicted milliseconds for observed traffic under `profile`.
+///
+/// This is the model's cost formula applied to aggregate traffic:
+/// because every term is linear, summing per-round-trip costs equals
+/// costing the sums.
+pub fn predicted_ms(
+    profile: &NetworkProfile,
+    round_trips: u64,
+    total_bytes: u64,
+    remote_refs: u64,
+    loopback_calls: u64,
+) -> f64 {
+    let bytes = total_bytes as f64;
+    let transmission_s = if profile.bandwidth_bytes_per_sec.is_finite() {
+        bytes / profile.bandwidth_bytes_per_sec
+    } else {
+        0.0
+    };
+    let seconds = round_trips as f64 * (profile.rtt + profile.per_call_cpu).as_secs_f64()
+        + transmission_s
+        + bytes * profile.per_byte_cpu.as_secs_f64()
+        + remote_refs as f64 * profile.per_remote_ref_cpu.as_secs_f64()
+        + loopback_calls as f64 * profile.loopback_call_cpu.as_secs_f64();
+    seconds * 1e3
+}
+
+/// As [`predicted_ms`], reading the traffic from a transport's counters
+/// (plus the server-side loopback count, which no transport sees).
+pub fn predicted_ms_from_stats(
+    profile: &NetworkProfile,
+    stats: &TransportStats,
+    loopback_calls: u64,
+) -> f64 {
+    predicted_ms(
+        profile,
+        stats.requests(),
+        stats.bytes_sent() + stats.bytes_received(),
+        stats.remote_refs(),
+        loopback_calls,
+    )
+}
+
+/// The per-scenario count models. Each function is the closed form for
+/// one client from the paper's evaluation; the names mirror
+/// [`crate::figures`].
+pub mod counts {
+    use super::TrafficCounts;
+
+    /// RMI no-op sequence: one trip per call, nothing marshalled.
+    pub fn rmi_noop(n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: n,
+            remote_refs: 0,
+            loopback_calls: 0,
+        }
+    }
+
+    /// BRMI no-op batch: one trip total (zero for an empty batch).
+    pub fn brmi_noop(n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: u64::from(n > 0),
+            remote_refs: 0,
+            loopback_calls: 0,
+        }
+    }
+
+    /// RMI list traversal to depth `n`: a trip per hop plus the value
+    /// read; every hop marshals one stub back.
+    pub fn rmi_list(n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: n + 1,
+            remote_refs: n,
+            loopback_calls: 0,
+        }
+    }
+
+    /// BRMI list traversal: one batch, no stubs (identity preservation).
+    pub fn brmi_list(_n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: 1,
+            remote_refs: 0,
+            loopback_calls: 0,
+        }
+    }
+
+    /// BRMI traversal with batches of size 1 (Figure 9): a trip per hop
+    /// like RMI, but still no stub marshalling — the whole gap in the
+    /// figure is the `F·c_ref` term.
+    pub fn brmi_list_unbatched(n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: n + 1,
+            remote_refs: 0,
+            loopback_calls: 0,
+        }
+    }
+
+    /// RMI remote simulation (Figures 10/11): `create_balancer` marshals
+    /// the balancer's stub out and every step passes it back (one ref
+    /// each way), and each of the `reps` balance calls inside a step
+    /// loops back through the middleware.
+    pub fn rmi_simulation(steps: u64, reps: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: 1 + steps + 1, // create + steps + result fetch
+            remote_refs: 1 + steps,     // stub out once, back in per step
+            loopback_calls: steps * reps,
+        }
+    }
+
+    /// BRMI remote simulation: same trip pattern (flush per step, per
+    /// the paper), but the balancer never crosses the wire and its
+    /// `balance()` calls are direct.
+    pub fn brmi_simulation(steps: u64, _reps: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: 1 + steps + 1,
+            remote_refs: 0,
+            loopback_calls: 0,
+        }
+    }
+
+    /// RMI file fetch of `n` files (Figures 12/13): lookup + read per
+    /// file, each lookup marshalling the file's stub back.
+    pub fn rmi_fetch(n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: 2 * n,
+            remote_refs: n,
+            loopback_calls: 0,
+        }
+    }
+
+    /// BRMI file fetch: one batch regardless of `n`.
+    pub fn brmi_fetch(n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: u64::from(n > 0),
+            remote_refs: 0,
+            loopback_calls: 0,
+        }
+    }
+
+    /// RMI listing (Section 5.1): `1 + 4n` calls; the listing call
+    /// marshals `n` stubs back.
+    pub fn rmi_listing(n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: 1 + 4 * n,
+            remote_refs: n,
+            loopback_calls: 0,
+        }
+    }
+
+    /// BRMI cursor listing: one batch; the cursor's array stays
+    /// server-side.
+    pub fn brmi_listing(_n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: 1,
+            remote_refs: 0,
+            loopback_calls: 0,
+        }
+    }
+
+    /// BRMI chained delete-older-than (Section 3.5): always exactly two
+    /// batches, whatever `n` or the number of matches.
+    pub fn brmi_delete_older_than(_n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: 2,
+            remote_refs: 0,
+            loopback_calls: 0,
+        }
+    }
+
+    /// RMI folder copy of `n` files: list + one `add_file_copy` per
+    /// file; the listing marshals `n` stubs out and each copy passes one
+    /// back, whose three attribute reads loop back through the
+    /// middleware.
+    pub fn rmi_copy_all(n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: 1 + n,
+            remote_refs: 2 * n,
+            loopback_calls: 3 * n,
+        }
+    }
+
+    /// BRMI folder copy: one batch, no marshalling, no loopback — the
+    /// destination receives the actual source objects.
+    pub fn brmi_copy_all(_n: u64) -> TrafficCounts {
+        TrafficCounts {
+            round_trips: 1,
+            remote_refs: 0,
+            loopback_calls: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_traffic_costs_zero() {
+        let profile = NetworkProfile::lan_1gbps();
+        assert_eq!(predicted_ms(&profile, 0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn each_term_contributes() {
+        let profile = NetworkProfile::lan_1gbps();
+        let base = predicted_ms(&profile, 1, 100, 0, 0);
+        assert!(predicted_ms(&profile, 2, 100, 0, 0) > base);
+        assert!(predicted_ms(&profile, 1, 200, 0, 0) > base);
+        assert!(predicted_ms(&profile, 1, 100, 1, 0) > base);
+        assert!(predicted_ms(&profile, 1, 100, 0, 1) > base);
+    }
+
+    #[test]
+    fn model_is_linear_in_traffic() {
+        let profile = NetworkProfile::wireless_54mbps();
+        let one = predicted_ms(&profile, 1, 500, 2, 3);
+        let ten = predicted_ms(&profile, 10, 5_000, 20, 30);
+        assert!((ten - 10.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_models_reflect_the_paper_formulas() {
+        assert_eq!(counts::rmi_listing(10).round_trips, 41);
+        assert_eq!(counts::brmi_listing(10).round_trips, 1);
+        assert_eq!(counts::rmi_list(5).round_trips, 6);
+        assert_eq!(counts::rmi_list(5).remote_refs, 5);
+        assert_eq!(counts::brmi_noop(0).round_trips, 0);
+        assert_eq!(counts::rmi_simulation(40, 4).loopback_calls, 160);
+        assert_eq!(counts::brmi_simulation(40, 4).loopback_calls, 0);
+        assert_eq!(counts::rmi_copy_all(4).loopback_calls, 12);
+    }
+}

@@ -1,0 +1,114 @@
+//! Simulated client/server rigs: real middleware, virtual-time network.
+
+use std::sync::Arc;
+
+use brmi::BatchExecutor;
+use brmi_rmi::{Connection, RemoteObject, RemoteRef, RmiServer};
+use brmi_transport::clock::VirtualClock;
+use brmi_transport::sim::SimTransport;
+use brmi_transport::{NetworkProfile, TransportStats};
+
+/// A client/server pair over a simulated link charging a [`VirtualClock`].
+pub struct SimRig {
+    /// The server (batching installed, loopback costs charged).
+    pub server: Arc<RmiServer>,
+    /// Client connection over the simulated transport.
+    pub conn: Connection,
+    /// Reference to the exported application root.
+    pub root: RemoteRef,
+    /// The virtual clock accumulating simulated time.
+    pub clock: Arc<VirtualClock>,
+    /// Traffic counters of the simulated transport (round trips, bytes,
+    /// marshalled remote references) — inputs to the analytic model.
+    pub stats: Arc<TransportStats>,
+    profile: NetworkProfile,
+}
+
+impl SimRig {
+    /// Builds a rig: exports `root` on a fresh server and connects a
+    /// client through a [`SimTransport`] with the given `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when binding fails, which cannot happen on a fresh server.
+    pub fn new(profile: &NetworkProfile, root: Arc<dyn RemoteObject>) -> SimRig {
+        Self::with_executor(profile, root, BatchExecutor::new())
+    }
+
+    /// As [`SimRig::new`] but with the wire integers encoded at the
+    /// given width (the codec ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when binding fails, which cannot happen on a fresh server.
+    pub fn with_int_width(
+        profile: &NetworkProfile,
+        root: Arc<dyn RemoteObject>,
+        int_width: brmi_wire::codec::IntWidth,
+    ) -> SimRig {
+        Self::build(profile, root, BatchExecutor::new(), int_width)
+    }
+
+    /// As [`SimRig::new`] but with a caller-provided executor (used by the
+    /// identity-preservation ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when binding fails, which cannot happen on a fresh server.
+    pub fn with_executor(
+        profile: &NetworkProfile,
+        root: Arc<dyn RemoteObject>,
+        executor: Arc<BatchExecutor>,
+    ) -> SimRig {
+        Self::build(profile, root, executor, brmi_wire::codec::IntWidth::Varint)
+    }
+
+    fn build(
+        profile: &NetworkProfile,
+        root: Arc<dyn RemoteObject>,
+        executor: Arc<BatchExecutor>,
+        int_width: brmi_wire::codec::IntWidth,
+    ) -> SimRig {
+        let server = RmiServer::new();
+        executor.install_on(&server);
+        let id = server.bind("app", root).expect("fresh server bind");
+        let clock = VirtualClock::new();
+        server.set_loopback_sim(clock.clone(), profile.loopback_call_cpu);
+        let transport =
+            SimTransport::with_int_width(server.clone(), profile.clone(), clock.clone(), int_width);
+        let stats = transport.stats();
+        let conn = Connection::new(Arc::new(transport));
+        let root = conn.reference(id);
+        SimRig {
+            server,
+            conn,
+            root,
+            clock,
+            stats,
+            profile: profile.clone(),
+        }
+    }
+
+    /// The network profile this rig charges by.
+    pub fn profile(&self) -> &NetworkProfile {
+        &self.profile
+    }
+
+    /// Runs `work` with the clock reset, returning the simulated
+    /// milliseconds it cost. Virtual time is exact, so one run replaces
+    /// the paper's 5000–10000 averaged repetitions.
+    pub fn measure_ms(&self, work: impl FnOnce()) -> f64 {
+        self.clock.reset();
+        self.stats.reset();
+        work();
+        self.clock.elapsed_millis()
+    }
+}
+
+impl std::fmt::Debug for SimRig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRig")
+            .field("elapsed_ms", &self.clock.elapsed_millis())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,72 @@
+//! The harness must be deterministic: virtual time plus a fixed workload
+//! means two runs of any figure produce bit-identical series. This is what
+//! lets EXPERIMENTS.md quote exact milliseconds.
+
+use brmi_bench::figures::{
+    ablation_identity, fileserver_figure, list_figure, noop_figure, simulation_figure,
+};
+use brmi_transport::NetworkProfile;
+
+#[test]
+fn every_figure_is_reproducible_bit_for_bit() {
+    let lan = NetworkProfile::lan_1gbps();
+    let wireless = NetworkProfile::wireless_54mbps();
+    let runs = [
+        (noop_figure("f", &lan), noop_figure("f", &lan)),
+        (noop_figure("f", &wireless), noop_figure("f", &wireless)),
+        (list_figure("f", &lan), list_figure("f", &lan)),
+        (simulation_figure("f", &lan), simulation_figure("f", &lan)),
+        (fileserver_figure("f", &lan), fileserver_figure("f", &lan)),
+        (ablation_identity(&lan), ablation_identity(&lan)),
+    ];
+    for (first, second) in runs {
+        assert_eq!(first, second, "figure {} is nondeterministic", first.id);
+    }
+}
+
+#[test]
+fn extension_experiments_are_reproducible_too() {
+    use brmi_bench::extensions::{dto_facade_figure, implicit_listing_figure};
+    let lan = NetworkProfile::lan_1gbps();
+    assert_eq!(
+        implicit_listing_figure("e", &lan),
+        implicit_listing_figure("e", &lan)
+    );
+    assert_eq!(dto_facade_figure("e", &lan), dto_facade_figure("e", &lan));
+}
+
+#[test]
+fn quoted_extension_values_hold() {
+    use brmi_bench::extensions::{dto_facade_figure, implicit_listing_figure};
+    let lan = NetworkProfile::lan_1gbps();
+    // The exact numbers cited in EXPERIMENTS.md §extensions.
+    let ext1 = implicit_listing_figure("ext1", &lan);
+    assert!((ext1.series_named("RMI")[9] - 46.968).abs() < 0.05);
+    assert!((ext1.series_named("Implicit")[9] - 16.231).abs() < 0.05);
+    assert!((ext1.series_named("Impl-restr")[9] - 6.690).abs() < 0.05);
+    let ext5 = dto_facade_figure("ext5", &lan);
+    assert!((ext5.series_named("DTO facade")[9] - 2.086).abs() < 0.05);
+    assert!((ext5.series_named("BRMI")[9] - 2.089).abs() < 0.05);
+}
+
+#[test]
+fn quoted_experiments_md_values_hold() {
+    // The exact numbers cited in EXPERIMENTS.md; a profile or workload
+    // change must update the documentation knowingly.
+    let fig12 = fileserver_figure("fig12", &NetworkProfile::lan_1gbps());
+    assert!((fig12.rmi_ms[9] - 25.728).abs() < 0.05, "got {}", fig12.rmi_ms[9]);
+    assert!((fig12.brmi_ms[9] - 2.089).abs() < 0.05, "got {}", fig12.brmi_ms[9]);
+
+    let fig05 = noop_figure("fig05", &NetworkProfile::lan_1gbps());
+    assert!((fig05.rmi_ms[4] - 5.301).abs() < 0.02, "got {}", fig05.rmi_ms[4]);
+}
+
+#[test]
+fn slope_helper_computes_least_squares() {
+    use brmi_bench::Figure;
+    let x = [1u32, 2, 3, 4];
+    let y = [2.0f64, 4.0, 6.0, 8.0];
+    assert!((Figure::slope(&x, &y) - 2.0).abs() < 1e-12);
+    let y_const = [5.0f64, 5.0, 5.0, 5.0];
+    assert!(Figure::slope(&x, &y_const).abs() < 1e-12);
+}

@@ -1,0 +1,113 @@
+//! Enforced qualitative claims for the extension experiments: the
+//! comparisons the paper could only make in prose (Sections 1 and 6),
+//! measured and asserted.
+
+use brmi_bench::extensions::{
+    dto_facade_figure, fine_grained_errors_figure, implicit_listing_figure,
+    implicit_traversal_figure,
+};
+use brmi_transport::NetworkProfile;
+
+#[test]
+fn implicit_listing_sits_between_rmi_and_brmi() {
+    let figure = implicit_listing_figure("ext1", &NetworkProfile::lan_1gbps());
+    let rmi = figure.series_named("RMI");
+    let implicit = figure.series_named("Implicit");
+    let restructured = figure.series_named("Impl-restr");
+    let brmi = figure.series_named("BRMI");
+    for i in 0..figure.x.len() {
+        assert!(
+            brmi[i] < restructured[i],
+            "x={}: BRMI {} !< restructured {}",
+            figure.x[i],
+            brmi[i],
+            restructured[i]
+        );
+        assert!(restructured[i] <= implicit[i]);
+        if figure.x[i] >= 2 {
+            assert!(
+                implicit[i] < rmi[i],
+                "x={}: implicit should beat RMI once there is anything to batch",
+                figure.x[i]
+            );
+        }
+    }
+    // The natural implicit client grows linearly (a demand per file),
+    // just slower than RMI's 4-calls-per-file growth.
+    let implicit_slope = figure.slope_of("Implicit");
+    let rmi_slope = figure.slope_of("RMI");
+    assert!(implicit_slope > 0.1 * rmi_slope);
+    assert!(implicit_slope < 0.5 * rmi_slope);
+    // The restructured variant grows much more slowly (only the
+    // marshalled references and per-call recording scale with n, not the
+    // round trips).
+    assert!(figure.slope_of("Impl-restr") < 0.3 * implicit_slope);
+}
+
+#[test]
+fn implicit_traversal_is_flat_but_pays_the_session_release() {
+    let figure = implicit_traversal_figure("ext3", &NetworkProfile::lan_1gbps());
+    let implicit_slope = figure.slope_of("Implicit");
+    assert!(
+        implicit_slope.abs() < 0.01,
+        "chained remote results defer fully: slope {implicit_slope}"
+    );
+    let implicit = figure.series_named("Implicit");
+    let brmi = figure.series_named("BRMI");
+    let rmi = figure.series_named("RMI");
+    for i in 0..figure.x.len() {
+        assert!(brmi[i] < implicit[i], "explicit knows its last flush");
+        assert!(implicit[i] <= 2.1 * brmi[i], "within one extra round trip");
+        if figure.x[i] >= 2 {
+            assert!(implicit[i] < rmi[i]);
+        }
+    }
+}
+
+#[test]
+fn handler_boundaries_cost_implicit_a_round_trip_per_call() {
+    let figure = fine_grained_errors_figure("ext4", &NetworkProfile::lan_1gbps());
+    let implicit_slope = figure.slope_of("Implicit");
+    let brmi_slope = figure.slope_of("BRMI");
+    assert!(
+        implicit_slope > 20.0 * brmi_slope.max(1e-6),
+        "implicit {implicit_slope} vs brmi {brmi_slope}"
+    );
+    let implicit = figure.series_named("Implicit");
+    let brmi = figure.series_named("BRMI");
+    for i in 0..figure.x.len() {
+        assert!(brmi[i] < implicit[i]);
+    }
+    // BRMI stays ~one round trip: the 16-call point is barely above the
+    // 2-call point.
+    assert!(brmi[figure.x.len() - 1] < 1.2 * brmi[0]);
+}
+
+#[test]
+fn brmi_matches_the_hand_written_dto_facade() {
+    for profile in [
+        NetworkProfile::lan_1gbps(),
+        NetworkProfile::wireless_54mbps(),
+    ] {
+        let figure = dto_facade_figure("ext5", &profile);
+        let dto = figure.series_named("DTO facade");
+        let brmi = figure.series_named("BRMI");
+        let rmi = figure.series_named("RMI");
+        for i in 0..figure.x.len() {
+            let gap = (brmi[i] - dto[i]).abs() / dto[i];
+            assert!(
+                gap < 0.02,
+                "x={}: BRMI {} vs DTO {} ({}% apart)",
+                figure.x[i],
+                brmi[i],
+                dto[i],
+                gap * 100.0
+            );
+            assert!(brmi[i] < rmi[i]);
+        }
+        // And the win over RMI grows with the number of files.
+        let first_ratio = rmi[0] / brmi[0];
+        let last_ratio = rmi[figure.x.len() - 1] / brmi[figure.x.len() - 1];
+        assert!(last_ratio > 2.0 * first_ratio);
+    }
+}

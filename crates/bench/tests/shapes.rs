@@ -1,0 +1,246 @@
+//! Shape assertions for every reproduced figure: who wins, how the series
+//! grow, and where crossovers fall — the qualitative claims of the paper's
+//! evaluation (Section 5), enforced as tests.
+
+use brmi_bench::figures::{
+    ablation_cursor, ablation_identity, ablation_policy, fileserver_figure, list_figure,
+    list_unbatched_figure, noop_figure, simulation_figure,
+};
+use brmi_bench::Figure;
+use brmi_transport::NetworkProfile;
+
+fn lan() -> NetworkProfile {
+    NetworkProfile::lan_1gbps()
+}
+
+fn wireless() -> NetworkProfile {
+    NetworkProfile::wireless_54mbps()
+}
+
+/// The series grows linearly: first and last marginal costs agree and the
+/// slope is positive. (An affine check, since series may have a constant
+/// term such as the final `get_value` call.)
+fn assert_linear(x: &[u32], y: &[f64], label: &str) {
+    let n = x.len();
+    let first_delta = (y[1] - y[0]) / f64::from(x[1] - x[0]);
+    let last_delta = (y[n - 1] - y[n - 2]) / f64::from(x[n - 1] - x[n - 2]);
+    assert!(first_delta > 0.0, "{label}: series must grow");
+    let ratio = last_delta / first_delta;
+    assert!(
+        (0.7..1.3).contains(&ratio),
+        "{label}: expected linear growth, marginal-cost ratio {ratio:.3}"
+    );
+}
+
+/// BRMI stays nearly constant: the last point is within 25% of the first.
+fn assert_flat(y: &[f64], label: &str) {
+    let ratio = y[y.len() - 1] / y[0];
+    assert!(
+        ratio < 1.25,
+        "{label}: expected a flat series, grew by {ratio:.3}x"
+    );
+}
+
+fn assert_brmi_wins_everywhere(figure: &Figure) {
+    for ((x, rmi), brmi) in figure.x.iter().zip(&figure.rmi_ms).zip(&figure.brmi_ms) {
+        assert!(
+            brmi < rmi,
+            "{} at x={x}: BRMI {brmi:.3}ms should beat RMI {rmi:.3}ms",
+            figure.id
+        );
+    }
+}
+
+#[test]
+fn fig05_06_noop_rmi_linear_brmi_flat_crossover_at_two() {
+    for figure in [noop_figure("fig05", &lan()), noop_figure("fig06", &wireless())] {
+        assert_linear(&figure.x, &figure.rmi_ms, figure.id);
+        assert_flat(&figure.brmi_ms, figure.id);
+        // Paper: "RMI outperforms BRMI when the batch size is smaller than
+        // two due to the overhead of the BRMI runtime".
+        assert!(
+            figure.brmi_ms[0] >= figure.rmi_ms[0],
+            "{}: at one call RMI should win or tie (rmi {:.4}, brmi {:.4})",
+            figure.id,
+            figure.rmi_ms[0],
+            figure.brmi_ms[0]
+        );
+        for i in 1..figure.x.len() {
+            assert!(
+                figure.brmi_ms[i] < figure.rmi_ms[i],
+                "{}: BRMI should win from two calls on",
+                figure.id
+            );
+        }
+    }
+}
+
+#[test]
+fn fig06_wireless_gap_exceeds_lan_gap() {
+    let lan_figure = noop_figure("fig05", &lan());
+    let wireless_figure = noop_figure("fig06", &wireless());
+    let lan_gap = lan_figure.rmi_ms[4] - lan_figure.brmi_ms[4];
+    let wireless_gap = wireless_figure.rmi_ms[4] - wireless_figure.brmi_ms[4];
+    assert!(
+        wireless_gap > lan_gap,
+        "higher latency must widen the batching advantage"
+    );
+}
+
+#[test]
+fn fig07_08_list_brmi_wins_even_at_one_traversal() {
+    for figure in [list_figure("fig07", &lan()), list_figure("fig08", &wireless())] {
+        assert_linear(&figure.x, &figure.rmi_ms, figure.id);
+        assert_flat(&figure.brmi_ms, figure.id);
+        // The paper's "unexpected result": no batching is possible at one
+        // traversal, yet BRMI wins because the remote result is never
+        // marshalled (Section 5.3).
+        assert_brmi_wins_everywhere(&figure);
+    }
+}
+
+#[test]
+fn fig09_unbatched_brmi_is_linear_but_still_below_rmi() {
+    let figure = list_unbatched_figure("fig09", &lan());
+    assert_linear(&figure.x, &figure.rmi_ms, "fig09 rmi");
+    // BRMI now grows linearly too (one round trip per hop)...
+    let growth = figure.brmi_ms[4] / figure.brmi_ms[0];
+    assert!(
+        growth > 2.0,
+        "fig09: unbatched BRMI must grow linearly, grew {growth:.2}x"
+    );
+    // ...but stays consistently below RMI (marshalling savings).
+    assert_brmi_wins_everywhere(&figure);
+}
+
+#[test]
+fn fig10_11_simulation_both_linear_with_consistent_brmi_advantage() {
+    for figure in [
+        simulation_figure("fig10", &lan()),
+        simulation_figure("fig11", &wireless()),
+    ] {
+        assert_linear(&figure.x, &figure.rmi_ms, figure.id);
+        assert_brmi_wins_everywhere(&figure);
+        // "The performance improvements in the BRMI version remain
+        // consistent even for high numbers of simulation steps": the
+        // RMI/BRMI ratio at 40 steps is at least that at 5 steps (within
+        // tolerance).
+        let first_ratio = figure.rmi_ms[0] / figure.brmi_ms[0];
+        let last_ratio = figure.rmi_ms[7] / figure.brmi_ms[7];
+        assert!(
+            last_ratio > first_ratio * 0.9,
+            "{}: advantage should persist (first {first_ratio:.2}x, last {last_ratio:.2}x)",
+            figure.id
+        );
+        assert!(first_ratio > 1.2, "{}: identity preservation must pay", figure.id);
+    }
+}
+
+#[test]
+fn fig12_13_fileserver_gap_grows_with_file_count() {
+    for figure in [
+        fileserver_figure("fig12", &lan()),
+        fileserver_figure("fig13", &wireless()),
+    ] {
+        assert_linear(&figure.x, &figure.rmi_ms, figure.id);
+        assert_brmi_wins_everywhere(&figure);
+        let first_speedup = figure.rmi_ms[0] / figure.brmi_ms[0];
+        let last_speedup = figure.rmi_ms[9] / figure.brmi_ms[9];
+        assert!(
+            last_speedup > first_speedup * 2.0,
+            "{}: speedup should widen with n ({first_speedup:.1}x → {last_speedup:.1}x)",
+            figure.id
+        );
+        assert!(
+            last_speedup > 4.0,
+            "{}: order-of-magnitude-class advantage at 10 files, got {last_speedup:.1}x",
+            figure.id
+        );
+    }
+}
+
+#[test]
+fn paper_figure_magnitudes_are_in_range() {
+    // Coarse magnitude checks against the paper's plotted values (our
+    // profiles are calibrated to the testbed parameters, not fitted to
+    // the plots, so allow generous bands).
+    let fig12 = fileserver_figure("fig12", &lan());
+    assert!(
+        (10.0..60.0).contains(&fig12.rmi_ms[9]),
+        "fig12 RMI at 10 files ≈ 25ms in the paper, got {:.1}",
+        fig12.rmi_ms[9]
+    );
+    let fig05 = noop_figure("fig05", &lan());
+    assert!(
+        fig05.rmi_ms[4] < 10.0,
+        "fig05 RMI at 5 calls is single-digit ms"
+    );
+}
+
+#[test]
+fn ablation_identity_preservation_pays_off() {
+    let figure = ablation_identity(&lan());
+    // rmi_ms column = exporting executor; brmi_ms = identity-preserving.
+    for i in 0..figure.x.len() {
+        assert!(
+            figure.brmi_ms[i] < figure.rmi_ms[i],
+            "identity preservation should be cheaper at x={}",
+            figure.x[i]
+        );
+    }
+    // The exporting executor pays per traversal depth, so its series grows
+    // faster.
+    assert!(Figure::slope(&figure.x, &figure.rmi_ms) > Figure::slope(&figure.x, &figure.brmi_ms));
+}
+
+#[test]
+fn ablation_cursor_beats_two_batches() {
+    let figure = ablation_cursor(&lan());
+    // rmi_ms column = two-batch variant: an extra round trip plus
+    // exported references.
+    for i in 0..figure.x.len() {
+        assert!(
+            figure.brmi_ms[i] < figure.rmi_ms[i],
+            "cursor should beat two-batch at x={}",
+            figure.x[i]
+        );
+    }
+}
+
+#[test]
+fn ablation_policy_overhead_is_small() {
+    let figure = ablation_policy(&lan());
+    // rmi_ms column = 16-rule custom policy. On a healthy batch the only
+    // cost is the serialized policy (bytes), which must stay under 20%.
+    for i in 0..figure.x.len() {
+        let overhead = figure.rmi_ms[i] / figure.brmi_ms[i];
+        assert!(
+            overhead < 1.2,
+            "policy overhead {overhead:.3}x at {} calls",
+            figure.x[i]
+        );
+    }
+}
+
+#[test]
+fn ablation_codec_width_matters_only_for_framing() {
+    use brmi_bench::figures::{ablation_codec, ablation_codec_payload};
+    let wireless = NetworkProfile::wireless_54mbps();
+
+    // Framing-dominated: fixed-width ints cost noticeably more, and the
+    // gap grows with batch size (every descriptor carries several ints).
+    let framing = ablation_codec(&wireless);
+    let last = framing.x.len() - 1;
+    let gap_small = framing.rmi_ms[0] / framing.brmi_ms[0];
+    let gap_large = framing.rmi_ms[last] / framing.brmi_ms[last];
+    assert!(gap_large > 1.15, "fixed-width overhead at 160 calls: {gap_large}");
+    assert!(gap_large > gap_small, "overhead grows with call count");
+
+    // Payload-dominated: the choice all but vanishes (<2%).
+    let payload = ablation_codec_payload(&wireless);
+    for i in 0..payload.x.len() {
+        let ratio = payload.rmi_ms[i] / payload.brmi_ms[i];
+        assert!(ratio < 1.02, "x={}: ratio {ratio}", payload.x[i]);
+        assert!(ratio >= 1.0, "fixed-width is never cheaper");
+    }
+}

@@ -1,0 +1,673 @@
+//! The client half of explicit batching: invocation monitoring, `flush`
+//! and result interpretation (paper Sections 4.1 and 4.3).
+//!
+//! A [`Batch`] owns the recording for one batch *chain*. Calls made through
+//! [`BatchStub`]s and [`CursorHandle`]s are appended as
+//! [`InvocationData`] descriptors; [`Batch::flush`] ships them in one round
+//! trip, and [`Batch::flush_and_continue`] additionally keeps the
+//! server-side object array alive so a later batch can reference earlier
+//! results (Section 3.5).
+//!
+//! [`BatchStub`]: crate::stub::BatchStub
+//! [`CursorHandle`]: crate::stub::CursorHandle
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use brmi_rmi::{Connection, RemoteRef};
+use brmi_wire::invocation::{
+    Arg, BatchRequest, CallSeq, InvocationData, PolicySpec, SessionId, SlotOutcome, Target,
+};
+use brmi_wire::{RemoteError, RemoteErrorKind, Value};
+use parking_lot::Mutex;
+
+use crate::future::FutureSlot;
+use crate::stats::BatchStats;
+use crate::stub::{BatchStub, CursorHandle, RecordArg, StubKind};
+
+/// Phase of a batch chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Calls are being recorded (possibly after chained flushes).
+    Recording,
+    /// A plain `flush` completed (or failed); no more recording.
+    Finished,
+}
+
+/// Client-side state of one cursor.
+#[derive(Debug)]
+pub(crate) struct CursorState {
+    /// Member call seqs recorded into the cursor's sub-batch, in order.
+    members: Vec<u32>,
+    /// True once a non-member call ended the sub-batch (contiguity rule,
+    /// paper Section 4.1).
+    closed: bool,
+    /// Set when the creating batch was flushed.
+    flushed: Option<FlushedCursor>,
+}
+
+#[derive(Debug)]
+struct FlushedCursor {
+    len: u32,
+    members: Vec<u32>,
+    rows: Vec<Vec<SlotOutcome>>,
+    /// Current iteration position; `None` before the first `next()`.
+    pos: Option<u32>,
+}
+
+struct BatchInner {
+    conn: Connection,
+    policy: PolicySpec,
+    phase: Phase,
+    /// Set on a recording error (foreign stub, cursor misuse). The next
+    /// flush reports it instead of contacting the server.
+    poisoned: Option<RemoteError>,
+    next_seq: u32,
+    pending: Vec<InvocationData>,
+    slots: HashMap<u32, Arc<FutureSlot>>,
+    cursors: HashMap<u32, CursorState>,
+    session: Option<SessionId>,
+    stats: BatchStats,
+}
+
+impl BatchInner {
+    fn poison(&mut self, err: RemoteError) {
+        if self.poisoned.is_none() && self.phase == Phase::Recording {
+            self.poisoned = Some(err);
+        }
+    }
+}
+
+impl Drop for BatchInner {
+    fn drop(&mut self) {
+        // Best-effort release of a live chained-batch session.
+        if let Some(session) = self.session.take() {
+            let _ = self.conn.release_session(session);
+        }
+    }
+}
+
+/// A batch of remote calls under construction (or being chained).
+///
+/// Cheap to clone; clones share state. The paper's one-batch-at-a-time rule
+/// (Section 4.5) is enforced structurally: all recording goes through one
+/// internal lock, and concurrent batching requires separate `Batch` values,
+/// just as concurrent BRMI clients need separate stubs.
+#[derive(Clone)]
+pub struct Batch {
+    inner: Arc<Mutex<BatchInner>>,
+}
+
+impl std::fmt::Debug for Batch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Batch")
+            .field("phase", &inner.phase)
+            .field("pending_calls", &inner.pending.len())
+            .field("session", &inner.session)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Result of recording one call.
+pub(crate) struct Recorded {
+    pub(crate) seq: u32,
+    pub(crate) slot: Arc<FutureSlot>,
+}
+
+/// The receiver of a recorded call.
+pub(crate) enum Receiver<'a> {
+    Stub(&'a BatchStub),
+    Cursor(&'a CursorHandle),
+}
+
+impl Batch {
+    /// Creates a batch over `conn` with the given exception policy.
+    ///
+    /// This is the analogue of `BRMI.create(iface, remoteObj, policy)`; the
+    /// typed root stub is obtained with [`Batch::wrap`] (or the generated
+    /// `BFoo::new`).
+    pub fn new(conn: Connection, policy: impl Into<PolicySpec>) -> Self {
+        Batch {
+            inner: Arc::new(Mutex::new(BatchInner {
+                conn,
+                policy: policy.into(),
+                phase: Phase::Recording,
+                poisoned: None,
+                next_seq: 0,
+                pending: Vec::new(),
+                slots: HashMap::new(),
+                cursors: HashMap::new(),
+                session: None,
+                stats: BatchStats::default(),
+            })),
+        }
+    }
+
+    /// Wraps a remote reference as an untyped root batch stub.
+    pub fn wrap(&self, reference: &RemoteRef) -> BatchStub {
+        BatchStub::new_root(self.clone(), reference.id())
+    }
+
+    /// Executes the batch: one round trip, then all futures hold values.
+    /// The batch is finished afterwards; recording further calls fails.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures (the paper notes all communication
+    /// errors surface here, Section 3.3), or a recording error that
+    /// poisoned the batch. Per-call application exceptions are *not*
+    /// reported here — they re-throw from `Future::get`/`ok()`.
+    pub fn flush(&self) -> Result<(), RemoteError> {
+        self.do_flush(false)
+    }
+
+    /// Executes the batch but keeps the server context alive so the chain
+    /// can continue (paper Section 3.5).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Batch::flush`].
+    pub fn flush_and_continue(&self) -> Result<(), RemoteError> {
+        self.do_flush(true)
+    }
+
+    /// Counters for this batch chain.
+    pub fn stats(&self) -> BatchStats {
+        self.inner.lock().stats
+    }
+
+    /// True once a plain `flush` has completed (or failed).
+    pub fn is_finished(&self) -> bool {
+        self.inner.lock().phase == Phase::Finished
+    }
+
+    /// The live chained-batch session id, if any (introspection for tests).
+    pub fn session(&self) -> Option<SessionId> {
+        self.inner.lock().session
+    }
+
+    pub(crate) fn ptr_eq(&self, other: &Batch) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Records one call. Never panics: validation failures pre-fail the
+    /// returned slot and poison the batch so `flush` reports them.
+    pub(crate) fn record(
+        &self,
+        on: Receiver<'_>,
+        method: &str,
+        args: Vec<RecordArg>,
+        opens_cursor: bool,
+    ) -> Recorded {
+        let slot = FutureSlot::new();
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.stats.calls_recorded += 1;
+
+        // Every recorded call registers its slot, including ones that
+        // fail during recording — `ok()` checks and failure scans
+        // (`first_failure_from`) must see those too, and the stats
+        // counter stays in lockstep with the sequence numbers.
+        inner.slots.insert(seq, Arc::clone(&slot));
+
+        // Helper to fail this call (and usually the whole batch).
+        macro_rules! fail {
+            ($err:expr) => {{
+                let err: RemoteError = $err;
+                slot.set_failed(err.clone());
+                inner.poison(err);
+                return Recorded { seq, slot };
+            }};
+        }
+
+        if let Some(poison) = inner.poisoned.clone() {
+            slot.set_failed(poison);
+            return Recorded { seq, slot };
+        }
+        if inner.phase == Phase::Finished {
+            // Not a poison: the batch already ran to completion.
+            slot.set_failed(RemoteError::new(
+                RemoteErrorKind::Protocol,
+                "batch already executed; create a new batch",
+            ));
+            return Recorded { seq, slot };
+        }
+
+        // Resolve the receiver into a wire target plus the cursor context
+        // it implies.
+        let (target, mut ctx) = match on {
+            Receiver::Stub(stub) => {
+                if !stub.batch().ptr_eq(self) {
+                    fail!(foreign_stub());
+                }
+                match stub.kind() {
+                    StubKind::Remote(id) => (Target::Remote(id), None),
+                    StubKind::Call {
+                        seq: origin,
+                        cursor_of: None,
+                    } => (Target::Result(CallSeq(origin)), None),
+                    StubKind::Call {
+                        seq: origin,
+                        cursor_of: Some(cursor),
+                    } => match cursor_position(&inner, cursor) {
+                        CursorPhase::Recording => {
+                            (Target::Result(CallSeq(origin)), Some(cursor))
+                        }
+                        CursorPhase::Iterating(pos) => {
+                            (Target::CursorElement(CallSeq(origin), pos), None)
+                        }
+                        CursorPhase::Unpositioned => fail!(unpositioned_cursor()),
+                    },
+                }
+            }
+            Receiver::Cursor(handle) => {
+                if !handle.batch().ptr_eq(self) {
+                    fail!(foreign_stub());
+                }
+                let cursor = handle.seq();
+                match cursor_position(&inner, cursor) {
+                    CursorPhase::Recording => (Target::Result(CallSeq(cursor)), Some(cursor)),
+                    CursorPhase::Iterating(pos) => {
+                        (Target::CursorElement(CallSeq(cursor), pos), None)
+                    }
+                    CursorPhase::Unpositioned => fail!(unpositioned_cursor()),
+                }
+            }
+        };
+
+        // Convert arguments, merging any cursor context they imply.
+        let mut wire_args = Vec::with_capacity(args.len());
+        for arg in args {
+            let converted = match arg {
+                RecordArg::Value(value) => Arg::Value(value),
+                RecordArg::Stub(stub) => {
+                    if !stub.batch().ptr_eq(self) {
+                        fail!(foreign_stub());
+                    }
+                    match stub.kind() {
+                        StubKind::Remote(id) => Arg::Value(Value::RemoteRef(id)),
+                        StubKind::Call {
+                            seq: origin,
+                            cursor_of: None,
+                        } => Arg::Result(CallSeq(origin)),
+                        StubKind::Call {
+                            seq: origin,
+                            cursor_of: Some(cursor),
+                        } => match cursor_position(&inner, cursor) {
+                            CursorPhase::Recording => {
+                                match merge_ctx(&mut ctx, cursor) {
+                                    Ok(()) => Arg::Result(CallSeq(origin)),
+                                    Err(err) => fail!(err),
+                                }
+                            }
+                            CursorPhase::Iterating(pos) => {
+                                Arg::CursorElement(CallSeq(origin), pos)
+                            }
+                            CursorPhase::Unpositioned => fail!(unpositioned_cursor()),
+                        },
+                    }
+                }
+                RecordArg::Cursor(handle) => {
+                    if !handle.batch().ptr_eq(self) {
+                        fail!(foreign_stub());
+                    }
+                    let cursor = handle.seq();
+                    match cursor_position(&inner, cursor) {
+                        CursorPhase::Recording => match merge_ctx(&mut ctx, cursor) {
+                            Ok(()) => Arg::Result(CallSeq(cursor)),
+                            Err(err) => fail!(err),
+                        },
+                        CursorPhase::Iterating(pos) => {
+                            Arg::CursorElement(CallSeq(cursor), pos)
+                        }
+                        CursorPhase::Unpositioned => fail!(unpositioned_cursor()),
+                    }
+                }
+            };
+            wire_args.push(converted);
+        }
+
+        if opens_cursor && ctx.is_some() {
+            fail!(RemoteError::new(
+                RemoteErrorKind::Protocol,
+                "nested cursors are not supported",
+            ));
+        }
+
+        // Contiguity (paper Section 4.1): a cursor's sub-batch must not
+        // resume after unrelated calls were recorded.
+        if let Some(cursor) = ctx {
+            match inner.cursors.get(&cursor) {
+                Some(state) if state.closed => fail!(RemoteError::new(
+                    RemoteErrorKind::Protocol,
+                    "cursor operations must be contiguous within the batch",
+                )),
+                Some(_) => {}
+                None => fail!(RemoteError::new(
+                    RemoteErrorKind::Protocol,
+                    "cursor does not belong to this batch segment",
+                )),
+            }
+        }
+        for (other, state) in inner.cursors.iter_mut() {
+            if Some(*other) != ctx && state.flushed.is_none() && !state.members.is_empty() {
+                state.closed = true;
+            }
+        }
+        if let Some(cursor) = ctx {
+            if let Some(state) = inner.cursors.get_mut(&cursor) {
+                state.members.push(seq);
+            }
+        }
+
+        if opens_cursor {
+            inner.cursors.insert(
+                seq,
+                CursorState {
+                    members: Vec::new(),
+                    closed: false,
+                    flushed: None,
+                },
+            );
+            inner.stats.cursors_created += 1;
+        }
+
+        inner.pending.push(InvocationData {
+            seq: CallSeq(seq),
+            target,
+            method: method.to_owned(),
+            args: wire_args,
+            cursor: ctx.map(CallSeq),
+            opens_cursor,
+        });
+        Recorded { seq, slot }
+    }
+
+    /// Looks up the slot behind a call (for `ok()` checks).
+    pub(crate) fn slot_of(&self, seq: u32) -> Option<Arc<FutureSlot>> {
+        self.inner.lock().slots.get(&seq).cloned()
+    }
+
+    /// The earliest failure among calls recorded at or after position
+    /// `start` (in recording order), if any.
+    ///
+    /// Support for runtimes layered over explicit batching — an implicit
+    /// batcher uses this after each flush to detect that the segment it
+    /// just shipped aborted, so it can stop speculating (see the
+    /// `brmi-implicit` crate). Calls not yet flushed are `Pending`, not
+    /// failed, and are never reported here.
+    pub fn first_failure_from(&self, start: u32) -> Option<RemoteError> {
+        let inner = self.inner.lock();
+        let mut found: Option<(u32, RemoteError)> = None;
+        for (&seq, slot) in &inner.slots {
+            if seq < start {
+                continue;
+            }
+            if let Err(err) = slot.check_failed() {
+                match &found {
+                    Some((best, _)) if *best <= seq => {}
+                    _ => found = Some((seq, err)),
+                }
+            }
+        }
+        found.map(|(_, err)| err)
+    }
+
+    /// Discards every recorded-but-unflushed call, failing its futures
+    /// (and dependent stubs) with `reason`. The batch stays usable: the
+    /// session, previously flushed results and the recording phase are
+    /// untouched.
+    ///
+    /// Used by layered runtimes to drop calls that were recorded
+    /// speculatively after a failure the program had not yet observed
+    /// (RMI would have unwound before issuing them). Returns the number
+    /// of discarded calls.
+    pub fn discard_pending(&self, reason: &RemoteError) -> usize {
+        let mut inner = self.inner.lock();
+        let pending = std::mem::take(&mut inner.pending);
+        let discarded = pending.len();
+        for call in &pending {
+            if let Some(slot) = inner.slots.get(&call.seq.0) {
+                slot.set_failed(reason.clone());
+            }
+        }
+        // A cursor opened by a discarded call never reaches the server;
+        // mark its member bookkeeping closed so later (mis)use of the
+        // cursor is reported instead of silently re-recorded.
+        for call in &pending {
+            if call.opens_cursor {
+                if let Some(state) = inner.cursors.get_mut(&call.seq.0) {
+                    state.closed = true;
+                }
+            }
+        }
+        discarded
+    }
+
+    /// Advances a flushed cursor to its next element, repopulating member
+    /// futures. Returns false when exhausted or not flushed.
+    pub(crate) fn cursor_next(&self, cursor: u32) -> bool {
+        let mut inner = self.inner.lock();
+        let assignments: Vec<(u32, SlotOutcome)> = {
+            let Some(state) = inner.cursors.get_mut(&cursor) else {
+                return false;
+            };
+            let Some(flushed) = state.flushed.as_mut() else {
+                return false;
+            };
+            let next = flushed.pos.map_or(0, |p| p.saturating_add(1));
+            if next >= flushed.len {
+                flushed.pos = Some(flushed.len);
+                return false;
+            }
+            flushed.pos = Some(next);
+            let row = &flushed.rows[next as usize];
+            flushed
+                .members
+                .iter()
+                .copied()
+                .zip(row.iter().cloned())
+                .collect()
+        };
+        for (member, outcome) in assignments {
+            if let Some(slot) = inner.slots.get(&member) {
+                apply_outcome(slot, outcome);
+            }
+        }
+        true
+    }
+
+    /// Number of elements in a flushed cursor.
+    pub(crate) fn cursor_len(&self, cursor: u32) -> Option<u32> {
+        self.inner
+            .lock()
+            .cursors
+            .get(&cursor)
+            .and_then(|state| state.flushed.as_ref())
+            .map(|flushed| flushed.len)
+    }
+
+    fn do_flush(&self, keep: bool) -> Result<(), RemoteError> {
+        let mut inner = self.inner.lock();
+
+        if let Some(poison) = inner.poisoned.take() {
+            let seqs: Vec<u32> = inner.pending.iter().map(|c| c.seq.0).collect();
+            for seq in seqs {
+                if let Some(slot) = inner.slots.get(&seq) {
+                    slot.set_failed(poison.clone());
+                }
+            }
+            inner.pending.clear();
+            inner.phase = Phase::Finished;
+            if let Some(session) = inner.session.take() {
+                let _ = inner.conn.release_session(session);
+            }
+            return Err(poison);
+        }
+        if inner.phase == Phase::Finished {
+            return Err(RemoteError::new(
+                RemoteErrorKind::Protocol,
+                "batch already executed; create a new batch",
+            ));
+        }
+
+        let calls = std::mem::take(&mut inner.pending);
+        if calls.is_empty() && inner.session.is_none() {
+            if !keep {
+                inner.phase = Phase::Finished;
+            }
+            return Ok(());
+        }
+        let seqs: Vec<u32> = calls.iter().map(|c| c.seq.0).collect();
+        let request = BatchRequest {
+            session: inner.session,
+            calls,
+            policy: inner.policy.clone(),
+            keep_session: keep,
+        };
+
+        let response = match inner.conn.invoke_batch(request) {
+            Ok(response) => response,
+            Err(err) => {
+                // All communication errors surface at flush (Section 3.3):
+                // the futures of this segment fail with the same error.
+                for seq in &seqs {
+                    if let Some(slot) = inner.slots.get(seq) {
+                        slot.set_failed(err.clone());
+                    }
+                }
+                inner.phase = Phase::Finished;
+                inner.session = None;
+                return Err(err);
+            }
+        };
+
+        inner.stats.flushes += 1;
+        if keep {
+            inner.stats.chained_flushes += 1;
+        }
+        inner.stats.server_restarts += u64::from(response.restarts);
+
+        let mut responded: HashSet<u32> = HashSet::with_capacity(response.slots.len());
+        for (seq, outcome) in response.slots {
+            responded.insert(seq.0);
+            if matches!(outcome, SlotOutcome::InCursor) {
+                continue; // populated by next()
+            }
+            if let Some(slot) = inner.slots.get(&seq.0) {
+                apply_outcome(slot, outcome);
+            }
+        }
+        for seq in &seqs {
+            if !responded.contains(seq) {
+                if let Some(slot) = inner.slots.get(seq) {
+                    slot.set_failed(RemoteError::new(
+                        RemoteErrorKind::Protocol,
+                        format!("server response missing result for call {seq}"),
+                    ));
+                }
+            }
+        }
+
+        for cursor in response.cursors {
+            if let Some(state) = inner.cursors.get_mut(&cursor.cursor_seq.0) {
+                state.flushed = Some(FlushedCursor {
+                    len: cursor.len,
+                    members: cursor.members.iter().map(|m| m.0).collect(),
+                    rows: cursor.rows,
+                    pos: None,
+                });
+            }
+        }
+        // A cursor whose creating call failed has no results: its member
+        // futures re-throw the creation error (dependency rule, §3.3).
+        let mut failed_members: Vec<(u32, RemoteError)> = Vec::new();
+        for (cursor_seq, state) in &inner.cursors {
+            if state.flushed.is_none() && !state.members.is_empty() {
+                if let Some(slot) = inner.slots.get(cursor_seq) {
+                    if let Err(err) = slot.check() {
+                        for member in &state.members {
+                            failed_members.push((*member, err.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        for (member, err) in failed_members {
+            if let Some(slot) = inner.slots.get(&member) {
+                slot.set_failed(err);
+            }
+        }
+
+        inner.session = response.session;
+        if !keep {
+            inner.phase = Phase::Finished;
+            if let Some(session) = inner.session.take() {
+                // A conforming server never returns a session here; release
+                // defensively if one does.
+                let _ = inner.conn.release_session(session);
+            }
+        }
+        Ok(())
+    }
+}
+
+enum CursorPhase {
+    /// The creating batch segment has not been flushed yet.
+    Recording,
+    /// Flushed and positioned on an element.
+    Iterating(u32),
+    /// Flushed but `next()` has not been called (or the cursor is
+    /// exhausted).
+    Unpositioned,
+}
+
+fn cursor_position(inner: &BatchInner, cursor: u32) -> CursorPhase {
+    match inner.cursors.get(&cursor).and_then(|s| s.flushed.as_ref()) {
+        None => CursorPhase::Recording,
+        Some(flushed) => match flushed.pos {
+            Some(pos) if pos < flushed.len => CursorPhase::Iterating(pos),
+            _ => CursorPhase::Unpositioned,
+        },
+    }
+}
+
+fn merge_ctx(ctx: &mut Option<u32>, cursor: u32) -> Result<(), RemoteError> {
+    match ctx {
+        None => {
+            *ctx = Some(cursor);
+            Ok(())
+        }
+        Some(existing) if *existing == cursor => Ok(()),
+        Some(_) => Err(RemoteError::new(
+            RemoteErrorKind::Protocol,
+            "one call cannot involve two different cursors",
+        )),
+    }
+}
+
+fn apply_outcome(slot: &FutureSlot, outcome: SlotOutcome) {
+    match outcome {
+        SlotOutcome::Ok(value) => slot.set_ready(value),
+        SlotOutcome::Err(env) | SlotOutcome::Skipped(env) => {
+            slot.set_failed(RemoteError::from(&env));
+        }
+        SlotOutcome::InCursor => {}
+    }
+}
+
+fn foreign_stub() -> RemoteError {
+    RemoteError::new(
+        RemoteErrorKind::Protocol,
+        "stub was created within a different batch chain",
+    )
+}
+
+fn unpositioned_cursor() -> RemoteError {
+    RemoteError::new(
+        RemoteErrorKind::Protocol,
+        "cursor is not positioned on an element; call next() first",
+    )
+}

@@ -1,0 +1,202 @@
+//! Client-side exception policy builders (paper Section 3.3).
+//!
+//! Policies are *descriptions*, serialized into the batch request — never
+//! mobile code. The three types mirror the paper's `AbortPolicy`,
+//! `ContinuePolicy` and `CustomPolicy` final classes.
+
+use brmi_wire::invocation::{ExceptionAction, PolicyRule, PolicySpec};
+
+/// Aborts the batch on the first exception (the default policy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbortPolicy;
+
+impl From<AbortPolicy> for PolicySpec {
+    fn from(_: AbortPolicy) -> Self {
+        PolicySpec::Abort
+    }
+}
+
+/// Continues executing the batch past exceptions (dependents of a failed
+/// call are still skipped — their receiver never came to exist).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContinuePolicy;
+
+impl From<ContinuePolicy> for PolicySpec {
+    fn from(_: ContinuePolicy) -> Self {
+        PolicySpec::Continue
+    }
+}
+
+/// A rule-based policy: per-(exception, method, position) actions with a
+/// default.
+///
+/// # Example
+///
+/// The paper's Bank case study (Section 5.1): continue past everything, but
+/// break the batch when the account lookup itself fails.
+///
+/// ```
+/// use brmi::policy::CustomPolicy;
+/// use brmi_wire::invocation::ExceptionAction;
+///
+/// let mut policy = CustomPolicy::new();
+/// policy.set_default_action(ExceptionAction::Continue);
+/// policy.set_action(
+///     "DuplicateAccountException",
+///     "find_credit_account",
+///     0,
+///     ExceptionAction::Break,
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CustomPolicy {
+    default: ExceptionAction,
+    rules: Vec<PolicyRule>,
+}
+
+impl Default for CustomPolicy {
+    fn default() -> Self {
+        CustomPolicy::new()
+    }
+}
+
+impl CustomPolicy {
+    /// Creates a policy whose default action is `Break`.
+    pub fn new() -> Self {
+        CustomPolicy {
+            default: ExceptionAction::Break,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Sets the action applied when no rule matches.
+    pub fn set_default_action(&mut self, action: ExceptionAction) -> &mut Self {
+        self.default = action;
+        self
+    }
+
+    /// Adds a fully-qualified rule: exception name + method name + call
+    /// position, mirroring the paper's
+    /// `setAction(exception, methodName, index, status)`.
+    pub fn set_action(
+        &mut self,
+        exception: &str,
+        method: &str,
+        index: u32,
+        action: ExceptionAction,
+    ) -> &mut Self {
+        self.rules.push(PolicyRule {
+            exception: Some(exception.to_owned()),
+            method: Some(method.to_owned()),
+            index: Some(index),
+            action,
+        });
+        self
+    }
+
+    /// Adds a rule matching an exception name anywhere in the batch.
+    pub fn on_exception(&mut self, exception: &str, action: ExceptionAction) -> &mut Self {
+        self.rules.push(PolicyRule {
+            exception: Some(exception.to_owned()),
+            method: None,
+            index: None,
+            action,
+        });
+        self
+    }
+
+    /// Adds a rule matching any exception thrown by `method`.
+    pub fn on_method(&mut self, method: &str, action: ExceptionAction) -> &mut Self {
+        self.rules.push(PolicyRule {
+            exception: None,
+            method: Some(method.to_owned()),
+            index: None,
+            action,
+        });
+        self
+    }
+}
+
+impl From<CustomPolicy> for PolicySpec {
+    fn from(policy: CustomPolicy) -> Self {
+        PolicySpec::Custom {
+            default: policy.default,
+            rules: policy.rules,
+        }
+    }
+}
+
+impl From<&CustomPolicy> for PolicySpec {
+    fn from(policy: &CustomPolicy) -> Self {
+        PolicySpec::from(policy.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brmi_wire::RemoteError;
+
+    #[test]
+    fn abort_and_continue_map_to_specs() {
+        assert_eq!(PolicySpec::from(AbortPolicy), PolicySpec::Abort);
+        assert_eq!(PolicySpec::from(ContinuePolicy), PolicySpec::Continue);
+    }
+
+    #[test]
+    fn custom_policy_builds_rules_in_order() {
+        let mut policy = CustomPolicy::new();
+        policy
+            .set_default_action(ExceptionAction::Continue)
+            .on_exception("A", ExceptionAction::Repeat)
+            .on_method("m", ExceptionAction::Restart)
+            .set_action("B", "n", 2, ExceptionAction::Break);
+        let spec = PolicySpec::from(policy);
+        let err_a = RemoteError::application("A", "x");
+        assert_eq!(spec.action_for(&err_a, "zzz", 9), ExceptionAction::Repeat);
+        let err_other = RemoteError::application("Other", "x");
+        assert_eq!(
+            spec.action_for(&err_other, "m", 0),
+            ExceptionAction::Restart
+        );
+        let err_b = RemoteError::application("B", "x");
+        assert_eq!(spec.action_for(&err_b, "n", 2), ExceptionAction::Break);
+        assert_eq!(
+            spec.action_for(&err_b, "n", 3),
+            ExceptionAction::Continue,
+            "unmatched index falls to default"
+        );
+    }
+
+    #[test]
+    fn bank_scenario_policy() {
+        // Section 5.1: break only when find_credit_account throws
+        // DuplicateAccountException at position 0.
+        let mut policy = CustomPolicy::new();
+        policy.set_default_action(ExceptionAction::Continue);
+        policy.set_action(
+            "DuplicateAccountException",
+            "find_credit_account",
+            0,
+            ExceptionAction::Break,
+        );
+        let spec = PolicySpec::from(&policy);
+        let dup = RemoteError::application("DuplicateAccountException", "dup");
+        assert_eq!(
+            spec.action_for(&dup, "find_credit_account", 0),
+            ExceptionAction::Break
+        );
+        let overdraft = RemoteError::application("OverdraftException", "limit");
+        assert_eq!(
+            spec.action_for(&overdraft, "make_purchase", 1),
+            ExceptionAction::Continue
+        );
+    }
+
+    #[test]
+    fn default_custom_policy_breaks() {
+        let spec = PolicySpec::from(CustomPolicy::new());
+        let err = RemoteError::application("X", "x");
+        assert_eq!(spec.action_for(&err, "m", 0), ExceptionAction::Break);
+    }
+}

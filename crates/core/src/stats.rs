@@ -1,0 +1,33 @@
+//! Per-batch statistics, used by the benchmark harness and by tests that
+//! assert round-trip counts.
+
+/// Counters accumulated over the life of one [`Batch`](crate::Batch) chain.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Method calls recorded by invocation monitoring (including calls
+    /// whose recording failed; their futures hold the recording error).
+    pub calls_recorded: u64,
+    /// Successful `flush`/`flush_and_continue` round trips.
+    pub flushes: u64,
+    /// How many of those kept the server session alive.
+    pub chained_flushes: u64,
+    /// Cursors opened.
+    pub cursors_created: u64,
+    /// Batch restarts performed by the server (Restart exception action).
+    pub server_restarts: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let stats = BatchStats::default();
+        assert_eq!(stats.calls_recorded, 0);
+        assert_eq!(stats.flushes, 0);
+        assert_eq!(stats.chained_flushes, 0);
+        assert_eq!(stats.cursors_created, 0);
+        assert_eq!(stats.server_restarts, 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Core batching behaviour: recording, single-round-trip execution, chained
+//! remote results, remote arguments, `ok()` and misuse errors.
+
+mod common;
+
+use brmi::policy::AbortPolicy;
+use brmi::Batch;
+use brmi_wire::RemoteErrorKind;
+use common::{BNode, Rig};
+
+#[test]
+fn many_calls_one_round_trip() {
+    let rig = Rig::chain(&[10, 20, 30]);
+    let (batch, root) = rig.batch(AbortPolicy);
+
+    let name = root.name();
+    let value = root.value();
+    let value_again = root.value();
+    assert_eq!(rig.stats.requests(), 0, "nothing sent before flush");
+
+    batch.flush().unwrap();
+    assert_eq!(rig.stats.requests(), 1, "a batch is exactly one round trip");
+    assert_eq!(name.get().unwrap(), "n0");
+    assert_eq!(value.get().unwrap(), 10);
+    assert_eq!(value_again.get().unwrap(), 10);
+}
+
+#[test]
+fn rmi_stub_costs_one_round_trip_per_call() {
+    let rig = Rig::chain(&[10, 20]);
+    let root = rig.rmi_root();
+    assert_eq!(root.value().unwrap(), 10);
+    assert_eq!(root.name().unwrap(), "n0");
+    assert_eq!(rig.stats.requests(), 2);
+}
+
+#[test]
+fn future_before_flush_is_an_error() {
+    let rig = Rig::chain(&[1]);
+    let (_batch, root) = rig.batch(AbortPolicy);
+    let value = root.value();
+    let err = value.get().unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+}
+
+#[test]
+fn chained_remote_results_resolve_in_one_batch() {
+    // root.next().next().value() — a linked-list traversal in one trip.
+    let rig = Rig::chain(&[1, 2, 3]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let third = root.next().next();
+    let name = third.name();
+    let value = third.value();
+    batch.flush().unwrap();
+    assert_eq!(rig.stats.requests(), 1);
+    assert_eq!(name.get().unwrap(), "n2");
+    assert_eq!(value.get().unwrap(), 3);
+}
+
+#[test]
+fn remote_argument_refers_to_earlier_result() {
+    // add(root.next()) receives the *actual* server object, not a copy.
+    let rig = Rig::chain(&[10, 32]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let next = root.next();
+    let sum = root.add(&next);
+    batch.flush().unwrap();
+    assert_eq!(sum.get().unwrap(), 42);
+}
+
+#[test]
+fn void_methods_return_unit_futures() {
+    let rig = Rig::chain(&[5]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let set = root.set_value(99);
+    let value = root.value();
+    batch.flush().unwrap();
+    set.get().unwrap();
+    assert_eq!(value.get().unwrap(), 99);
+    assert_eq!(*rig.root.value.lock(), 99);
+}
+
+#[test]
+fn calls_execute_in_recorded_order() {
+    let rig = Rig::chain(&[0]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    root.set_value(1);
+    let a = root.value();
+    root.set_value(2);
+    let b = root.value();
+    batch.flush().unwrap();
+    assert_eq!(a.get().unwrap(), 1);
+    assert_eq!(b.get().unwrap(), 2);
+}
+
+#[test]
+fn ok_reports_success_and_failure_of_creating_call() {
+    let rig = Rig::chain(&[1, 2]);
+    let (batch, root) = rig.batch(brmi::policy::ContinuePolicy);
+    let good = root.next();
+    let bad = good.next(); // n1 has no successor -> NoNextNode
+    batch.flush().unwrap();
+    good.ok().unwrap();
+    common::assert_app_error(&bad.ok().unwrap_err(), "NoNextNode");
+}
+
+#[test]
+fn recording_after_flush_fails_cleanly() {
+    let rig = Rig::chain(&[1]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let _ = root.value();
+    batch.flush().unwrap();
+
+    let late = root.value();
+    let err = late.get().unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+    assert!(err.message().contains("already executed"));
+
+    let err = batch.flush().unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+}
+
+#[test]
+fn foreign_stub_poisons_the_batch() {
+    let rig = Rig::chain(&[1, 2]);
+    let (batch_a, root_a) = rig.batch(AbortPolicy);
+    let (batch_b, _root_b) = rig.batch(AbortPolicy);
+
+    let stub_from_a = root_a.next();
+    // Using a stub from batch A inside batch B is the paper's
+    // "different batch chain" error (Section 4.1).
+    let other_root = BNode::new(&batch_b, &rig.root_ref);
+    let sum = other_root.add(&stub_from_a);
+    let err = batch_b.flush().unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+    assert!(err.message().contains("different batch"));
+    assert!(sum.get().is_err());
+    // Batch A is unaffected.
+    batch_a.flush().unwrap();
+}
+
+#[test]
+fn empty_flush_is_a_no_op() {
+    let rig = Rig::chain(&[1]);
+    let (batch, _root) = rig.batch(AbortPolicy);
+    batch.flush().unwrap();
+    assert_eq!(rig.stats.requests(), 0);
+    assert!(batch.is_finished());
+}
+
+#[test]
+fn multiple_roots_in_one_batch() {
+    let rig = Rig::chain(&[7]);
+    // Export a second object and wrap both in the same batch.
+    let other = common::TestNode::new("other", 35);
+    let id = rig
+        .server
+        .export(common::NodeSkeleton::remote_arc(other));
+    let other_ref = rig.conn.reference(id);
+
+    let batch = Batch::new(rig.conn.clone(), AbortPolicy);
+    let a = BNode::new(&batch, &rig.root_ref);
+    let b = BNode::new(&batch, &other_ref);
+    let sum = a.add(&b);
+    let b_value = b.value();
+    batch.flush().unwrap();
+    assert_eq!(rig.stats.requests(), 1);
+    assert_eq!(sum.get().unwrap(), 42);
+    assert_eq!(b_value.get().unwrap(), 35);
+}
+
+#[test]
+fn stats_track_recording_and_flushes() {
+    let rig = Rig::with_children(&[1, 2]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let _ = root.value();
+    let cursor = root.children();
+    let _ = cursor.value();
+    batch.flush().unwrap();
+    let stats = batch.stats();
+    assert_eq!(stats.calls_recorded, 3);
+    assert_eq!(stats.flushes, 1);
+    assert_eq!(stats.chained_flushes, 0);
+    assert_eq!(stats.cursors_created, 1);
+}
+
+#[test]
+fn concurrent_batches_on_one_connection() {
+    let rig = Rig::chain(&[42]);
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let conn = rig.conn.clone();
+        let root_ref = rig.root_ref.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..20 {
+                let batch = Batch::new(conn.clone(), AbortPolicy);
+                let root = BNode::new(&batch, &root_ref);
+                let v = root.value();
+                let n = root.name();
+                batch.flush().unwrap();
+                assert_eq!(v.get().unwrap(), 42);
+                assert_eq!(n.get().unwrap(), "n0");
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().unwrap();
+    }
+}
+
+#[test]
+fn batch_is_debug_and_clonable() {
+    let rig = Rig::chain(&[1]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let _ = root.value();
+    let cloned = batch.clone();
+    assert!(format!("{batch:?}").contains("pending_calls"));
+    cloned.flush().unwrap();
+    assert!(batch.is_finished());
+}

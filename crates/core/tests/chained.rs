@@ -1,0 +1,183 @@
+//! Chained batches (paper Section 3.5): `flush_and_continue` keeps the
+//! server-side object array alive so later batches can use earlier results.
+
+mod common;
+
+use brmi::policy::{AbortPolicy, ContinuePolicy};
+use brmi_wire::RemoteErrorKind;
+use common::{Rig, TestNode};
+
+#[test]
+fn chained_batch_uses_stub_from_first_batch() {
+    // The paper's delete-if-old example: fetch data, decide locally,
+    // continue operating on the same server object.
+    let rig = Rig::chain(&[1, 42]);
+    let (batch, root) = rig.batch(AbortPolicy);
+
+    let node = root.next();
+    let value = node.value();
+    batch.flush_and_continue().unwrap();
+    assert_eq!(rig.stats.requests(), 1);
+    assert_eq!(value.get().unwrap(), 42);
+
+    // Client-side decision using the actual value.
+    if value.get().unwrap() > 10 {
+        let name = node.name();
+        node.set_value(0);
+        batch.flush().unwrap();
+        assert_eq!(name.get().unwrap(), "n1");
+    }
+    assert_eq!(rig.stats.requests(), 2);
+    let chain_node = rig.root.next.lock().clone().unwrap();
+    assert_eq!(*chain_node.value.lock(), 0);
+}
+
+#[test]
+fn session_is_created_and_released() {
+    let rig = Rig::chain(&[1, 2]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let _node = root.next();
+    assert_eq!(rig.executor.session_count(), 0);
+    batch.flush_and_continue().unwrap();
+    assert_eq!(rig.executor.session_count(), 1);
+    assert!(batch.session().is_some());
+    let _ = root.value();
+    batch.flush().unwrap();
+    assert_eq!(rig.executor.session_count(), 0, "final flush releases");
+    assert!(batch.session().is_none());
+}
+
+#[test]
+fn dropping_a_chained_batch_releases_the_session() {
+    let rig = Rig::chain(&[1, 2]);
+    {
+        let (batch, root) = rig.batch(AbortPolicy);
+        let _node = root.next();
+        batch.flush_and_continue().unwrap();
+        assert_eq!(rig.executor.session_count(), 1);
+        let (batch2, root2) = (batch, root);
+        drop(root2);
+        drop(batch2);
+    }
+    assert_eq!(rig.executor.session_count(), 0);
+}
+
+#[test]
+fn batches_chain_multiple_times() {
+    let rig = Rig::chain(&[0, 0, 0]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let n1 = root.next();
+    batch.flush_and_continue().unwrap();
+    let n2 = n1.next();
+    n2.set_value(5);
+    batch.flush_and_continue().unwrap();
+    let v = n2.value();
+    batch.flush().unwrap();
+    assert_eq!(v.get().unwrap(), 5);
+    assert_eq!(rig.stats.requests(), 3);
+    assert_eq!(batch.stats().flushes, 3);
+    assert_eq!(batch.stats().chained_flushes, 2);
+}
+
+#[test]
+fn cursor_in_chained_batch_applies_to_current_element() {
+    // The paper's "delete files older than cutoff" example: batch 1 reads
+    // per-element data; batch 2 mutates only chosen elements.
+    let rig = Rig::with_children(&[5, 50, 7, 70]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let value = cursor.value();
+    batch.flush_and_continue().unwrap();
+
+    while cursor.advance() {
+        if value.get().unwrap() >= 10 {
+            cursor.set_value(0); // applies to the current element only
+        }
+    }
+    batch.flush().unwrap();
+
+    let values: Vec<i32> = rig
+        .root
+        .children
+        .lock()
+        .iter()
+        .map(|c| *c.value.lock())
+        .collect();
+    assert_eq!(values, vec![5, 0, 7, 0]);
+    assert_eq!(rig.stats.requests(), 2, "exactly two batches (paper §3.5)");
+}
+
+#[test]
+fn cursor_derived_stub_in_chained_batch_tracks_position() {
+    let rig = Rig::with_children(&[1, 2]);
+    for (i, child) in rig.root.children.lock().iter().enumerate() {
+        *child.next.lock() = Some(TestNode::new(&format!("s{i}"), 10 * (i as i32 + 1)));
+    }
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let succ = cursor.next();
+    let succ_value = succ.value();
+    batch.flush_and_continue().unwrap();
+
+    let mut collected = Vec::new();
+    while cursor.advance() {
+        // Operate on the successor of the *current* element.
+        let name = succ.name();
+        batch.flush_and_continue().unwrap();
+        collected.push((name.get().unwrap(), succ_value.get().unwrap()));
+    }
+    batch.flush().unwrap();
+    assert_eq!(
+        collected,
+        vec![("s0".to_owned(), 10), ("s1".to_owned(), 20)]
+    );
+}
+
+#[test]
+fn using_flushed_cursor_without_advance_is_an_error() {
+    let rig = Rig::with_children(&[1]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let _value = cursor.value();
+    batch.flush_and_continue().unwrap();
+    // Recording against the cursor before advance(): no current element.
+    let late = cursor.name();
+    let err = batch.flush().unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+    assert!(err.message().contains("not positioned"), "err: {err}");
+    assert!(late.get().is_err());
+}
+
+#[test]
+fn unknown_session_is_rejected() {
+    use brmi_wire::invocation::{BatchRequest, PolicySpec, SessionId};
+    let rig = Rig::chain(&[1]);
+    let err = rig
+        .conn
+        .invoke_batch(BatchRequest {
+            session: Some(SessionId(424_242)),
+            calls: vec![],
+            policy: PolicySpec::Abort,
+            keep_session: false,
+        })
+        .unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+    assert!(err.message().contains("unknown batch session"));
+}
+
+#[test]
+fn seq_numbers_span_the_chain() {
+    // A stub created in batch 1 must still resolve in batch 3.
+    let rig = Rig::chain(&[1, 2, 3, 4]);
+    let (batch, root) = rig.batch(ContinuePolicy);
+    let n1 = root.next();
+    batch.flush_and_continue().unwrap();
+    let n2 = n1.next();
+    batch.flush_and_continue().unwrap();
+    let n3 = n2.next();
+    let deep_value = n3.value();
+    let shallow_value = n1.value(); // from two batches ago
+    batch.flush().unwrap();
+    assert_eq!(deep_value.get().unwrap(), 4);
+    assert_eq!(shallow_value.get().unwrap(), 2);
+}

@@ -1,0 +1,239 @@
+//! Array cursors (paper Section 3.4): bulk operations on every element of
+//! a server-side array in one round trip, then client-side iteration.
+
+mod common;
+
+use brmi::policy::{AbortPolicy, ContinuePolicy};
+use brmi_wire::RemoteErrorKind;
+use common::{Rig, TestNode};
+
+#[test]
+fn cursor_applies_operations_to_every_element() {
+    let rig = Rig::with_children(&[10, 20, 30]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let name = cursor.name();
+    let value = cursor.value();
+    batch.flush().unwrap();
+    assert_eq!(rig.stats.requests(), 1, "whole listing in one round trip");
+
+    assert_eq!(cursor.element_count(), Some(3));
+    let mut seen = Vec::new();
+    while cursor.advance() {
+        seen.push((name.get().unwrap(), value.get().unwrap()));
+    }
+    assert_eq!(
+        seen,
+        vec![
+            ("c0".to_owned(), 10),
+            ("c1".to_owned(), 20),
+            ("c2".to_owned(), 30)
+        ]
+    );
+    // Exhausted: advance stays false and futures keep the last element.
+    assert!(!cursor.advance());
+}
+
+#[test]
+fn empty_cursor_iterates_zero_times() {
+    let rig = Rig::with_children(&[]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let _value = cursor.value();
+    batch.flush().unwrap();
+    assert_eq!(cursor.element_count(), Some(0));
+    assert!(!cursor.advance());
+}
+
+#[test]
+fn cursor_futures_before_advance_are_unset() {
+    let rig = Rig::with_children(&[1]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let value = cursor.value();
+    batch.flush().unwrap();
+    // Flushed, but next()/advance() not yet called.
+    let err = value.get().unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+    assert!(cursor.advance());
+    assert_eq!(value.get().unwrap(), 1);
+}
+
+#[test]
+fn cursor_derived_stubs_are_per_element() {
+    // Each child has a successor; cursor.next() navigates per element.
+    let rig = Rig::with_children(&[1, 2]);
+    for (i, child) in rig.root.children.lock().iter().enumerate() {
+        let succ = TestNode::new(&format!("succ{i}"), 100 + i as i32);
+        *child.next.lock() = Some(succ);
+    }
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let succ = cursor.next(); // interface method, per element
+    let succ_name = succ.name();
+    let succ_value = succ.value();
+    batch.flush().unwrap();
+
+    let mut seen = Vec::new();
+    while cursor.advance() {
+        seen.push((succ_name.get().unwrap(), succ_value.get().unwrap()));
+    }
+    assert_eq!(
+        seen,
+        vec![("succ0".to_owned(), 100), ("succ1".to_owned(), 101)]
+    );
+}
+
+#[test]
+fn cursor_as_argument_repeats_call_per_element() {
+    // root.add(cursor) is recorded once but executed per element:
+    // the cursor is an argument, so the call joins the sub-batch.
+    let rig = Rig::with_children(&[1, 2, 3]);
+    *rig.root.value.lock() = 100;
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let sum = root.add(&cursor);
+    batch.flush().unwrap();
+
+    let mut sums = Vec::new();
+    while cursor.advance() {
+        sums.push(sum.get().unwrap());
+    }
+    assert_eq!(sums, vec![101, 102, 103]);
+}
+
+#[test]
+fn per_element_failures_with_continue_policy() {
+    // Child c1 has no successor; Continue lets other elements proceed.
+    let rig = Rig::with_children(&[1, 2, 3]);
+    {
+        let children = rig.root.children.lock();
+        *children[0].next.lock() = Some(TestNode::new("s0", 100));
+        *children[2].next.lock() = Some(TestNode::new("s2", 300));
+    }
+    let (batch, root) = rig.batch(ContinuePolicy);
+    let cursor = root.children();
+    let succ = cursor.next();
+    let succ_value = succ.value();
+    batch.flush().unwrap();
+
+    assert!(cursor.advance());
+    assert_eq!(succ_value.get().unwrap(), 100);
+    succ.ok().unwrap();
+
+    assert!(cursor.advance());
+    // Element 1: next() failed; dependent value future re-throws.
+    common::assert_app_error(&succ_value.get().unwrap_err(), "NoNextNode");
+    common::assert_app_error(&succ.ok().unwrap_err(), "NoNextNode");
+
+    assert!(cursor.advance());
+    assert_eq!(succ_value.get().unwrap(), 300);
+    assert!(!cursor.advance());
+}
+
+#[test]
+fn abort_policy_stops_at_first_failing_element() {
+    let rig = Rig::with_children(&[1, 2, 3]);
+    {
+        let children = rig.root.children.lock();
+        *children[0].next.lock() = Some(TestNode::new("s0", 100));
+        // c1 and c2 have no successors.
+    }
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let succ_value = cursor.next().value();
+    let after = root.value(); // recorded after the cursor sub-batch
+    batch.flush().unwrap();
+
+    assert!(cursor.advance());
+    assert_eq!(succ_value.get().unwrap(), 100);
+    assert!(cursor.advance());
+    common::assert_app_error(&succ_value.get().unwrap_err(), "NoNextNode");
+    assert!(cursor.advance());
+    // Element 2 was never executed: skipped with the breaking cause.
+    common::assert_app_error(&succ_value.get().unwrap_err(), "NoNextNode");
+    // The batch aborted: the following call is skipped too.
+    common::assert_app_error(&after.get().unwrap_err(), "NoNextNode");
+}
+
+#[test]
+fn failed_cursor_creation_fails_member_futures() {
+    let rig = Rig::chain(&[1]); // no children is fine; fail earlier instead
+    let (batch, root) = rig.batch(ContinuePolicy);
+    // next() fails (no successor), so children() on it cannot run.
+    let broken = root.next();
+    let cursor = broken.children();
+    let value = cursor.value();
+    batch.flush().unwrap();
+    common::assert_app_error(&cursor.ok().unwrap_err(), "NoNextNode");
+    common::assert_app_error(&value.get().unwrap_err(), "NoNextNode");
+    assert!(!cursor.advance());
+    assert_eq!(cursor.element_count(), None);
+}
+
+#[test]
+fn interleaved_cursor_operations_are_rejected() {
+    let rig = Rig::with_children(&[1, 2]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let _a = cursor.value(); // cursor sub-batch begins
+    let _b = root.value(); // unrelated call closes the sub-batch
+    let _c = cursor.name(); // resuming is the contiguity error (§4.1)
+    let err = batch.flush().unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+    assert!(err.message().contains("contiguous"), "err: {err}");
+}
+
+#[test]
+fn two_cursors_with_separated_sub_batches_work() {
+    let rig = Rig::with_children(&[1, 2]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let first = root.children();
+    let first_value = first.value();
+    let second = root.children();
+    let second_name = second.name();
+    batch.flush().unwrap();
+
+    assert!(first.advance());
+    assert_eq!(first_value.get().unwrap(), 1);
+    assert!(second.advance());
+    assert_eq!(second_name.get().unwrap(), "c0");
+    assert!(first.advance());
+    assert_eq!(first_value.get().unwrap(), 2);
+}
+
+#[test]
+fn nested_cursors_are_rejected() {
+    let rig = Rig::with_children(&[1]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let _nested = cursor.children(); // cursor within a cursor
+    let err = batch.flush().unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+    assert!(err.message().contains("nested"), "err: {err}");
+}
+
+#[test]
+fn one_call_cannot_span_two_cursors() {
+    let rig = Rig::with_children(&[1, 2]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let a = root.children();
+    let b = root.children();
+    // a.add(&b) would need the call to iterate two arrays at once.
+    let _sum = a.add(&b);
+    let err = batch.flush().unwrap_err();
+    assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+    assert!(err.message().contains("two different cursors"), "{err}");
+}
+
+#[test]
+fn cursor_mutations_hit_every_element() {
+    let rig = Rig::with_children(&[1, 2, 3]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    cursor.set_value(7);
+    batch.flush().unwrap();
+    for child in rig.root.children.lock().iter() {
+        assert_eq!(*child.value.lock(), 7);
+    }
+}

@@ -1,0 +1,106 @@
+//! Remote reference identity (paper Section 4.4): RMI loses identity when
+//! a stub is marshalled back to its own server (and pays a loopback call
+//! for every use); BRMI replays locally and preserves identity.
+
+mod common;
+
+use brmi::policy::AbortPolicy;
+use common::{Rig, TestNode};
+
+#[test]
+fn rmi_breaks_identity_and_pays_loopback_calls() {
+    let rig = Rig::chain(&[10, 32]);
+    let root = rig.rmi_root();
+
+    // create() then use(created): the paper's RemoteIdentity scenario.
+    let created = root.next().unwrap();
+    // The server receives a marshalled stub, not its own object.
+    let same = root.is_same(&created).unwrap();
+    assert!(!same, "RMI does not preserve remote reference identity");
+
+    // Using the argument (add calls other.value()) re-enters the
+    // middleware: a loopback call.
+    let before = rig.server.loopback_calls();
+    let sum = root.add(&created).unwrap();
+    assert_eq!(sum, 42);
+    assert_eq!(
+        rig.server.loopback_calls(),
+        before + 1,
+        "each use of the round-tripped stub is a loopback RMI call"
+    );
+}
+
+#[test]
+fn brmi_preserves_identity_with_no_loopback() {
+    let rig = Rig::chain(&[10, 32]);
+    let (batch, root) = rig.batch(AbortPolicy);
+
+    let created = root.next();
+    let same = root.is_same(&created);
+    let sum = root.add(&created);
+    batch.flush().unwrap();
+
+    assert!(
+        same.get().unwrap(),
+        "BRMI resolves the argument to the identical server object"
+    );
+    assert_eq!(sum.get().unwrap(), 42);
+    assert_eq!(rig.server.loopback_calls(), 0, "no middleware re-entry");
+    assert_eq!(rig.stats.requests(), 1);
+}
+
+#[test]
+fn rmi_exports_every_remote_result() {
+    let rig = Rig::chain(&[1, 2]);
+    let root = rig.rmi_root();
+    let table_before = rig.server.table().len();
+    let _stub1 = root.next().unwrap();
+    let _stub2 = root.next().unwrap();
+    // Two exports for the same server object: RMI semantics.
+    assert_eq!(rig.server.table().len(), table_before + 2);
+}
+
+#[test]
+fn brmi_exports_nothing_for_batched_remote_results() {
+    let rig = Rig::chain(&[1, 2, 3]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let table_before = rig.server.table().len();
+    let n1 = root.next();
+    let _n2 = n1.next();
+    let _v = n1.value();
+    batch.flush().unwrap();
+    assert_eq!(
+        rig.server.table().len(),
+        table_before,
+        "batched remote results never enter the export table (paper §4.4)"
+    );
+}
+
+#[test]
+fn pre_existing_reference_as_batch_argument_resolves_directly() {
+    // A reference obtained outside the batch (RMI-style) can be passed
+    // into a batch; the executor resolves it to the local object.
+    let rig = Rig::chain(&[10, 32]);
+    let other = TestNode::new("other", 32);
+    let id = rig.server.export(common::NodeSkeleton::remote_arc(other));
+    let other_ref = rig.conn.reference(id);
+
+    let (batch, root) = rig.batch(AbortPolicy);
+    let other_stub = common::BNode::new(&batch, &other_ref);
+    let sum = root.add(&other_stub);
+    batch.flush().unwrap();
+    assert_eq!(sum.get().unwrap(), 42);
+    assert_eq!(rig.server.loopback_calls(), 0);
+}
+
+#[test]
+fn loopback_proxy_chains_through_remote_returns() {
+    // RMI: root.next() marshalled home, then .next() through the proxy
+    // yields another proxy; every hop is a loopback call.
+    let rig = Rig::chain(&[1, 2, 3]);
+    let root = rig.rmi_root();
+    let n1 = root.next().unwrap();
+    let sum = root.add(&n1).unwrap(); // forces server-side use of proxy
+    assert_eq!(sum, 1 + 2);
+    assert!(rig.server.loopback_calls() >= 1);
+}

@@ -1,0 +1,155 @@
+//! Property test: for arbitrary programs over the fixture graph, executing
+//! through a BRMI batch produces exactly the same results as executing each
+//! call through plain RMI — the central semantic claim of explicit
+//! batching (a batch is a latency optimization, not a semantics change).
+
+mod common;
+
+use brmi::policy::ContinuePolicy;
+use common::Rig;
+use proptest::prelude::*;
+
+/// One step of a random client program against the chain fixture.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Read the value at chain depth `d`.
+    Value(usize),
+    /// Read the name at chain depth `d`.
+    Name(usize),
+    /// Set the value at chain depth `d`.
+    Set(usize, i32),
+    /// add(self at depth a, node at depth b).
+    Add(usize, usize),
+}
+
+fn arb_op(depth: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..depth).prop_map(Op::Value),
+        (0..depth).prop_map(Op::Name),
+        (0..depth, -1000i32..1000).prop_map(|(d, v)| Op::Set(d, v)),
+        (0..depth, 0..depth).prop_map(|(a, b)| Op::Add(a, b)),
+    ]
+}
+
+/// Result of one op, normalized for comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Int(i32),
+    Text(String),
+    Unit,
+    Error(String),
+}
+
+fn run_rmi(rig: &Rig, ops: &[Op]) -> Vec<Outcome> {
+    let root = rig.rmi_root();
+    // Stubs per depth, via repeated next() calls (all succeed: chain is
+    // long enough by construction).
+    let mut stubs = vec![root];
+    let depth_needed = ops
+        .iter()
+        .map(|op| match op {
+            Op::Value(d) | Op::Name(d) | Op::Set(d, _) => *d,
+            Op::Add(a, b) => (*a).max(*b),
+        })
+        .max()
+        .unwrap_or(0);
+    for d in 0..depth_needed {
+        let next = stubs[d].next().expect("chain deep enough");
+        stubs.push(next);
+    }
+    ops.iter()
+        .map(|op| match op {
+            Op::Value(d) => match stubs[*d].value() {
+                Ok(v) => Outcome::Int(v),
+                Err(e) => Outcome::Error(e.exception().to_owned()),
+            },
+            Op::Name(d) => match stubs[*d].name() {
+                Ok(s) => Outcome::Text(s),
+                Err(e) => Outcome::Error(e.exception().to_owned()),
+            },
+            Op::Set(d, v) => match stubs[*d].set_value(*v) {
+                Ok(()) => Outcome::Unit,
+                Err(e) => Outcome::Error(e.exception().to_owned()),
+            },
+            Op::Add(a, b) => match stubs[*a].add(&stubs[*b]) {
+                Ok(v) => Outcome::Int(v),
+                Err(e) => Outcome::Error(e.exception().to_owned()),
+            },
+        })
+        .collect()
+}
+
+fn run_brmi(rig: &Rig, ops: &[Op]) -> Vec<Outcome> {
+    let (batch, root) = rig.batch(ContinuePolicy);
+    let mut stubs = vec![root];
+    let depth_needed = ops
+        .iter()
+        .map(|op| match op {
+            Op::Value(d) | Op::Name(d) | Op::Set(d, _) => *d,
+            Op::Add(a, b) => (*a).max(*b),
+        })
+        .max()
+        .unwrap_or(0);
+    for d in 0..depth_needed {
+        let next = stubs[d].next();
+        stubs.push(next);
+    }
+    enum Pending {
+        Int(brmi::BatchFuture<i32>),
+        Text(brmi::BatchFuture<String>),
+        Unit(brmi::BatchFuture<()>),
+    }
+    let futures: Vec<Pending> = ops
+        .iter()
+        .map(|op| match op {
+            Op::Value(d) => Pending::Int(stubs[*d].value()),
+            Op::Name(d) => Pending::Text(stubs[*d].name()),
+            Op::Set(d, v) => Pending::Unit(stubs[*d].set_value(*v)),
+            Op::Add(a, b) => Pending::Int(stubs[*a].add(&stubs[*b])),
+        })
+        .collect();
+    batch.flush().expect("flush succeeds over in-proc transport");
+    futures
+        .into_iter()
+        .map(|pending| match pending {
+            Pending::Int(f) => match f.get() {
+                Ok(v) => Outcome::Int(v),
+                Err(e) => Outcome::Error(e.exception().to_owned()),
+            },
+            Pending::Text(f) => match f.get() {
+                Ok(s) => Outcome::Text(s),
+                Err(e) => Outcome::Error(e.exception().to_owned()),
+            },
+            Pending::Unit(f) => match f.get() {
+                Ok(()) => Outcome::Unit,
+                Err(e) => Outcome::Error(e.exception().to_owned()),
+            },
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batched_execution_equals_sequential_rmi(
+        values in proptest::collection::vec(-100i32..100, 3..6),
+        ops in proptest::collection::vec(arb_op(3), 0..24),
+    ) {
+        // Two identical graphs, one per runtime, since Set mutates.
+        let rmi_rig = Rig::chain(&values);
+        let brmi_rig = Rig::chain(&values);
+        let rmi_results = run_rmi(&rmi_rig, &ops);
+        let brmi_results = run_brmi(&brmi_rig, &ops);
+        prop_assert_eq!(rmi_results, brmi_results);
+
+        // And the server-side end states agree.
+        let mut rmi_node = Some(rmi_rig.root.clone());
+        let mut brmi_node = Some(brmi_rig.root.clone());
+        while let (Some(a), Some(b)) = (rmi_node, brmi_node) {
+            prop_assert_eq!(*a.value.lock(), *b.value.lock());
+            rmi_node = a.next.lock().clone();
+            brmi_node = b.next.lock().clone();
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Scale smoke tests: large batches, deep chains, wide cursors — guarding
+//! against quadratic blowups or stack overflows in recording and replay.
+
+mod common;
+
+use brmi::policy::AbortPolicy;
+use common::Rig;
+
+#[test]
+fn ten_thousand_calls_in_one_batch() {
+    let rig = Rig::chain(&[7]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let futures: Vec<_> = (0..10_000).map(|_| root.value()).collect();
+    batch.flush().unwrap();
+    assert_eq!(rig.stats.requests(), 1);
+    for future in &futures {
+        assert_eq!(future.get().unwrap(), 7);
+    }
+    assert_eq!(batch.stats().calls_recorded, 10_000);
+    assert_eq!(rig.executor.stats().calls_replayed, 10_000);
+}
+
+#[test]
+fn thousand_hop_chained_remote_results() {
+    // A 1001-node list traversed in one batch: 1000 dependent remote
+    // results resolved iteratively (no recursion anywhere).
+    let values: Vec<i32> = (0..1001).collect();
+    let rig = Rig::chain(&values);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let mut node = root;
+    for _ in 0..1000 {
+        node = node.next();
+    }
+    let value = node.value();
+    batch.flush().unwrap();
+    assert_eq!(value.get().unwrap(), 1000);
+    assert_eq!(rig.stats.requests(), 1);
+}
+
+#[test]
+fn wide_cursor_with_many_members() {
+    let values: Vec<i32> = (0..500).collect();
+    let rig = Rig::with_children(&values);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let cursor = root.children();
+    let name = cursor.name();
+    let value = cursor.value();
+    batch.flush().unwrap();
+    assert_eq!(cursor.element_count(), Some(500));
+    assert_eq!(rig.executor.stats().cursor_elements, 500);
+
+    let mut total = 0i64;
+    let mut rows = 0;
+    while cursor.advance() {
+        total += i64::from(value.get().unwrap());
+        assert!(name.get().unwrap().starts_with('c'));
+        rows += 1;
+    }
+    assert_eq!(rows, 500);
+    assert_eq!(total, (0..500).sum::<i64>());
+}
+
+#[test]
+fn long_chain_of_flushes_reuses_one_session() {
+    let rig = Rig::chain(&[3]);
+    let (batch, root) = rig.batch(AbortPolicy);
+    let mut first_session = None;
+    for _ in 0..50 {
+        let value = root.value();
+        batch.flush_and_continue().unwrap();
+        assert_eq!(value.get().unwrap(), 3);
+        let session = batch.session().expect("live session");
+        if let Some(first) = first_session {
+            assert_eq!(session, first, "session id stable across the chain");
+        } else {
+            first_session = Some(session);
+        }
+        assert_eq!(rig.executor.session_count(), 1);
+    }
+    batch.flush().unwrap();
+    assert_eq!(rig.executor.session_count(), 0);
+    assert_eq!(batch.stats().flushes, 51);
+}
+
+#[test]
+fn executor_stats_accumulate_across_clients() {
+    let rig = Rig::chain(&[1]);
+    for _ in 0..10 {
+        let (batch, root) = rig.batch(AbortPolicy);
+        let _ = root.value();
+        let _ = root.name();
+        batch.flush().unwrap();
+    }
+    let stats = rig.executor.stats();
+    assert_eq!(stats.batches, 10);
+    assert_eq!(stats.calls_replayed, 20);
+    assert_eq!(stats.cursor_elements, 0);
+}

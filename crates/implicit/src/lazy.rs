@@ -1,0 +1,61 @@
+//! Demand-driven values: forcing one flushes the delayed-call queue.
+
+use brmi::BatchFuture;
+use brmi_wire::{FromValue, RemoteError};
+
+use crate::runtime::ImplicitRuntime;
+
+/// A delayed remote result.
+///
+/// Unlike a raw [`BatchFuture`], which errors when read before `flush`,
+/// forcing a `Lazy` *causes* the flush — Thor's batched-futures rule: the
+/// program never observes that the call was delayed, it only gets faster
+/// when it demands values late.
+#[derive(Clone)]
+pub struct Lazy<T> {
+    runtime: ImplicitRuntime,
+    future: BatchFuture<T>,
+}
+
+impl<T: FromValue> Lazy<T> {
+    pub(crate) fn new(runtime: ImplicitRuntime, future: BatchFuture<T>) -> Self {
+        Lazy { runtime, future }
+    }
+
+    /// Retrieves the value, flushing all delayed calls first if needed.
+    ///
+    /// # Errors
+    ///
+    /// * communication failures from the forced flush;
+    /// * the call's own exception, or the exception of any delayed call
+    ///   before it (the runtime aborts the batch at the first exception
+    ///   to preserve RMI semantics);
+    /// * marshalling failures converting to `T`.
+    pub fn get(&self) -> Result<T, RemoteError> {
+        if !self.future.is_done() {
+            self.runtime.force()?;
+        }
+        match self.future.get() {
+            Ok(value) => Ok(value),
+            Err(err) => {
+                // The program now holds the exception: whatever it does
+                // next is a deliberate continuation (a caught exception),
+                // so the runtime stops discarding new calls.
+                self.runtime.observe_failure();
+                Err(err)
+            }
+        }
+    }
+
+    /// True once the value (or its error) has been shipped to the client;
+    /// forcing a done `Lazy` performs no communication.
+    pub fn is_done(&self) -> bool {
+        self.future.is_done()
+    }
+}
+
+impl<T> std::fmt::Debug for Lazy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lazy").finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,335 @@
+//! The client runtime: connections and remote references.
+
+use std::sync::Arc;
+
+use brmi_transport::Transport;
+use brmi_wire::invocation::{BatchRequest, BatchResponse, SessionId};
+use brmi_wire::protocol::{registry_methods, Frame};
+use brmi_wire::{FromValue, ObjectId, RemoteError, RemoteErrorKind, Value};
+
+/// A client connection to one server over any [`Transport`].
+///
+/// Cheap to clone; clones share the underlying transport.
+#[derive(Clone)]
+pub struct Connection {
+    transport: Arc<dyn Transport>,
+}
+
+impl Connection {
+    /// Wraps a transport.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        Connection { transport }
+    }
+
+    /// Invokes `method` on the exported object `target` — one round trip.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, marshalling failures, and any error the remote
+    /// method raises.
+    pub fn call(
+        &self,
+        target: ObjectId,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RemoteError> {
+        let reply = self.transport.request(Frame::Call {
+            target,
+            method: method.to_owned(),
+            args,
+        })?;
+        match reply {
+            Frame::Return(value) => Ok(value),
+            Frame::Error(env) => Err(RemoteError::from(&env)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Ships a recorded batch to the server — also one round trip.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures. Per-call outcomes are inside the
+    /// response; this only fails when the batch as a whole could not run.
+    pub fn invoke_batch(&self, request: BatchRequest) -> Result<BatchResponse, RemoteError> {
+        let reply = self.transport.request(Frame::BatchCall(request))?;
+        match reply {
+            Frame::BatchReturn(response) => Ok(response),
+            Frame::Error(env) => Err(RemoteError::from(&env)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Releases a chained-batch session on the server.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures.
+    pub fn release_session(&self, session: SessionId) -> Result<(), RemoteError> {
+        let reply = self.transport.request(Frame::ReleaseSession(session))?;
+        match reply {
+            Frame::Released => Ok(()),
+            Frame::Error(env) => Err(RemoteError::from(&env)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Renews the distributed-GC leases of `ids` (Java RMI's
+    /// `DGC.dirty`). Returns the lease duration the server granted.
+    ///
+    /// # Errors
+    ///
+    /// A protocol error when the server has no DGC enabled, plus
+    /// transport failures.
+    pub fn dirty(
+        &self,
+        ids: &[brmi_wire::ObjectId],
+        lease: std::time::Duration,
+    ) -> Result<std::time::Duration, RemoteError> {
+        let reply = self.transport.request(Frame::Dirty {
+            ids: ids.to_vec(),
+            lease_millis: lease.as_millis() as u64,
+        })?;
+        match reply {
+            Frame::Leased { lease_millis } => {
+                Ok(std::time::Duration::from_millis(lease_millis))
+            }
+            Frame::Error(env) => Err(RemoteError::from(&env)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Releases the distributed-GC leases of `ids` (Java RMI's
+    /// `DGC.clean`); the server unexports them.
+    ///
+    /// # Errors
+    ///
+    /// A protocol error when the server has no DGC enabled, plus
+    /// transport failures.
+    pub fn clean(&self, ids: &[brmi_wire::ObjectId]) -> Result<(), RemoteError> {
+        let reply = self.transport.request(Frame::Clean { ids: ids.to_vec() })?;
+        match reply {
+            Frame::Cleaned => Ok(()),
+            Frame::Error(env) => Err(RemoteError::from(&env)),
+            other => Err(unexpected_reply(&other)),
+        }
+    }
+
+    /// Resolves a name in the server's registry to a remote reference.
+    ///
+    /// # Errors
+    ///
+    /// `NotBound` when the name is unknown, plus transport failures.
+    pub fn lookup(&self, name: &str) -> Result<RemoteRef, RemoteError> {
+        let value = self.call(
+            ObjectId::REGISTRY,
+            registry_methods::LOOKUP,
+            vec![Value::Str(name.to_owned())],
+        )?;
+        match value {
+            Value::RemoteRef(id) => Ok(RemoteRef {
+                conn: self.clone(),
+                id,
+            }),
+            other => Err(RemoteError::marshal(format!(
+                "registry lookup returned {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Binds `reference` under `name` in the server's registry.
+    ///
+    /// # Errors
+    ///
+    /// `AlreadyBound` when the name is taken, plus transport failures.
+    pub fn bind(&self, name: &str, reference: &RemoteRef) -> Result<(), RemoteError> {
+        self.call(
+            ObjectId::REGISTRY,
+            registry_methods::BIND,
+            vec![
+                Value::Str(name.to_owned()),
+                Value::RemoteRef(reference.id()),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Binds or replaces `name` in the server's registry.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn rebind(&self, name: &str, reference: &RemoteRef) -> Result<(), RemoteError> {
+        self.call(
+            ObjectId::REGISTRY,
+            registry_methods::REBIND,
+            vec![
+                Value::Str(name.to_owned()),
+                Value::RemoteRef(reference.id()),
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Removes `name` from the server's registry.
+    ///
+    /// # Errors
+    ///
+    /// `NotBound` when the name is unknown, plus transport failures.
+    pub fn unbind(&self, name: &str) -> Result<(), RemoteError> {
+        self.call(
+            ObjectId::REGISTRY,
+            registry_methods::UNBIND,
+            vec![Value::Str(name.to_owned())],
+        )?;
+        Ok(())
+    }
+
+    /// Lists all names bound in the server's registry.
+    ///
+    /// # Errors
+    ///
+    /// Transport and marshalling failures.
+    pub fn registry_names(&self) -> Result<Vec<String>, RemoteError> {
+        let value = self.call(ObjectId::REGISTRY, registry_methods::LIST, vec![])?;
+        Vec::<String>::from_value(value)
+    }
+
+    /// A reference to an arbitrary object id on this connection. Useful for
+    /// reconstructing references received inside values.
+    pub fn reference(&self, id: ObjectId) -> RemoteRef {
+        RemoteRef {
+            conn: self.clone(),
+            id,
+        }
+    }
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection").finish_non_exhaustive()
+    }
+}
+
+fn unexpected_reply(frame: &Frame) -> RemoteError {
+    RemoteError::new(
+        RemoteErrorKind::Protocol,
+        format!("unexpected reply frame: {}", frame.kind_name()),
+    )
+}
+
+/// A client-side reference to one exported remote object — the analogue of
+/// an RMI stub's inner remote reference. Typed stubs generated by
+/// `remote_interface!` wrap this.
+#[derive(Clone, Debug)]
+pub struct RemoteRef {
+    conn: Connection,
+    id: ObjectId,
+}
+
+impl RemoteRef {
+    /// Builds a reference from a connection and object id.
+    pub fn from_parts(conn: Connection, id: ObjectId) -> Self {
+        RemoteRef { conn, id }
+    }
+
+    /// The referenced object id.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// The connection this reference lives on.
+    pub fn connection(&self) -> &Connection {
+        &self.conn
+    }
+
+    /// Invokes a method on the referenced object.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and any error the remote method raises.
+    pub fn invoke(&self, method: &str, args: Vec<Value>) -> Result<Value, RemoteError> {
+        self.conn.call(self.id, method, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brmi_transport::inproc::InProcTransport;
+    use brmi_transport::RequestHandler;
+
+    /// Minimal handler: replies Return(I32(7)) to calls of method "seven",
+    /// errors otherwise, and always echoes Released to release frames.
+    struct SevenHandler;
+
+    impl RequestHandler for SevenHandler {
+        fn handle(&self, frame: Frame) -> Frame {
+            match frame {
+                Frame::Call { method, .. } if method == "seven" => {
+                    Frame::Return(Value::I32(7))
+                }
+                Frame::Call { .. } => Frame::Error(brmi_wire::invocation::ErrorEnvelope {
+                    kind: "no-such-method".into(),
+                    exception: "no-such-method".into(),
+                    message: "only seven".into(),
+                }),
+                Frame::ReleaseSession(_) => Frame::Released,
+                // Deliberately wrong reply to exercise the protocol check.
+                Frame::BatchCall(_) => Frame::Return(Value::Null),
+                _ => Frame::Released,
+            }
+        }
+    }
+
+    fn connection() -> Connection {
+        Connection::new(Arc::new(InProcTransport::new(Arc::new(SevenHandler))))
+    }
+
+    #[test]
+    fn call_unwraps_return_value() {
+        let conn = connection();
+        assert_eq!(
+            conn.call(ObjectId(1), "seven", vec![]).unwrap(),
+            Value::I32(7)
+        );
+    }
+
+    #[test]
+    fn call_surfaces_remote_error() {
+        let conn = connection();
+        let err = conn.call(ObjectId(1), "other", vec![]).unwrap_err();
+        assert_eq!(err.kind(), RemoteErrorKind::NoSuchMethod);
+    }
+
+    #[test]
+    fn unexpected_reply_is_protocol_error() {
+        let conn = connection();
+        let err = conn
+            .invoke_batch(BatchRequest {
+                session: None,
+                calls: vec![],
+                policy: Default::default(),
+                keep_session: false,
+            })
+            .unwrap_err();
+        assert_eq!(err.kind(), RemoteErrorKind::Protocol);
+    }
+
+    #[test]
+    fn release_session_round_trips() {
+        let conn = connection();
+        conn.release_session(SessionId(1)).unwrap();
+    }
+
+    #[test]
+    fn remote_ref_carries_id_and_connection() {
+        let conn = connection();
+        let reference = conn.reference(ObjectId(42));
+        assert_eq!(reference.id(), ObjectId(42));
+        assert_eq!(reference.invoke("seven", vec![]).unwrap(), Value::I32(7));
+        let cloned = reference.clone();
+        assert_eq!(cloned.id(), ObjectId(42));
+    }
+}

@@ -1,0 +1,501 @@
+//! The RMI server runtime: dispatch, export, marshalling and loopback.
+//!
+//! [`RmiServer`] is the single point every transport feeds
+//! (it implements [`RequestHandler`]). It owns the [`ObjectTable`] and the
+//! [`RegistryObject`], dispatches [`Frame::Call`]s, and delegates batch
+//! frames to a pluggable [`BatchFrameHandler`] installed by the `brmi`
+//! crate — the Rust analogue of the paper adding `invokeBatch` to
+//! `UnicastRemoteObject` so every remote object supports batching without
+//! application changes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use brmi_transport::clock::Clock;
+use brmi_transport::RequestHandler;
+use brmi_wire::invocation::{BatchRequest, BatchResponse, ErrorEnvelope, SessionId};
+use brmi_wire::protocol::Frame;
+use brmi_wire::{ObjectId, RemoteError, RemoteErrorKind, Value};
+use parking_lot::RwLock;
+
+use crate::dgc::{DgcConfig, DgcServer};
+use crate::object::{CallCtx, InArg, Loopback, OutValue, RemoteObject};
+use crate::registry::RegistryObject;
+use crate::table::ObjectTable;
+
+/// Extension point for the batching layer.
+///
+/// The `brmi` crate installs an implementation via
+/// [`RmiServer::set_batch_handler`]; a plain RMI server without one rejects
+/// batch frames.
+pub trait BatchFrameHandler: Send + Sync {
+    /// Executes a recorded batch against `server` (the paper's
+    /// `invokeBatch`, Figure 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns a protocol-kind error for malformed batches (unknown
+    /// sessions, bad references); per-call failures are reported inside the
+    /// response, not here.
+    fn invoke_batch(
+        &self,
+        server: &Arc<RmiServer>,
+        request: BatchRequest,
+    ) -> Result<BatchResponse, RemoteError>;
+
+    /// Discards a chained-batch session.
+    fn release_session(&self, session: SessionId);
+}
+
+struct LoopbackSim {
+    clock: Arc<dyn Clock>,
+    cost: Duration,
+}
+
+/// The server half of the middleware.
+pub struct RmiServer {
+    table: ObjectTable,
+    registry: Arc<RegistryObject>,
+    batch_handler: RwLock<Option<Arc<dyn BatchFrameHandler>>>,
+    loopback_sim: RwLock<Option<LoopbackSim>>,
+    loopback_calls: AtomicU64,
+    dgc: RwLock<Option<Arc<DgcServer>>>,
+    weak_self: Weak<RmiServer>,
+}
+
+impl RmiServer {
+    /// Creates a server with an empty object table and a registry installed
+    /// at [`ObjectId::REGISTRY`].
+    pub fn new() -> Arc<Self> {
+        Arc::new_cyclic(|weak_self| {
+            let registry = RegistryObject::new();
+            let table = ObjectTable::new();
+            table.install(ObjectId::REGISTRY, Arc::clone(&registry) as Arc<dyn RemoteObject>);
+            RmiServer {
+                table,
+                registry,
+                batch_handler: RwLock::new(None),
+                loopback_sim: RwLock::new(None),
+                loopback_calls: AtomicU64::new(0),
+                dgc: RwLock::new(None),
+                weak_self: Weak::clone(weak_self),
+            }
+        })
+    }
+
+    /// The export table.
+    pub fn table(&self) -> &ObjectTable {
+        &self.table
+    }
+
+    /// The naming registry.
+    pub fn registry(&self) -> &RegistryObject {
+        &self.registry
+    }
+
+    /// Exports an object and returns its reference id.
+    pub fn export(&self, object: Arc<dyn RemoteObject>) -> ObjectId {
+        self.table.export(object)
+    }
+
+    /// Exports an object and binds it under `name` in the registry.
+    ///
+    /// # Errors
+    ///
+    /// Fails with `AlreadyBound` when the name is taken (the object is
+    /// still exported).
+    pub fn bind(&self, name: &str, object: Arc<dyn RemoteObject>) -> Result<ObjectId, RemoteError> {
+        let id = self.export(object);
+        self.registry.bind(name, id)?;
+        Ok(id)
+    }
+
+    /// Installs the batching extension.
+    pub fn set_batch_handler(&self, handler: Arc<dyn BatchFrameHandler>) {
+        *self.batch_handler.write() = Some(handler);
+    }
+
+    /// Configures simulated cost charged per loopback call (a call made
+    /// through a stub that was marshalled back to its own server).
+    pub fn set_loopback_sim(&self, clock: Arc<dyn Clock>, cost: Duration) {
+        *self.loopback_sim.write() = Some(LoopbackSim { clock, cost });
+    }
+
+    /// Number of loopback calls served so far — the Figure 10/11 benchmarks
+    /// assert RMI pays these and BRMI does not.
+    pub fn loopback_calls(&self) -> u64 {
+        self.loopback_calls.load(Ordering::Relaxed)
+    }
+
+    /// Enables lease-based distributed GC for objects exported by
+    /// marshalling (Java RMI's DGC; see [`DgcServer`]). Objects exported
+    /// explicitly with [`export`](RmiServer::export)/[`bind`](RmiServer::bind)
+    /// are pinned and never collected.
+    ///
+    /// Returns the DGC handle for introspection and sweeping.
+    pub fn enable_dgc(&self, clock: Arc<dyn Clock>, config: DgcConfig) -> Arc<DgcServer> {
+        let dgc = DgcServer::new(clock, config);
+        *self.dgc.write() = Some(Arc::clone(&dgc));
+        dgc
+    }
+
+    /// The DGC handle, if enabled.
+    pub fn dgc(&self) -> Option<Arc<DgcServer>> {
+        self.dgc.read().clone()
+    }
+
+    /// Unexports every object whose lease has expired; returns how many
+    /// were reclaimed. A no-op without DGC enabled.
+    ///
+    /// Java runs this from the lease checker thread; here it is explicit
+    /// (and also runs on every `dirty`/`clean` frame) so tests and
+    /// benchmarks stay deterministic.
+    pub fn dgc_sweep(&self) -> usize {
+        let Some(dgc) = self.dgc.read().clone() else {
+            return 0;
+        };
+        let expired = dgc.take_expired();
+        for id in &expired {
+            self.table.unexport(*id);
+        }
+        expired.len()
+    }
+
+    /// An owning handle to this server, for contexts that need `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the server is being dropped.
+    pub fn strong(&self) -> Arc<RmiServer> {
+        self.weak_self
+            .upgrade()
+            .expect("server used during teardown")
+    }
+
+    /// The call context handed to skeletons.
+    pub fn call_ctx(&self) -> CallCtx {
+        CallCtx {
+            loopback: self.strong() as Arc<dyn Loopback>,
+        }
+    }
+
+    /// Dispatches one plain call and marshals the result.
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchObject` for unknown targets, plus whatever the skeleton and
+    /// application raise.
+    pub fn dispatch_call(
+        &self,
+        target: ObjectId,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RemoteError> {
+        let object = self.table.get(target).ok_or_else(|| {
+            RemoteError::new(
+                RemoteErrorKind::NoSuchObject,
+                format!("no exported object {target}"),
+            )
+        })?;
+        let in_args = args.into_iter().map(InArg::Value).collect();
+        let out = object.invoke(method, in_args, &self.call_ctx())?;
+        Ok(self.marshal_out(out))
+    }
+
+    /// Marshals a method result for the wire: remote objects are exported
+    /// and replaced by references (this is precisely the step the batch
+    /// executor skips to preserve identity — paper Section 4.4).
+    pub fn marshal_out(&self, out: OutValue) -> Value {
+        match out {
+            OutValue::Data(value) => value,
+            OutValue::Remote(object) => Value::RemoteRef(self.export_marshalled(object)),
+            OutValue::RemoteList(objects) => Value::List(
+                objects
+                    .into_iter()
+                    .map(|object| Value::RemoteRef(self.export_marshalled(object)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Exports an object that is crossing the wire inside a result. With
+    /// DGC enabled the export carries a lease (unlike explicit exports,
+    /// which are pinned).
+    fn export_marshalled(&self, object: Arc<dyn RemoteObject>) -> ObjectId {
+        let id = self.table.export(object);
+        if let Some(dgc) = self.dgc.read().as_ref() {
+            dgc.grant(id);
+        }
+        id
+    }
+}
+
+impl std::fmt::Debug for RmiServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RmiServer")
+            .field("exported_objects", &self.table.len())
+            .field("loopback_calls", &self.loopback_calls())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RequestHandler for RmiServer {
+    fn handle(&self, frame: Frame) -> Frame {
+        match frame {
+            Frame::Call {
+                target,
+                method,
+                args,
+            } => match self.dispatch_call(target, &method, args) {
+                Ok(value) => Frame::Return(value),
+                Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+            },
+            Frame::BatchCall(request) => {
+                let handler = self.batch_handler.read().clone();
+                match handler {
+                    Some(handler) => match handler.invoke_batch(&self.strong(), request) {
+                        Ok(response) => Frame::BatchReturn(response),
+                        Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+                    },
+                    None => Frame::Error(ErrorEnvelope::from(&RemoteError::new(
+                        RemoteErrorKind::Protocol,
+                        "server has no batch support installed",
+                    ))),
+                }
+            }
+            Frame::ReleaseSession(session) => {
+                if let Some(handler) = self.batch_handler.read().clone() {
+                    handler.release_session(session);
+                }
+                Frame::Released
+            }
+            Frame::Dirty { ids, lease_millis } => {
+                let reply = match self.dgc.read().as_ref() {
+                    Some(dgc) => {
+                        let granted =
+                            dgc.dirty(&ids, Duration::from_millis(lease_millis));
+                        Frame::Leased {
+                            lease_millis: granted.as_millis() as u64,
+                        }
+                    }
+                    None => Frame::Error(ErrorEnvelope::from(&RemoteError::new(
+                        RemoteErrorKind::Protocol,
+                        "server has no distributed GC enabled",
+                    ))),
+                };
+                self.dgc_sweep();
+                reply
+            }
+            Frame::Clean { ids } => {
+                let reply = match self.dgc.read().as_ref() {
+                    Some(dgc) => {
+                        for id in dgc.clean(&ids) {
+                            self.table.unexport(id);
+                        }
+                        Frame::Cleaned
+                    }
+                    None => Frame::Error(ErrorEnvelope::from(&RemoteError::new(
+                        RemoteErrorKind::Protocol,
+                        "server has no distributed GC enabled",
+                    ))),
+                };
+                self.dgc_sweep();
+                reply
+            }
+            other => Frame::Error(ErrorEnvelope::from(&RemoteError::new(
+                RemoteErrorKind::Protocol,
+                format!("unexpected request frame: {}", other.kind_name()),
+            ))),
+        }
+    }
+}
+
+impl Loopback for RmiServer {
+    fn invoke(
+        &self,
+        target: ObjectId,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, RemoteError> {
+        self.loopback_calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(sim) = self.loopback_sim.read().as_ref() {
+            sim.clock.advance(sim.cost);
+        }
+        self.dispatch_call(target, method, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::no_such_method;
+    use brmi_transport::clock::VirtualClock;
+    use std::any::Any;
+
+    /// A counter service used to exercise dispatch.
+    struct Counter {
+        hits: AtomicU64,
+    }
+
+    impl RemoteObject for Counter {
+        fn interface_name(&self) -> &'static str {
+            "counter"
+        }
+
+        fn invoke(
+            &self,
+            method: &str,
+            args: Vec<InArg>,
+            _ctx: &CallCtx,
+        ) -> Result<OutValue, RemoteError> {
+            match method {
+                "hit" => {
+                    let n = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
+                    Ok(OutValue::Data(Value::I64(n as i64)))
+                }
+                "echo" => match args.into_iter().next() {
+                    Some(InArg::Value(v)) => Ok(OutValue::Data(v)),
+                    _ => Err(RemoteError::new(RemoteErrorKind::BadArguments, "echo")),
+                },
+                "fail" => Err(RemoteError::application("TestError", "requested")),
+                "spawn" => Ok(OutValue::Remote(Arc::new(Counter {
+                    hits: AtomicU64::new(0),
+                }))),
+                other => Err(no_such_method("counter", other)),
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn counter() -> Arc<dyn RemoteObject> {
+        Arc::new(Counter {
+            hits: AtomicU64::new(0),
+        })
+    }
+
+    #[test]
+    fn dispatch_reaches_exported_object() {
+        let server = RmiServer::new();
+        let id = server.export(counter());
+        let value = server.dispatch_call(id, "hit", vec![]).unwrap();
+        assert_eq!(value, Value::I64(1));
+        let value = server.dispatch_call(id, "hit", vec![]).unwrap();
+        assert_eq!(value, Value::I64(2));
+    }
+
+    #[test]
+    fn dispatch_to_unknown_object_fails() {
+        let server = RmiServer::new();
+        let err = server
+            .dispatch_call(ObjectId(99), "hit", vec![])
+            .unwrap_err();
+        assert_eq!(err.kind(), RemoteErrorKind::NoSuchObject);
+    }
+
+    #[test]
+    fn remote_result_is_exported_and_referenced() {
+        let server = RmiServer::new();
+        let id = server.export(counter());
+        let before = server.table().len();
+        let value = server.dispatch_call(id, "spawn", vec![]).unwrap();
+        match value {
+            Value::RemoteRef(child) => {
+                assert!(server.table().get(child).is_some());
+            }
+            other => panic!("expected remote ref, got {other:?}"),
+        }
+        assert_eq!(server.table().len(), before + 1);
+    }
+
+    #[test]
+    fn handle_call_frame_returns_or_errors() {
+        let server = RmiServer::new();
+        let id = server.export(counter());
+        let reply = server.handle(Frame::Call {
+            target: id,
+            method: "echo".into(),
+            args: vec![Value::Str("x".into())],
+        });
+        assert_eq!(reply, Frame::Return(Value::Str("x".into())));
+
+        let reply = server.handle(Frame::Call {
+            target: id,
+            method: "fail".into(),
+            args: vec![],
+        });
+        match reply {
+            Frame::Error(env) => assert_eq!(env.exception, "TestError"),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_frame_without_handler_is_protocol_error() {
+        let server = RmiServer::new();
+        let reply = server.handle(Frame::BatchCall(BatchRequest {
+            session: None,
+            calls: vec![],
+            policy: Default::default(),
+            keep_session: false,
+        }));
+        match reply {
+            Frame::Error(env) => assert_eq!(env.kind, "protocol"),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn release_without_handler_still_acks() {
+        let server = RmiServer::new();
+        assert_eq!(
+            server.handle(Frame::ReleaseSession(SessionId(3))),
+            Frame::Released
+        );
+    }
+
+    #[test]
+    fn reply_frames_are_rejected_as_requests() {
+        let server = RmiServer::new();
+        let reply = server.handle(Frame::Return(Value::Null));
+        assert!(matches!(reply, Frame::Error(_)));
+    }
+
+    #[test]
+    fn registry_is_reachable_via_dispatch() {
+        let server = RmiServer::new();
+        let id = server.export(counter());
+        server.registry().bind("ctr", id).unwrap();
+        let value = server
+            .dispatch_call(
+                ObjectId::REGISTRY,
+                "lookup",
+                vec![Value::Str("ctr".into())],
+            )
+            .unwrap();
+        assert_eq!(value, Value::RemoteRef(id));
+    }
+
+    #[test]
+    fn loopback_counts_and_charges() {
+        let server = RmiServer::new();
+        let clock = VirtualClock::new();
+        server.set_loopback_sim(clock.clone(), Duration::from_micros(150));
+        let id = server.export(counter());
+        let value = Loopback::invoke(&*server, id, "hit", vec![]).unwrap();
+        assert_eq!(value, Value::I64(1));
+        assert_eq!(server.loopback_calls(), 1);
+        assert_eq!(clock.elapsed(), Duration::from_micros(150));
+    }
+
+    #[test]
+    fn bind_convenience_exports_and_binds() {
+        let server = RmiServer::new();
+        let id = server.bind("svc", counter()).unwrap();
+        assert_eq!(server.registry().lookup("svc").unwrap(), id);
+        assert!(server.bind("svc", counter()).is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! The export table: object ids ↔ live remote objects.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use brmi_wire::ObjectId;
+use parking_lot::RwLock;
+
+use crate::object::RemoteObject;
+
+/// Maps exported [`ObjectId`]s to live objects.
+///
+/// Ids are never reused within one table, so a stale reference can only miss,
+/// never alias a different object. Id `0` is reserved for the registry and is
+/// installed by the server, not by [`ObjectTable::export`].
+#[derive(Debug)]
+pub struct ObjectTable {
+    next_id: AtomicU64,
+    objects: RwLock<HashMap<u64, Arc<dyn RemoteObject>>>,
+}
+
+impl std::fmt::Debug for dyn RemoteObject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RemoteObject({})", self.interface_name())
+    }
+}
+
+impl Default for ObjectTable {
+    fn default() -> Self {
+        ObjectTable {
+            next_id: AtomicU64::new(1),
+            objects: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl ObjectTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ObjectTable::default()
+    }
+
+    /// Exports `object` under a fresh id.
+    ///
+    /// Exporting the same object twice yields two ids, as in Java RMI —
+    /// export-level deduplication is exactly what RMI does *not* do for
+    /// stubs crossing the wire, and the resulting cost is part of what the
+    /// paper measures.
+    pub fn export(&self, object: Arc<dyn RemoteObject>) -> ObjectId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.objects.write().insert(id, object);
+        ObjectId(id)
+    }
+
+    /// Installs an object at a specific id, replacing any previous occupant.
+    /// Used by the server to place the registry at [`ObjectId::REGISTRY`].
+    pub fn install(&self, id: ObjectId, object: Arc<dyn RemoteObject>) {
+        self.objects.write().insert(id.0, object);
+    }
+
+    /// Looks up a live object.
+    pub fn get(&self, id: ObjectId) -> Option<Arc<dyn RemoteObject>> {
+        self.objects.read().get(&id.0).cloned()
+    }
+
+    /// Removes an object from the table. Returns true when it was present.
+    pub fn unexport(&self, id: ObjectId) -> bool {
+        self.objects.write().remove(&id.0).is_some()
+    }
+
+    /// Number of exported objects (including the registry once installed).
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// True when nothing is exported.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{no_such_method, CallCtx, InArg, OutValue};
+    use brmi_wire::RemoteError;
+    use std::any::Any;
+
+    struct Dummy(&'static str);
+
+    impl RemoteObject for Dummy {
+        fn interface_name(&self) -> &'static str {
+            self.0
+        }
+
+        fn invoke(
+            &self,
+            method: &str,
+            _args: Vec<InArg>,
+            _ctx: &CallCtx,
+        ) -> Result<OutValue, RemoteError> {
+            Err(no_such_method(self.0, method))
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn export_assigns_distinct_increasing_ids() {
+        let table = ObjectTable::new();
+        let a = table.export(Arc::new(Dummy("a")));
+        let b = table.export(Arc::new(Dummy("b")));
+        assert_ne!(a, b);
+        assert!(b > a);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn get_returns_the_exported_object() {
+        let table = ObjectTable::new();
+        let obj: Arc<dyn RemoteObject> = Arc::new(Dummy("x"));
+        let id = table.export(Arc::clone(&obj));
+        let found = table.get(id).unwrap();
+        assert!(Arc::ptr_eq(&found, &obj));
+    }
+
+    #[test]
+    fn get_missing_returns_none() {
+        let table = ObjectTable::new();
+        assert!(table.get(ObjectId(999)).is_none());
+    }
+
+    #[test]
+    fn unexport_removes_and_ids_are_not_reused() {
+        let table = ObjectTable::new();
+        let id = table.export(Arc::new(Dummy("x")));
+        assert!(table.unexport(id));
+        assert!(!table.unexport(id));
+        assert!(table.get(id).is_none());
+        let next = table.export(Arc::new(Dummy("y")));
+        assert!(next > id, "ids must not be reused");
+    }
+
+    #[test]
+    fn exporting_same_object_twice_gives_two_ids() {
+        let table = ObjectTable::new();
+        let obj: Arc<dyn RemoteObject> = Arc::new(Dummy("x"));
+        let a = table.export(Arc::clone(&obj));
+        let b = table.export(obj);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn install_places_at_fixed_id() {
+        let table = ObjectTable::new();
+        table.install(ObjectId::REGISTRY, Arc::new(Dummy("registry")));
+        assert!(table.get(ObjectId::REGISTRY).is_some());
+        // A later export never collides with the registry slot.
+        let id = table.export(Arc::new(Dummy("x")));
+        assert_ne!(id, ObjectId::REGISTRY);
+    }
+
+    #[test]
+    fn empty_table_reports_empty() {
+        let table = ObjectTable::new();
+        assert!(table.is_empty());
+        table.export(Arc::new(Dummy("x")));
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn concurrent_exports_get_unique_ids() {
+        let table = Arc::new(ObjectTable::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let table = Arc::clone(&table);
+                std::thread::spawn(move || {
+                    (0..50)
+                        .map(|_| table.export(Arc::new(Dummy("t"))))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<ObjectId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total);
+    }
+}

@@ -1,0 +1,168 @@
+//! Fault injection: wraps any transport and fails requests on a plan.
+//!
+//! The paper notes that with explicit batching all network and communication
+//! errors surface at `flush` (Section 3.3); the failure-injection tests use
+//! this transport to verify exactly that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use brmi_wire::protocol::Frame;
+use brmi_wire::RemoteError;
+
+use crate::Transport;
+
+/// When a [`FaultyTransport`] should fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Never fail (control case).
+    None,
+    /// Fail every request.
+    Always,
+    /// Fail the `n`th request (1-based), succeed otherwise.
+    OnNth(u64),
+    /// Fail every `n`th request (1-based, repeating).
+    EveryNth(u64),
+    /// Fail the first `n` requests, then succeed (models a link that
+    /// recovers — useful with the `Repeat`/`Restart` exception actions).
+    FirstN(u64),
+}
+
+/// A transport decorator that injects transport errors per a [`FaultPlan`].
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    attempts: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl<T> FaultyTransport<T> {
+    /// Wraps `inner` with the given failure plan.
+    pub fn new(inner: T, plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultyTransport {
+            inner,
+            plan,
+            attempts: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        })
+    }
+
+    /// Total requests attempted through this transport.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn should_fail(&self, attempt: u64) -> bool {
+        match self.plan {
+            FaultPlan::None => false,
+            FaultPlan::Always => true,
+            FaultPlan::OnNth(n) => attempt == n,
+            FaultPlan::EveryNth(n) => n != 0 && attempt.is_multiple_of(n),
+            FaultPlan::FirstN(n) => attempt <= n,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for FaultyTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyTransport")
+            .field("plan", &self.plan)
+            .field("attempts", &self.attempts())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
+        let attempt = self.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.should_fail(attempt) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(RemoteError::transport(format!(
+                "injected fault on request {attempt}"
+            )));
+        }
+        self.inner.request(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inproc::InProcTransport;
+    use crate::RequestHandler;
+    use brmi_wire::value::Value;
+    use brmi_wire::ObjectId;
+
+    struct NullHandler;
+
+    impl RequestHandler for NullHandler {
+        fn handle(&self, _frame: Frame) -> Frame {
+            Frame::Return(Value::Null)
+        }
+    }
+
+    fn call() -> Frame {
+        Frame::Call {
+            target: ObjectId(1),
+            method: "noop".into(),
+            args: vec![],
+        }
+    }
+
+    fn transport(plan: FaultPlan) -> Arc<FaultyTransport<InProcTransport>> {
+        FaultyTransport::new(InProcTransport::new(Arc::new(NullHandler)), plan)
+    }
+
+    #[test]
+    fn none_never_fails() {
+        let t = transport(FaultPlan::None);
+        for _ in 0..10 {
+            assert!(t.request(call()).is_ok());
+        }
+        assert_eq!(t.injected(), 0);
+    }
+
+    #[test]
+    fn always_always_fails() {
+        let t = transport(FaultPlan::Always);
+        for _ in 0..3 {
+            let err = t.request(call()).unwrap_err();
+            assert_eq!(err.kind(), brmi_wire::RemoteErrorKind::Transport);
+        }
+        assert_eq!(t.injected(), 3);
+    }
+
+    #[test]
+    fn on_nth_fails_exactly_once() {
+        let t = transport(FaultPlan::OnNth(2));
+        assert!(t.request(call()).is_ok());
+        assert!(t.request(call()).is_err());
+        assert!(t.request(call()).is_ok());
+        assert_eq!(t.injected(), 1);
+    }
+
+    #[test]
+    fn every_nth_fails_periodically() {
+        let t = transport(FaultPlan::EveryNth(3));
+        let outcomes: Vec<bool> = (0..9).map(|_| t.request(call()).is_ok()).collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+    }
+
+    #[test]
+    fn first_n_recovers() {
+        let t = transport(FaultPlan::FirstN(2));
+        assert!(t.request(call()).is_err());
+        assert!(t.request(call()).is_err());
+        assert!(t.request(call()).is_ok());
+        assert_eq!(t.attempts(), 3);
+        assert_eq!(t.injected(), 2);
+    }
+}

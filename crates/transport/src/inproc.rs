@@ -1,0 +1,125 @@
+//! In-process transport: dispatches requests straight into a handler.
+//!
+//! Used by unit tests and as the inner hop of the [simulated
+//! transport](crate::sim). Frames are still round-tripped through the codec
+//! so that marshalling bugs cannot hide behind shared memory.
+
+use std::sync::Arc;
+
+use brmi_wire::codec::WireCodec;
+use brmi_wire::protocol::Frame;
+use brmi_wire::RemoteError;
+
+use crate::{RequestHandler, Transport, TransportStats};
+
+/// A transport that calls a [`RequestHandler`] in the same process.
+pub struct InProcTransport {
+    handler: Arc<dyn RequestHandler>,
+    stats: Arc<TransportStats>,
+    /// When false, frames are passed through without an encode/decode cycle
+    /// (fast path for CPU benchmarks of the layers above).
+    verify_codec: bool,
+}
+
+impl InProcTransport {
+    /// Creates a transport that encodes and decodes every frame, exactly as
+    /// a networked transport would.
+    pub fn new(handler: Arc<dyn RequestHandler>) -> Self {
+        InProcTransport {
+            handler,
+            stats: TransportStats::new(),
+            verify_codec: true,
+        }
+    }
+
+    /// Creates a transport that skips the codec round trip.
+    pub fn without_codec(handler: Arc<dyn RequestHandler>) -> Self {
+        InProcTransport {
+            handler,
+            stats: TransportStats::new(),
+            verify_codec: false,
+        }
+    }
+
+    /// Traffic counters for this transport.
+    pub fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl std::fmt::Debug for InProcTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcTransport")
+            .field("verify_codec", &self.verify_codec)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for InProcTransport {
+    fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
+        if !self.verify_codec {
+            return Ok(self.handler.handle(frame));
+        }
+        let request_bytes = frame.to_wire_bytes();
+        let decoded = Frame::from_wire_bytes(&request_bytes)?;
+        let reply = self.handler.handle(decoded);
+        let reply_bytes = reply.to_wire_bytes();
+        self.stats.record(request_bytes.len(), reply_bytes.len());
+        Ok(Frame::from_wire_bytes(&reply_bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brmi_wire::value::Value;
+    use brmi_wire::ObjectId;
+
+    /// Echoes call arguments back as a list.
+    struct EchoHandler;
+
+    impl RequestHandler for EchoHandler {
+        fn handle(&self, frame: Frame) -> Frame {
+            match frame {
+                Frame::Call { args, .. } => Frame::Return(Value::List(args)),
+                other => Frame::Error(brmi_wire::invocation::ErrorEnvelope {
+                    kind: "protocol".into(),
+                    exception: "protocol".into(),
+                    message: format!("unexpected {}", other.kind_name()),
+                }),
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_through_codec() {
+        let transport = InProcTransport::new(Arc::new(EchoHandler));
+        let reply = transport
+            .request(Frame::Call {
+                target: ObjectId(1),
+                method: "echo".into(),
+                args: vec![Value::I32(7), Value::Str("x".into())],
+            })
+            .unwrap();
+        assert_eq!(
+            reply,
+            Frame::Return(Value::List(vec![Value::I32(7), Value::Str("x".into())]))
+        );
+        assert_eq!(transport.stats().requests(), 1);
+        assert!(transport.stats().bytes_sent() > 0);
+    }
+
+    #[test]
+    fn without_codec_skips_stats() {
+        let transport = InProcTransport::without_codec(Arc::new(EchoHandler));
+        let reply = transport
+            .request(Frame::Call {
+                target: ObjectId(1),
+                method: "echo".into(),
+                args: vec![],
+            })
+            .unwrap();
+        assert_eq!(reply, Frame::Return(Value::List(vec![])));
+        assert_eq!(transport.stats().requests(), 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! # brmi-transport
+//!
+//! Pluggable transports carrying [`Frame`]s between a BRMI client and server:
+//!
+//! * [`inproc`] — direct dispatch into a server handler, for unit tests;
+//! * [`tcp`] — length-prefixed frames over real sockets, proving the
+//!   middleware works across process boundaries;
+//! * [`sim`] — the experimental testbed: real frames, simulated network cost
+//!   charged to a [virtual clock](clock::VirtualClock) according to a
+//!   [`NetworkProfile`];
+//! * [`fault`] — failure injection for testing error paths.
+//!
+//! [`Frame`]: brmi_wire::protocol::Frame
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod fault;
+pub mod inproc;
+pub mod profile;
+pub mod sim;
+pub mod tcp;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use brmi_wire::protocol::Frame;
+use brmi_wire::{RemoteError, Value};
+
+pub use clock::{Clock, SleepClock, VirtualClock};
+pub use profile::NetworkProfile;
+
+/// A synchronous request/response channel to one server.
+///
+/// RMI semantics are synchronous, so one blocking round trip per request is
+/// the right abstraction; BRMI's whole point is to need fewer of them.
+pub trait Transport: Send + Sync {
+    /// Sends a request frame and waits for the reply frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RemoteError`] of kind `Transport` when the connection
+    /// fails, or `Marshal` when frames cannot be (de)coded.
+    fn request(&self, frame: Frame) -> Result<Frame, RemoteError>;
+}
+
+impl<T: Transport + ?Sized> Transport for Arc<T> {
+    fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
+        (**self).request(frame)
+    }
+}
+
+/// The server side of a transport: turns request frames into reply frames.
+///
+/// Implemented by the RMI server; every transport ultimately feeds this.
+pub trait RequestHandler: Send + Sync {
+    /// Handles one request. Failures are reported in-band as
+    /// [`Frame::Error`], so this method itself does not fail.
+    fn handle(&self, frame: Frame) -> Frame;
+}
+
+impl<T: RequestHandler + ?Sized> RequestHandler for Arc<T> {
+    fn handle(&self, frame: Frame) -> Frame {
+        (**self).handle(frame)
+    }
+}
+
+/// Cumulative traffic counters, shared by transports that keep statistics.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    requests: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    remote_refs: AtomicU64,
+}
+
+impl TransportStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TransportStats::default())
+    }
+
+    /// Records one round trip of `sent`/`received` bytes.
+    pub fn record(&self, sent: usize, received: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(sent as u64, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(received as u64, Ordering::Relaxed);
+    }
+
+    /// Records remote references observed crossing the wire (counted by
+    /// transports that walk payloads, e.g. the simulated one).
+    pub fn record_remote_refs(&self, refs: usize) {
+        self.remote_refs.fetch_add(refs as u64, Ordering::Relaxed);
+    }
+
+    /// Number of round trips so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Total remote references marshalled so far (both directions; only
+    /// counted by payload-walking transports).
+    pub fn remote_refs(&self) -> u64 {
+        self.remote_refs.load(Ordering::Relaxed)
+    }
+
+    /// Total request bytes so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total response bytes so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+        self.remote_refs.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Counts the remote references carried by a frame, in both payload
+/// directions. The simulated network charges a per-reference marshalling
+/// cost (see [`NetworkProfile::per_remote_ref_cpu`]).
+pub fn frame_remote_refs(frame: &Frame) -> usize {
+    use brmi_wire::invocation::{Arg, SlotOutcome};
+    fn outcome_refs(outcome: &SlotOutcome) -> usize {
+        match outcome {
+            SlotOutcome::Ok(v) => v.count_remote_refs(),
+            _ => 0,
+        }
+    }
+    match frame {
+        Frame::Call { args, .. } => args.iter().map(Value::count_remote_refs).sum(),
+        Frame::Return(value) => value.count_remote_refs(),
+        Frame::Error(_) | Frame::ReleaseSession(_) | Frame::Released => 0,
+        // DGC ids identify leases, not marshalled stubs: no per-reference
+        // marshalling cost.
+        Frame::Dirty { .. } | Frame::Leased { .. } | Frame::Clean { .. } | Frame::Cleaned => 0,
+        Frame::BatchCall(req) => req
+            .calls
+            .iter()
+            .flat_map(|call| call.args.iter())
+            .map(|arg| match arg {
+                Arg::Value(v) => v.count_remote_refs(),
+                _ => 0,
+            })
+            .sum(),
+        Frame::BatchReturn(resp) => {
+            let slot_refs: usize = resp.slots.iter().map(|(_, o)| outcome_refs(o)).sum();
+            let cursor_refs: usize = resp
+                .cursors
+                .iter()
+                .flat_map(|c| c.rows.iter())
+                .flat_map(|row| row.iter())
+                .map(outcome_refs)
+                .sum();
+            slot_refs + cursor_refs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brmi_wire::invocation::{
+        Arg, BatchRequest, BatchResponse, CallSeq, CursorResult, InvocationData, PolicySpec,
+        SlotOutcome, Target,
+    };
+    use brmi_wire::ObjectId;
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let stats = TransportStats::new();
+        stats.record(10, 20);
+        stats.record(1, 2);
+        assert_eq!(stats.requests(), 2);
+        assert_eq!(stats.bytes_sent(), 11);
+        assert_eq!(stats.bytes_received(), 22);
+        stats.reset();
+        assert_eq!(stats.requests(), 0);
+        assert_eq!(stats.bytes_sent(), 0);
+    }
+
+    #[test]
+    fn call_frame_ref_count() {
+        let frame = Frame::Call {
+            target: ObjectId(1),
+            method: "m".into(),
+            args: vec![
+                Value::RemoteRef(ObjectId(2)),
+                Value::List(vec![Value::RemoteRef(ObjectId(3))]),
+                Value::I32(5),
+            ],
+        };
+        assert_eq!(frame_remote_refs(&frame), 2);
+    }
+
+    #[test]
+    fn return_frame_ref_count() {
+        assert_eq!(
+            frame_remote_refs(&Frame::Return(Value::RemoteRef(ObjectId(9)))),
+            1
+        );
+        assert_eq!(frame_remote_refs(&Frame::Return(Value::Null)), 0);
+    }
+
+    #[test]
+    fn batch_frames_ref_count() {
+        let req = Frame::BatchCall(BatchRequest {
+            session: None,
+            calls: vec![InvocationData {
+                seq: CallSeq(0),
+                target: Target::Remote(ObjectId(1)),
+                method: "m".into(),
+                args: vec![
+                    Arg::Value(Value::RemoteRef(ObjectId(4))),
+                    Arg::Result(CallSeq(0)),
+                ],
+                cursor: None,
+                opens_cursor: false,
+            }],
+            policy: PolicySpec::Abort,
+            keep_session: false,
+        });
+        assert_eq!(frame_remote_refs(&req), 1);
+
+        let resp = Frame::BatchReturn(BatchResponse {
+            session: None,
+            slots: vec![(CallSeq(0), SlotOutcome::Ok(Value::RemoteRef(ObjectId(5))))],
+            cursors: vec![CursorResult {
+                cursor_seq: CallSeq(1),
+                len: 1,
+                members: vec![CallSeq(2)],
+                rows: vec![vec![SlotOutcome::Ok(Value::RemoteRef(ObjectId(6)))]],
+            }],
+            restarts: 0,
+        });
+        assert_eq!(frame_remote_refs(&resp), 2);
+    }
+
+    #[test]
+    fn control_frames_have_no_refs() {
+        assert_eq!(frame_remote_refs(&Frame::Released), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Network profiles: the cost model of the simulated testbed.
+//!
+//! The paper evaluates on two physical configurations (Section 5.2):
+//!
+//! 1. LAN — two workstations on a dedicated 1 Gbps, 1 ms-latency network;
+//! 2. wireless — two laptops on a 54 Mbps 802.11g network. (The paper prints
+//!    the latency as "252ms"; the reported per-call times of ~2.4 ms/call in
+//!    Figures 6/8 imply this is a typo for ≈2.52 ms RTT, which is also the
+//!    realistic 802.11g range. We use 2.52 ms.)
+//!
+//! A [`NetworkProfile`] charges each request/response pair:
+//!
+//! * one round-trip time (RTT) of latency;
+//! * transmission time, `bytes × 8 / bandwidth`, for both frames;
+//! * a fixed per-call middleware processing cost;
+//! * a per-byte marshalling cost; and
+//! * a per-remote-reference cost for every [`Value::RemoteRef`] crossing the
+//!   wire, modelling RMI's stub export/creation/serialization overhead.
+//!   This term is what makes BRMI beat RMI *even for unbatched calls that
+//!   return remote objects* (paper Figure 9): batched execution keeps remote
+//!   results server-side, so its responses carry no references.
+//!
+//! [`Value::RemoteRef`]: brmi_wire::value::Value::RemoteRef
+
+use std::time::Duration;
+
+/// Cost parameters of one network configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable name used in benchmark output.
+    pub name: String,
+    /// Round-trip latency charged once per request/response pair.
+    pub rtt: Duration,
+    /// Link bandwidth in bytes per second (applied to both directions).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed middleware processing cost per call (dispatch, framing).
+    pub per_call_cpu: Duration,
+    /// Marshalling cost per payload byte (serialize + deserialize).
+    pub per_byte_cpu: Duration,
+    /// Stub marshalling cost per remote reference crossing the wire.
+    pub per_remote_ref_cpu: Duration,
+    /// Cost of one same-host loopback RMI call (a server calling back into
+    /// itself through the middleware, as happens when a client passes a
+    /// server object's stub back to the server — paper Section 4.4).
+    pub loopback_call_cpu: Duration,
+}
+
+impl NetworkProfile {
+    /// The paper's LAN configuration: 1 Gbps, 1 ms RTT.
+    pub fn lan_1gbps() -> Self {
+        NetworkProfile {
+            name: "lan-1gbps".to_owned(),
+            rtt: Duration::from_micros(1000),
+            bandwidth_bytes_per_sec: 1.0e9 / 8.0,
+            per_call_cpu: Duration::from_micros(60),
+            per_byte_cpu: Duration::from_nanos(2),
+            per_remote_ref_cpu: Duration::from_micros(350),
+            loopback_call_cpu: Duration::from_micros(150),
+        }
+    }
+
+    /// The paper's wireless configuration: 54 Mbps 802.11g, ≈2.52 ms RTT.
+    pub fn wireless_54mbps() -> Self {
+        NetworkProfile {
+            name: "wireless-54mbps".to_owned(),
+            rtt: Duration::from_micros(2520),
+            bandwidth_bytes_per_sec: 54.0e6 / 8.0,
+            // The laptops in the paper are slower than the workstations;
+            // scale CPU costs up accordingly.
+            per_call_cpu: Duration::from_micros(110),
+            per_byte_cpu: Duration::from_nanos(4),
+            per_remote_ref_cpu: Duration::from_micros(650),
+            loopback_call_cpu: Duration::from_micros(280),
+        }
+    }
+
+    /// A zero-cost profile: useful for tests that only check behaviour.
+    pub fn zero() -> Self {
+        NetworkProfile {
+            name: "zero".to_owned(),
+            rtt: Duration::ZERO,
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            per_call_cpu: Duration::ZERO,
+            per_byte_cpu: Duration::ZERO,
+            per_remote_ref_cpu: Duration::ZERO,
+            loopback_call_cpu: Duration::ZERO,
+        }
+    }
+
+    /// Total simulated cost of one request/response pair.
+    ///
+    /// `remote_refs` counts the remote references in both frames.
+    pub fn call_cost(&self, request_bytes: usize, response_bytes: usize, remote_refs: usize) -> Duration {
+        let bytes = (request_bytes + response_bytes) as f64;
+        let transmission = if self.bandwidth_bytes_per_sec.is_finite() {
+            Duration::from_secs_f64(bytes / self.bandwidth_bytes_per_sec)
+        } else {
+            Duration::ZERO
+        };
+        self.rtt
+            + transmission
+            + self.per_call_cpu
+            + mul_duration(self.per_byte_cpu, bytes)
+            + mul_duration(self.per_remote_ref_cpu, remote_refs as f64)
+    }
+}
+
+fn mul_duration(d: Duration, factor: f64) -> Duration {
+    Duration::from_secs_f64(d.as_secs_f64() * factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_profile_costs_nothing() {
+        let p = NetworkProfile::zero();
+        assert_eq!(p.call_cost(10_000, 10_000, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn lan_cost_is_dominated_by_rtt_for_small_frames() {
+        let p = NetworkProfile::lan_1gbps();
+        let cost = p.call_cost(64, 64, 0);
+        assert!(cost >= p.rtt);
+        assert!(cost < p.rtt + Duration::from_micros(200), "cost {cost:?}");
+    }
+
+    #[test]
+    fn bandwidth_term_grows_with_bytes() {
+        let p = NetworkProfile::wireless_54mbps();
+        let small = p.call_cost(100, 100, 0);
+        let large = p.call_cost(100, 100_000, 0);
+        // 100 KB at 54 Mbps is ≈14.8 ms of transmission.
+        assert!(large > small + Duration::from_millis(10));
+    }
+
+    #[test]
+    fn remote_refs_add_marshalling_cost() {
+        let p = NetworkProfile::lan_1gbps();
+        let without = p.call_cost(100, 100, 0);
+        let with = p.call_cost(100, 100, 2);
+        assert_eq!(with - without, 2 * p.per_remote_ref_cpu);
+    }
+
+    #[test]
+    fn wireless_is_slower_than_lan() {
+        let lan = NetworkProfile::lan_1gbps();
+        let wireless = NetworkProfile::wireless_54mbps();
+        assert!(wireless.call_cost(200, 200, 1) > lan.call_cost(200, 200, 1));
+    }
+
+    #[test]
+    fn profiles_have_distinct_names() {
+        assert_ne!(
+            NetworkProfile::lan_1gbps().name,
+            NetworkProfile::wireless_54mbps().name
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests of the simulated-network cost model: monotonicity and
+//! additivity — a mis-specified cost model would silently corrupt every
+//! figure, so its algebra is pinned down here.
+
+use std::time::Duration;
+
+use brmi_transport::NetworkProfile;
+use proptest::prelude::*;
+
+fn profiles() -> Vec<NetworkProfile> {
+    vec![
+        NetworkProfile::lan_1gbps(),
+        NetworkProfile::wireless_54mbps(),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cost_is_monotonic_in_bytes(
+        req in 0usize..200_000,
+        resp in 0usize..200_000,
+        extra in 0usize..100_000,
+        refs in 0usize..16,
+    ) {
+        for profile in profiles() {
+            let base = profile.call_cost(req, resp, refs);
+            prop_assert!(profile.call_cost(req + extra, resp, refs) >= base);
+            prop_assert!(profile.call_cost(req, resp + extra, refs) >= base);
+        }
+    }
+
+    #[test]
+    fn cost_is_monotonic_in_refs(
+        req in 0usize..10_000,
+        resp in 0usize..10_000,
+        refs in 0usize..16,
+    ) {
+        for profile in profiles() {
+            let base = profile.call_cost(req, resp, refs);
+            prop_assert!(profile.call_cost(req, resp, refs + 1) > base);
+        }
+    }
+
+    #[test]
+    fn every_call_costs_at_least_one_rtt(
+        req in 0usize..10_000,
+        resp in 0usize..10_000,
+        refs in 0usize..8,
+    ) {
+        for profile in profiles() {
+            prop_assert!(profile.call_cost(req, resp, refs) >= profile.rtt);
+        }
+    }
+
+    #[test]
+    fn ref_cost_is_exactly_linear(
+        req in 0usize..10_000,
+        refs in 0usize..8,
+    ) {
+        for profile in profiles() {
+            let without = profile.call_cost(req, req, 0);
+            let with = profile.call_cost(req, req, refs);
+            let expected = profile.per_remote_ref_cpu.as_secs_f64() * refs as f64;
+            let actual = (with - without).as_secs_f64();
+            prop_assert!((actual - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batching_never_loses_under_the_model(
+        n in 1usize..32,
+        per_call_bytes in 16usize..512,
+    ) {
+        // n separate calls always cost at least one combined call carrying
+        // the same payload: the model can never make batching a loss
+        // (processing overheads aside, which are byte-proportional here).
+        for profile in profiles() {
+            let separate: Duration = (0..n)
+                .map(|_| profile.call_cost(per_call_bytes, per_call_bytes, 0))
+                .sum();
+            let batched =
+                profile.call_cost(per_call_bytes * n, per_call_bytes * n, 0);
+            let slack = Duration::from_nanos(1);
+            prop_assert!(
+                batched <= separate.mul_f64(1.0) + slack || n == 1,
+                "batched {batched:?} vs separate {separate:?} at n={n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,641 @@
+//! Binary encoding of the wire data model.
+//!
+//! The codec is hand-rolled because it is itself a measured artifact: the
+//! benchmarks charge network time proportional to the bytes this module
+//! produces, so the encoding must be compact and deterministic.
+//!
+//! Layout conventions:
+//!
+//! * integers — LEB128 varints, zig-zag encoded when signed;
+//! * strings / byte blobs — varint length prefix, then raw bytes;
+//! * compound values — a one-byte tag, then fields in order.
+
+use crate::error::WireError;
+
+/// Upper bound on any declared length, to stop hostile frames from causing
+/// huge allocations.
+pub const MAX_LENGTH: u64 = 64 * 1024 * 1024;
+
+/// How the codec writes integers (lengths, ids, signed values).
+///
+/// The default is LEB128 varints. The fixed-width mode exists for the
+/// codec ablation (DESIGN.md §5): Java serialization writes fixed-width
+/// ints, and the ablation measures what that costs in bytes — and hence
+/// transmission time — on the paper's workloads. Both ends of a
+/// connection must agree on the width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntWidth {
+    /// LEB128 varints, zig-zag for signed values (the wire default).
+    #[default]
+    Varint,
+    /// Every integer as 8 little-endian bytes (Java-serialization-like).
+    Fixed8,
+}
+
+/// An append-only encoder over a byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+    width: IntWidth,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Creates an empty encoder writing integers at the given width.
+    pub fn with_width(width: IntWidth) -> Self {
+        Encoder {
+            buf: Vec::new(),
+            width,
+        }
+    }
+
+    /// Consumes the encoder and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns true when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single raw byte.
+    pub fn put_u8(&mut self, byte: u8) {
+        self.buf.push(byte);
+    }
+
+    /// Writes an unsigned integer at the encoder's [`IntWidth`]
+    /// (LEB128 varint by default).
+    pub fn put_varint(&mut self, mut n: u64) {
+        match self.width {
+            IntWidth::Varint => loop {
+                let low = (n & 0x7f) as u8;
+                n >>= 7;
+                if n == 0 {
+                    self.buf.push(low);
+                    return;
+                }
+                self.buf.push(low | 0x80);
+            },
+            IntWidth::Fixed8 => self.buf.extend_from_slice(&n.to_le_bytes()),
+        }
+    }
+
+    /// Writes a signed integer (zig-zag + LEB128 by default, raw 8 bytes
+    /// in fixed-width mode).
+    pub fn put_signed(&mut self, n: i64) {
+        match self.width {
+            IntWidth::Varint => self.put_varint(zigzag_encode(n)),
+            IntWidth::Fixed8 => self.buf.extend_from_slice(&n.to_le_bytes()),
+        }
+    }
+
+    /// Writes an `f64` as its 8 IEEE-754 bytes, little-endian.
+    pub fn put_f64(&mut self, x: f64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Writes a boolean as one byte.
+    pub fn put_bool(&mut self, b: bool) {
+        self.buf.push(u8::from(b));
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_varint(bytes.len() as u64);
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// A cursor-style decoder over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+    width: IntWidth,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder reading from `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Decoder {
+            input,
+            pos: 0,
+            width: IntWidth::Varint,
+        }
+    }
+
+    /// Creates a decoder reading integers at the given width.
+    pub fn with_width(input: &'a [u8], width: IntWidth) -> Self {
+        Decoder {
+            input,
+            pos: 0,
+            width,
+        }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Fails with [`WireError::TrailingBytes`] unless all input is consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+
+    /// Reads one raw byte.
+    pub fn take_u8(&mut self, context: &'static str) -> Result<u8, WireError> {
+        let byte = *self
+            .input
+            .get(self.pos)
+            .ok_or(WireError::UnexpectedEof { context })?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    /// Reads an unsigned integer at the decoder's [`IntWidth`].
+    pub fn take_varint(&mut self, context: &'static str) -> Result<u64, WireError> {
+        match self.width {
+            IntWidth::Varint => {
+                let mut result: u64 = 0;
+                let mut shift = 0u32;
+                loop {
+                    let byte = self.take_u8(context)?;
+                    if shift >= 64 {
+                        return Err(WireError::VarintOverflow);
+                    }
+                    let low = u64::from(byte & 0x7f);
+                    if shift == 63 && low > 1 {
+                        return Err(WireError::VarintOverflow);
+                    }
+                    result |= low << shift;
+                    if byte & 0x80 == 0 {
+                        return Ok(result);
+                    }
+                    shift += 7;
+                }
+            }
+            IntWidth::Fixed8 => {
+                if self.remaining() < 8 {
+                    return Err(WireError::UnexpectedEof { context });
+                }
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&self.input[self.pos..self.pos + 8]);
+                self.pos += 8;
+                Ok(u64::from_le_bytes(raw))
+            }
+        }
+    }
+
+    /// Reads a signed integer at the decoder's [`IntWidth`].
+    pub fn take_signed(&mut self, context: &'static str) -> Result<i64, WireError> {
+        match self.width {
+            IntWidth::Varint => Ok(zigzag_decode(self.take_varint(context)?)),
+            IntWidth::Fixed8 => {
+                if self.remaining() < 8 {
+                    return Err(WireError::UnexpectedEof { context });
+                }
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(&self.input[self.pos..self.pos + 8]);
+                self.pos += 8;
+                Ok(i64::from_le_bytes(raw))
+            }
+        }
+    }
+
+    /// Reads an `f64` from 8 little-endian bytes.
+    pub fn take_f64(&mut self, context: &'static str) -> Result<f64, WireError> {
+        if self.remaining() < 8 {
+            return Err(WireError::UnexpectedEof { context });
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.input[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_le_bytes(raw))
+    }
+
+    /// Reads a boolean byte; any nonzero value is `true`.
+    pub fn take_bool(&mut self, context: &'static str) -> Result<bool, WireError> {
+        Ok(self.take_u8(context)? != 0)
+    }
+
+    /// Reads a length-prefixed byte slice.
+    pub fn take_bytes(&mut self, context: &'static str) -> Result<Vec<u8>, WireError> {
+        let len = self.take_length(context)?;
+        if self.remaining() < len {
+            return Err(WireError::UnexpectedEof { context });
+        }
+        let bytes = self.input[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(bytes)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self, context: &'static str) -> Result<String, WireError> {
+        String::from_utf8(self.take_bytes(context)?).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads a varint length, enforcing [`MAX_LENGTH`].
+    pub fn take_length(&mut self, context: &'static str) -> Result<usize, WireError> {
+        let declared = self.take_varint(context)?;
+        if declared > MAX_LENGTH {
+            return Err(WireError::LengthLimitExceeded {
+                declared,
+                limit: MAX_LENGTH,
+            });
+        }
+        Ok(declared as usize)
+    }
+}
+
+fn zigzag_encode(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+fn zigzag_decode(n: u64) -> i64 {
+    ((n >> 1) as i64) ^ -((n & 1) as i64)
+}
+
+/// Anything that can write itself to an [`Encoder`] and read itself back.
+pub trait WireCodec: Sized {
+    /// Appends the wire form of `self` to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Reads one item from `dec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the input is truncated or malformed.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError>;
+
+    /// Encodes `self` into a fresh byte vector.
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Decodes exactly one item from `bytes`, rejecting trailing garbage.
+    fn from_wire_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut dec = Decoder::new(bytes);
+        let item = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(item)
+    }
+
+    /// Encodes `self` with the given integer width (codec ablation).
+    fn to_wire_bytes_with(&self, width: IntWidth) -> Vec<u8> {
+        let mut enc = Encoder::with_width(width);
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Decodes one item written with the given integer width.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the input is truncated, malformed, or
+    /// was written at a different width.
+    fn from_wire_bytes_with(bytes: &[u8], width: IntWidth) -> Result<Self, WireError> {
+        let mut dec = Decoder::with_width(bytes, width);
+        let item = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(item)
+    }
+}
+
+mod value_codec {
+    use super::*;
+    use crate::value::{ObjectId, Value};
+
+    // Tag bytes for Value variants. Stable wire contract; do not reorder.
+    const TAG_NULL: u8 = 0;
+    const TAG_BOOL: u8 = 1;
+    const TAG_I32: u8 = 2;
+    const TAG_I64: u8 = 3;
+    const TAG_F64: u8 = 4;
+    const TAG_STR: u8 = 5;
+    const TAG_BYTES: u8 = 6;
+    const TAG_DATE: u8 = 7;
+    const TAG_LIST: u8 = 8;
+    const TAG_RECORD: u8 = 9;
+    const TAG_REMOTE: u8 = 10;
+
+    impl WireCodec for Value {
+        fn encode(&self, enc: &mut Encoder) {
+            match self {
+                Value::Null => enc.put_u8(TAG_NULL),
+                Value::Bool(b) => {
+                    enc.put_u8(TAG_BOOL);
+                    enc.put_bool(*b);
+                }
+                Value::I32(n) => {
+                    enc.put_u8(TAG_I32);
+                    enc.put_signed(i64::from(*n));
+                }
+                Value::I64(n) => {
+                    enc.put_u8(TAG_I64);
+                    enc.put_signed(*n);
+                }
+                Value::F64(x) => {
+                    enc.put_u8(TAG_F64);
+                    enc.put_f64(*x);
+                }
+                Value::Str(s) => {
+                    enc.put_u8(TAG_STR);
+                    enc.put_str(s);
+                }
+                Value::Bytes(b) => {
+                    enc.put_u8(TAG_BYTES);
+                    enc.put_bytes(b);
+                }
+                Value::Date(ms) => {
+                    enc.put_u8(TAG_DATE);
+                    enc.put_signed(*ms);
+                }
+                Value::List(items) => {
+                    enc.put_u8(TAG_LIST);
+                    enc.put_varint(items.len() as u64);
+                    for item in items {
+                        item.encode(enc);
+                    }
+                }
+                Value::Record(fields) => {
+                    enc.put_u8(TAG_RECORD);
+                    enc.put_varint(fields.len() as u64);
+                    for (name, value) in fields {
+                        enc.put_str(name);
+                        value.encode(enc);
+                    }
+                }
+                Value::RemoteRef(id) => {
+                    enc.put_u8(TAG_REMOTE);
+                    enc.put_varint(id.0);
+                }
+            }
+        }
+
+        fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+            const CTX: &str = "value";
+            let tag = dec.take_u8(CTX)?;
+            Ok(match tag {
+                TAG_NULL => Value::Null,
+                TAG_BOOL => Value::Bool(dec.take_bool(CTX)?),
+                TAG_I32 => {
+                    let wide = dec.take_signed(CTX)?;
+                    Value::I32(i32::try_from(wide).map_err(|_| WireError::VarintOverflow)?)
+                }
+                TAG_I64 => Value::I64(dec.take_signed(CTX)?),
+                TAG_F64 => Value::F64(dec.take_f64(CTX)?),
+                TAG_STR => Value::Str(dec.take_str(CTX)?),
+                TAG_BYTES => Value::Bytes(dec.take_bytes(CTX)?),
+                TAG_DATE => Value::Date(dec.take_signed(CTX)?),
+                TAG_LIST => {
+                    let count = dec.take_length(CTX)?;
+                    let mut items = Vec::with_capacity(count.min(1024));
+                    for _ in 0..count {
+                        items.push(Value::decode(dec)?);
+                    }
+                    Value::List(items)
+                }
+                TAG_RECORD => {
+                    let count = dec.take_length(CTX)?;
+                    let mut fields = Vec::with_capacity(count.min(1024));
+                    for _ in 0..count {
+                        let name = dec.take_str(CTX)?;
+                        let value = Value::decode(dec)?;
+                        fields.push((name, value));
+                    }
+                    Value::Record(fields)
+                }
+                TAG_REMOTE => Value::RemoteRef(ObjectId(dec.take_varint(CTX)?)),
+                other => {
+                    return Err(WireError::UnknownTag {
+                        context: CTX,
+                        tag: other,
+                    })
+                }
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ObjectId, Value};
+
+    fn round_trip(v: &Value) -> Value {
+        Value::from_wire_bytes(&v.to_wire_bytes()).expect("round trip")
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        let cases = [0u64, 1, 127, 128, 16383, 16384, u64::MAX - 1, u64::MAX];
+        for n in cases {
+            let mut enc = Encoder::new();
+            enc.put_varint(n);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(dec.take_varint("test").unwrap(), n);
+            dec.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn signed_boundaries() {
+        let cases = [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -54321];
+        for n in cases {
+            let mut enc = Encoder::new();
+            enc.put_signed(n);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            assert_eq!(dec.take_signed("test").unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn small_ints_are_one_byte() {
+        let mut enc = Encoder::new();
+        enc.put_signed(5);
+        assert_eq!(enc.len(), 1, "small ints should be compact");
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // Eleven continuation bytes exceed 64 bits of payload.
+        let bytes = [0xffu8; 11];
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(
+            dec.take_varint("test").unwrap_err(),
+            WireError::VarintOverflow
+        );
+    }
+
+    #[test]
+    fn value_round_trips() {
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::I32(-7),
+            Value::I32(i32::MAX),
+            Value::I32(i32::MIN),
+            Value::I64(i64::MIN),
+            Value::F64(std::f64::consts::PI),
+            Value::F64(-0.0),
+            Value::Str("héllo wörld".into()),
+            Value::Str(String::new()),
+            Value::Bytes(vec![0, 255, 127]),
+            Value::Date(1_700_000_000_000),
+            Value::List(vec![Value::I32(1), Value::Str("x".into()), Value::Null]),
+            Value::Record(vec![
+                ("name".into(), Value::Str("index.html".into())),
+                ("size".into(), Value::I64(1024)),
+            ]),
+            Value::RemoteRef(ObjectId(42)),
+        ];
+        for v in &values {
+            assert_eq!(&round_trip(v), v);
+        }
+    }
+
+    #[test]
+    fn nested_value_round_trips() {
+        let v = Value::List(vec![Value::Record(vec![(
+            "files".into(),
+            Value::List(vec![
+                Value::RemoteRef(ObjectId(1)),
+                Value::RemoteRef(ObjectId(2)),
+            ]),
+        )])]);
+        assert_eq!(round_trip(&v), v);
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let bytes = Value::Str("hello".into()).to_wire_bytes();
+        let err = Value::from_wire_bytes(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(err, WireError::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let err = Value::from_wire_bytes(&[200]).unwrap_err();
+        assert!(matches!(err, WireError::UnknownTag { tag: 200, .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Value::Null.to_wire_bytes();
+        bytes.push(9);
+        let err = Value::from_wire_bytes(&bytes).unwrap_err();
+        assert_eq!(err, WireError::TrailingBytes { remaining: 1 });
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        // TAG_LIST with a declared length beyond MAX_LENGTH.
+        let mut enc = Encoder::new();
+        enc.put_u8(8);
+        enc.put_varint(MAX_LENGTH + 1);
+        let err = Value::from_wire_bytes(&enc.into_bytes()).unwrap_err();
+        assert!(matches!(err, WireError::LengthLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn non_utf8_string_is_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u8(5); // TAG_STR
+        enc.put_bytes(&[0xff, 0xfe]);
+        let err = Value::from_wire_bytes(&enc.into_bytes()).unwrap_err();
+        assert_eq!(err, WireError::InvalidUtf8);
+    }
+
+    #[test]
+    fn i32_wire_value_out_of_range_rejected() {
+        // Hand-craft TAG_I32 carrying an i64-sized payload.
+        let mut enc = Encoder::new();
+        enc.put_u8(2); // TAG_I32
+        enc.put_signed(i64::from(i32::MAX) + 1);
+        let err = Value::from_wire_bytes(&enc.into_bytes()).unwrap_err();
+        assert_eq!(err, WireError::VarintOverflow);
+    }
+
+    #[test]
+    fn fixed_width_round_trips_all_boundaries() {
+        for n in [0u64, 1, 127, 128, u64::MAX] {
+            let mut enc = Encoder::with_width(IntWidth::Fixed8);
+            enc.put_varint(n);
+            let bytes = enc.into_bytes();
+            assert_eq!(bytes.len(), 8);
+            let mut dec = Decoder::with_width(&bytes, IntWidth::Fixed8);
+            assert_eq!(dec.take_varint("test").unwrap(), n);
+            dec.finish().unwrap();
+        }
+        for n in [0i64, -1, i64::MIN, i64::MAX] {
+            let mut enc = Encoder::with_width(IntWidth::Fixed8);
+            enc.put_signed(n);
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::with_width(&bytes, IntWidth::Fixed8);
+            assert_eq!(dec.take_signed("test").unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn fixed_width_values_round_trip_and_are_larger() {
+        let v = Value::List(vec![
+            Value::I32(1),
+            Value::I64(2),
+            Value::Str("abc".into()),
+            Value::RemoteRef(ObjectId(3)),
+        ]);
+        let fixed = v.to_wire_bytes_with(IntWidth::Fixed8);
+        assert_eq!(
+            Value::from_wire_bytes_with(&fixed, IntWidth::Fixed8).unwrap(),
+            v
+        );
+        assert!(
+            fixed.len() > v.to_wire_bytes().len(),
+            "fixed-width ints cost more bytes for small values"
+        );
+    }
+
+    #[test]
+    fn truncated_fixed_width_is_eof() {
+        let mut dec = Decoder::with_width(&[1, 2, 3], IntWidth::Fixed8);
+        assert!(matches!(
+            dec.take_varint("test").unwrap_err(),
+            WireError::UnexpectedEof { .. }
+        ));
+    }
+
+    #[test]
+    fn encoder_len_tracks_writes() {
+        let mut enc = Encoder::new();
+        assert!(enc.is_empty());
+        enc.put_str("abc");
+        assert_eq!(enc.len(), 4); // 1 length byte + 3 payload bytes
+    }
+}

@@ -1,0 +1,38 @@
+//! # brmi-wire
+//!
+//! Wire-level foundation of the BRMI middleware: the [`Value`] data model,
+//! a compact binary [codec], batch [invocation descriptors](invocation)
+//! and the request/response [protocol frames](protocol).
+//!
+//! This crate is the Rust analogue of the serialization layer that Java RMI
+//! gets for free from the JVM. It is deliberately dependency-light because
+//! the bytes it produces are a measured quantity in the paper's experiments:
+//! the simulated network charges transmission time proportional to encoded
+//! frame size.
+//!
+//! ## Example
+//!
+//! ```
+//! use brmi_wire::codec::WireCodec;
+//! use brmi_wire::value::{ObjectId, Value};
+//!
+//! let value = Value::List(vec![
+//!     Value::Str("index.html".into()),
+//!     Value::RemoteRef(ObjectId(7)),
+//! ]);
+//! let bytes = value.to_wire_bytes();
+//! assert_eq!(Value::from_wire_bytes(&bytes).unwrap(), value);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod invocation;
+pub mod protocol;
+pub mod value;
+
+pub use codec::WireCodec;
+pub use error::{RemoteError, RemoteErrorKind, WireError};
+pub use value::{DateMillis, FromValue, ObjectId, ToValue, Value};

@@ -1,0 +1,379 @@
+//! Request/response frames exchanged between client and server.
+//!
+//! Every transport carries exactly these frames. Registry operations are
+//! ordinary [`Frame::Call`]s on the well-known registry object
+//! ([`ObjectId::REGISTRY`]), mirroring how the RMI registry is itself a
+//! remote object.
+
+use crate::codec::{Decoder, Encoder, WireCodec};
+use crate::error::WireError;
+use crate::invocation::{BatchRequest, BatchResponse, ErrorEnvelope, SessionId};
+use crate::value::{ObjectId, Value};
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Invoke `method` on the exported object `target` with `args`
+    /// (a plain RMI call: one round trip per invocation).
+    Call {
+        /// The exported receiver.
+        target: ObjectId,
+        /// Method name.
+        method: String,
+        /// Arguments, marshalled by copy or as remote references.
+        args: Vec<Value>,
+    },
+    /// Successful reply to a [`Frame::Call`].
+    Return(Value),
+    /// Failed reply to any request frame.
+    Error(ErrorEnvelope),
+    /// Execute a recorded batch (the BRMI `invoke_batch` entry point).
+    BatchCall(BatchRequest),
+    /// Reply to a [`Frame::BatchCall`].
+    BatchReturn(BatchResponse),
+    /// Discard a chained-batch session and the objects it pinned.
+    ReleaseSession(SessionId),
+    /// Acknowledgement of a [`Frame::ReleaseSession`].
+    Released,
+    /// Distributed-GC lease request (Java RMI's `DGC.dirty`): the client
+    /// still holds references to `ids` and asks for their leases to be
+    /// (re)granted for `lease_millis`.
+    Dirty {
+        /// The referenced exported objects.
+        ids: Vec<ObjectId>,
+        /// Requested lease duration in milliseconds.
+        lease_millis: u64,
+    },
+    /// Reply to [`Frame::Dirty`]: the duration actually granted.
+    Leased {
+        /// Granted lease duration in milliseconds (the server may clamp
+        /// the request).
+        lease_millis: u64,
+    },
+    /// Distributed-GC release (Java RMI's `DGC.clean`): the client
+    /// dropped its references to `ids`.
+    Clean {
+        /// The no-longer-referenced exported objects.
+        ids: Vec<ObjectId>,
+    },
+    /// Acknowledgement of a [`Frame::Clean`].
+    Cleaned,
+}
+
+impl Frame {
+    /// A short name for logging and errors.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Frame::Call { .. } => "call",
+            Frame::Return(_) => "return",
+            Frame::Error(_) => "error",
+            Frame::BatchCall(_) => "batch-call",
+            Frame::BatchReturn(_) => "batch-return",
+            Frame::ReleaseSession(_) => "release-session",
+            Frame::Released => "released",
+            Frame::Dirty { .. } => "dirty",
+            Frame::Leased { .. } => "leased",
+            Frame::Clean { .. } => "clean",
+            Frame::Cleaned => "cleaned",
+        }
+    }
+
+    /// True for frames a client sends; false for reply frames.
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Frame::Call { .. }
+                | Frame::BatchCall(_)
+                | Frame::ReleaseSession(_)
+                | Frame::Dirty { .. }
+                | Frame::Clean { .. }
+        )
+    }
+}
+
+const CTX: &str = "frame";
+
+const TAG_CALL: u8 = 0;
+const TAG_RETURN: u8 = 1;
+const TAG_ERROR: u8 = 2;
+const TAG_BATCH_CALL: u8 = 3;
+const TAG_BATCH_RETURN: u8 = 4;
+const TAG_RELEASE: u8 = 5;
+const TAG_RELEASED: u8 = 6;
+const TAG_DIRTY: u8 = 7;
+const TAG_LEASED: u8 = 8;
+const TAG_CLEAN: u8 = 9;
+const TAG_CLEANED: u8 = 10;
+
+impl WireCodec for Frame {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Frame::Call {
+                target,
+                method,
+                args,
+            } => {
+                enc.put_u8(TAG_CALL);
+                enc.put_varint(target.0);
+                enc.put_str(method);
+                enc.put_varint(args.len() as u64);
+                for arg in args {
+                    arg.encode(enc);
+                }
+            }
+            Frame::Return(value) => {
+                enc.put_u8(TAG_RETURN);
+                value.encode(enc);
+            }
+            Frame::Error(env) => {
+                enc.put_u8(TAG_ERROR);
+                env.encode(enc);
+            }
+            Frame::BatchCall(req) => {
+                enc.put_u8(TAG_BATCH_CALL);
+                req.encode(enc);
+            }
+            Frame::BatchReturn(resp) => {
+                enc.put_u8(TAG_BATCH_RETURN);
+                resp.encode(enc);
+            }
+            Frame::ReleaseSession(SessionId(id)) => {
+                enc.put_u8(TAG_RELEASE);
+                enc.put_varint(*id);
+            }
+            Frame::Released => enc.put_u8(TAG_RELEASED),
+            Frame::Dirty { ids, lease_millis } => {
+                enc.put_u8(TAG_DIRTY);
+                enc.put_varint(ids.len() as u64);
+                for id in ids {
+                    enc.put_varint(id.0);
+                }
+                enc.put_varint(*lease_millis);
+            }
+            Frame::Leased { lease_millis } => {
+                enc.put_u8(TAG_LEASED);
+                enc.put_varint(*lease_millis);
+            }
+            Frame::Clean { ids } => {
+                enc.put_u8(TAG_CLEAN);
+                enc.put_varint(ids.len() as u64);
+                for id in ids {
+                    enc.put_varint(id.0);
+                }
+            }
+            Frame::Cleaned => enc.put_u8(TAG_CLEANED),
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match dec.take_u8(CTX)? {
+            TAG_CALL => {
+                let target = ObjectId(dec.take_varint(CTX)?);
+                let method = dec.take_str(CTX)?;
+                let count = dec.take_length(CTX)?;
+                let mut args = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    args.push(Value::decode(dec)?);
+                }
+                Ok(Frame::Call {
+                    target,
+                    method,
+                    args,
+                })
+            }
+            TAG_RETURN => Ok(Frame::Return(Value::decode(dec)?)),
+            TAG_ERROR => Ok(Frame::Error(ErrorEnvelope::decode(dec)?)),
+            TAG_BATCH_CALL => Ok(Frame::BatchCall(BatchRequest::decode(dec)?)),
+            TAG_BATCH_RETURN => Ok(Frame::BatchReturn(BatchResponse::decode(dec)?)),
+            TAG_RELEASE => Ok(Frame::ReleaseSession(SessionId(dec.take_varint(CTX)?))),
+            TAG_RELEASED => Ok(Frame::Released),
+            TAG_DIRTY => {
+                let count = dec.take_length(CTX)?;
+                let mut ids = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    ids.push(ObjectId(dec.take_varint(CTX)?));
+                }
+                let lease_millis = dec.take_varint(CTX)?;
+                Ok(Frame::Dirty { ids, lease_millis })
+            }
+            TAG_LEASED => Ok(Frame::Leased {
+                lease_millis: dec.take_varint(CTX)?,
+            }),
+            TAG_CLEAN => {
+                let count = dec.take_length(CTX)?;
+                let mut ids = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    ids.push(ObjectId(dec.take_varint(CTX)?));
+                }
+                Ok(Frame::Clean { ids })
+            }
+            TAG_CLEANED => Ok(Frame::Cleaned),
+            tag => Err(WireError::UnknownTag { context: CTX, tag }),
+        }
+    }
+}
+
+/// Well-known method names understood by the registry object.
+pub mod registry_methods {
+    /// `lookup(name) -> RemoteRef`
+    pub const LOOKUP: &str = "lookup";
+    /// `bind(name, ref) -> null`; fails if already bound.
+    pub const BIND: &str = "bind";
+    /// `rebind(name, ref) -> null`; replaces any existing binding.
+    pub const REBIND: &str = "rebind";
+    /// `unbind(name) -> null`; fails if not bound.
+    pub const UNBIND: &str = "unbind";
+    /// `list() -> List<Str>` of bound names.
+    pub const LIST: &str = "list";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invocation::PolicySpec;
+
+    fn round_trip(frame: &Frame) -> Frame {
+        Frame::from_wire_bytes(&frame.to_wire_bytes()).expect("round trip")
+    }
+
+    #[test]
+    fn call_frame_round_trips() {
+        let frame = Frame::Call {
+            target: ObjectId(5),
+            method: "get_name".into(),
+            args: vec![Value::Str("x".into()), Value::RemoteRef(ObjectId(2))],
+        };
+        assert_eq!(round_trip(&frame), frame);
+    }
+
+    #[test]
+    fn return_and_error_round_trip() {
+        let ret = Frame::Return(Value::I64(9));
+        assert_eq!(round_trip(&ret), ret);
+        let err = Frame::Error(ErrorEnvelope {
+            kind: "application".into(),
+            exception: "E".into(),
+            message: "m".into(),
+        });
+        assert_eq!(round_trip(&err), err);
+    }
+
+    #[test]
+    fn batch_frames_round_trip() {
+        let call = Frame::BatchCall(BatchRequest {
+            session: None,
+            calls: vec![],
+            policy: PolicySpec::Abort,
+            keep_session: true,
+        });
+        assert_eq!(round_trip(&call), call);
+        let ret = Frame::BatchReturn(BatchResponse::default());
+        assert_eq!(round_trip(&ret), ret);
+    }
+
+    #[test]
+    fn session_frames_round_trip() {
+        let release = Frame::ReleaseSession(SessionId(77));
+        assert_eq!(round_trip(&release), release);
+        assert_eq!(round_trip(&Frame::Released), Frame::Released);
+    }
+
+    #[test]
+    fn dgc_frames_round_trip() {
+        let dirty = Frame::Dirty {
+            ids: vec![ObjectId(3), ObjectId(9)],
+            lease_millis: 600_000,
+        };
+        assert_eq!(round_trip(&dirty), dirty);
+        let leased = Frame::Leased {
+            lease_millis: 300_000,
+        };
+        assert_eq!(round_trip(&leased), leased);
+        let clean = Frame::Clean {
+            ids: vec![ObjectId(3)],
+        };
+        assert_eq!(round_trip(&clean), clean);
+        assert_eq!(round_trip(&Frame::Cleaned), Frame::Cleaned);
+        // Empty id lists are fine too.
+        let empty = Frame::Dirty {
+            ids: vec![],
+            lease_millis: 0,
+        };
+        assert_eq!(round_trip(&empty), empty);
+    }
+
+    #[test]
+    fn dgc_request_classification() {
+        assert!(Frame::Dirty {
+            ids: vec![],
+            lease_millis: 1
+        }
+        .is_request());
+        assert!(Frame::Clean { ids: vec![] }.is_request());
+        assert!(!Frame::Leased { lease_millis: 1 }.is_request());
+        assert!(!Frame::Cleaned.is_request());
+    }
+
+    #[test]
+    fn request_classification() {
+        assert!(Frame::Call {
+            target: ObjectId(1),
+            method: "m".into(),
+            args: vec![]
+        }
+        .is_request());
+        assert!(Frame::BatchCall(BatchRequest {
+            session: None,
+            calls: vec![],
+            policy: PolicySpec::Abort,
+            keep_session: false
+        })
+        .is_request());
+        assert!(Frame::ReleaseSession(SessionId(1)).is_request());
+        assert!(!Frame::Return(Value::Null).is_request());
+        assert!(!Frame::Released.is_request());
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let frames = [
+            Frame::Call {
+                target: ObjectId(1),
+                method: "m".into(),
+                args: vec![],
+            },
+            Frame::Return(Value::Null),
+            Frame::Error(ErrorEnvelope {
+                kind: "k".into(),
+                exception: "e".into(),
+                message: "m".into(),
+            }),
+            Frame::BatchCall(BatchRequest {
+                session: None,
+                calls: vec![],
+                policy: PolicySpec::Abort,
+                keep_session: false,
+            }),
+            Frame::BatchReturn(BatchResponse::default()),
+            Frame::ReleaseSession(SessionId(0)),
+            Frame::Released,
+            Frame::Dirty {
+                ids: vec![],
+                lease_millis: 0,
+            },
+            Frame::Leased { lease_millis: 0 },
+            Frame::Clean { ids: vec![] },
+            Frame::Cleaned,
+        ];
+        let mut names: Vec<_> = frames.iter().map(Frame::kind_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), frames.len());
+    }
+
+    #[test]
+    fn garbage_frame_is_rejected() {
+        assert!(Frame::from_wire_bytes(&[99, 1, 2, 3]).is_err());
+        assert!(Frame::from_wire_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,467 @@
+//! The self-describing data model that crosses the wire.
+//!
+//! [`Value`] plays the role Java serialization plays for RMI: every method
+//! argument and return value is converted to a `Value` before transmission.
+//! Remote references travel as [`Value::RemoteRef`]; everything else is
+//! passed by copy, matching RMI's split between `Remote` and `Serializable`
+//! parameters.
+
+use std::fmt;
+
+use crate::error::{RemoteError, RemoteErrorKind};
+
+/// Identifies an exported remote object within one server.
+///
+/// Object id `0` is reserved for the server's registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl ObjectId {
+    /// The well-known id of the server-side registry object.
+    pub const REGISTRY: ObjectId = ObjectId(0);
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// A wire-transmissible value.
+///
+/// The model is deliberately small: enough to express the paper's case
+/// studies (strings, numbers, dates, byte blobs, arrays, records) plus
+/// remote references.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value; also the return "value" of `void` methods.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 32-bit signed integer.
+    I32(i32),
+    /// A 64-bit signed integer.
+    I64(i64),
+    /// A 64-bit float.
+    F64(f64),
+    /// A UTF-8 string, passed by copy.
+    Str(String),
+    /// An opaque byte blob (file contents, serialized payloads).
+    Bytes(Vec<u8>),
+    /// A timestamp in milliseconds since the Unix epoch (Java `Date`).
+    Date(i64),
+    /// An ordered list of values.
+    List(Vec<Value>),
+    /// A record: ordered field name/value pairs (a struct by copy).
+    Record(Vec<(String, Value)>),
+    /// A reference to a remote object exported by the peer.
+    RemoteRef(ObjectId),
+}
+
+impl Value {
+    /// A short name for the value's variant, used in conversion errors.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I32(_) => "i32",
+            Value::I64(_) => "i64",
+            Value::F64(_) => "f64",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+            Value::Date(_) => "date",
+            Value::List(_) => "list",
+            Value::Record(_) => "record",
+            Value::RemoteRef(_) => "remote-ref",
+        }
+    }
+
+    /// Counts the remote references contained in this value, recursively.
+    ///
+    /// The simulated network charges a per-reference marshalling cost, which
+    /// is how the reproduction models RMI's stub-creation overhead
+    /// (paper Section 5.3, Figure 9).
+    pub fn count_remote_refs(&self) -> usize {
+        match self {
+            Value::RemoteRef(_) => 1,
+            Value::List(items) => items.iter().map(Value::count_remote_refs).sum(),
+            Value::Record(fields) => fields.iter().map(|(_, v)| v.count_remote_refs()).sum(),
+            _ => 0,
+        }
+    }
+
+    /// Returns the contained record fields, or a conversion error.
+    pub fn into_record(self) -> Result<Vec<(String, Value)>, RemoteError> {
+        match self {
+            Value::Record(fields) => Ok(fields),
+            other => Err(conversion_error("record", &other)),
+        }
+    }
+
+    /// Returns the contained list items, or a conversion error.
+    pub fn into_list(self) -> Result<Vec<Value>, RemoteError> {
+        match self {
+            Value::List(items) => Ok(items),
+            other => Err(conversion_error("list", &other)),
+        }
+    }
+}
+
+fn conversion_error(expected: &str, got: &Value) -> RemoteError {
+    RemoteError::new(
+        RemoteErrorKind::BadArguments,
+        format!("expected {expected}, got {}", got.type_name()),
+    )
+}
+
+/// Conversion of a Rust type into a wire [`Value`].
+///
+/// Implemented for primitives, strings, byte vectors, `Option`, `Vec` and
+/// tuples; application "serializable" types implement it to act like Java
+/// `Serializable` classes.
+pub trait ToValue {
+    /// Converts `self` into a wire value.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion of a wire [`Value`] back into a Rust type.
+///
+/// # Errors
+///
+/// Implementations return a [`RemoteError`] of kind
+/// [`RemoteErrorKind::BadArguments`] when the value has the wrong shape.
+pub trait FromValue: Sized {
+    /// Converts a wire value into `Self`.
+    fn from_value(value: Value) -> Result<Self, RemoteError>;
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl FromValue for Value {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        Ok(value)
+    }
+}
+
+impl ToValue for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl FromValue for () {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(conversion_error("null", &other)),
+        }
+    }
+}
+
+impl ToValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl FromValue for bool {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        match value {
+            Value::Bool(b) => Ok(b),
+            other => Err(conversion_error("bool", &other)),
+        }
+    }
+}
+
+impl ToValue for i32 {
+    fn to_value(&self) -> Value {
+        Value::I32(*self)
+    }
+}
+
+impl FromValue for i32 {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        match value {
+            Value::I32(n) => Ok(n),
+            other => Err(conversion_error("i32", &other)),
+        }
+    }
+}
+
+impl ToValue for i64 {
+    fn to_value(&self) -> Value {
+        Value::I64(*self)
+    }
+}
+
+impl FromValue for i64 {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        match value {
+            Value::I64(n) => Ok(n),
+            // Widening an i32 is always safe and lets servers return the
+            // narrower type where convenient.
+            Value::I32(n) => Ok(i64::from(n)),
+            other => Err(conversion_error("i64", &other)),
+        }
+    }
+}
+
+impl ToValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl FromValue for f64 {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        match value {
+            Value::F64(x) => Ok(x),
+            other => Err(conversion_error("f64", &other)),
+        }
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl FromValue for String {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        match value {
+            Value::Str(s) => Ok(s),
+            other => Err(conversion_error("string", &other)),
+        }
+    }
+}
+
+impl ToValue for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_owned())
+    }
+}
+
+impl ToValue for Vec<u8> {
+    fn to_value(&self) -> Value {
+        Value::Bytes(self.clone())
+    }
+}
+
+impl FromValue for Vec<u8> {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        match value {
+            Value::Bytes(b) => Ok(b),
+            other => Err(conversion_error("bytes", &other)),
+        }
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::List(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: FromValue> FromValue for Vec<T> {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        value.into_list()?.into_iter().map(T::from_value).collect()
+    }
+}
+
+impl<A: ToValue, B: ToValue> ToValue for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::List(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: FromValue, B: FromValue> FromValue for (A, B) {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        let mut items = value.into_list()?;
+        if items.len() != 2 {
+            return Err(RemoteError::new(
+                RemoteErrorKind::BadArguments,
+                format!("expected 2-tuple, got {} items", items.len()),
+            ));
+        }
+        let b = B::from_value(items.pop().expect("len checked"))?;
+        let a = A::from_value(items.pop().expect("len checked"))?;
+        Ok((a, b))
+    }
+}
+
+/// A timestamp in milliseconds since the Unix epoch.
+///
+/// Mirrors `java.util.Date` in the paper's file-server example, where batch
+/// clients compare file modification dates against a cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DateMillis(pub i64);
+
+impl DateMillis {
+    /// Returns true when `self` is strictly earlier than `other`.
+    pub fn before(self, other: DateMillis) -> bool {
+        self.0 < other.0
+    }
+
+    /// Returns true when `self` is strictly later than `other`.
+    pub fn after(self, other: DateMillis) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl fmt::Display for DateMillis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl ToValue for DateMillis {
+    fn to_value(&self) -> Value {
+        Value::Date(self.0)
+    }
+}
+
+impl FromValue for DateMillis {
+    fn from_value(value: Value) -> Result<Self, RemoteError> {
+        match value {
+            Value::Date(ms) => Ok(DateMillis(ms)),
+            other => Err(conversion_error("date", &other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert!(bool::from_value(true.to_value()).unwrap());
+        assert_eq!(i32::from_value(42.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(7i64.to_value()).unwrap(), 7);
+        assert_eq!(f64::from_value(1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value("hi".to_value()).unwrap(),
+            "hi".to_owned()
+        );
+        assert_eq!(<()>::from_value(().to_value()).unwrap(), ());
+        assert_eq!(
+            Vec::<u8>::from_value(vec![1u8, 2, 3].to_value()).unwrap(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn i64_accepts_widened_i32() {
+        assert_eq!(i64::from_value(Value::I32(-5)).unwrap(), -5);
+    }
+
+    #[test]
+    fn option_round_trips() {
+        assert_eq!(Option::<i32>::from_value(Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<i32>::from_value(Some(3).to_value()).unwrap(),
+            Some(3)
+        );
+        assert_eq!(None::<i32>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn vec_round_trips() {
+        let v = vec!["a".to_owned(), "b".to_owned()];
+        assert_eq!(Vec::<String>::from_value(v.to_value()).unwrap(), v);
+    }
+
+    #[test]
+    fn tuple_round_trips() {
+        let t = (3i32, "x".to_owned());
+        assert_eq!(<(i32, String)>::from_value(t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn tuple_wrong_arity_is_rejected() {
+        let err = <(i32, String)>::from_value(Value::List(vec![Value::I32(1)])).unwrap_err();
+        assert_eq!(err.kind(), RemoteErrorKind::BadArguments);
+    }
+
+    #[test]
+    fn conversion_mismatch_reports_both_types() {
+        let err = i32::from_value(Value::Str("x".into())).unwrap_err();
+        assert!(err.message().contains("expected i32"));
+        assert!(err.message().contains("got string"));
+    }
+
+    #[test]
+    fn date_comparisons() {
+        let early = DateMillis(100);
+        let late = DateMillis(200);
+        assert!(early.before(late));
+        assert!(late.after(early));
+        assert!(!early.before(early));
+        assert_eq!(DateMillis::from_value(early.to_value()).unwrap(), early);
+    }
+
+    #[test]
+    fn count_remote_refs_recurses() {
+        let v = Value::List(vec![
+            Value::RemoteRef(ObjectId(1)),
+            Value::Record(vec![
+                ("a".into(), Value::RemoteRef(ObjectId(2))),
+                ("b".into(), Value::I32(3)),
+            ]),
+            Value::Str("x".into()),
+        ]);
+        assert_eq!(v.count_remote_refs(), 2);
+        assert_eq!(Value::Null.count_remote_refs(), 0);
+    }
+
+    #[test]
+    fn object_id_display() {
+        assert_eq!(ObjectId(7).to_string(), "obj#7");
+        assert_eq!(ObjectId::REGISTRY, ObjectId(0));
+    }
+
+    #[test]
+    fn type_names_cover_all_variants() {
+        let values = [
+            Value::Null,
+            Value::Bool(true),
+            Value::I32(1),
+            Value::I64(1),
+            Value::F64(1.0),
+            Value::Str(String::new()),
+            Value::Bytes(vec![]),
+            Value::Date(0),
+            Value::List(vec![]),
+            Value::Record(vec![]),
+            Value::RemoteRef(ObjectId(1)),
+        ];
+        let names: Vec<_> = values.iter().map(|v| v.type_name()).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "type names must be distinct");
+    }
+}

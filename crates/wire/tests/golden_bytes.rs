@@ -1,0 +1,110 @@
+//! Golden-byte tests: the wire format is a compatibility contract between
+//! clients and servers, so representative encodings are pinned to exact
+//! byte sequences. If one of these fails, the change breaks wire
+//! compatibility and needs a protocol version bump, not a test update.
+
+use brmi_wire::codec::WireCodec;
+use brmi_wire::invocation::{
+    Arg, BatchRequest, CallSeq, ErrorEnvelope, InvocationData, PolicySpec, SlotOutcome, Target,
+};
+use brmi_wire::protocol::Frame;
+use brmi_wire::{ObjectId, Value};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn golden_primitive_values() {
+    assert_eq!(hex(&Value::Null.to_wire_bytes()), "00");
+    assert_eq!(hex(&Value::Bool(true).to_wire_bytes()), "0101");
+    assert_eq!(hex(&Value::Bool(false).to_wire_bytes()), "0100");
+    // zig-zag: 5 -> 10
+    assert_eq!(hex(&Value::I32(5).to_wire_bytes()), "020a");
+    // zig-zag: -3 -> 5
+    assert_eq!(hex(&Value::I32(-3).to_wire_bytes()), "0205");
+    assert_eq!(hex(&Value::I64(1).to_wire_bytes()), "0302");
+    assert_eq!(
+        hex(&Value::F64(1.0).to_wire_bytes()),
+        "04000000000000f03f"
+    );
+    assert_eq!(hex(&Value::Str("hi".into()).to_wire_bytes()), "05026869");
+    assert_eq!(hex(&Value::Bytes(vec![0xff]).to_wire_bytes()), "0601ff");
+    assert_eq!(hex(&Value::Date(0).to_wire_bytes()), "0700");
+    assert_eq!(hex(&Value::RemoteRef(ObjectId(7)).to_wire_bytes()), "0a07");
+}
+
+#[test]
+fn golden_compound_values() {
+    let list = Value::List(vec![Value::I32(1), Value::Null]);
+    assert_eq!(hex(&list.to_wire_bytes()), "0802020200");
+    let record = Value::Record(vec![("a".into(), Value::Bool(true))]);
+    assert_eq!(hex(&record.to_wire_bytes()), "090101610101");
+}
+
+#[test]
+fn golden_varint_multibyte() {
+    // 300 zig-zag -> 600 = 0b100_1011000 -> LEB128 d8 04
+    assert_eq!(hex(&Value::I32(300).to_wire_bytes()), "02d804");
+}
+
+#[test]
+fn golden_call_frame() {
+    let frame = Frame::Call {
+        target: ObjectId(3),
+        method: "m".into(),
+        args: vec![Value::I32(1)],
+    };
+    assert_eq!(hex(&frame.to_wire_bytes()), "0003016d010202");
+}
+
+#[test]
+fn golden_return_and_error_frames() {
+    assert_eq!(hex(&Frame::Return(Value::Null).to_wire_bytes()), "0100");
+    let error = Frame::Error(ErrorEnvelope {
+        kind: "x".into(),
+        exception: "y".into(),
+        message: "z".into(),
+    });
+    assert_eq!(hex(&error.to_wire_bytes()), "0201780179017a");
+    assert_eq!(hex(&Frame::Released.to_wire_bytes()), "06");
+}
+
+#[test]
+fn golden_batch_request() {
+    let request = BatchRequest {
+        session: None,
+        calls: vec![InvocationData {
+            seq: CallSeq(0),
+            target: Target::Remote(ObjectId(1)),
+            method: "f".into(),
+            args: vec![Arg::Result(CallSeq(2))],
+            cursor: None,
+            opens_cursor: false,
+        }],
+        policy: PolicySpec::Abort,
+        keep_session: false,
+    };
+    // 00: no session, 01: one call, 00: seq 0, 00 01: target remote obj#1,
+    // 01 66: "f", 01: one arg, 01 02: Arg::Result(2), 00: no cursor,
+    // 00: not opening, 00: abort policy, 00: no keep.
+    assert_eq!(
+        hex(&Frame::BatchCall(request).to_wire_bytes()),
+        "030001000001016601010200000000"
+    );
+}
+
+#[test]
+fn golden_slot_outcomes() {
+    assert_eq!(hex(&SlotOutcome::Ok(Value::Null).to_wire_bytes()), "0000");
+    assert_eq!(hex(&SlotOutcome::InCursor.to_wire_bytes()), "03");
+}
+
+#[test]
+fn decoding_golden_bytes_back() {
+    // The inverse direction, proving the constants above aren't stale.
+    let bytes = [0x02u8, 0x0a];
+    assert_eq!(Value::from_wire_bytes(&bytes).unwrap(), Value::I32(5));
+    let frame = Frame::from_wire_bytes(&[0x06]).unwrap();
+    assert_eq!(frame, Frame::Released);
+}

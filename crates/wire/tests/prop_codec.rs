@@ -1,0 +1,254 @@
+//! Property tests: every wire structure must round-trip through the codec,
+//! and the decoder must never panic on arbitrary input.
+
+use brmi_wire::codec::WireCodec;
+use brmi_wire::invocation::{
+    Arg, BatchRequest, BatchResponse, CallSeq, CursorResult, ErrorEnvelope, ExceptionAction,
+    InvocationData, PolicyRule, PolicySpec, SessionId, SlotOutcome, Target,
+};
+use brmi_wire::protocol::Frame;
+use brmi_wire::value::{ObjectId, Value};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(Value::I32),
+        any::<i64>().prop_map(Value::I64),
+        // NaN breaks PartialEq-based round-trip checks; use finite floats.
+        (-1.0e12f64..1.0e12).prop_map(Value::F64),
+        ".{0,24}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Value::Bytes),
+        any::<i64>().prop_map(Value::Date),
+        any::<u64>().prop_map(|n| Value::RemoteRef(ObjectId(n))),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..5)
+                .prop_map(Value::Record),
+        ]
+    })
+}
+
+fn arb_target() -> impl Strategy<Value = Target> {
+    prop_oneof![
+        any::<u64>().prop_map(|n| Target::Remote(ObjectId(n))),
+        any::<u32>().prop_map(|n| Target::Result(CallSeq(n))),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(s, i)| Target::CursorElement(CallSeq(s), i)),
+    ]
+}
+
+fn arb_arg() -> impl Strategy<Value = Arg> {
+    prop_oneof![
+        arb_value().prop_map(Arg::Value),
+        any::<u32>().prop_map(|n| Arg::Result(CallSeq(n))),
+        (any::<u32>(), any::<u32>()).prop_map(|(s, i)| Arg::CursorElement(CallSeq(s), i)),
+    ]
+}
+
+fn arb_invocation() -> impl Strategy<Value = InvocationData> {
+    (
+        any::<u32>(),
+        arb_target(),
+        "[a-z_]{1,16}",
+        proptest::collection::vec(arb_arg(), 0..4),
+        proptest::option::of(any::<u32>()),
+        any::<bool>(),
+    )
+        .prop_map(|(seq, target, method, args, cursor, opens_cursor)| {
+            InvocationData {
+                seq: CallSeq(seq),
+                target,
+                method,
+                args,
+                cursor: cursor.map(CallSeq),
+                opens_cursor,
+            }
+        })
+}
+
+fn arb_action() -> impl Strategy<Value = ExceptionAction> {
+    prop_oneof![
+        Just(ExceptionAction::Break),
+        Just(ExceptionAction::Continue),
+        Just(ExceptionAction::Repeat),
+        Just(ExceptionAction::Restart),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::Abort),
+        Just(PolicySpec::Continue),
+        (
+            arb_action(),
+            proptest::collection::vec(
+                (
+                    proptest::option::of("[A-Za-z]{1,12}"),
+                    proptest::option::of("[a-z_]{1,12}"),
+                    proptest::option::of(any::<u32>()),
+                    arb_action(),
+                )
+                    .prop_map(|(exception, method, index, action)| PolicyRule {
+                        exception,
+                        method,
+                        index,
+                        action,
+                    }),
+                0..4,
+            )
+        )
+            .prop_map(|(default, rules)| PolicySpec::Custom { default, rules }),
+    ]
+}
+
+fn arb_envelope() -> impl Strategy<Value = ErrorEnvelope> {
+    ("[a-z-]{1,12}", "[A-Za-z]{1,16}", ".{0,32}").prop_map(|(kind, exception, message)| {
+        ErrorEnvelope {
+            kind,
+            exception,
+            message,
+        }
+    })
+}
+
+fn arb_outcome() -> impl Strategy<Value = SlotOutcome> {
+    prop_oneof![
+        arb_value().prop_map(SlotOutcome::Ok),
+        arb_envelope().prop_map(SlotOutcome::Err),
+        arb_envelope().prop_map(SlotOutcome::Skipped),
+        Just(SlotOutcome::InCursor),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = BatchRequest> {
+    (
+        proptest::option::of(any::<u64>()),
+        proptest::collection::vec(arb_invocation(), 0..6),
+        arb_policy(),
+        any::<bool>(),
+    )
+        .prop_map(|(session, calls, policy, keep_session)| BatchRequest {
+            session: session.map(SessionId),
+            calls,
+            policy,
+            keep_session,
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = BatchResponse> {
+    (
+        proptest::option::of(any::<u64>()),
+        proptest::collection::vec((any::<u32>(), arb_outcome()), 0..6),
+        proptest::collection::vec(
+            (
+                any::<u32>(),
+                proptest::collection::vec(any::<u32>(), 0..3),
+                proptest::collection::vec(
+                    proptest::collection::vec(arb_outcome(), 0..3),
+                    0..3,
+                ),
+            )
+                .prop_map(|(seq, members, rows)| CursorResult {
+                    cursor_seq: CallSeq(seq),
+                    len: rows.len() as u32,
+                    members: members.into_iter().map(CallSeq).collect(),
+                    rows,
+                }),
+            0..3,
+        ),
+        any::<u32>(),
+    )
+        .prop_map(|(session, slots, cursors, restarts)| BatchResponse {
+            session: session.map(SessionId),
+            slots: slots
+                .into_iter()
+                .map(|(seq, outcome)| (CallSeq(seq), outcome))
+                .collect(),
+            cursors,
+            restarts,
+        })
+}
+
+proptest! {
+    #[test]
+    fn value_round_trips_at_both_widths(value in arb_value()) {
+        use brmi_wire::codec::IntWidth;
+        for width in [IntWidth::Varint, IntWidth::Fixed8] {
+            let bytes = value.to_wire_bytes_with(width);
+            prop_assert_eq!(Value::from_wire_bytes_with(&bytes, width).unwrap(), value.clone());
+        }
+    }
+
+    #[test]
+    fn value_round_trips(value in arb_value()) {
+        let bytes = value.to_wire_bytes();
+        prop_assert_eq!(Value::from_wire_bytes(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn invocation_round_trips(inv in arb_invocation()) {
+        let bytes = inv.to_wire_bytes();
+        prop_assert_eq!(InvocationData::from_wire_bytes(&bytes).unwrap(), inv);
+    }
+
+    #[test]
+    fn policy_round_trips(policy in arb_policy()) {
+        let bytes = policy.to_wire_bytes();
+        prop_assert_eq!(PolicySpec::from_wire_bytes(&bytes).unwrap(), policy);
+    }
+
+    #[test]
+    fn batch_request_round_trips(req in arb_request()) {
+        let bytes = req.to_wire_bytes();
+        prop_assert_eq!(BatchRequest::from_wire_bytes(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn batch_response_round_trips(resp in arb_response()) {
+        let bytes = resp.to_wire_bytes();
+        prop_assert_eq!(BatchResponse::from_wire_bytes(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn frame_round_trips_via_batch(req in arb_request()) {
+        let frame = Frame::BatchCall(req);
+        let bytes = frame.to_wire_bytes();
+        prop_assert_eq!(Frame::from_wire_bytes(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn dgc_frames_round_trip(
+        ids in proptest::collection::vec(any::<u64>(), 0..32),
+        lease in any::<u64>(),
+        dirty in any::<bool>(),
+    ) {
+        let ids: Vec<ObjectId> = ids.into_iter().map(ObjectId).collect();
+        let frame = if dirty {
+            Frame::Dirty { ids, lease_millis: lease }
+        } else {
+            Frame::Clean { ids }
+        };
+        let bytes = frame.to_wire_bytes();
+        prop_assert_eq!(Frame::from_wire_bytes(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any outcome is fine as long as it is a Result, not a panic.
+        let _ = Value::from_wire_bytes(&bytes);
+        let _ = Frame::from_wire_bytes(&bytes);
+        let _ = BatchRequest::from_wire_bytes(&bytes);
+        let _ = BatchResponse::from_wire_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncation_never_panics(value in arb_value(), cut in 0usize..64) {
+        let bytes = value.to_wire_bytes();
+        let cut = cut.min(bytes.len());
+        let _ = Value::from_wire_bytes(&bytes[..cut]);
+    }
+}
