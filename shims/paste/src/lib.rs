@@ -1,0 +1,71 @@
+//! Offline stand-in for the `paste` crate: rewrites `[< A B ... >]` groups
+//! into the single concatenated identifier `AB...`. Supports identifiers and
+//! integer/string-free literals as segments — the forms this workspace's
+//! `remote_interface!` macro emits (`[<$I Skeleton>]`, `[<B $I>]`, ...).
+//! Case modifiers (`:snake`, `:upper`, ...) are not supported.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! real dependency cannot be fetched; this shim keeps the public surface
+//! source-compatible until it can be swapped back in.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, Group, Ident, TokenStream, TokenTree};
+
+/// Expands the wrapped tokens, replacing every `[< ... >]` group with the
+/// identifier formed by concatenating its segments.
+#[proc_macro]
+pub fn paste(input: TokenStream) -> TokenStream {
+    transform(input)
+}
+
+fn transform(input: TokenStream) -> TokenStream {
+    let mut out = Vec::new();
+    for tree in input {
+        match tree {
+            TokenTree::Group(group) => {
+                if let Some(ident) = try_concat(&group) {
+                    out.push(TokenTree::Ident(ident));
+                } else {
+                    let mut rebuilt = Group::new(group.delimiter(), transform(group.stream()));
+                    rebuilt.set_span(group.span());
+                    out.push(TokenTree::Group(rebuilt));
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Recognises a bracket group of the shape `[< segments >]` and returns the
+/// concatenated identifier, or `None` if the group is anything else.
+fn try_concat(group: &Group) -> Option<Ident> {
+    if group.delimiter() != Delimiter::Bracket {
+        return None;
+    }
+    let trees: Vec<TokenTree> = group.stream().into_iter().collect();
+    let (first, last) = (trees.first()?, trees.last()?);
+    let is_angle =
+        |tree: &TokenTree, c: char| matches!(tree, TokenTree::Punct(p) if p.as_char() == c);
+    if trees.len() < 2 || !is_angle(first, '<') || !is_angle(last, '>') {
+        return None;
+    }
+
+    let mut name = String::new();
+    let mut span = None;
+    for tree in &trees[1..trees.len() - 1] {
+        match tree {
+            TokenTree::Ident(ident) => {
+                name.push_str(&ident.to_string());
+                span.get_or_insert(ident.span());
+            }
+            TokenTree::Literal(lit) => name.push_str(&lit.to_string()),
+            _ => return None,
+        }
+    }
+    if name.is_empty() {
+        return None;
+    }
+    Some(Ident::new(&name, span.unwrap_or_else(|| group.span())))
+}

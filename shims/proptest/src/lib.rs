@@ -1,0 +1,107 @@
+//! Offline stand-in for the `proptest` crate: the subset of its API used by
+//! this workspace's property tests, implemented as seeded random sampling.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case panics with the sampled inputs' assert
+//!   message but is not minimised;
+//! * **deterministic** — case `i` of every test draws from a generator seeded
+//!   with `i`, so failures reproduce exactly across runs and machines;
+//! * strategies are sampled eagerly; `prop_recursive` pre-expands its
+//!   recursion to the requested depth.
+//!
+//! Supported surface: `Strategy` (`prop_map`, `prop_recursive`, `boxed`),
+//! `Just`, `any`, ranges, `&str` regex-subset strategies (`[class]{m,n}`,
+//! `.{m,n}`), tuples, `collection::vec`, `option::of`, `prop_oneof!`
+//! (weighted and unweighted), `proptest!` with `#![proptest_config(..)]`,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! The container this workspace builds in has no access to crates.io, so the
+//! real dependency cannot be fetched; this shim keeps the public surface
+//! source-compatible until it can be swapped back in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub use test_runner::ProptestConfig;
+
+/// Common imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Builds a weighted-choice strategy from alternatives (optionally
+/// `weight => strategy` pairs). All arms must share one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a test running `body` over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                $body
+            }
+        }
+    )*};
+}

@@ -1,0 +1,46 @@
+//! `Option` strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<T>` from an inner strategy; built by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Generates `Some` of the inner strategy's value half the time, else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.flip() {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(any::<u32>());
+        let mut rng = TestRng::for_case(5);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..100 {
+            match s.sample(&mut rng) {
+                Some(_) => some = true,
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

@@ -1,0 +1,450 @@
+//! The [`Strategy`] trait and the combinators this workspace's tests use.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe producing random values of one type. The shim samples eagerly:
+/// there is no shrinking tree behind a value.
+pub trait Strategy: 'static {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every sampled value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a recursive strategy: `f` receives the strategy built so far
+    /// and wraps it one level deeper; expansion stops after `depth` levels.
+    /// The `_desired_size` / `_expected_branch_size` tuning knobs of real
+    /// proptest are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(current).boxed();
+            let shallow = leaf.clone();
+            // Half the draws stay at a leaf so sampled trees vary in depth.
+            current = BoxedStrategy::from_fn(move |rng| {
+                if rng.flip() {
+                    shallow.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            });
+        }
+        current
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.sample(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    sampler: Arc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            sampler: Arc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Self {
+            sampler: Arc::new(f),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: 'static,
+    F: Fn(S::Value) -> U + 'static,
+{
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// Weighted choice among strategies with one value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: 'static> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Self { arms, total_weight }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strat.sample(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// Produces any value of a type; used through [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The shim's `proptest::arbitrary::Arbitrary`: full-range generation with a
+/// bias toward edge values (zero, one, extremes).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary_from(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for any value of `T`, edge-case biased.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary + 'static> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_from(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_from(rng: &mut TestRng) -> Self {
+                // 1-in-8 draws pick an edge value: integer-width bugs in the
+                // wire codec live at the extremes, not in the bulk.
+                if rng.below(8) == 0 {
+                    [0 as $t, 1 as $t, <$t>::MAX, <$t>::MIN][rng.below(4) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_from(rng: &mut TestRng) -> Self {
+        rng.flip()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_from(rng: &mut TestRng) -> Self {
+        // Non-finite values included deliberately, matching real proptest:
+        // codec properties that only round-trip finite floats must opt out
+        // with a range strategy, not get vacuous coverage from `any`.
+        const EDGES: [f64; 10] = [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+        ];
+        match rng.below(8) {
+            0 => EDGES[rng.below(EDGES.len() as u64) as usize],
+            _ => (rng.unit_f64() - 0.5) * 2.0e9,
+        }
+    }
+}
+
+impl Arbitrary for () {
+    fn arbitrary_from(_rng: &mut TestRng) -> Self {}
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `&str` strategies are regex-subset generators: a sequence of `.` or
+/// `[chars]` atoms, each optionally quantified with `{m,n}` / `{n}`.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Atom: `.`, a `[...]` class, or a literal character.
+        let alphabet: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        set.extend(chars[i]..=chars[i + 2]);
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+                i += 1; // consume ']'
+                set
+            }
+            c => {
+                // Real-proptest syntax this shim does not implement must
+                // fail loudly, or a ported test would silently generate the
+                // metacharacters as literals and assert over near-constant
+                // inputs.
+                assert!(
+                    !"+*?|()^$\\}".contains(c),
+                    "unsupported regex metacharacter {c:?} in pattern {pattern:?} \
+                     (shim supports only `.`/`[class]` atoms with {{m,n}} quantifiers)"
+                );
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!alphabet.is_empty(), "empty class in pattern {pattern:?}");
+
+        // Quantifier: `{m,n}` (inclusive) or `{n}`; default exactly one.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse::<usize>().expect("bad quantifier"),
+                    hi.parse::<usize>().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.parse::<usize>().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..len {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(11)
+    }
+
+    #[test]
+    fn just_and_map() {
+        let s = Just(21).prop_map(|n| n * 2);
+        assert_eq!(s.sample(&mut rng()), 42);
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let (a, b) = (0i32..5, 10usize..12).sample(&mut r);
+            assert!((0..5).contains(&a));
+            assert!((10..12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z_]{1,16}".sample(&mut r);
+            assert!((1..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+
+            let t = "[a-z-]{1,12}".sample(&mut r);
+            assert!(t.chars().all(|c| c == '-' || c.is_ascii_lowercase()));
+
+            let dot = ".{0,24}".sample(&mut r);
+            assert!(dot.len() <= 24);
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_absence() {
+        let mut r = rng();
+        let u = Union::new(vec![(1, Just(1).boxed()), (3, Just(2).boxed())]);
+        let mut saw = [false; 3];
+        for _ in 0..200 {
+            saw[u.sample(&mut r) as usize] = true;
+        }
+        assert!(saw[1] && saw[2]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        enum Tree {
+            Leaf,
+            Node(Vec<Tree>),
+        }
+        let s = Just(())
+            .prop_map(|()| Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = s.sample(&mut r);
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf => 0,
+                    Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&t) <= 3);
+        }
+    }
+}
