@@ -9,8 +9,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use brmi::BatchExecutor;
-use brmi_apps::list::{brmi_nth_value, rmi_nth_value, ListNode, RemoteListSkeleton,
-    RemoteListStub};
+use brmi_apps::list::{
+    brmi_nth_value, rmi_nth_value, ListNode, RemoteListSkeleton, RemoteListStub,
+};
 use brmi_rmi::{Connection, DgcConfig, LeaseHolder, RmiServer};
 use brmi_transport::clock::{Clock, VirtualClock};
 use brmi_transport::inproc::InProcTransport;
@@ -27,7 +28,10 @@ fn main() -> Result<(), RemoteError> {
         },
     );
     let values: Vec<i32> = (1..=8).map(|i| i * 10).collect();
-    server.bind("list", RemoteListSkeleton::remote_arc(ListNode::chain(&values)))?;
+    server.bind(
+        "list",
+        RemoteListSkeleton::remote_arc(ListNode::chain(&values)),
+    )?;
     let conn = Connection::new(Arc::new(InProcTransport::new(server.clone())));
     let head = conn.lookup("list")?;
 

@@ -26,7 +26,10 @@ fn main() -> Result<(), RemoteError> {
     directory.populate(8, 2048); // 8 files, modified at t=0s,1s,...,7s
     server.bind("files", DirectorySkeleton::remote_arc(directory))?;
     let tcp = TcpServer::bind("127.0.0.1:0", server.clone())?;
-    println!("file server listening on rmi://{}/files\n", tcp.local_addr());
+    println!(
+        "file server listening on rmi://{}/files\n",
+        tcp.local_addr()
+    );
 
     // --- client ----------------------------------------------------------
     let conn = Connection::new(Arc::new(TcpTransport::connect(tcp.local_addr())?));

@@ -13,8 +13,9 @@
 use std::sync::Arc;
 
 use brmi::BatchExecutor;
-use brmi_apps::fileserver::{brmi_listing, rmi_listing, DirectorySkeleton, DirectoryStub,
-    InMemoryDirectory};
+use brmi_apps::fileserver::{
+    brmi_listing, rmi_listing, DirectorySkeleton, DirectoryStub, InMemoryDirectory,
+};
 use brmi_apps::implicit_clients::{implicit_listing, implicit_listing_restructured};
 use brmi_rmi::{Connection, RmiServer};
 use brmi_transport::inproc::InProcTransport;

@@ -10,7 +10,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use brmi::BatchExecutor;
-use brmi_apps::list::{brmi_nth_value, rmi_nth_value, ListNode, RemoteListSkeleton, RemoteListStub};
+use brmi_apps::list::{
+    brmi_nth_value, rmi_nth_value, ListNode, RemoteListSkeleton, RemoteListStub,
+};
 use brmi_rmi::{Connection, RmiServer};
 use brmi_transport::clock::SleepClock;
 use brmi_transport::sim::SimTransport;
@@ -21,7 +23,10 @@ fn main() -> Result<(), RemoteError> {
     let server = RmiServer::new();
     BatchExecutor::install(&server);
     let values: Vec<i32> = (0..25).map(|i| i * 3).collect();
-    server.bind("list", RemoteListSkeleton::remote_arc(ListNode::chain(&values)))?;
+    server.bind(
+        "list",
+        RemoteListSkeleton::remote_arc(ListNode::chain(&values)),
+    )?;
 
     // Exaggerate the paper's wireless profile so the stall is tangible.
     let mut profile = NetworkProfile::wireless_54mbps();

@@ -40,7 +40,10 @@ fn main() -> Result<(), RemoteError> {
     let conn = Connection::new(Arc::new(transport));
     let remote = conn.lookup("translator")?;
 
-    println!("translating {} words over simulated 54 Mbps wireless\n", words.len());
+    println!(
+        "translating {} words over simulated 54 Mbps wireless\n",
+        words.len()
+    );
 
     clock.reset();
     let rmi = rmi_translate_all(&TranslatorStub::new(remote.clone()), &words)?;

@@ -225,9 +225,7 @@ pub fn brmi_purchase_session(
                 Err(err) => Some(err.exception().to_owned()),
             })
             .collect(),
-        credit_line: credit_line
-            .get()
-            .map_err(|err| err.exception().to_owned()),
+        credit_line: credit_line.get().map_err(|err| err.exception().to_owned()),
     })
 }
 
@@ -313,12 +311,8 @@ mod tests {
     #[test]
     fn invalid_amount_is_rejected_in_both_clients() {
         let (rig, _bank) = rig();
-        let rmi = rmi_purchase_session(
-            &CreditManagerStub::new(rig.root.clone()),
-            "alice",
-            &[-5.0],
-        )
-        .unwrap();
+        let rmi = rmi_purchase_session(&CreditManagerStub::new(rig.root.clone()), "alice", &[-5.0])
+            .unwrap();
         let brmi = brmi_purchase_session(&rig.conn, &rig.root, "alice", &[-5.0]).unwrap();
         assert_eq!(rmi, brmi);
         assert_eq!(

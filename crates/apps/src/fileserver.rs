@@ -159,10 +159,7 @@ impl Directory for InMemoryDirectory {
             .cloned()
             .map(|entry| entry as Arc<dyn RemoteFile>)
             .ok_or_else(|| {
-                RemoteError::application(
-                    "FileNotFoundException",
-                    format!("no such file: {name}"),
-                )
+                RemoteError::application("FileNotFoundException", format!("no such file: {name}"))
             })
     }
 
@@ -231,9 +228,9 @@ impl brmi_wire::FromValue for ListingRow {
         let items = value.into_list()?;
         let mut items = items.into_iter();
         let mut next = |what: &str| {
-            items.next().ok_or_else(|| {
-                RemoteError::marshal(format!("listing row missing field: {what}"))
-            })
+            items
+                .next()
+                .ok_or_else(|| RemoteError::marshal(format!("listing row missing field: {what}")))
         };
         Ok(ListingRow {
             name: brmi_wire::FromValue::from_value(next("name")?)?,
@@ -447,12 +444,7 @@ pub fn brmi_read_all_tolerant(
     batch.flush()?;
     Ok(futures
         .into_iter()
-        .map(|(name, contents)| {
-            (
-                name,
-                contents.get().map_err(|e| e.exception().to_owned()),
-            )
-        })
+        .map(|(name, contents)| (name, contents.get().map_err(|e| e.exception().to_owned())))
         .collect())
 }
 
@@ -601,8 +593,7 @@ mod tests {
     fn delete_older_than_needs_exactly_two_batches() {
         let (rig, dir) = rig(6, 8); // modified = 0,1000,...,5000
         rig.stats.reset();
-        let deleted =
-            brmi_delete_older_than(&rig.conn, &rig.root, DateMillis(3_000)).unwrap();
+        let deleted = brmi_delete_older_than(&rig.conn, &rig.root, DateMillis(3_000)).unwrap();
         assert_eq!(rig.stats.requests(), 2, "two batches (paper §3.5)");
         assert_eq!(deleted, vec!["file0", "file1", "file2"]);
         assert_eq!(dir.names(), vec!["file3", "file4", "file5"]);
@@ -612,11 +603,8 @@ mod tests {
     fn delete_older_than_agrees_with_rmi() {
         let (rig_a, dir_a) = rig(6, 8);
         let (rig_b, dir_b) = rig(6, 8);
-        let rmi = rmi_delete_older_than(
-            &DirectoryStub::new(rig_a.root.clone()),
-            DateMillis(2_500),
-        )
-        .unwrap();
+        let rmi = rmi_delete_older_than(&DirectoryStub::new(rig_a.root.clone()), DateMillis(2_500))
+            .unwrap();
         let brmi = brmi_delete_older_than(&rig_b.conn, &rig_b.root, DateMillis(2_500)).unwrap();
         assert_eq!(rmi, brmi);
         assert_eq!(dir_a.names(), dir_b.names());
@@ -649,9 +637,10 @@ mod tests {
     fn folder_copy_via_cursor_is_one_round_trip_with_no_loopback() {
         let (rig, src_dir) = rig(4, 32);
         let dst_dir = InMemoryDirectory::new();
-        let dst_ref = rig
-            .conn
-            .reference(rig.server.export(DirectorySkeleton::remote_arc(dst_dir.clone())));
+        let dst_ref = rig.conn.reference(
+            rig.server
+                .export(DirectorySkeleton::remote_arc(dst_dir.clone())),
+        );
 
         rig.stats.reset();
         let copied = brmi_copy_all(&rig.conn, &rig.root, &dst_ref).unwrap();
@@ -669,9 +658,10 @@ mod tests {
     fn folder_copy_rmi_pays_loopback_per_file() {
         let (rig, src_dir) = rig(4, 32);
         let dst_dir = InMemoryDirectory::new();
-        let dst_ref = rig
-            .conn
-            .reference(rig.server.export(DirectorySkeleton::remote_arc(dst_dir.clone())));
+        let dst_ref = rig.conn.reference(
+            rig.server
+                .export(DirectorySkeleton::remote_arc(dst_dir.clone())),
+        );
         let copied = rmi_copy_all(
             &DirectoryStub::new(rig.root.clone()),
             &DirectoryStub::new(dst_ref),
@@ -690,9 +680,10 @@ mod tests {
     fn copied_files_preserve_contents_and_dates() {
         let (rig, _src) = rig(3, 64);
         let dst_dir = InMemoryDirectory::new();
-        let dst_ref = rig
-            .conn
-            .reference(rig.server.export(DirectorySkeleton::remote_arc(dst_dir.clone())));
+        let dst_ref = rig.conn.reference(
+            rig.server
+                .export(DirectorySkeleton::remote_arc(dst_dir.clone())),
+        );
         brmi_copy_all(&rig.conn, &rig.root, &dst_ref).unwrap();
         let src_rows = brmi_listing(&rig.conn, &rig.root).unwrap();
         let dst_rows = {
@@ -720,11 +711,10 @@ mod tests {
     #[test]
     fn dto_facade_matches_brmi_listing_in_one_round_trip() {
         let (rig, dir) = rig(7, 32);
-        let facade_ref = rig
-            .conn
-            .reference(rig.server.export(DirectoryFacadeSkeleton::remote_arc(
-                FacadeServer::new(dir),
-            )));
+        let facade_ref = rig.conn.reference(
+            rig.server
+                .export(DirectoryFacadeSkeleton::remote_arc(FacadeServer::new(dir))),
+        );
         rig.stats.reset();
         let dto = dto_listing(&DirectoryFacadeStub::new(facade_ref)).unwrap();
         assert_eq!(rig.stats.requests(), 1, "facade: one purpose-built call");
@@ -736,11 +726,10 @@ mod tests {
     fn dto_fetch_matches_brmi_but_fails_wholesale_on_missing_files() {
         let (rig, dir) = rig(4, 100);
         let names = dir.names();
-        let facade_ref = rig
-            .conn
-            .reference(rig.server.export(DirectoryFacadeSkeleton::remote_arc(
-                FacadeServer::new(dir),
-            )));
+        let facade_ref = rig.conn.reference(
+            rig.server
+                .export(DirectoryFacadeSkeleton::remote_arc(FacadeServer::new(dir))),
+        );
         let facade = DirectoryFacadeStub::new(facade_ref);
         let dto = dto_fetch(&facade, &names).unwrap();
         let brmi = brmi_fetch(&rig.conn, &rig.root, &names).unwrap();

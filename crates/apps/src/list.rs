@@ -60,9 +60,7 @@ impl RemoteList for ListNode {
             .lock()
             .clone()
             .map(|node| node as Arc<dyn RemoteList>)
-            .ok_or_else(|| {
-                RemoteError::application("EndOfListException", "reached the tail")
-            })
+            .ok_or_else(|| RemoteError::application("EndOfListException", "reached the tail"))
     }
 
     fn get_value(&self) -> Result<i32, RemoteError> {

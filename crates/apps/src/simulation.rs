@@ -203,7 +203,11 @@ mod tests {
 
         rig.stats.reset();
         brmi_run(&rig.conn, &rig.root, 8, 1).unwrap();
-        assert_eq!(rig.stats.requests(), 1 + 8 + 1, "flush per step, as in the paper");
+        assert_eq!(
+            rig.stats.requests(),
+            1 + 8 + 1,
+            "flush per step, as in the paper"
+        );
     }
 
     #[test]

@@ -202,8 +202,7 @@ mod tests {
             .iter()
             .map(|w| Word::new(w, "en"))
             .collect();
-        let rmi =
-            rmi_translate_all(&TranslatorStub::new(rig.root.clone()), &words).unwrap();
+        let rmi = rmi_translate_all(&TranslatorStub::new(rig.root.clone()), &words).unwrap();
         let brmi = brmi_translate_all(&rig.conn, &rig.root, &words).unwrap();
         assert_eq!(rmi, brmi);
         assert_eq!(rmi[0], Ok(Word::new("bonjour", "fr")));

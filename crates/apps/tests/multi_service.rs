@@ -10,9 +10,7 @@ use brmi_apps::fileserver::{brmi_listing, DirectorySkeleton, InMemoryDirectory};
 use brmi_apps::list::{brmi_nth_value, ListNode, RemoteListSkeleton};
 use brmi_apps::noop::{BNoop, NoopServer, NoopSkeleton};
 use brmi_apps::simulation::{brmi_run, SimulationServer, SimulationSkeleton};
-use brmi_apps::translator::{
-    brmi_translate_all, DictionaryTranslator, TranslatorSkeleton, Word,
-};
+use brmi_apps::translator::{brmi_translate_all, DictionaryTranslator, TranslatorSkeleton, Word};
 use brmi_rmi::{Connection, RmiServer};
 use brmi_transport::tcp::{TcpServer, TcpTransport};
 
@@ -115,8 +113,7 @@ fn concurrent_mixed_clients_over_tcp() {
     let handles: Vec<_> = (0..6)
         .map(|worker| {
             std::thread::spawn(move || {
-                let conn =
-                    Connection::new(Arc::new(TcpTransport::connect(addr).unwrap()));
+                let conn = Connection::new(Arc::new(TcpTransport::connect(addr).unwrap()));
                 for round in 0..10 {
                     match (worker + round) % 3 {
                         0 => {
@@ -129,12 +126,9 @@ fn concurrent_mixed_clients_over_tcp() {
                         }
                         _ => {
                             let translator = conn.lookup("translator").unwrap();
-                            let out = brmi_translate_all(
-                                &conn,
-                                &translator,
-                                &[Word::new("dog", "en")],
-                            )
-                            .unwrap();
+                            let out =
+                                brmi_translate_all(&conn, &translator, &[Word::new("dog", "en")])
+                                    .unwrap();
                             assert_eq!(out[0], Ok(Word::new("chien", "fr")));
                         }
                     }

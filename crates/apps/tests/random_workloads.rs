@@ -108,10 +108,7 @@ fn random_purchase_sessions_agree() {
             (Err(a), Ok(b)) => {
                 // RMI lookup failure vs BRMI policy break: both must blame
                 // the same exception.
-                assert_eq!(
-                    Err::<f64, _>(a.exception().to_owned()),
-                    b.credit_line
-                );
+                assert_eq!(Err::<f64, _>(a.exception().to_owned()), b.credit_line);
             }
             (a, b) => panic!("divergent outcomes: {a:?} vs {b:?}"),
         }

@@ -8,7 +8,9 @@ use std::sync::Arc;
 use brmi::policy::AbortPolicy;
 use brmi::{Batch, BatchFuture};
 use brmi_apps::fileserver::{DirectorySkeleton, InMemoryDirectory};
-use brmi_apps::list::{brmi_nth_value, rmi_nth_value, ListNode, RemoteListSkeleton, RemoteListStub};
+use brmi_apps::list::{
+    brmi_nth_value, rmi_nth_value, ListNode, RemoteListSkeleton, RemoteListStub,
+};
 use brmi_apps::noop::{brmi_noops, rmi_noops, BNoop, NoopServer, NoopSkeleton, NoopStub};
 use brmi_rmi::{Connection, RmiServer};
 use brmi_transport::inproc::InProcTransport;
@@ -92,7 +94,10 @@ fn bench_traversal(c: &mut Criterion) {
     brmi::BatchExecutor::install(&server);
     let values: Vec<i32> = (0..12).collect();
     let id = server
-        .bind("list", RemoteListSkeleton::remote_arc(ListNode::chain(&values)))
+        .bind(
+            "list",
+            RemoteListSkeleton::remote_arc(ListNode::chain(&values)),
+        )
         .unwrap();
     let conn = Connection::new(Arc::new(InProcTransport::new(server)));
     let reference = conn.reference(id);

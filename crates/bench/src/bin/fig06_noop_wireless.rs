@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 6 (no-op benchmark, wireless) — run with `cargo run -p brmi-bench --bin fig06_noop_wireless`.
 
 fn main() {
-    brmi_bench::figures::noop_figure("fig06", &brmi_transport::NetworkProfile::wireless_54mbps()).print();
+    brmi_bench::figures::noop_figure("fig06", &brmi_transport::NetworkProfile::wireless_54mbps())
+        .print();
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 8 (linked-list traversal, wireless) — run with `cargo run -p brmi-bench --bin fig08_list_wireless`.
 
 fn main() {
-    brmi_bench::figures::list_figure("fig08", &brmi_transport::NetworkProfile::wireless_54mbps()).print();
+    brmi_bench::figures::list_figure("fig08", &brmi_transport::NetworkProfile::wireless_54mbps())
+        .print();
 }

@@ -1,5 +1,9 @@
 //! Regenerates the paper's Figure 9 (traversal, batches of size 1, LAN) — run with `cargo run -p brmi-bench --bin fig09_list_unbatched`.
 
 fn main() {
-    brmi_bench::figures::list_unbatched_figure("fig09", &brmi_transport::NetworkProfile::lan_1gbps()).print();
+    brmi_bench::figures::list_unbatched_figure(
+        "fig09",
+        &brmi_transport::NetworkProfile::lan_1gbps(),
+    )
+    .print();
 }

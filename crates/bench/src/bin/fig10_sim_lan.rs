@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 10 (remote simulation, LAN) — run with `cargo run -p brmi-bench --bin fig10_sim_lan`.
 
 fn main() {
-    brmi_bench::figures::simulation_figure("fig10", &brmi_transport::NetworkProfile::lan_1gbps()).print();
+    brmi_bench::figures::simulation_figure("fig10", &brmi_transport::NetworkProfile::lan_1gbps())
+        .print();
 }

@@ -1,5 +1,9 @@
 //! Regenerates the paper's Figure 11 (remote simulation, wireless) — run with `cargo run -p brmi-bench --bin fig11_sim_wireless`.
 
 fn main() {
-    brmi_bench::figures::simulation_figure("fig11", &brmi_transport::NetworkProfile::wireless_54mbps()).print();
+    brmi_bench::figures::simulation_figure(
+        "fig11",
+        &brmi_transport::NetworkProfile::wireless_54mbps(),
+    )
+    .print();
 }

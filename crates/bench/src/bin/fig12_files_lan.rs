@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 12 (file server macro benchmark, LAN) — run with `cargo run -p brmi-bench --bin fig12_files_lan`.
 
 fn main() {
-    brmi_bench::figures::fileserver_figure("fig12", &brmi_transport::NetworkProfile::lan_1gbps()).print();
+    brmi_bench::figures::fileserver_figure("fig12", &brmi_transport::NetworkProfile::lan_1gbps())
+        .print();
 }

@@ -1,5 +1,9 @@
 //! Regenerates the paper's Figure 13 (file server macro benchmark, wireless) — run with `cargo run -p brmi-bench --bin fig13_files_wireless`.
 
 fn main() {
-    brmi_bench::figures::fileserver_figure("fig13", &brmi_transport::NetworkProfile::wireless_54mbps()).print();
+    brmi_bench::figures::fileserver_figure(
+        "fig13",
+        &brmi_transport::NetworkProfile::wireless_54mbps(),
+    )
+    .print();
 }

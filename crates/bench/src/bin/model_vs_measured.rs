@@ -83,9 +83,14 @@ fn main() {
     row("brmi fetch x5", &rig, counts::brmi_fetch(n), || {
         brmi_fetch(&rig.conn, &rig.root, &names).unwrap();
     });
-    row("rmi listing (10 files)", &rig, counts::rmi_listing(10), || {
-        rmi_listing(&stub).unwrap();
-    });
+    row(
+        "rmi listing (10 files)",
+        &rig,
+        counts::rmi_listing(10),
+        || {
+            rmi_listing(&stub).unwrap();
+        },
+    );
     row(
         "brmi listing (10 files)",
         &rig,

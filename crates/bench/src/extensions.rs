@@ -25,10 +25,11 @@ use brmi_apps::fileserver::{
     InMemoryDirectory,
 };
 use brmi_apps::implicit_clients::{
-    implicit_listing, implicit_listing_restructured, implicit_nth_value,
-    implicit_read_all_tolerant,
+    implicit_listing, implicit_listing_restructured, implicit_nth_value, implicit_read_all_tolerant,
 };
-use brmi_apps::list::{brmi_nth_value, rmi_nth_value, ListNode, RemoteListSkeleton, RemoteListStub};
+use brmi_apps::list::{
+    brmi_nth_value, rmi_nth_value, ListNode, RemoteListSkeleton, RemoteListStub,
+};
 use brmi_transport::NetworkProfile;
 
 use crate::figures::{FILE_COUNT, FILE_SIZE};
@@ -176,11 +177,10 @@ pub fn dto_facade_figure(id: &'static str, profile: &NetworkProfile) -> MultiFig
         let dir = InMemoryDirectory::new();
         dir.populate(FILE_COUNT, FILE_SIZE);
         let rig = SimRig::new(profile, DirectorySkeleton::remote_arc(dir.clone()));
-        let facade_ref = rig
-            .conn
-            .reference(rig.server.export(DirectoryFacadeSkeleton::remote_arc(
-                FacadeServer::new(dir),
-            )));
+        let facade_ref = rig.conn.reference(
+            rig.server
+                .export(DirectoryFacadeSkeleton::remote_arc(FacadeServer::new(dir))),
+        );
         let stub = DirectoryStub::new(rig.root.clone());
         let facade = DirectoryFacadeStub::new(facade_ref);
         rmi.push(rig.measure_ms(|| {

@@ -5,7 +5,6 @@
 //! counts come from the real codec and round trips from the real
 //! middleware.
 
-
 use brmi::policy::AbortPolicy;
 use brmi::{Batch, BatchExecutor, BatchFuture};
 use brmi_apps::fileserver::{
@@ -264,10 +263,7 @@ pub fn ablation_cursor(profile: &NetworkProfile) -> Figure {
                 .iter()
                 .take(n as usize)
                 .map(|file| {
-                    let b = brmi_apps::fileserver::BRemoteFile::new(
-                        &batch,
-                        file.remote_ref(),
-                    );
+                    let b = brmi_apps::fileserver::BRemoteFile::new(&batch, file.remote_ref());
                     (b.get_name(), b.length())
                 })
                 .collect();
@@ -279,7 +275,10 @@ pub fn ablation_cursor(profile: &NetworkProfile) -> Figure {
     }
     Figure {
         id: "ablB",
-        title: format!("Ablation: cursor vs two-batch listing ({})", network_tag(profile)),
+        title: format!(
+            "Ablation: cursor vs two-batch listing ({})",
+            network_tag(profile)
+        ),
         x_label: "number of files read",
         x: xs,
         rmi_ms: two_batch_ms,
@@ -310,8 +309,7 @@ pub fn ablation_policy(profile: &NetworkProfile) -> Figure {
             }
             let batch = Batch::new(rig.conn.clone(), policy);
             let noop = brmi_apps::noop::BNoop::new(&batch, &rig.root);
-            let futures: Vec<BatchFuture<()>> =
-                (0..n).map(|_| noop.noop()).collect();
+            let futures: Vec<BatchFuture<()>> = (0..n).map(|_| noop.noop()).collect();
             batch.flush().expect("flush");
             for f in futures {
                 f.get().expect("noop");
@@ -320,7 +318,10 @@ pub fn ablation_policy(profile: &NetworkProfile) -> Figure {
     }
     Figure {
         id: "ablC",
-        title: format!("Ablation: exception-policy overhead ({})", network_tag(profile)),
+        title: format!(
+            "Ablation: exception-policy overhead ({})",
+            network_tag(profile)
+        ),
         x_label: "batched calls",
         x: xs,
         rmi_ms: custom_ms,
@@ -344,11 +345,8 @@ pub fn ablation_codec(profile: &NetworkProfile) -> Figure {
             (IntWidth::Varint, &mut varint_ms),
             (IntWidth::Fixed8, &mut fixed_ms),
         ] {
-            let rig = SimRig::with_int_width(
-                profile,
-                NoopSkeleton::remote_arc(NoopServer::new()),
-                width,
-            );
+            let rig =
+                SimRig::with_int_width(profile, NoopSkeleton::remote_arc(NoopServer::new()), width);
             out.push(rig.measure_ms(|| {
                 brmi_noops(&rig.conn, &rig.root, n as usize).expect("brmi noops");
             }));
@@ -384,8 +382,7 @@ pub fn ablation_codec_payload(profile: &NetworkProfile) -> Figure {
         ] {
             let dir = InMemoryDirectory::new();
             dir.populate(FILE_COUNT, FILE_SIZE);
-            let rig =
-                SimRig::with_int_width(profile, DirectorySkeleton::remote_arc(dir), width);
+            let rig = SimRig::with_int_width(profile, DirectorySkeleton::remote_arc(dir), width);
             out.push(rig.measure_ms(|| {
                 brmi_fetch(&rig.conn, &rig.root, &names).expect("brmi fetch");
             }));

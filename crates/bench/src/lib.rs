@@ -48,7 +48,10 @@ impl Figure {
     /// Prints the figure as the paper-style series table.
     pub fn print(&self) {
         println!("{} — {}", self.id, self.title);
-        println!("{:>24} {:>12} {:>12}", self.x_label, "RMI (ms)", "BRMI (ms)");
+        println!(
+            "{:>24} {:>12} {:>12}",
+            self.x_label, "RMI (ms)", "BRMI (ms)"
+        );
         for ((x, rmi), brmi) in self.x.iter().zip(&self.rmi_ms).zip(&self.brmi_ms) {
             println!("{x:>24} {rmi:>12.3} {brmi:>12.3}");
         }

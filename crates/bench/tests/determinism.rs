@@ -54,11 +54,23 @@ fn quoted_experiments_md_values_hold() {
     // The exact numbers cited in EXPERIMENTS.md; a profile or workload
     // change must update the documentation knowingly.
     let fig12 = fileserver_figure("fig12", &NetworkProfile::lan_1gbps());
-    assert!((fig12.rmi_ms[9] - 25.728).abs() < 0.05, "got {}", fig12.rmi_ms[9]);
-    assert!((fig12.brmi_ms[9] - 2.089).abs() < 0.05, "got {}", fig12.brmi_ms[9]);
+    assert!(
+        (fig12.rmi_ms[9] - 25.728).abs() < 0.05,
+        "got {}",
+        fig12.rmi_ms[9]
+    );
+    assert!(
+        (fig12.brmi_ms[9] - 2.089).abs() < 0.05,
+        "got {}",
+        fig12.brmi_ms[9]
+    );
 
     let fig05 = noop_figure("fig05", &NetworkProfile::lan_1gbps());
-    assert!((fig05.rmi_ms[4] - 5.301).abs() < 0.02, "got {}", fig05.rmi_ms[4]);
+    assert!(
+        (fig05.rmi_ms[4] - 5.301).abs() < 0.02,
+        "got {}",
+        fig05.rmi_ms[4]
+    );
 }
 
 #[test]

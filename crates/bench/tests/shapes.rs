@@ -53,7 +53,10 @@ fn assert_brmi_wins_everywhere(figure: &Figure) {
 
 #[test]
 fn fig05_06_noop_rmi_linear_brmi_flat_crossover_at_two() {
-    for figure in [noop_figure("fig05", &lan()), noop_figure("fig06", &wireless())] {
+    for figure in [
+        noop_figure("fig05", &lan()),
+        noop_figure("fig06", &wireless()),
+    ] {
         assert_linear(&figure.x, &figure.rmi_ms, figure.id);
         assert_flat(&figure.brmi_ms, figure.id);
         // Paper: "RMI outperforms BRMI when the batch size is smaller than
@@ -89,7 +92,10 @@ fn fig06_wireless_gap_exceeds_lan_gap() {
 
 #[test]
 fn fig07_08_list_brmi_wins_even_at_one_traversal() {
-    for figure in [list_figure("fig07", &lan()), list_figure("fig08", &wireless())] {
+    for figure in [
+        list_figure("fig07", &lan()),
+        list_figure("fig08", &wireless()),
+    ] {
         assert_linear(&figure.x, &figure.rmi_ms, figure.id);
         assert_flat(&figure.brmi_ms, figure.id);
         // The paper's "unexpected result": no batching is possible at one
@@ -132,7 +138,11 @@ fn fig10_11_simulation_both_linear_with_consistent_brmi_advantage() {
             "{}: advantage should persist (first {first_ratio:.2}x, last {last_ratio:.2}x)",
             figure.id
         );
-        assert!(first_ratio > 1.2, "{}: identity preservation must pay", figure.id);
+        assert!(
+            first_ratio > 1.2,
+            "{}: identity preservation must pay",
+            figure.id
+        );
     }
 }
 
@@ -233,7 +243,10 @@ fn ablation_codec_width_matters_only_for_framing() {
     let last = framing.x.len() - 1;
     let gap_small = framing.rmi_ms[0] / framing.brmi_ms[0];
     let gap_large = framing.rmi_ms[last] / framing.brmi_ms[last];
-    assert!(gap_large > 1.15, "fixed-width overhead at 160 calls: {gap_large}");
+    assert!(
+        gap_large > 1.15,
+        "fixed-width overhead at 160 calls: {gap_large}"
+    );
     assert!(gap_large > gap_small, "overhead grows with call count");
 
     // Payload-dominated: the choice all but vanishes (<2%).

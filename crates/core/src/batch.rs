@@ -252,9 +252,7 @@ impl Batch {
                         seq: origin,
                         cursor_of: Some(cursor),
                     } => match cursor_position(&inner, cursor) {
-                        CursorPhase::Recording => {
-                            (Target::Result(CallSeq(origin)), Some(cursor))
-                        }
+                        CursorPhase::Recording => (Target::Result(CallSeq(origin)), Some(cursor)),
                         CursorPhase::Iterating(pos) => {
                             (Target::CursorElement(CallSeq(origin), pos), None)
                         }
@@ -296,15 +294,11 @@ impl Batch {
                             seq: origin,
                             cursor_of: Some(cursor),
                         } => match cursor_position(&inner, cursor) {
-                            CursorPhase::Recording => {
-                                match merge_ctx(&mut ctx, cursor) {
-                                    Ok(()) => Arg::Result(CallSeq(origin)),
-                                    Err(err) => fail!(err),
-                                }
-                            }
-                            CursorPhase::Iterating(pos) => {
-                                Arg::CursorElement(CallSeq(origin), pos)
-                            }
+                            CursorPhase::Recording => match merge_ctx(&mut ctx, cursor) {
+                                Ok(()) => Arg::Result(CallSeq(origin)),
+                                Err(err) => fail!(err),
+                            },
+                            CursorPhase::Iterating(pos) => Arg::CursorElement(CallSeq(origin), pos),
                             CursorPhase::Unpositioned => fail!(unpositioned_cursor()),
                         },
                     }
@@ -319,9 +313,7 @@ impl Batch {
                             Ok(()) => Arg::Result(CallSeq(cursor)),
                             Err(err) => fail!(err),
                         },
-                        CursorPhase::Iterating(pos) => {
-                            Arg::CursorElement(CallSeq(cursor), pos)
-                        }
+                        CursorPhase::Iterating(pos) => Arg::CursorElement(CallSeq(cursor), pos),
                         CursorPhase::Unpositioned => fail!(unpositioned_cursor()),
                     }
                 }

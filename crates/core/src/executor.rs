@@ -412,10 +412,9 @@ impl BatchExecutor {
         allow_restart: bool,
         outer_outcomes: &HashMap<u32, Option<ErrorEnvelope>>,
     ) -> Result<CursorResult, CursorAbort> {
-        state.cursor_objects.insert(
-            cursor_seq,
-            elements.iter().cloned().map(Some).collect(),
-        );
+        state
+            .cursor_objects
+            .insert(cursor_seq, elements.iter().cloned().map(Some).collect());
         let member_seqs: Vec<CallSeq> = member_idxs.iter().map(|&i| calls[i].seq).collect();
         // Per-member columns of remote results, aligned with elements.
         let mut columns: HashMap<u32, Vec<Option<Arc<dyn RemoteObject>>>> = member_seqs
@@ -449,13 +448,9 @@ impl BatchExecutor {
                             columns.entry(seq).or_default().push(None);
                             continue;
                         }
-                        Prep::Fault(err) => self.fault_disposition(
-                            &err,
-                            call,
-                            member_index,
-                            policy,
-                            allow_restart,
-                        ),
+                        Prep::Fault(err) => {
+                            self.fault_disposition(&err, call, member_index, policy, allow_restart)
+                        }
                         Prep::Ready(target, in_args) => self.execute_call(
                             &target,
                             call,
@@ -651,9 +646,7 @@ impl BatchExecutor {
                     let action = policy.action_for(&err, &call.method, index as u32);
                     let env = ErrorEnvelope::from(&err);
                     match action {
-                        ExceptionAction::Break => {
-                            return Disposition::Failure { env, brk: true }
-                        }
+                        ExceptionAction::Break => return Disposition::Failure { env, brk: true },
                         ExceptionAction::Continue => {
                             return Disposition::Failure { env, brk: false }
                         }

@@ -109,7 +109,9 @@ impl<T> std::fmt::Debug for BatchFuture<T> {
             SlotState::Ready(_) => "ready",
             SlotState::Failed(_) => "failed",
         };
-        f.debug_struct("BatchFuture").field("state", &state).finish()
+        f.debug_struct("BatchFuture")
+            .field("state", &state)
+            .finish()
     }
 }
 

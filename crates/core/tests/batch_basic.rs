@@ -153,9 +153,7 @@ fn multiple_roots_in_one_batch() {
     let rig = Rig::chain(&[7]);
     // Export a second object and wrap both in the same batch.
     let other = common::TestNode::new("other", 35);
-    let id = rig
-        .server
-        .export(common::NodeSkeleton::remote_arc(other));
+    let id = rig.server.export(common::NodeSkeleton::remote_arc(other));
     let other_ref = rig.conn.reference(id);
 
     let batch = Batch::new(rig.conn.clone(), AbortPolicy);

@@ -111,9 +111,10 @@ impl Node for TestNode {
     /// object this node's `next()` returned (not a marshalled stub of it)?
     fn is_same(&self, other: Arc<dyn Node>) -> Result<bool, RemoteError> {
         self.calls.fetch_add(1, Ordering::Relaxed);
-        let stored = self.next.lock().clone().ok_or_else(|| {
-            RemoteError::application("NoNextNode", "nothing to compare against")
-        })?;
+        let stored =
+            self.next.lock().clone().ok_or_else(|| {
+                RemoteError::application("NoNextNode", "nothing to compare against")
+            })?;
         let stored_ptr = Arc::as_ptr(&stored) as *const ();
         let other_ptr = Arc::as_ptr(&other) as *const ();
         Ok(std::ptr::eq(stored_ptr, other_ptr))

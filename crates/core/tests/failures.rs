@@ -111,18 +111,13 @@ fn chained_batches_work_over_real_tcp() {
     let server = RmiServer::new();
     let executor = BatchExecutor::install(&server);
     let root = TestNode::new("root", 0);
-    *root.children.lock() = vec![
-        TestNode::new("c0", 3),
-        TestNode::new("c1", 30),
-    ];
+    *root.children.lock() = vec![TestNode::new("c0", 3), TestNode::new("c1", 30)];
     server
         .bind("root", NodeSkeleton::remote_arc(root.clone()))
         .unwrap();
 
     let tcp = TcpServer::bind("127.0.0.1:0", server.clone()).unwrap();
-    let conn = Connection::new(Arc::new(
-        TcpTransport::connect(tcp.local_addr()).unwrap(),
-    ));
+    let conn = Connection::new(Arc::new(TcpTransport::connect(tcp.local_addr()).unwrap()));
     let reference = conn.lookup("root").unwrap();
 
     let batch = Batch::new(conn, AbortPolicy);
@@ -137,7 +132,12 @@ fn chained_batches_work_over_real_tcp() {
     }
     batch.flush().unwrap();
     assert_eq!(executor.session_count(), 0);
-    let values: Vec<i32> = root.children.lock().iter().map(|c| *c.value.lock()).collect();
+    let values: Vec<i32> = root
+        .children
+        .lock()
+        .iter()
+        .map(|c| *c.value.lock())
+        .collect();
     assert_eq!(values, vec![3, -1]);
 }
 

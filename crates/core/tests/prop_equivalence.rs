@@ -108,7 +108,9 @@ fn run_brmi(rig: &Rig, ops: &[Op]) -> Vec<Outcome> {
             Op::Add(a, b) => Pending::Int(stubs[*a].add(&stubs[*b])),
         })
         .collect();
-    batch.flush().expect("flush succeeds over in-proc transport");
+    batch
+        .flush()
+        .expect("flush succeeds over in-proc transport");
     futures
         .into_iter()
         .map(|pending| match pending {

@@ -91,9 +91,7 @@ impl Connection {
             lease_millis: lease.as_millis() as u64,
         })?;
         match reply {
-            Frame::Leased { lease_millis } => {
-                Ok(std::time::Duration::from_millis(lease_millis))
-            }
+            Frame::Leased { lease_millis } => Ok(std::time::Duration::from_millis(lease_millis)),
             Frame::Error(env) => Err(RemoteError::from(&env)),
             other => Err(unexpected_reply(&other)),
         }
@@ -267,9 +265,7 @@ mod tests {
     impl RequestHandler for SevenHandler {
         fn handle(&self, frame: Frame) -> Frame {
             match frame {
-                Frame::Call { method, .. } if method == "seven" => {
-                    Frame::Return(Value::I32(7))
-                }
+                Frame::Call { method, .. } if method == "seven" => Frame::Return(Value::I32(7)),
                 Frame::Call { .. } => Frame::Error(brmi_wire::invocation::ErrorEnvelope {
                     kind: "no-such-method".into(),
                     exception: "no-such-method".into(),

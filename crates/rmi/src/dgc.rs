@@ -275,7 +275,6 @@ mod tests {
     use super::*;
     use brmi_transport::clock::VirtualClock;
 
-
     fn dgc(max_lease_secs: u64) -> (Arc<DgcServer>, Arc<VirtualClock>) {
         let clock = VirtualClock::new();
         let dgc = DgcServer::new(

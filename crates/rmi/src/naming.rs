@@ -44,9 +44,7 @@ impl RmiUrl {
         if host.is_empty() {
             return Err(bad_url(url, "empty host"));
         }
-        let port: u16 = port_str
-            .parse()
-            .map_err(|_| bad_url(url, "invalid port"))?;
+        let port: u16 = port_str.parse().map_err(|_| bad_url(url, "invalid port"))?;
         Ok(RmiUrl {
             host: host.to_owned(),
             port,

@@ -71,7 +71,10 @@ impl RmiServer {
         Arc::new_cyclic(|weak_self| {
             let registry = RegistryObject::new();
             let table = ObjectTable::new();
-            table.install(ObjectId::REGISTRY, Arc::clone(&registry) as Arc<dyn RemoteObject>);
+            table.install(
+                ObjectId::REGISTRY,
+                Arc::clone(&registry) as Arc<dyn RemoteObject>,
+            );
             RmiServer {
                 table,
                 registry,
@@ -273,8 +276,7 @@ impl RequestHandler for RmiServer {
             Frame::Dirty { ids, lease_millis } => {
                 let reply = match self.dgc.read().as_ref() {
                     Some(dgc) => {
-                        let granted =
-                            dgc.dirty(&ids, Duration::from_millis(lease_millis));
+                        let granted = dgc.dirty(&ids, Duration::from_millis(lease_millis));
                         Frame::Leased {
                             lease_millis: granted.as_millis() as u64,
                         }
@@ -470,11 +472,7 @@ mod tests {
         let id = server.export(counter());
         server.registry().bind("ctr", id).unwrap();
         let value = server
-            .dispatch_call(
-                ObjectId::REGISTRY,
-                "lookup",
-                vec![Value::Str("ctr".into())],
-            )
+            .dispatch_call(ObjectId::REGISTRY, "lookup", vec![Value::Str("ctr".into())])
             .unwrap();
         assert_eq!(value, Value::RemoteRef(id));
     }

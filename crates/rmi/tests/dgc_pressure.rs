@@ -216,7 +216,10 @@ fn brmi_batches_create_no_dgc_pressure() {
     BatchExecutor::install(&server);
     let values: Vec<i32> = (0..6).collect();
     let id = server
-        .bind("list", RemoteListSkeleton::remote_arc(ListNode::chain(&values)))
+        .bind(
+            "list",
+            RemoteListSkeleton::remote_arc(ListNode::chain(&values)),
+        )
         .unwrap();
     let conn = Connection::new(Arc::new(InProcTransport::new(server.clone())));
     let head = conn.reference(id);
@@ -258,7 +261,10 @@ fn ablated_executor_recreates_the_rmi_pressure() {
     executor.install_on(&server);
     let values: Vec<i32> = (0..6).collect();
     let id = server
-        .bind("list", RemoteListSkeleton::remote_arc(ListNode::chain(&values)))
+        .bind(
+            "list",
+            RemoteListSkeleton::remote_arc(ListNode::chain(&values)),
+        )
         .unwrap();
     let conn = Connection::new(Arc::new(InProcTransport::new(server.clone())));
     let head = conn.reference(id);

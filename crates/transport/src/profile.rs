@@ -90,7 +90,12 @@ impl NetworkProfile {
     /// Total simulated cost of one request/response pair.
     ///
     /// `remote_refs` counts the remote references in both frames.
-    pub fn call_cost(&self, request_bytes: usize, response_bytes: usize, remote_refs: usize) -> Duration {
+    pub fn call_cost(
+        &self,
+        request_bytes: usize,
+        response_bytes: usize,
+        remote_refs: usize,
+    ) -> Duration {
         let bytes = (request_bytes + response_bytes) as f64;
         let transmission = if self.bandwidth_bytes_per_sec.is_finite() {
             Duration::from_secs_f64(bytes / self.bandwidth_bytes_per_sec)

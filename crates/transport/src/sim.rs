@@ -150,8 +150,11 @@ mod tests {
         let profile = NetworkProfile::lan_1gbps();
         let run = |reply: Frame| {
             let clock = VirtualClock::new();
-            let transport =
-                SimTransport::new(Arc::new(NullHandler { reply }), profile.clone(), clock.clone());
+            let transport = SimTransport::new(
+                Arc::new(NullHandler { reply }),
+                profile.clone(),
+                clock.clone(),
+            );
             transport.request(call_frame()).unwrap();
             clock.elapsed()
         };
@@ -182,8 +185,11 @@ mod tests {
         let profile = NetworkProfile::wireless_54mbps();
         let run = |reply: Frame| {
             let clock = VirtualClock::new();
-            let transport =
-                SimTransport::new(Arc::new(NullHandler { reply }), profile.clone(), clock.clone());
+            let transport = SimTransport::new(
+                Arc::new(NullHandler { reply }),
+                profile.clone(),
+                clock.clone(),
+            );
             transport.request(call_frame()).unwrap();
             clock.elapsed()
         };

@@ -23,9 +23,8 @@ const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
 fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
     let bytes = frame.to_wire_bytes();
-    let len = u32::try_from(bytes.len()).map_err(|_| {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large")
-    })?;
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
     stream.write_all(&len.to_le_bytes())?;
     stream.write_all(&bytes)?;
     stream.flush()
@@ -94,7 +93,9 @@ impl TcpTransport {
 
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpTransport").field("peer", &self.peer).finish()
+        f.debug_struct("TcpTransport")
+            .field("peer", &self.peer)
+            .finish()
     }
 }
 
@@ -128,7 +129,10 @@ impl TcpServer {
     /// # Errors
     ///
     /// Returns a transport-kind [`RemoteError`] when binding fails.
-    pub fn bind(addr: impl ToSocketAddrs, handler: Arc<dyn RequestHandler>) -> Result<Self, RemoteError> {
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+    ) -> Result<Self, RemoteError> {
         let listener = TcpListener::bind(addr)
             .map_err(|err| RemoteError::transport(format!("bind failed: {err}")))?;
         let local_addr = listener

@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn display_application_error_uses_exception_name() {
         let err = RemoteError::application("FileNotFoundException", "no such file: a.txt");
-        assert_eq!(err.to_string(), "FileNotFoundException: no such file: a.txt");
+        assert_eq!(
+            err.to_string(),
+            "FileNotFoundException: no such file: a.txt"
+        );
         assert_eq!(err.kind(), RemoteErrorKind::Application);
         assert_eq!(err.exception(), "FileNotFoundException");
     }
@@ -268,10 +271,18 @@ mod tests {
     fn wire_error_display_is_lowercase_without_period() {
         let msgs = [
             WireError::UnexpectedEof { context: "value" }.to_string(),
-            WireError::UnknownTag { context: "frame", tag: 0xff }.to_string(),
+            WireError::UnknownTag {
+                context: "frame",
+                tag: 0xff,
+            }
+            .to_string(),
             WireError::VarintOverflow.to_string(),
             WireError::InvalidUtf8.to_string(),
-            WireError::LengthLimitExceeded { declared: 10, limit: 5 }.to_string(),
+            WireError::LengthLimitExceeded {
+                declared: 10,
+                limit: 5,
+            }
+            .to_string(),
             WireError::TrailingBytes { remaining: 3 }.to_string(),
         ];
         for msg in msgs {

@@ -24,10 +24,7 @@ fn golden_primitive_values() {
     // zig-zag: -3 -> 5
     assert_eq!(hex(&Value::I32(-3).to_wire_bytes()), "0205");
     assert_eq!(hex(&Value::I64(1).to_wire_bytes()), "0302");
-    assert_eq!(
-        hex(&Value::F64(1.0).to_wire_bytes()),
-        "04000000000000f03f"
-    );
+    assert_eq!(hex(&Value::F64(1.0).to_wire_bytes()), "04000000000000f03f");
     assert_eq!(hex(&Value::Str("hi".into()).to_wire_bytes()), "05026869");
     assert_eq!(hex(&Value::Bytes(vec![0xff]).to_wire_bytes()), "0601ff");
     assert_eq!(hex(&Value::Date(0).to_wire_bytes()), "0700");

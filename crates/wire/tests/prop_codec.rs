@@ -26,8 +26,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(3, 24, 6, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::List),
-            proptest::collection::vec(("[a-z]{1,8}", inner), 0..5)
-                .prop_map(Value::Record),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..5).prop_map(Value::Record),
         ]
     })
 }
@@ -36,8 +35,7 @@ fn arb_target() -> impl Strategy<Value = Target> {
     prop_oneof![
         any::<u64>().prop_map(|n| Target::Remote(ObjectId(n))),
         any::<u32>().prop_map(|n| Target::Result(CallSeq(n))),
-        (any::<u32>(), any::<u32>())
-            .prop_map(|(s, i)| Target::CursorElement(CallSeq(s), i)),
+        (any::<u32>(), any::<u32>()).prop_map(|(s, i)| Target::CursorElement(CallSeq(s), i)),
     ]
 }
 
@@ -58,16 +56,16 @@ fn arb_invocation() -> impl Strategy<Value = InvocationData> {
         proptest::option::of(any::<u32>()),
         any::<bool>(),
     )
-        .prop_map(|(seq, target, method, args, cursor, opens_cursor)| {
-            InvocationData {
+        .prop_map(
+            |(seq, target, method, args, cursor, opens_cursor)| InvocationData {
                 seq: CallSeq(seq),
                 target,
                 method,
                 args,
                 cursor: cursor.map(CallSeq),
                 opens_cursor,
-            }
-        })
+            },
+        )
 }
 
 fn arb_action() -> impl Strategy<Value = ExceptionAction> {
@@ -147,10 +145,7 @@ fn arb_response() -> impl Strategy<Value = BatchResponse> {
             (
                 any::<u32>(),
                 proptest::collection::vec(any::<u32>(), 0..3),
-                proptest::collection::vec(
-                    proptest::collection::vec(arb_outcome(), 0..3),
-                    0..3,
-                ),
+                proptest::collection::vec(proptest::collection::vec(arb_outcome(), 0..3), 0..3),
             )
                 .prop_map(|(seq, members, rows)| CursorResult {
                     cursor_seq: CallSeq(seq),
