@@ -221,6 +221,15 @@ impl brmi_wire::ToValue for ListingRow {
             brmi_wire::ToValue::to_value(&self.length),
         ])
     }
+
+    fn into_value(self) -> brmi_wire::Value {
+        brmi_wire::Value::List(vec![
+            brmi_wire::ToValue::into_value(self.name),
+            brmi_wire::ToValue::to_value(&self.is_directory),
+            brmi_wire::ToValue::to_value(&self.last_modified),
+            brmi_wire::ToValue::to_value(&self.length),
+        ])
+    }
 }
 
 impl brmi_wire::FromValue for ListingRow {

@@ -15,7 +15,9 @@ use brmi_apps::noop::{brmi_noops, rmi_noops, BNoop, NoopServer, NoopSkeleton, No
 use brmi_rmi::{Connection, RmiServer};
 use brmi_transport::inproc::InProcTransport;
 use brmi_wire::codec::WireCodec;
-use brmi_wire::invocation::{Arg, BatchRequest, CallSeq, InvocationData, PolicySpec, Target};
+use brmi_wire::invocation::{
+    Arg, BatchRequest, BatchRequestRef, CallSeq, InvocationData, PolicySpec, Target,
+};
 use brmi_wire::{ObjectId, Value};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -65,11 +67,76 @@ fn bench_codec(c: &mut Criterion) {
     };
     let bytes = request.to_wire_bytes();
     let mut group = c.benchmark_group("codec");
+    // The production paths: every transport encodes into a reused scratch
+    // buffer and the server decodes a borrowed view of the frame.
     group.bench_function("encode_100_call_batch", |b| {
-        b.iter(|| std::hint::black_box(request.to_wire_bytes()));
+        let mut buf = Vec::new();
+        b.iter(|| {
+            request.encode_into(&mut buf);
+            std::hint::black_box(buf.len())
+        });
     });
     group.bench_function("decode_100_call_batch", |b| {
+        b.iter(|| std::hint::black_box(BatchRequestRef::from_wire_bytes(&bytes).unwrap()));
+    });
+    // Reference points: the allocating encode and the owned decode, which
+    // the application boundary (client side) still uses.
+    group.bench_function("encode_100_call_batch_alloc", |b| {
+        b.iter(|| std::hint::black_box(request.to_wire_bytes()));
+    });
+    group.bench_function("decode_100_call_batch_owned", |b| {
         b.iter(|| std::hint::black_box(BatchRequest::from_wire_bytes(&bytes).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_table(c: &mut Criterion) {
+    use brmi_rmi::ObjectTable;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut group = c.benchmark_group("table");
+    // N reader threads hammer lookups while one thread keeps exporting and
+    // unexporting — the mixed read/write load a busy server sees. With the
+    // old single-`RwLock` table the writer serialized every reader; the
+    // 64-way sharded table keeps them on disjoint locks almost always.
+    group.bench_function("contended_lookup", |b| {
+        let table = Arc::new(ObjectTable::new());
+        let ids: Vec<ObjectId> = (0..1024)
+            .map(|_| table.export(NoopSkeleton::remote_arc(NoopServer::new())))
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut contenders = Vec::new();
+        for reader in 0..3 {
+            let table = Arc::clone(&table);
+            let ids = ids.clone();
+            let stop = Arc::clone(&stop);
+            contenders.push(std::thread::spawn(move || {
+                let mut i = reader;
+                while !stop.load(Ordering::Relaxed) {
+                    i = (i + 7) % ids.len();
+                    std::hint::black_box(table.get(ids[i]));
+                }
+            }));
+        }
+        {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            contenders.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let id = table.export(NoopSkeleton::remote_arc(NoopServer::new()));
+                    std::hint::black_box(table.unexport(id));
+                }
+            }));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            std::hint::black_box(table.get(ids[i]))
+        });
+        stop.store(true, Ordering::Relaxed);
+        for handle in contenders {
+            handle.join().unwrap();
+        }
     });
     group.finish();
 }
@@ -202,6 +269,7 @@ criterion_group!(
     benches,
     bench_recording,
     bench_codec,
+    bench_table,
     bench_end_to_end,
     bench_traversal,
     bench_cursor_listing,

@@ -5,17 +5,21 @@
 //! * B: cursor vs two-batch listing (column "RMI" = two-batch variant);
 //! * C: exception-policy overhead (column "RMI" = 16-rule custom policy);
 //! * D: varint vs fixed-width codec (column "RMI" = fixed-width).
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_ablations.json` baseline; see [`brmi_bench::baseline`].
 
-use brmi_transport::NetworkProfile;
+use std::process::ExitCode;
 
-fn main() {
-    let lan = NetworkProfile::lan_1gbps();
-    let wireless = NetworkProfile::wireless_54mbps();
+use brmi_bench::baseline::{run_cli, SeriesTable};
+
+fn main() -> ExitCode {
     println!("BRMI ablations (columns renamed per variant; see header comments)\n");
-    brmi_bench::figures::ablation_identity(&lan).print();
-    brmi_bench::figures::ablation_identity(&wireless).print();
-    brmi_bench::figures::ablation_cursor(&lan).print();
-    brmi_bench::figures::ablation_policy(&lan).print();
-    brmi_bench::figures::ablation_codec(&wireless).print();
-    brmi_bench::figures::ablation_codec_payload(&wireless).print();
+    let figures = brmi_bench::figures::all_ablation_figures();
+    for figure in &figures {
+        figure.print();
+    }
+    let tables: Vec<SeriesTable> = figures.iter().map(SeriesTable::from).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&tables, &args)
 }

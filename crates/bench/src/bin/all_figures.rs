@@ -1,9 +1,21 @@
 //! Regenerates every figure of the paper's evaluation in one run —
 //! `cargo run -p brmi-bench --bin all_figures`.
+//!
+//! Accepts `--json PATH` to write the series as JSON and `--check PATH` to
+//! diff them against a committed baseline (`BENCH_all_figures.json`); see
+//! [`brmi_bench::baseline`].
 
-fn main() {
+use std::process::ExitCode;
+
+use brmi_bench::baseline::{run_cli, SeriesTable};
+
+fn main() -> ExitCode {
     println!("BRMI evaluation — all paper figures (simulated network, virtual time)\n");
-    for figure in brmi_bench::figures::all_paper_figures() {
+    let figures = brmi_bench::figures::all_paper_figures();
+    for figure in &figures {
         figure.print();
     }
+    let tables: Vec<SeriesTable> = figures.iter().map(SeriesTable::from).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&tables, &args)
 }

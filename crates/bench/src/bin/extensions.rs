@@ -1,9 +1,20 @@
 //! Runs the extension experiments (implicit-batching baseline, DTO
 //! facade) — `cargo run -p brmi-bench --bin extensions`.
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_extensions.json` baseline; see [`brmi_bench::baseline`].
 
-fn main() {
+use std::process::ExitCode;
+
+use brmi_bench::baseline::{run_cli, SeriesTable};
+
+fn main() -> ExitCode {
     println!("BRMI extension experiments (comparators the paper lacked)\n");
-    for figure in brmi_bench::extensions::all_extension_figures() {
+    let figures = brmi_bench::extensions::all_extension_figures();
+    for figure in &figures {
         figure.print();
     }
+    let tables: Vec<SeriesTable> = figures.iter().map(SeriesTable::from).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&tables, &args)
 }

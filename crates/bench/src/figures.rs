@@ -417,3 +417,18 @@ pub fn all_paper_figures() -> Vec<Figure> {
         fileserver_figure("fig13", &wireless),
     ]
 }
+
+/// Every design-choice ablation, in the order the `ablations` binary
+/// prints them (and the order `BENCH_ablations.json` pins them).
+pub fn all_ablation_figures() -> Vec<Figure> {
+    let lan = NetworkProfile::lan_1gbps();
+    let wireless = NetworkProfile::wireless_54mbps();
+    vec![
+        ablation_identity(&lan),
+        ablation_identity(&wireless),
+        ablation_cursor(&lan),
+        ablation_policy(&lan),
+        ablation_codec(&wireless),
+        ablation_codec_payload(&wireless),
+    ]
+}

@@ -15,10 +15,10 @@ use std::sync::Arc;
 
 use brmi_rmi::{BatchFrameHandler, CallCtx, InArg, OutValue, RemoteObject, RmiServer};
 use brmi_wire::invocation::{
-    Arg, BatchRequest, BatchResponse, CallSeq, CursorResult, ErrorEnvelope, ExceptionAction,
-    InvocationData, PolicySpec, SessionId, SlotOutcome, Target,
+    ArgRef, BatchRequestRef, BatchResponse, CallSeq, CursorResult, ErrorEnvelope, ExceptionAction,
+    InvocationDataRef, PolicySpec, SessionId, SlotOutcome, Target,
 };
-use brmi_wire::{RemoteError, RemoteErrorKind, Value};
+use brmi_wire::{RemoteError, RemoteErrorKind, ToValue, Value, ValueRef};
 use parking_lot::Mutex;
 
 /// Objects pinned alive between chained batches: remote results by call
@@ -145,7 +145,7 @@ impl BatchFrameHandler for BatchExecutor {
     fn invoke_batch(
         &self,
         server: &Arc<RmiServer>,
-        request: BatchRequest,
+        request: BatchRequestRef<'_>,
     ) -> Result<BatchResponse, RemoteError> {
         let base = match request.session {
             Some(session) => self.sessions.lock().remove(&session.0).ok_or_else(|| {
@@ -246,7 +246,7 @@ impl BatchExecutor {
         &self,
         server: &Arc<RmiServer>,
         mut state: SessionState,
-        request: &BatchRequest,
+        request: &BatchRequestRef<'_>,
         allow_restart: bool,
     ) -> RunResult {
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -404,7 +404,7 @@ impl BatchExecutor {
         server: &Arc<RmiServer>,
         ctx: &CallCtx,
         state: &mut SessionState,
-        calls: &[InvocationData],
+        calls: &[InvocationDataRef<'_>],
         member_idxs: &[usize],
         cursor_seq: u32,
         elements: Vec<Arc<dyn RemoteObject>>,
@@ -529,7 +529,7 @@ impl BatchExecutor {
         server: &Arc<RmiServer>,
         state: &SessionState,
         outcomes: &HashMap<u32, Option<ErrorEnvelope>>,
-        call: &InvocationData,
+        call: &InvocationDataRef<'_>,
         elem: Option<&ElemCtx<'_>>,
     ) -> Prep {
         let target = match &call.target {
@@ -545,13 +545,15 @@ impl BatchExecutor {
         let mut in_args = Vec::with_capacity(call.args.len());
         for arg in &call.args {
             let resolved = match arg {
-                Arg::Value(Value::RemoteRef(id)) => self.resolve_table(server, *id),
-                Arg::Value(value) => {
-                    in_args.push(InArg::Value(value.clone()));
+                ArgRef::Value(ValueRef::RemoteRef(id)) => self.resolve_table(server, *id),
+                ArgRef::Value(value) => {
+                    // The application boundary: the borrowed payload becomes
+                    // an owned value here, and nowhere earlier.
+                    in_args.push(InArg::Value(value.to_value()));
                     continue;
                 }
-                Arg::Result(seq) => self.resolve_result(seq.0, state, outcomes, elem),
-                Arg::CursorElement(seq, index) => self.resolve_element(state, seq.0, *index),
+                ArgRef::Result(seq) => self.resolve_result(seq.0, state, outcomes, elem),
+                ArgRef::CursorElement(seq, index) => self.resolve_element(state, seq.0, *index),
             };
             match resolved {
                 Resolved::Object(object) => in_args.push(InArg::Remote(object)),
@@ -630,7 +632,7 @@ impl BatchExecutor {
     fn execute_call(
         &self,
         target: &Arc<dyn RemoteObject>,
-        call: &InvocationData,
+        call: &InvocationDataRef<'_>,
         in_args: Vec<InArg>,
         index: usize,
         policy: &PolicySpec,
@@ -640,10 +642,10 @@ impl BatchExecutor {
         self.count_replayed();
         let mut attempts = 0u32;
         loop {
-            match target.invoke(&call.method, in_args.clone(), ctx) {
+            match target.invoke(call.method, in_args.clone(), ctx) {
                 Ok(out) => return Disposition::Success(out),
                 Err(err) => {
-                    let action = policy.action_for(&err, &call.method, index as u32);
+                    let action = policy.action_for(&err, call.method, index as u32);
                     let env = ErrorEnvelope::from(&err);
                     match action {
                         ExceptionAction::Break => return Disposition::Failure { env, brk: true },
@@ -677,13 +679,13 @@ impl BatchExecutor {
     fn fault_disposition(
         &self,
         err: &RemoteError,
-        call: &InvocationData,
+        call: &InvocationDataRef<'_>,
         index: usize,
         policy: &PolicySpec,
         allow_restart: bool,
     ) -> Disposition {
         let env = ErrorEnvelope::from(err);
-        match policy.action_for(err, &call.method, index as u32) {
+        match policy.action_for(err, call.method, index as u32) {
             ExceptionAction::Continue => Disposition::Failure { env, brk: false },
             ExceptionAction::Restart if allow_restart => Disposition::Restart,
             _ => Disposition::Failure { env, brk: true },

@@ -575,7 +575,7 @@ macro_rules! remote_interface {
     (@wrap_ret (value $T:ty) $e:ident) => {{
         let __v: $T = $e?;
         ::core::result::Result::Ok($crate::__rt::OutValue::Data(
-            $crate::__rt::ToValue::to_value(&__v),
+            $crate::__rt::ToValue::into_value(__v),
         ))
     }};
     (@wrap_ret (void) $e:ident) => {{
@@ -598,7 +598,7 @@ macro_rules! remote_interface {
     }};
 
     (@loopback_arg_val (v $T:ty) $a:ident) => {
-        $crate::__rt::ToValue::to_value(&$a)
+        $crate::__rt::ToValue::into_value($a)
     };
     (@loopback_arg_val (r $R:ident) $a:ident) => {
         $crate::__rt::loopback_arg_id($a.__remote_id())?
@@ -633,7 +633,7 @@ macro_rules! remote_interface {
     }};
 
     (@stub_arg_val (v $T:ty) $a:ident) => {
-        $crate::__rt::ToValue::to_value(&$a)
+        $crate::__rt::ToValue::into_value($a)
     };
     (@stub_arg_val (r $R:ident) $a:ident) => {
         $crate::__rt::Value::RemoteRef($a.remote_ref().id())
@@ -666,7 +666,7 @@ macro_rules! remote_interface {
     }};
 
     (@b_arg_val (v $T:ty) $a:ident) => {
-        $crate::RecordArg::Value($crate::__rt::ToValue::to_value(&$a))
+        $crate::RecordArg::Value($crate::__rt::ToValue::into_value($a))
     };
     (@b_arg_val (r $R:ident) $a:ident) => {
         $a.record_arg()

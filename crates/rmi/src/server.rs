@@ -14,9 +14,9 @@ use std::time::Duration;
 
 use brmi_transport::clock::Clock;
 use brmi_transport::RequestHandler;
-use brmi_wire::invocation::{BatchRequest, BatchResponse, ErrorEnvelope, SessionId};
-use brmi_wire::protocol::Frame;
-use brmi_wire::{ObjectId, RemoteError, RemoteErrorKind, Value};
+use brmi_wire::invocation::{BatchRequestRef, BatchResponse, ErrorEnvelope, SessionId};
+use brmi_wire::protocol::{Frame, FrameRef};
+use brmi_wire::{ObjectId, RemoteError, RemoteErrorKind, ToValue, Value, ValueRef};
 use parking_lot::RwLock;
 
 use crate::dgc::{DgcConfig, DgcServer};
@@ -33,6 +33,11 @@ pub trait BatchFrameHandler: Send + Sync {
     /// Executes a recorded batch against `server` (the paper's
     /// `invokeBatch`, Figure 2).
     ///
+    /// The request arrives as a borrowed view into the frame buffer: the
+    /// executor converts each argument to an owned [`Value`] only when it
+    /// hands it to the application, so decode pays no per-payload copy.
+    /// Owned requests bridge in via [`brmi_wire::invocation::BatchRequest::to_ref`].
+    ///
     /// # Errors
     ///
     /// Returns a protocol-kind error for malformed batches (unknown
@@ -41,7 +46,7 @@ pub trait BatchFrameHandler: Send + Sync {
     fn invoke_batch(
         &self,
         server: &Arc<RmiServer>,
-        request: BatchRequest,
+        request: BatchRequestRef<'_>,
     ) -> Result<BatchResponse, RemoteError>;
 
     /// Discards a chained-batch session.
@@ -195,15 +200,60 @@ impl RmiServer {
         method: &str,
         args: Vec<Value>,
     ) -> Result<Value, RemoteError> {
+        self.dispatch_in_args(target, method, args.into_iter().map(InArg::Value).collect())
+    }
+
+    /// As [`RmiServer::dispatch_call`], for arguments decoded as borrowed
+    /// views. Each argument becomes an owned [`Value`] only here, at the
+    /// application boundary — the decode itself copied nothing.
+    ///
+    /// # Errors
+    ///
+    /// As [`RmiServer::dispatch_call`].
+    pub fn dispatch_call_ref(
+        &self,
+        target: ObjectId,
+        method: &str,
+        args: &[ValueRef<'_>],
+    ) -> Result<Value, RemoteError> {
+        let in_args = args
+            .iter()
+            .map(|arg| InArg::Value(arg.to_value()))
+            .collect();
+        self.dispatch_in_args(target, method, in_args)
+    }
+
+    /// The shared tail of both dispatch entry points: lookup, invoke,
+    /// marshal.
+    fn dispatch_in_args(
+        &self,
+        target: ObjectId,
+        method: &str,
+        in_args: Vec<InArg>,
+    ) -> Result<Value, RemoteError> {
         let object = self.table.get(target).ok_or_else(|| {
             RemoteError::new(
                 RemoteErrorKind::NoSuchObject,
                 format!("no exported object {target}"),
             )
         })?;
-        let in_args = args.into_iter().map(InArg::Value).collect();
         let out = object.invoke(method, in_args, &self.call_ctx())?;
         Ok(self.marshal_out(out))
+    }
+
+    /// Runs a borrowed batch request through the installed batch handler.
+    fn handle_batch(&self, request: BatchRequestRef<'_>) -> Frame {
+        let handler = self.batch_handler.read().clone();
+        match handler {
+            Some(handler) => match handler.invoke_batch(&self.strong(), request) {
+                Ok(response) => Frame::BatchReturn(response),
+                Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+            },
+            None => Frame::Error(ErrorEnvelope::from(&RemoteError::new(
+                RemoteErrorKind::Protocol,
+                "server has no batch support installed",
+            ))),
+        }
     }
 
     /// Marshals a method result for the wire: remote objects are exported
@@ -254,19 +304,12 @@ impl RequestHandler for RmiServer {
                 Ok(value) => Frame::Return(value),
                 Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
             },
-            Frame::BatchCall(request) => {
-                let handler = self.batch_handler.read().clone();
-                match handler {
-                    Some(handler) => match handler.invoke_batch(&self.strong(), request) {
-                        Ok(response) => Frame::BatchReturn(response),
-                        Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
-                    },
-                    None => Frame::Error(ErrorEnvelope::from(&RemoteError::new(
-                        RemoteErrorKind::Protocol,
-                        "server has no batch support installed",
-                    ))),
-                }
-            }
+            // The owned entry point pays a borrowed-mirror allocation per
+            // call; fine for this compatibility path (codec-skipping
+            // in-proc mode, direct tests) — wire transports dispatch
+            // through `handle_ref`, which decodes the borrowed form
+            // directly.
+            Frame::BatchCall(request) => self.handle_batch(request.to_ref()),
             Frame::ReleaseSession(session) => {
                 if let Some(handler) = self.batch_handler.read().clone() {
                     handler.release_session(session);
@@ -311,6 +354,25 @@ impl RequestHandler for RmiServer {
             ))),
         }
     }
+
+    /// The zero-copy dispatch path: payload-carrying frames (calls and
+    /// batches) are dispatched straight from the borrowed view, so decoding
+    /// a request performs no per-`Str`/`Bytes` heap copy. Control frames
+    /// fall through to the owned path.
+    fn handle_ref(&self, frame: FrameRef<'_>) -> Frame {
+        match frame {
+            FrameRef::Call {
+                target,
+                method,
+                args,
+            } => match self.dispatch_call_ref(target, method, &args) {
+                Ok(value) => Frame::Return(value),
+                Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+            },
+            FrameRef::BatchCall(request) => self.handle_batch(request),
+            FrameRef::Other(frame) => self.handle(frame),
+        }
+    }
 }
 
 impl Loopback for RmiServer {
@@ -333,6 +395,7 @@ mod tests {
     use super::*;
     use crate::object::no_such_method;
     use brmi_transport::clock::VirtualClock;
+    use brmi_wire::invocation::BatchRequest;
     use std::any::Any;
 
     /// A counter service used to exercise dispatch.

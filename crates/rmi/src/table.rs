@@ -9,15 +9,28 @@ use parking_lot::RwLock;
 
 use crate::object::RemoteObject;
 
+/// Number of independent lock shards. Power of two so the shard index is a
+/// mask of the id's low bits; 64 keeps the probability of two concurrent
+/// dispatch threads colliding on one lock low even on wide machines.
+const SHARD_COUNT: u64 = 64;
+
 /// Maps exported [`ObjectId`]s to live objects.
 ///
 /// Ids are never reused within one table, so a stale reference can only miss,
 /// never alias a different object. Id `0` is reserved for the registry and is
 /// installed by the server, not by [`ObjectTable::export`].
+///
+/// The table is sharded 64 ways by the id's low bits: every call the server
+/// dispatches performs at least one lookup here, so a single `RwLock` around
+/// one map would serialize writer traffic (exports of marshalled results,
+/// DGC unexports) against the whole dispatch fan-out. Sequential ids spread
+/// round-robin across shards, giving a uniform key distribution by
+/// construction. The `table/contended_lookup` benchmark in
+/// `crates/bench/benches/middleware_cpu.rs` measures the effect.
 #[derive(Debug)]
 pub struct ObjectTable {
     next_id: AtomicU64,
-    objects: RwLock<HashMap<u64, Arc<dyn RemoteObject>>>,
+    shards: [RwLock<HashMap<u64, Arc<dyn RemoteObject>>>; SHARD_COUNT as usize],
 }
 
 impl std::fmt::Debug for dyn RemoteObject {
@@ -30,7 +43,7 @@ impl Default for ObjectTable {
     fn default() -> Self {
         ObjectTable {
             next_id: AtomicU64::new(1),
-            objects: RwLock::new(HashMap::new()),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
         }
     }
 }
@@ -41,6 +54,10 @@ impl ObjectTable {
         ObjectTable::default()
     }
 
+    fn shard(&self, id: u64) -> &RwLock<HashMap<u64, Arc<dyn RemoteObject>>> {
+        &self.shards[(id & (SHARD_COUNT - 1)) as usize]
+    }
+
     /// Exports `object` under a fresh id.
     ///
     /// Exporting the same object twice yields two ids, as in Java RMI —
@@ -49,34 +66,34 @@ impl ObjectTable {
     /// paper measures.
     pub fn export(&self, object: Arc<dyn RemoteObject>) -> ObjectId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.objects.write().insert(id, object);
+        self.shard(id).write().insert(id, object);
         ObjectId(id)
     }
 
     /// Installs an object at a specific id, replacing any previous occupant.
     /// Used by the server to place the registry at [`ObjectId::REGISTRY`].
     pub fn install(&self, id: ObjectId, object: Arc<dyn RemoteObject>) {
-        self.objects.write().insert(id.0, object);
+        self.shard(id.0).write().insert(id.0, object);
     }
 
     /// Looks up a live object.
     pub fn get(&self, id: ObjectId) -> Option<Arc<dyn RemoteObject>> {
-        self.objects.read().get(&id.0).cloned()
+        self.shard(id.0).read().get(&id.0).cloned()
     }
 
     /// Removes an object from the table. Returns true when it was present.
     pub fn unexport(&self, id: ObjectId) -> bool {
-        self.objects.write().remove(&id.0).is_some()
+        self.shard(id.0).write().remove(&id.0).is_some()
     }
 
     /// Number of exported objects (including the registry once installed).
     pub fn len(&self) -> usize {
-        self.objects.read().len()
+        self.shards.iter().map(|shard| shard.read().len()).sum()
     }
 
     /// True when nothing is exported.
     pub fn is_empty(&self) -> bool {
-        self.objects.read().is_empty()
+        self.shards.iter().all(|shard| shard.read().is_empty())
     }
 }
 
@@ -169,6 +186,26 @@ mod tests {
         assert!(table.is_empty());
         table.export(Arc::new(Dummy("x")));
         assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn objects_spread_across_shards_stay_reachable() {
+        let table = ObjectTable::new();
+        // More objects than shards, so every shard holds several.
+        let ids: Vec<ObjectId> = (0..256)
+            .map(|_| table.export(Arc::new(Dummy("x"))))
+            .collect();
+        assert_eq!(table.len(), 256);
+        for id in &ids {
+            assert!(table.get(*id).is_some());
+        }
+        for id in &ids[..128] {
+            assert!(table.unexport(*id));
+        }
+        assert_eq!(table.len(), 128);
+        for id in &ids[128..] {
+            assert!(table.get(*id).is_some());
+        }
     }
 
     #[test]

@@ -7,8 +7,9 @@
 use std::sync::Arc;
 
 use brmi_wire::codec::WireCodec;
-use brmi_wire::protocol::Frame;
+use brmi_wire::protocol::{Frame, FrameRef};
 use brmi_wire::RemoteError;
+use parking_lot::Mutex;
 
 use crate::{RequestHandler, Transport, TransportStats};
 
@@ -19,6 +20,10 @@ pub struct InProcTransport {
     /// When false, frames are passed through without an encode/decode cycle
     /// (fast path for CPU benchmarks of the layers above).
     verify_codec: bool,
+    /// Reused (request, reply) frame buffers. Taken out of the mutex for
+    /// the duration of a round trip so a re-entrant or concurrent request
+    /// simply allocates fresh buffers instead of blocking.
+    scratch: Mutex<(Vec<u8>, Vec<u8>)>,
 }
 
 impl InProcTransport {
@@ -29,6 +34,7 @@ impl InProcTransport {
             handler,
             stats: TransportStats::new(),
             verify_codec: true,
+            scratch: Mutex::new(Default::default()),
         }
     }
 
@@ -38,6 +44,7 @@ impl InProcTransport {
             handler,
             stats: TransportStats::new(),
             verify_codec: false,
+            scratch: Mutex::new(Default::default()),
         }
     }
 
@@ -60,12 +67,17 @@ impl Transport for InProcTransport {
         if !self.verify_codec {
             return Ok(self.handler.handle(frame));
         }
-        let request_bytes = frame.to_wire_bytes();
-        let decoded = Frame::from_wire_bytes(&request_bytes)?;
-        let reply = self.handler.handle(decoded);
-        let reply_bytes = reply.to_wire_bytes();
-        self.stats.record(request_bytes.len(), reply_bytes.len());
-        Ok(Frame::from_wire_bytes(&reply_bytes)?)
+        let (mut request_buf, mut reply_buf) = std::mem::take(&mut *self.scratch.lock());
+        frame.encode_into(&mut request_buf);
+        let result = (|| {
+            let decoded = FrameRef::from_wire_bytes(&request_buf)?;
+            let reply = self.handler.handle_ref(decoded);
+            reply.encode_into(&mut reply_buf);
+            self.stats.record(request_buf.len(), reply_buf.len());
+            Frame::from_wire_bytes(&reply_buf)
+        })();
+        *self.scratch.lock() = (request_buf, reply_buf);
+        Ok(result?)
     }
 }
 

@@ -25,7 +25,7 @@ pub mod tcp;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use brmi_wire::protocol::Frame;
+use brmi_wire::protocol::{Frame, FrameRef};
 use brmi_wire::{RemoteError, Value};
 
 pub use clock::{Clock, SleepClock, VirtualClock};
@@ -58,11 +58,26 @@ pub trait RequestHandler: Send + Sync {
     /// Handles one request. Failures are reported in-band as
     /// [`Frame::Error`], so this method itself does not fail.
     fn handle(&self, frame: Frame) -> Frame;
+
+    /// Handles one request decoded as a borrowed view — the zero-copy
+    /// dispatch path. Transports decode incoming bytes as a [`FrameRef`]
+    /// and call this, so `Str`/`Bytes` payloads are copied out of the
+    /// frame only where the handler actually needs owned data.
+    ///
+    /// The default converts to an owned frame and delegates to
+    /// [`RequestHandler::handle`]; the RMI server overrides it.
+    fn handle_ref(&self, frame: FrameRef<'_>) -> Frame {
+        self.handle(frame.into_owned())
+    }
 }
 
 impl<T: RequestHandler + ?Sized> RequestHandler for Arc<T> {
     fn handle(&self, frame: Frame) -> Frame {
         (**self).handle(frame)
+    }
+
+    fn handle_ref(&self, frame: FrameRef<'_>) -> Frame {
+        (**self).handle_ref(frame)
     }
 }
 

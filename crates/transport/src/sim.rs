@@ -15,8 +15,9 @@
 use std::sync::Arc;
 
 use brmi_wire::codec::{IntWidth, WireCodec};
-use brmi_wire::protocol::Frame;
+use brmi_wire::protocol::{Frame, FrameRef};
 use brmi_wire::RemoteError;
+use parking_lot::Mutex;
 
 use crate::clock::Clock;
 use crate::profile::NetworkProfile;
@@ -29,6 +30,9 @@ pub struct SimTransport {
     clock: Arc<dyn Clock>,
     stats: Arc<TransportStats>,
     int_width: IntWidth,
+    /// Reused (request, reply) frame buffers; see
+    /// [`InProcTransport`](crate::inproc::InProcTransport).
+    scratch: Mutex<(Vec<u8>, Vec<u8>)>,
 }
 
 impl SimTransport {
@@ -58,6 +62,7 @@ impl SimTransport {
             clock,
             stats: TransportStats::new(),
             int_width,
+            scratch: Mutex::new(Default::default()),
         }
     }
 
@@ -82,23 +87,28 @@ impl std::fmt::Debug for SimTransport {
 
 impl Transport for SimTransport {
     fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
-        let request_bytes = frame.to_wire_bytes_with(self.int_width);
+        let (mut request_buf, mut reply_buf) = std::mem::take(&mut *self.scratch.lock());
+        frame.encode_into_with(&mut request_buf, self.int_width);
         let request_refs = frame_remote_refs(&frame);
-        let decoded = Frame::from_wire_bytes_with(&request_bytes, self.int_width)?;
 
-        let reply = self.handler.handle(decoded);
+        let result = (|| {
+            let decoded = FrameRef::from_wire_bytes_with(&request_buf, self.int_width)?;
+            let reply = self.handler.handle_ref(decoded);
 
-        let reply_bytes = reply.to_wire_bytes_with(self.int_width);
-        let reply_refs = frame_remote_refs(&reply);
-        self.stats.record(request_bytes.len(), reply_bytes.len());
-        self.stats.record_remote_refs(request_refs + reply_refs);
-        let cost = self.profile.call_cost(
-            request_bytes.len(),
-            reply_bytes.len(),
-            request_refs + reply_refs,
-        );
-        self.clock.advance(cost);
-        Ok(Frame::from_wire_bytes_with(&reply_bytes, self.int_width)?)
+            reply.encode_into_with(&mut reply_buf, self.int_width);
+            let reply_refs = frame_remote_refs(&reply);
+            self.stats.record(request_buf.len(), reply_buf.len());
+            self.stats.record_remote_refs(request_refs + reply_refs);
+            let cost = self.profile.call_cost(
+                request_buf.len(),
+                reply_buf.len(),
+                request_refs + reply_refs,
+            );
+            self.clock.advance(cost);
+            Frame::from_wire_bytes_with(&reply_buf, self.int_width)
+        })();
+        *self.scratch.lock() = (request_buf, reply_buf);
+        Ok(result?)
     }
 }
 

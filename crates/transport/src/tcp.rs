@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use brmi_wire::codec::WireCodec;
-use brmi_wire::protocol::Frame;
+use brmi_wire::protocol::{Frame, FrameRef};
 use brmi_wire::RemoteError;
 use parking_lot::Mutex;
 
@@ -21,21 +21,41 @@ use crate::{RequestHandler, Transport};
 /// Maximum accepted frame size; larger frames indicate a protocol error.
 const MAX_FRAME: u32 = 64 * 1024 * 1024;
 
-fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
-    let bytes = frame.to_wire_bytes();
-    let len = u32::try_from(bytes.len())
+/// Reused frame buffers are allowed to keep this much capacity between
+/// frames; anything larger (a one-off bulk payload) is released after the
+/// round trip so an outlier frame cannot pin tens of megabytes per
+/// connection for its lifetime.
+const KEEP_BUF: usize = 256 * 1024;
+
+/// Shrinks an oversized reused buffer back to the retention threshold.
+fn trim_buf(buf: &mut Vec<u8>) {
+    if buf.capacity() > KEEP_BUF {
+        buf.truncate(KEEP_BUF);
+        buf.shrink_to(KEEP_BUF);
+    }
+}
+
+/// Encodes `frame` into `buf` (cleared, capacity kept) and writes it as a
+/// length-prefixed frame. Reusing `buf` across frames makes steady-state
+/// sends allocation-free.
+fn write_frame(stream: &mut TcpStream, frame: &Frame, buf: &mut Vec<u8>) -> std::io::Result<()> {
+    frame.encode_into(buf);
+    let len = u32::try_from(buf.len())
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
     stream.write_all(&len.to_le_bytes())?;
-    stream.write_all(&bytes)?;
+    stream.write_all(buf)?;
     stream.flush()
 }
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Frame>> {
+/// Reads one length-prefixed frame into `buf` (cleared, capacity kept).
+/// Returns `Ok(false)` on a clean EOF between frames. The caller decodes
+/// `buf` owned (client side) or borrowed (server dispatch side).
+fn read_frame_bytes(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<bool> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
         // A clean EOF between frames means the peer closed the connection.
-        Err(err) if err.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(err) if err.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(false),
         Err(err) => return Err(err),
     }
     let len = u32::from_le_bytes(len_buf);
@@ -45,11 +65,14 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Frame>> {
             format!("frame length {len} exceeds maximum"),
         ));
     }
-    let mut bytes = vec![0u8; len as usize];
-    stream.read_exact(&mut bytes)?;
-    let frame = Frame::from_wire_bytes(&bytes)
-        .map_err(|err| std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string()))?;
-    Ok(Some(frame))
+    buf.clear();
+    buf.resize(len as usize, 0);
+    stream.read_exact(buf)?;
+    Ok(true)
+}
+
+fn decode_error(err: brmi_wire::WireError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string())
 }
 
 /// A client connection to a [`TcpServer`].
@@ -59,8 +82,16 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Frame>> {
 /// one transport per thread (exactly as BRMI requires one batch stub per
 /// thread, paper Section 4.5).
 pub struct TcpTransport {
-    stream: Mutex<TcpStream>,
+    conn: Mutex<ClientConn>,
     peer: SocketAddr,
+}
+
+/// The stream plus its reused frame buffers; one outstanding request per
+/// connection means the buffers can live with the stream under one lock.
+struct ClientConn {
+    stream: TcpStream,
+    write_buf: Vec<u8>,
+    read_buf: Vec<u8>,
 }
 
 impl TcpTransport {
@@ -80,7 +111,11 @@ impl TcpTransport {
             .peer_addr()
             .map_err(|err| RemoteError::transport(format!("peer_addr failed: {err}")))?;
         Ok(TcpTransport {
-            stream: Mutex::new(stream),
+            conn: Mutex::new(ClientConn {
+                stream,
+                write_buf: Vec::new(),
+                read_buf: Vec::new(),
+            }),
             peer,
         })
     }
@@ -101,14 +136,18 @@ impl std::fmt::Debug for TcpTransport {
 
 impl Transport for TcpTransport {
     fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
-        let mut stream = self.stream.lock();
-        write_frame(&mut stream, &frame)
+        let conn = &mut *self.conn.lock();
+        write_frame(&mut conn.stream, &frame, &mut conn.write_buf)
             .map_err(|err| RemoteError::transport(format!("send failed: {err}")))?;
-        match read_frame(&mut stream) {
-            Ok(Some(reply)) => Ok(reply),
-            Ok(None) => Err(RemoteError::transport("connection closed by server")),
+        let reply = match read_frame_bytes(&mut conn.stream, &mut conn.read_buf) {
+            Ok(true) => Frame::from_wire_bytes(&conn.read_buf)
+                .map_err(|err| RemoteError::transport(format!("receive failed: {err}"))),
+            Ok(false) => Err(RemoteError::transport("connection closed by server")),
             Err(err) => Err(RemoteError::transport(format!("receive failed: {err}"))),
-        }
+        };
+        trim_buf(&mut conn.write_buf);
+        trim_buf(&mut conn.read_buf);
+        reply
     }
 }
 
@@ -217,15 +256,25 @@ fn connection_loop(
     shutdown: Arc<AtomicBool>,
 ) {
     let _ = stream.set_nodelay(true);
+    // Both frame buffers are reused for the life of the connection, so a
+    // steady request stream performs no per-frame buffer allocations; the
+    // request is dispatched as a borrowed view into `read_buf`.
+    let mut read_buf: Vec<u8> = Vec::new();
+    let mut write_buf: Vec<u8> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
-        let frame = match read_frame(&mut stream) {
-            Ok(Some(frame)) => frame,
-            Ok(None) | Err(_) => return,
+        match read_frame_bytes(&mut stream, &mut read_buf) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let reply = match FrameRef::from_wire_bytes(&read_buf).map_err(decode_error) {
+            Ok(frame) => handler.handle_ref(frame),
+            Err(_) => return,
         };
-        let reply = handler.handle(frame);
-        if write_frame(&mut stream, &reply).is_err() {
+        if write_frame(&mut stream, &reply, &mut write_buf).is_err() {
             return;
         }
+        trim_buf(&mut read_buf);
+        trim_buf(&mut write_buf);
     }
 }
 
@@ -318,6 +367,19 @@ mod tests {
                 assert_eq!(err.kind(), brmi_wire::RemoteErrorKind::Transport);
             }
         }
+    }
+
+    #[test]
+    fn trim_buf_releases_outlier_capacity_only() {
+        let mut outlier = vec![0u8; 4 * 1024 * 1024];
+        trim_buf(&mut outlier);
+        assert!(outlier.capacity() <= KEEP_BUF);
+        let mut steady = Vec::with_capacity(1024);
+        steady.push(1u8);
+        let capacity = steady.capacity();
+        trim_buf(&mut steady);
+        assert_eq!(steady.capacity(), capacity, "small buffers keep capacity");
+        assert_eq!(steady, vec![1u8]);
     }
 
     #[test]

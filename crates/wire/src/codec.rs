@@ -53,6 +53,32 @@ impl Encoder {
         }
     }
 
+    /// Creates an encoder over an existing buffer, clearing it first.
+    ///
+    /// The buffer's capacity is kept, so batch senders that encode into the
+    /// same buffer on every flush amortize the allocation to zero after the
+    /// first frame. Take the bytes back with [`Encoder::into_bytes`] or read
+    /// them in place via [`Encoder::as_slice`].
+    pub fn with_buffer(buf: Vec<u8>) -> Self {
+        Encoder::with_buffer_and_width(buf, IntWidth::Varint)
+    }
+
+    /// As [`Encoder::with_buffer`], at the given integer width.
+    pub fn with_buffer_and_width(mut buf: Vec<u8>, width: IntWidth) -> Self {
+        buf.clear();
+        Encoder { buf, width }
+    }
+
+    /// Clears the written bytes for reuse, keeping capacity and width.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Consumes the encoder and returns the encoded bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -242,18 +268,31 @@ impl<'a> Decoder<'a> {
 
     /// Reads a length-prefixed byte slice.
     pub fn take_bytes(&mut self, context: &'static str) -> Result<Vec<u8>, WireError> {
+        Ok(self.take_bytes_ref(context)?.to_vec())
+    }
+
+    /// Reads a length-prefixed byte slice *borrowed from the input frame* —
+    /// the zero-copy fast path. The returned slice lives as long as the
+    /// input, independent of the decoder.
+    pub fn take_bytes_ref(&mut self, context: &'static str) -> Result<&'a [u8], WireError> {
         let len = self.take_length(context)?;
         if self.remaining() < len {
             return Err(WireError::UnexpectedEof { context });
         }
-        let bytes = self.input[self.pos..self.pos + len].to_vec();
+        let bytes = &self.input[self.pos..self.pos + len];
         self.pos += len;
         Ok(bytes)
     }
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn take_str(&mut self, context: &'static str) -> Result<String, WireError> {
-        String::from_utf8(self.take_bytes(context)?).map_err(|_| WireError::InvalidUtf8)
+        Ok(self.take_str_ref(context)?.to_owned())
+    }
+
+    /// Reads a length-prefixed UTF-8 string *borrowed from the input frame*
+    /// (validated in place, no heap copy).
+    pub fn take_str_ref(&mut self, context: &'static str) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.take_bytes_ref(context)?).map_err(|_| WireError::InvalidUtf8)
     }
 
     /// Reads a varint length, enforcing [`MAX_LENGTH`].
@@ -296,6 +335,20 @@ pub trait WireCodec: Sized {
         enc.into_bytes()
     }
 
+    /// Encodes `self` into `buf`, clearing it first but keeping its
+    /// capacity — the scratch-buffer fast path for senders that encode a
+    /// frame per flush into the same buffer.
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.encode_into_with(buf, IntWidth::Varint);
+    }
+
+    /// As [`WireCodec::encode_into`], writing integers at the given width.
+    fn encode_into_with(&self, buf: &mut Vec<u8>, width: IntWidth) {
+        let mut enc = Encoder::with_buffer_and_width(std::mem::take(buf), width);
+        self.encode(&mut enc);
+        *buf = enc.into_bytes();
+    }
+
     /// Decodes exactly one item from `bytes`, rejecting trailing garbage.
     fn from_wire_bytes(bytes: &[u8]) -> Result<Self, WireError> {
         let mut dec = Decoder::new(bytes);
@@ -327,7 +380,7 @@ pub trait WireCodec: Sized {
 
 mod value_codec {
     use super::*;
-    use crate::value::{ObjectId, Value};
+    use crate::value::{ObjectId, Value, ValueRef};
 
     // Tag bytes for Value variants. Stable wire contract; do not reorder.
     const TAG_NULL: u8 = 0;
@@ -437,6 +490,73 @@ mod value_codec {
                     })
                 }
             })
+        }
+    }
+
+    impl<'a> ValueRef<'a> {
+        /// Decodes one value as a borrowed view: `Str`/`Bytes` payloads and
+        /// record field names are slices into the decoder's input, so the
+        /// decode performs no per-payload heap copy. Reads the same wire
+        /// format as [`Value::decode`].
+        ///
+        /// # Errors
+        ///
+        /// Returns a [`WireError`] when the input is truncated or malformed.
+        pub fn decode(dec: &mut Decoder<'a>) -> Result<ValueRef<'a>, WireError> {
+            const CTX: &str = "value";
+            let tag = dec.take_u8(CTX)?;
+            Ok(match tag {
+                TAG_NULL => ValueRef::Null,
+                TAG_BOOL => ValueRef::Bool(dec.take_bool(CTX)?),
+                TAG_I32 => {
+                    let wide = dec.take_signed(CTX)?;
+                    ValueRef::I32(i32::try_from(wide).map_err(|_| WireError::VarintOverflow)?)
+                }
+                TAG_I64 => ValueRef::I64(dec.take_signed(CTX)?),
+                TAG_F64 => ValueRef::F64(dec.take_f64(CTX)?),
+                TAG_STR => ValueRef::Str(dec.take_str_ref(CTX)?),
+                TAG_BYTES => ValueRef::Bytes(dec.take_bytes_ref(CTX)?),
+                TAG_DATE => ValueRef::Date(dec.take_signed(CTX)?),
+                TAG_LIST => {
+                    let count = dec.take_length(CTX)?;
+                    let mut items = Vec::with_capacity(count.min(1024));
+                    for _ in 0..count {
+                        items.push(ValueRef::decode(dec)?);
+                    }
+                    ValueRef::List(items)
+                }
+                TAG_RECORD => {
+                    let count = dec.take_length(CTX)?;
+                    let mut fields = Vec::with_capacity(count.min(1024));
+                    for _ in 0..count {
+                        let name = dec.take_str_ref(CTX)?;
+                        let value = ValueRef::decode(dec)?;
+                        fields.push((name, value));
+                    }
+                    ValueRef::Record(fields)
+                }
+                TAG_REMOTE => ValueRef::RemoteRef(ObjectId(dec.take_varint(CTX)?)),
+                other => {
+                    return Err(WireError::UnknownTag {
+                        context: CTX,
+                        tag: other,
+                    })
+                }
+            })
+        }
+
+        /// Decodes exactly one borrowed value from `bytes`, rejecting
+        /// trailing garbage.
+        ///
+        /// # Errors
+        ///
+        /// Returns a [`WireError`] when the input is truncated, malformed,
+        /// or longer than one value.
+        pub fn from_wire_bytes(bytes: &'a [u8]) -> Result<ValueRef<'a>, WireError> {
+            let mut dec = Decoder::new(bytes);
+            let value = ValueRef::decode(&mut dec)?;
+            dec.finish()?;
+            Ok(value)
         }
     }
 }
@@ -637,5 +757,59 @@ mod tests {
         assert!(enc.is_empty());
         enc.put_str("abc");
         assert_eq!(enc.len(), 4); // 1 length byte + 3 payload bytes
+    }
+
+    #[test]
+    fn encoder_reset_matches_fresh_encoder() {
+        let mut enc = Encoder::new();
+        Value::Str("first".into()).encode(&mut enc);
+        enc.reset();
+        assert!(enc.is_empty());
+        let v = Value::List(vec![Value::I32(9), Value::Bytes(vec![1, 2])]);
+        v.encode(&mut enc);
+        assert_eq!(enc.as_slice(), v.to_wire_bytes().as_slice());
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_and_matches_fresh() {
+        let v = Value::Str("payload".into());
+        let mut buf = Value::Bytes(vec![0; 256]).to_wire_bytes();
+        let capacity = buf.capacity();
+        v.encode_into(&mut buf);
+        assert_eq!(buf, v.to_wire_bytes());
+        assert_eq!(buf.capacity(), capacity, "capacity must be kept");
+    }
+
+    #[test]
+    fn borrowed_reads_match_owned_reads() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[1, 2, 3]);
+        enc.put_str("héllo");
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.take_bytes_ref("t").unwrap(), &[1, 2, 3]);
+        assert_eq!(dec.take_str_ref("t").unwrap(), "héllo");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn borrowed_slice_outlives_decoder() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"still here");
+        let bytes = enc.into_bytes();
+        let slice = {
+            let mut dec = Decoder::new(&bytes);
+            dec.take_bytes_ref("t").unwrap()
+        };
+        assert_eq!(slice, b"still here");
+    }
+
+    #[test]
+    fn borrowed_str_rejects_invalid_utf8() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xff, 0xfe]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.take_str_ref("t").unwrap_err(), WireError::InvalidUtf8);
     }
 }

@@ -35,4 +35,4 @@ pub mod value;
 
 pub use codec::WireCodec;
 pub use error::{RemoteError, RemoteErrorKind, WireError};
-pub use value::{DateMillis, FromValue, ObjectId, ToValue, Value};
+pub use value::{DateMillis, FromValue, ObjectId, ToValue, Value, ValueRef};

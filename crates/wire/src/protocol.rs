@@ -5,10 +5,10 @@
 //! ([`ObjectId::REGISTRY`]), mirroring how the RMI registry is itself a
 //! remote object.
 
-use crate::codec::{Decoder, Encoder, WireCodec};
+use crate::codec::{Decoder, Encoder, IntWidth, WireCodec};
 use crate::error::WireError;
-use crate::invocation::{BatchRequest, BatchResponse, ErrorEnvelope, SessionId};
-use crate::value::{ObjectId, Value};
+use crate::invocation::{BatchRequest, BatchRequestRef, BatchResponse, ErrorEnvelope, SessionId};
+use crate::value::{ObjectId, Value, ValueRef};
 
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,7 +166,15 @@ impl WireCodec for Frame {
     }
 
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
-        match dec.take_u8(CTX)? {
+        let tag = dec.take_u8(CTX)?;
+        Frame::decode_body(tag, dec)
+    }
+}
+
+impl Frame {
+    /// Decodes the body of a frame whose tag byte was already consumed.
+    fn decode_body(tag: u8, dec: &mut Decoder<'_>) -> Result<Frame, WireError> {
+        match tag {
             TAG_CALL => {
                 let target = ObjectId(dec.take_varint(CTX)?);
                 let method = dec.take_str(CTX)?;
@@ -209,6 +217,116 @@ impl WireCodec for Frame {
             }
             TAG_CLEANED => Ok(Frame::Cleaned),
             tag => Err(WireError::UnknownTag { context: CTX, tag }),
+        }
+    }
+}
+
+/// A request frame decoded as a borrowed view: the server dispatch path's
+/// zero-copy form of [`Frame`].
+///
+/// Only the two frames that carry per-call payloads — plain calls and batch
+/// calls — have borrowed variants; every other frame is a small control or
+/// reply message and decodes owned via [`FrameRef::Other`].
+///
+/// Lifetime contract: a `FrameRef<'a>` borrows the frame buffer it was
+/// decoded from. Transports keep that buffer alive (and unmodified) until
+/// the handler returns its reply, then reuse it for the next frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameRef<'a> {
+    /// A plain RMI call; method name and argument payloads are borrowed.
+    Call {
+        /// The exported receiver.
+        target: ObjectId,
+        /// Method name, borrowed from the frame.
+        method: &'a str,
+        /// Arguments, payloads borrowed from the frame.
+        args: Vec<ValueRef<'a>>,
+    },
+    /// A recorded batch; call descriptors are borrowed.
+    BatchCall(BatchRequestRef<'a>),
+    /// Any other frame, decoded owned (no bulk payload to borrow).
+    Other(Frame),
+}
+
+impl<'a> FrameRef<'a> {
+    /// Decodes one frame as a borrowed view. Reads the same wire format as
+    /// [`Frame`]'s [`WireCodec::decode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the input is truncated or malformed.
+    pub fn decode(dec: &mut Decoder<'a>) -> Result<FrameRef<'a>, WireError> {
+        let tag = dec.take_u8(CTX)?;
+        match tag {
+            TAG_CALL => {
+                let target = ObjectId(dec.take_varint(CTX)?);
+                let method = dec.take_str_ref(CTX)?;
+                let count = dec.take_length(CTX)?;
+                let mut args = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    args.push(ValueRef::decode(dec)?);
+                }
+                Ok(FrameRef::Call {
+                    target,
+                    method,
+                    args,
+                })
+            }
+            TAG_BATCH_CALL => Ok(FrameRef::BatchCall(BatchRequestRef::decode(dec)?)),
+            other => Ok(FrameRef::Other(Frame::decode_body(other, dec)?)),
+        }
+    }
+
+    /// Decodes exactly one borrowed frame from `bytes`, rejecting trailing
+    /// garbage.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the input is truncated, malformed, or
+    /// longer than one frame.
+    pub fn from_wire_bytes(bytes: &'a [u8]) -> Result<FrameRef<'a>, WireError> {
+        FrameRef::from_wire_bytes_with(bytes, IntWidth::Varint)
+    }
+
+    /// As [`FrameRef::from_wire_bytes`], reading integers at the given
+    /// width (codec ablation).
+    ///
+    /// # Errors
+    ///
+    /// As [`FrameRef::from_wire_bytes`], plus width mismatches.
+    pub fn from_wire_bytes_with(
+        bytes: &'a [u8],
+        width: IntWidth,
+    ) -> Result<FrameRef<'a>, WireError> {
+        let mut dec = Decoder::with_width(bytes, width);
+        let frame = FrameRef::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(frame)
+    }
+
+    /// Converts to an owned [`Frame`], copying any borrowed payloads.
+    pub fn into_owned(self) -> Frame {
+        match self {
+            FrameRef::Call {
+                target,
+                method,
+                args,
+            } => Frame::Call {
+                target,
+                method: method.to_owned(),
+                args: args.into_iter().map(ValueRef::into_owned).collect(),
+            },
+            FrameRef::BatchCall(request) => Frame::BatchCall(request.into_owned()),
+            FrameRef::Other(frame) => frame,
+        }
+    }
+
+    /// A short name for logging and errors.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            FrameRef::Call { .. } => "call",
+            FrameRef::BatchCall(_) => "batch-call",
+            FrameRef::Other(frame) => frame.kind_name(),
         }
     }
 }
@@ -375,5 +493,73 @@ mod tests {
     fn garbage_frame_is_rejected() {
         assert!(Frame::from_wire_bytes(&[99, 1, 2, 3]).is_err());
         assert!(Frame::from_wire_bytes(&[]).is_err());
+        assert!(FrameRef::from_wire_bytes(&[99, 1, 2, 3]).is_err());
+        assert!(FrameRef::from_wire_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn borrowed_call_frame_matches_owned_decode() {
+        let frame = Frame::Call {
+            target: ObjectId(5),
+            method: "get_name".into(),
+            args: vec![Value::Str("x".into()), Value::Bytes(vec![1, 2, 3])],
+        };
+        let bytes = frame.to_wire_bytes();
+        let borrowed = FrameRef::from_wire_bytes(&bytes).unwrap();
+        match &borrowed {
+            FrameRef::Call { method, args, .. } => {
+                // The payloads are slices into `bytes`, not copies.
+                let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+                assert!(range.contains(&(method.as_ptr() as usize)));
+                assert!(matches!(args[0], ValueRef::Str("x")));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+        assert_eq!(borrowed.into_owned(), frame);
+    }
+
+    #[test]
+    fn borrowed_batch_frame_matches_owned_decode() {
+        let frame = Frame::BatchCall(BatchRequest {
+            session: Some(SessionId(3)),
+            calls: vec![],
+            policy: PolicySpec::Continue,
+            keep_session: true,
+        });
+        let bytes = frame.to_wire_bytes();
+        let borrowed = FrameRef::from_wire_bytes(&bytes).unwrap();
+        assert!(matches!(borrowed, FrameRef::BatchCall(_)));
+        assert_eq!(borrowed.into_owned(), frame);
+    }
+
+    #[test]
+    fn control_frames_decode_as_other() {
+        for frame in [
+            Frame::Return(Value::Str("reply".into())),
+            Frame::Released,
+            Frame::Dirty {
+                ids: vec![ObjectId(1)],
+                lease_millis: 10,
+            },
+        ] {
+            let bytes = frame.to_wire_bytes();
+            let borrowed = FrameRef::from_wire_bytes(&bytes).unwrap();
+            assert_eq!(borrowed.kind_name(), frame.kind_name());
+            assert!(matches!(borrowed, FrameRef::Other(_)));
+            assert_eq!(borrowed.into_owned(), frame);
+        }
+    }
+
+    #[test]
+    fn borrowed_frame_decodes_fixed_width() {
+        use crate::codec::IntWidth;
+        let frame = Frame::Call {
+            target: ObjectId(300),
+            method: "m".into(),
+            args: vec![Value::I64(1)],
+        };
+        let bytes = frame.to_wire_bytes_with(IntWidth::Fixed8);
+        let borrowed = FrameRef::from_wire_bytes_with(&bytes, IntWidth::Fixed8).unwrap();
+        assert_eq!(borrowed.into_owned(), frame);
     }
 }

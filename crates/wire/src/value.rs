@@ -107,6 +107,104 @@ impl Value {
     }
 }
 
+/// A borrowed view of a wire value: the zero-copy decode fast path.
+///
+/// Decoding an owned [`Value`] copies every `Str`/`Bytes` payload (and every
+/// record field name) out of the frame. On the server dispatch path those
+/// copies are pure overhead — the frame buffer outlives dispatch — so the
+/// hot path decodes a `ValueRef` instead, whose string and byte payloads
+/// are slices into the frame, and converts to an owned [`Value`] only at
+/// the application boundary (see [`ToValue::to_value`], which `ValueRef`
+/// implements).
+///
+/// Lifetime contract: a `ValueRef<'a>` borrows the byte buffer it was
+/// decoded from and must not outlive it. Keep the frame buffer alive for
+/// the whole dispatch, then let both go together.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueRef<'a> {
+    /// Absence of a value.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 32-bit signed integer.
+    I32(i32),
+    /// A 64-bit signed integer.
+    I64(i64),
+    /// A 64-bit float.
+    F64(f64),
+    /// A UTF-8 string, borrowed from the frame.
+    Str(&'a str),
+    /// An opaque byte blob, borrowed from the frame.
+    Bytes(&'a [u8]),
+    /// A timestamp in milliseconds since the Unix epoch.
+    Date(i64),
+    /// An ordered list of values.
+    List(Vec<ValueRef<'a>>),
+    /// A record: ordered field name/value pairs, names borrowed.
+    Record(Vec<(&'a str, ValueRef<'a>)>),
+    /// A reference to a remote object exported by the peer.
+    RemoteRef(ObjectId),
+}
+
+impl ValueRef<'_> {
+    /// Converts the borrowed view into an owned [`Value`], copying the
+    /// borrowed payloads. This is the single copy the application boundary
+    /// pays; the decode itself paid none.
+    pub fn into_owned(self) -> Value {
+        self.to_value()
+    }
+}
+
+impl ToValue for ValueRef<'_> {
+    fn to_value(&self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Bool(b) => Value::Bool(*b),
+            ValueRef::I32(n) => Value::I32(*n),
+            ValueRef::I64(n) => Value::I64(*n),
+            ValueRef::F64(x) => Value::F64(*x),
+            ValueRef::Str(s) => Value::Str((*s).to_owned()),
+            ValueRef::Bytes(b) => Value::Bytes(b.to_vec()),
+            ValueRef::Date(ms) => Value::Date(*ms),
+            ValueRef::List(items) => Value::List(items.iter().map(ToValue::to_value).collect()),
+            ValueRef::Record(fields) => Value::Record(
+                fields
+                    .iter()
+                    .map(|(name, value)| ((*name).to_owned(), value.to_value()))
+                    .collect(),
+            ),
+            ValueRef::RemoteRef(id) => Value::RemoteRef(*id),
+        }
+    }
+}
+
+impl Value {
+    /// A borrowed view of this value: `Str`/`Bytes` payloads become slices
+    /// into `self`. Bridges owned frames onto the borrowed dispatch path
+    /// without copying payloads (compound values still allocate their
+    /// spine).
+    pub fn to_ref(&self) -> ValueRef<'_> {
+        match self {
+            Value::Null => ValueRef::Null,
+            Value::Bool(b) => ValueRef::Bool(*b),
+            Value::I32(n) => ValueRef::I32(*n),
+            Value::I64(n) => ValueRef::I64(*n),
+            Value::F64(x) => ValueRef::F64(*x),
+            Value::Str(s) => ValueRef::Str(s),
+            Value::Bytes(b) => ValueRef::Bytes(b),
+            Value::Date(ms) => ValueRef::Date(*ms),
+            Value::List(items) => ValueRef::List(items.iter().map(Value::to_ref).collect()),
+            Value::Record(fields) => ValueRef::Record(
+                fields
+                    .iter()
+                    .map(|(name, value)| (name.as_str(), value.to_ref()))
+                    .collect(),
+            ),
+            Value::RemoteRef(id) => ValueRef::RemoteRef(*id),
+        }
+    }
+}
+
 fn conversion_error(expected: &str, got: &Value) -> RemoteError {
     RemoteError::new(
         RemoteErrorKind::BadArguments,
@@ -122,6 +220,19 @@ fn conversion_error(expected: &str, got: &Value) -> RemoteError {
 pub trait ToValue {
     /// Converts `self` into a wire value.
     fn to_value(&self) -> Value;
+
+    /// Converts an owned `self` into a wire value.
+    ///
+    /// The default delegates to [`ToValue::to_value`], which is free for
+    /// `Copy` types but clones owned buffers; `String`, `Vec<u8>` and the
+    /// container impls override it to *move* their storage into the value,
+    /// so marshalling an owned argument costs no copy before the encoder's.
+    fn into_value(self) -> Value
+    where
+        Self: Sized,
+    {
+        self.to_value()
+    }
 }
 
 /// Conversion of a wire [`Value`] back into a Rust type.
@@ -138,6 +249,10 @@ pub trait FromValue: Sized {
 impl ToValue for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+
+    fn into_value(self) -> Value {
+        self
     }
 }
 
@@ -229,6 +344,10 @@ impl ToValue for String {
     fn to_value(&self) -> Value {
         Value::Str(self.clone())
     }
+
+    fn into_value(self) -> Value {
+        Value::Str(self)
+    }
 }
 
 impl FromValue for String {
@@ -250,6 +369,10 @@ impl ToValue for Vec<u8> {
     fn to_value(&self) -> Value {
         Value::Bytes(self.clone())
     }
+
+    fn into_value(self) -> Value {
+        Value::Bytes(self)
+    }
 }
 
 impl FromValue for Vec<u8> {
@@ -268,6 +391,13 @@ impl<T: ToValue> ToValue for Option<T> {
             None => Value::Null,
         }
     }
+
+    fn into_value(self) -> Value {
+        match self {
+            Some(v) => v.into_value(),
+            None => Value::Null,
+        }
+    }
 }
 
 impl<T: FromValue> FromValue for Option<T> {
@@ -283,6 +413,10 @@ impl<T: ToValue> ToValue for Vec<T> {
     fn to_value(&self) -> Value {
         Value::List(self.iter().map(ToValue::to_value).collect())
     }
+
+    fn into_value(self) -> Value {
+        Value::List(self.into_iter().map(ToValue::into_value).collect())
+    }
 }
 
 impl<T: FromValue> FromValue for Vec<T> {
@@ -294,6 +428,10 @@ impl<T: FromValue> FromValue for Vec<T> {
 impl<A: ToValue, B: ToValue> ToValue for (A, B) {
     fn to_value(&self) -> Value {
         Value::List(vec![self.0.to_value(), self.1.to_value()])
+    }
+
+    fn into_value(self) -> Value {
+        Value::List(vec![self.0.into_value(), self.1.into_value()])
     }
 }
 
@@ -435,6 +573,57 @@ mod tests {
         ]);
         assert_eq!(v.count_remote_refs(), 2);
         assert_eq!(Value::Null.count_remote_refs(), 0);
+    }
+
+    #[test]
+    fn into_value_moves_owned_buffers() {
+        let s = String::from("owned");
+        let ptr = s.as_ptr();
+        match s.into_value() {
+            Value::Str(back) => assert_eq!(back.as_ptr(), ptr, "string must move, not copy"),
+            other => panic!("expected Str, got {other:?}"),
+        }
+        let b = vec![1u8, 2, 3];
+        let ptr = b.as_ptr();
+        match b.into_value() {
+            Value::Bytes(back) => assert_eq!(back.as_ptr(), ptr, "bytes must move, not copy"),
+            other => panic!("expected Bytes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn into_value_matches_to_value_for_containers() {
+        let v = vec![Some("a".to_owned()), None];
+        assert_eq!(v.to_value(), v.into_value());
+        let t = (1i32, "x".to_owned());
+        assert_eq!(t.to_value(), t.into_value());
+    }
+
+    #[test]
+    fn value_ref_round_trips_through_to_ref() {
+        let v = Value::Record(vec![
+            ("name".into(), Value::Str("index.html".into())),
+            ("data".into(), Value::Bytes(vec![1, 2, 3])),
+            (
+                "refs".into(),
+                Value::List(vec![Value::RemoteRef(ObjectId(4))]),
+            ),
+        ]);
+        assert_eq!(v.to_ref().into_owned(), v);
+    }
+
+    #[test]
+    fn value_ref_borrows_without_copying() {
+        let v = Value::Str("borrowed".into());
+        match v.to_ref() {
+            ValueRef::Str(s) => {
+                let Value::Str(owned) = &v else {
+                    unreachable!()
+                };
+                assert_eq!(s.as_ptr(), owned.as_ptr());
+            }
+            other => panic!("expected Str, got {other:?}"),
+        }
     }
 
     #[test]

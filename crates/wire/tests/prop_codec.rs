@@ -1,13 +1,13 @@
 //! Property tests: every wire structure must round-trip through the codec,
 //! and the decoder must never panic on arbitrary input.
 
-use brmi_wire::codec::WireCodec;
+use brmi_wire::codec::{Encoder, WireCodec};
 use brmi_wire::invocation::{
-    Arg, BatchRequest, BatchResponse, CallSeq, CursorResult, ErrorEnvelope, ExceptionAction,
-    InvocationData, PolicyRule, PolicySpec, SessionId, SlotOutcome, Target,
+    Arg, BatchRequest, BatchRequestRef, BatchResponse, CallSeq, CursorResult, ErrorEnvelope,
+    ExceptionAction, InvocationData, PolicyRule, PolicySpec, SessionId, SlotOutcome, Target,
 };
-use brmi_wire::protocol::Frame;
-use brmi_wire::value::{ObjectId, Value};
+use brmi_wire::protocol::{Frame, FrameRef};
+use brmi_wire::value::{ObjectId, Value, ValueRef};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -232,12 +232,57 @@ proptest! {
     }
 
     #[test]
+    fn borrowed_value_decode_matches_owned(value in arb_value()) {
+        let bytes = value.to_wire_bytes();
+        let borrowed = ValueRef::from_wire_bytes(&bytes).unwrap();
+        prop_assert_eq!(&borrowed.into_owned(), &value);
+        // The owned → borrowed bridge agrees with the wire-decoded view.
+        prop_assert_eq!(value.to_ref().into_owned(), value);
+    }
+
+    #[test]
+    fn borrowed_batch_decode_matches_owned(req in arb_request()) {
+        let bytes = req.to_wire_bytes();
+        let borrowed = BatchRequestRef::from_wire_bytes(&bytes).unwrap();
+        prop_assert_eq!(&borrowed.into_owned(), &req);
+        prop_assert_eq!(req.to_ref().into_owned(), req);
+    }
+
+    #[test]
+    fn borrowed_frame_decode_matches_owned(req in arb_request()) {
+        let frame = Frame::BatchCall(req);
+        let bytes = frame.to_wire_bytes();
+        let borrowed = FrameRef::from_wire_bytes(&bytes).unwrap();
+        prop_assert!(matches!(borrowed, FrameRef::BatchCall(_)));
+        prop_assert_eq!(borrowed.into_owned(), frame);
+    }
+
+    #[test]
+    fn encoder_reuse_after_reset_is_byte_identical(first in arb_value(), second in arb_value()) {
+        let mut enc = Encoder::new();
+        first.encode(&mut enc);
+        enc.reset();
+        second.encode(&mut enc);
+        prop_assert_eq!(enc.into_bytes(), second.to_wire_bytes());
+    }
+
+    #[test]
+    fn encode_into_reused_buffer_is_byte_identical(first in arb_value(), second in arb_value()) {
+        let mut buf = first.to_wire_bytes();
+        second.encode_into(&mut buf);
+        prop_assert_eq!(buf, second.to_wire_bytes());
+    }
+
+    #[test]
     fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         // Any outcome is fine as long as it is a Result, not a panic.
         let _ = Value::from_wire_bytes(&bytes);
         let _ = Frame::from_wire_bytes(&bytes);
         let _ = BatchRequest::from_wire_bytes(&bytes);
         let _ = BatchResponse::from_wire_bytes(&bytes);
+        let _ = ValueRef::from_wire_bytes(&bytes);
+        let _ = FrameRef::from_wire_bytes(&bytes);
+        let _ = BatchRequestRef::from_wire_bytes(&bytes);
     }
 
     #[test]
