@@ -14,6 +14,9 @@
 //! * [`implicit_clients`] — the same workloads driven through the
 //!   implicit-batching baseline ([`brmi_implicit`]), quantifying the
 //!   paper's related-work comparison.
+//! * [`stress`] — the many-client stress workload: N pooled clients ×
+//!   pipelined batches against one reactor server, with deterministic
+//!   count/byte outputs for the committed bench baseline.
 //!
 //! Every application ships an RMI client and a BRMI client with identical
 //! observable behaviour; the unit tests in each module are differential
@@ -28,5 +31,7 @@ pub mod implicit_clients;
 pub mod list;
 pub mod noop;
 pub mod simulation;
+#[cfg(target_os = "linux")]
+pub mod stress;
 pub mod testkit;
 pub mod translator;

@@ -1,0 +1,197 @@
+//! Many-client stress workload against the reactor transport.
+//!
+//! The paper's claim is that explicit batching amortizes round-trip
+//! latency across many calls; this module supplies the missing half of
+//! that argument at scale — *many concurrent clients* driving batches at
+//! one server. N client threads share one [`TcpPool`] (each round trip
+//! checks out its own pooled socket) against a [`ReactorServer`] running a
+//! fixed number of event-loop threads, so the server multiplexes every
+//! connection without a thread per client.
+//!
+//! The workload is deterministic by construction — fixed batch shapes over
+//! the no-op service — so the *count* outputs of a run (round trips, calls
+//! executed, bytes on the wire) are exactly reproducible and serve as the
+//! committed baseline for the `reactor_stress` bench binary; wall-clock
+//! throughput is reported alongside for humans.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use brmi::BatchExecutor;
+use brmi_rmi::RmiServer;
+use brmi_rmi::{Connection, RemoteRef};
+use brmi_transport::pool::TcpPool;
+use brmi_transport::reactor::{ReactorConfig, ReactorServer};
+use brmi_wire::RemoteError;
+
+use crate::noop::{brmi_noops, NoopServer, NoopSkeleton};
+
+/// Shape of one stress run.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// Concurrent client threads (each runs its own batch loop).
+    pub clients: usize,
+    /// Batches flushed per client.
+    pub batches_per_client: usize,
+    /// No-op calls folded into each batch (one round trip per batch).
+    pub calls_per_batch: usize,
+    /// Reactor event-loop threads serving all connections.
+    pub reactor_threads: usize,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            clients: 32,
+            batches_per_client: 25,
+            calls_per_batch: 20,
+            reactor_threads: 2,
+        }
+    }
+}
+
+/// What one stress run did. The count fields are deterministic for a given
+/// [`StressConfig`]; `elapsed` is wall clock.
+#[derive(Debug, Clone)]
+pub struct StressReport {
+    /// The configuration that produced this report.
+    pub config: StressConfig,
+    /// Client-observed round trips (per-client registry lookup + one per
+    /// batch flush).
+    pub round_trips: u64,
+    /// No-op invocations the server actually executed.
+    pub calls_executed: u64,
+    /// Request bytes on the wire (client side, payloads without prefixes).
+    pub bytes_sent: u64,
+    /// Response bytes on the wire.
+    pub bytes_received: u64,
+    /// Wall-clock duration of the client phase.
+    pub elapsed: Duration,
+}
+
+impl StressReport {
+    /// Remote calls executed per wall-clock second.
+    pub fn calls_per_sec(&self) -> f64 {
+        self.calls_executed as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Round trips completed per wall-clock second.
+    pub fn round_trips_per_sec(&self) -> f64 {
+        self.round_trips as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// Runs `config`'s worth of concurrent clients against a fresh reactor
+/// server and reports what happened.
+///
+/// # Errors
+///
+/// Returns the first client error (transport or batch failure); a healthy
+/// run never fails.
+///
+/// # Panics
+///
+/// Panics when a client thread itself panics.
+pub fn run_reactor_stress(config: &StressConfig) -> Result<StressReport, RemoteError> {
+    let server = RmiServer::new();
+    BatchExecutor::install(&server);
+    let noop = NoopServer::new();
+    server
+        .bind("noop", NoopSkeleton::remote_arc(noop.clone()))
+        .expect("fresh server bind");
+    let reactor = ReactorServer::bind_with(
+        "127.0.0.1:0",
+        server,
+        ReactorConfig {
+            reactor_threads: config.reactor_threads,
+        },
+    )?;
+
+    let pool = Arc::new(TcpPool::connect(reactor.local_addr())?);
+    let stats = pool.stats();
+
+    // All clients arm before any starts, so the measured window really has
+    // `clients` concurrent request streams.
+    let start_gate = Arc::new(Barrier::new(config.clients + 1));
+    let mut first_error: Option<RemoteError> = None;
+
+    let handles: Vec<_> = (0..config.clients)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let gate = Arc::clone(&start_gate);
+            let batches = config.batches_per_client;
+            let calls = config.calls_per_batch;
+            std::thread::spawn(move || -> Result<(), RemoteError> {
+                let conn = Connection::new(pool);
+                let root: RemoteRef = conn.lookup("noop")?;
+                gate.wait();
+                for _ in 0..batches {
+                    brmi_noops(&conn, &root, calls)?;
+                }
+                Ok(())
+            })
+        })
+        .collect();
+
+    start_gate.wait();
+    let started = Instant::now();
+    for handle in handles {
+        match handle.join().expect("stress client panicked") {
+            Ok(()) => {}
+            Err(err) => first_error = first_error.or(Some(err)),
+        }
+    }
+    let elapsed = started.elapsed();
+
+    if let Some(err) = first_error {
+        return Err(err);
+    }
+
+    Ok(StressReport {
+        config: config.clone(),
+        round_trips: stats.requests(),
+        calls_executed: noop.calls(),
+        bytes_sent: stats.bytes_sent(),
+        bytes_received: stats.bytes_received(),
+        elapsed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_are_exact_and_deterministic() {
+        let config = StressConfig {
+            clients: 4,
+            batches_per_client: 3,
+            calls_per_batch: 5,
+            reactor_threads: 2,
+        };
+        let a = run_reactor_stress(&config).unwrap();
+        assert_eq!(a.calls_executed, 4 * 3 * 5);
+        // One lookup per client plus one round trip per batch.
+        assert_eq!(a.round_trips, 4 + 4 * 3);
+        // The workload is fixed, so the wire traffic is bit-identical
+        // across runs — the property the committed bench baseline rests on.
+        let b = run_reactor_stress(&config).unwrap();
+        assert_eq!(a.bytes_sent, b.bytes_sent);
+        assert_eq!(a.bytes_received, b.bytes_received);
+    }
+
+    #[test]
+    fn single_client_degenerate_case_works() {
+        let config = StressConfig {
+            clients: 1,
+            batches_per_client: 2,
+            calls_per_batch: 1,
+            reactor_threads: 1,
+        };
+        let report = run_reactor_stress(&config).unwrap();
+        assert_eq!(report.calls_executed, 2);
+        assert_eq!(report.round_trips, 3);
+        assert!(report.calls_per_sec() > 0.0);
+        assert!(report.round_trips_per_sec() > 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Reactor TCP stress sweep — `cargo run -p brmi-bench --bin reactor_stress`.
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_reactor.json` baseline. Only the deterministic wire-level series
+//! (round trips, calls, bytes) are baseline-checked; measured wall-clock
+//! throughput is printed for humans. See [`brmi_bench::stress`].
+
+use std::process::ExitCode;
+
+#[cfg(target_os = "linux")]
+fn main() -> ExitCode {
+    use brmi_bench::baseline::{run_cli, SeriesTable};
+    println!("BRMI reactor TCP stress sweep (real sockets, epoll reactor server)\n");
+    let (figure, reports) = brmi_bench::stress::reactor_throughput_figure();
+    figure.print();
+    brmi_bench::stress::print_measured_throughput(&reports);
+    let tables = vec![SeriesTable::from(&figure)];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&tables, &args)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() -> ExitCode {
+    eprintln!("reactor_stress requires Linux (the reactor server is epoll-based)");
+    ExitCode::FAILURE
+}

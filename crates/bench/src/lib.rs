@@ -13,6 +13,9 @@
 //! * [`model`] — analytic performance models for every construct (the
 //!   Detmold & Oudshoorn extension the paper proposes as future work),
 //!   validated against the simulator in `tests/model_check.rs`;
+//! * [`stress`] — the reactor TCP throughput sweep over real sockets:
+//!   growing client counts against one epoll reactor server, with
+//!   deterministic wire-level series for the committed baseline;
 //! * binaries `fig05_noop_lan` … `fig13_files_wireless`, `all_figures`,
 //!   `ablations` and `extensions` print paper-style series;
 //! * `benches/middleware_cpu.rs` (Criterion) measures the real CPU cost of
@@ -26,6 +29,8 @@ pub mod extensions;
 pub mod figures;
 pub mod model;
 pub mod rig;
+#[cfg(target_os = "linux")]
+pub mod stress;
 
 /// One measured series pair for a figure: RMI vs BRMI over a parameter
 /// sweep, in simulated milliseconds.

@@ -4,7 +4,14 @@
 //!
 //! * [`inproc`] — direct dispatch into a server handler, for unit tests;
 //! * [`tcp`] — length-prefixed frames over real sockets, proving the
-//!   middleware works across process boundaries;
+//!   middleware works across process boundaries; thread-per-connection
+//!   server, one-socket client;
+//! * [`reactor`] — the scale path: an epoll event loop serving hundreds of
+//!   concurrent connections from a fixed set of reactor threads
+//!   (Linux-only);
+//! * [`pool`] — the client counterpart: a connection pool checking sockets
+//!   out per round trip, so threads sharing one transport are not
+//!   serialized;
 //! * [`sim`] — the experimental testbed: real frames, simulated network cost
 //!   charged to a [virtual clock](clock::VirtualClock) according to a
 //!   [`NetworkProfile`];
@@ -12,13 +19,20 @@
 //!
 //! [`Frame`]: brmi_wire::protocol::Frame
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide and allowed back in exactly one place:
+// the raw epoll syscall bindings in `reactor::sys` (the container has no
+// crates.io access, so there is no libc/mio to lean on).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod fault;
+pub(crate) mod framing;
 pub mod inproc;
+pub mod pool;
 pub mod profile;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod sim;
 pub mod tcp;
 

@@ -1,0 +1,990 @@
+//! Nonblocking reactor TCP server: many connections, few threads.
+//!
+//! # Architecture
+//!
+//! The thread-per-connection [`TcpServer`](crate::tcp::TcpServer) caps out
+//! at a handful of peers — every idle connection pins a stack, and the
+//! scheduler thrashes long before the "hundreds of clients" a batching
+//! server must multiplex (the whole point of amortizing round trips is
+//! moot if the server can only hold a few of them open). This module is
+//! the concurrency layer: a hand-rolled epoll event loop — raw
+//! `extern "C"` syscall declarations in [`sys`], no external runtime —
+//! driving nonblocking sockets, so a fixed set of reactor threads serves
+//! any number of connections.
+//!
+//! ```text
+//!              ┌────────────────────────────────────────────┐
+//!              │ ReactorServer                              │
+//!   listener ──┤  reactor thread 0   reactor thread 1  …    │
+//!  (shared,    │  ┌──────────────┐   ┌──────────────┐       │
+//! nonblocking) │  │ epoll        │   │ epoll        │       │
+//!              │  │  listener    │   │  listener    │       │
+//!              │  │  wake pipe   │   │  wake pipe   │       │
+//!              │  │  conn slab   │   │  conn slab   │       │
+//!              │  └──────────────┘   └──────────────┘       │
+//!              └────────────────────────────────────────────┘
+//! ```
+//!
+//! Every reactor thread owns one epoll instance watching three kinds of
+//! file descriptors, distinguished by the `u64` token carried in each
+//! event:
+//!
+//! * the **shared listener** (level-triggered): whichever thread wakes
+//!   first accepts until `WouldBlock`, so connections distribute across
+//!   threads without a hand-off queue;
+//! * a **wake channel** (one nonblocking `UnixStream` pair per thread):
+//!   [`ReactorServer::shutdown`] writes a byte to interrupt `epoll_wait`;
+//! * **connections**, indexed into a per-thread slab.
+//!
+//! Each connection runs a small state machine entirely within its slab
+//! slot: accumulate bytes into `in_buf` (chunk-capped reads — the length
+//! prefix is untrusted, so nothing is pre-allocated from it), and once
+//! `4 + len` bytes are present, decode the frame *borrowed*
+//! ([`FrameRef`]) and dispatch it through the existing zero-copy
+//! [`RequestHandler::handle_ref`] path; the reply is encoded into a reused
+//! scratch buffer and appended, length-prefixed, to `out_buf`. Writes are
+//! attempted inline and `EPOLLOUT` interest is registered only while a
+//! partial write is outstanding, so the steady state costs one `epoll_ctl`
+//! per connection lifetime. Pipelined requests (several frames in one read)
+//! are dispatched back-to-back without extra syscalls, which is exactly the
+//! shape a BRMI client's batch bursts produce.
+//!
+//! Handlers run on the reactor thread itself: BRMI dispatch is CPU-light
+//! (table lookup + method call), so shipping it to a worker pool would cost
+//! more in hand-off than it buys. If a deployment ever grows blocking
+//! handlers, the right evolution is a worker pool behind
+//! [`RequestHandler`], not a reactor change.
+//!
+//! Backpressure: when a connection's `out_buf` backlog exceeds
+//! [`HIGH_WATER`], frame dispatch pauses *and* `EPOLLIN` interest is
+//! dropped, so a peer that streams requests without reading replies is
+//! bounded per connection (roughly `HIGH_WATER` plus one maximum frame
+//! each way — the excess queues in the kernel socket buffer, where TCP
+//! flow control pushes back on the sender); reading and dispatch resume as
+//! the socket drains. A peer's FIN (`EPOLLRDHUP`/zero read) stops the read
+//! side but the connection lives until every queued reply is flushed, so
+//! "pipeline a burst, close the write side, read the replies" works.
+//! Malformed input — an over-limit length prefix or an undecodable frame —
+//! closes that connection without disturbing the rest.
+//!
+//! This server is Linux-only (epoll); the rest of the crate builds
+//! anywhere.
+//!
+//! [`FrameRef`]: brmi_wire::protocol::FrameRef
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use brmi_wire::codec::WireCodec;
+use brmi_wire::protocol::FrameRef;
+use brmi_wire::RemoteError;
+use parking_lot::Mutex;
+
+use crate::framing::{trim_buf, MAX_FRAME, READ_CHUNK};
+use crate::RequestHandler;
+
+use sys::{Epoll, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// Raw epoll bindings: the only unsafe code in the crate, kept to four
+/// syscalls behind a safe RAII wrapper.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    /// Mirror of the kernel's `struct epoll_event`; packed on x86-64
+    /// (the kernel declares it `__attribute__((packed))` there).
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    impl EpollEvent {
+        pub fn zeroed() -> EpollEvent {
+            EpollEvent { events: 0, data: 0 }
+        }
+
+        // Field reads copy by value, which is safe even for the packed
+        // layout (no reference to a misaligned field is ever formed).
+        pub fn events(&self) -> u32 {
+            self.events
+        }
+
+        pub fn token(&self) -> u64 {
+            self.data
+        }
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// An epoll instance; closed on drop.
+    pub struct Epoll {
+        fd: c_int,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Epoll> {
+            // SAFETY: epoll_create1 takes a flags word and returns a new fd
+            // or -1; no pointers are involved.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Epoll { fd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, event: *mut EpollEvent) -> io::Result<()> {
+            // SAFETY: `event` is either null (DEL, allowed since Linux
+            // 2.6.9) or points at a live EpollEvent owned by the caller.
+            if unsafe { epoll_ctl(self.fd, op, fd, event) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: interest,
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_ADD, fd, &mut event)
+        }
+
+        pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            let mut event = EpollEvent {
+                events: interest,
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_MOD, fd, &mut event)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, std::ptr::null_mut())
+        }
+
+        /// Waits for events, retrying on `EINTR`. Returns how many entries
+        /// of `events` were filled.
+        pub fn wait(&self, events: &mut [EpollEvent]) -> io::Result<usize> {
+            loop {
+                let capacity = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
+                // SAFETY: `events` is a live, writable slice and `capacity`
+                // never exceeds its length; -1 blocks indefinitely.
+                let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), capacity, -1) };
+                if n >= 0 {
+                    return Ok(n as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: `fd` is a valid epoll fd owned exclusively by self.
+            unsafe { close(self.fd) };
+        }
+    }
+}
+
+/// Token values 0 and 1 are reserved; connection slab slot `i` maps to
+/// token `i + TOKEN_CONN_BASE`.
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const TOKEN_CONN_BASE: u64 = 2;
+
+/// Pause dispatching new frames for a connection once this many reply
+/// bytes are queued; resume when the socket drains.
+const HIGH_WATER: usize = 1024 * 1024;
+
+/// Per-event cap on bytes read from one connection, so a firehose peer
+/// cannot starve the rest of the slab (level-triggered epoll re-signals
+/// whatever is left).
+const READ_BUDGET: usize = 16 * READ_CHUNK;
+
+/// Configuration for [`ReactorServer::bind_with`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Number of event-loop threads. Two saturates the request-dispatch
+    /// workloads in this repo; bump it for handler-heavy deployments.
+    pub reactor_threads: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig { reactor_threads: 2 }
+    }
+}
+
+/// State shared between the server handle and its reactor threads.
+struct Shared {
+    shutdown: AtomicBool,
+    /// Live connections across all reactor threads (test/ops introspection).
+    connections: AtomicUsize,
+    /// Write ends of each thread's wake channel.
+    wakers: Mutex<Vec<UnixStream>>,
+}
+
+/// The epoll-driven TCP server. Binds like
+/// [`TcpServer`](crate::tcp::TcpServer) and feeds the same
+/// [`RequestHandler`], but serves all connections from
+/// [`ReactorConfig::reactor_threads`] event-loop threads instead of one
+/// thread per connection. See the [module docs](self) for the design.
+pub struct ReactorServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ReactorServer {
+    /// Binds with the default [`ReactorConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport-kind [`RemoteError`] when binding or reactor
+    /// setup fails.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+    ) -> Result<Self, RemoteError> {
+        Self::bind_with(addr, handler, ReactorConfig::default())
+    }
+
+    /// Binds to `addr` (port 0 for ephemeral) and starts `config`'s worth
+    /// of reactor threads sharing the listener.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport-kind [`RemoteError`] when binding or reactor
+    /// setup fails.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        handler: Arc<dyn RequestHandler>,
+        config: ReactorConfig,
+    ) -> Result<Self, RemoteError> {
+        let transport_err = |err: std::io::Error| RemoteError::transport(format!("reactor: {err}"));
+        let listener = TcpListener::bind(addr).map_err(transport_err)?;
+        listener.set_nonblocking(true).map_err(transport_err)?;
+        let local_addr = listener.local_addr().map_err(transport_err)?;
+
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            wakers: Mutex::new(Vec::new()),
+        });
+
+        let threads = config.reactor_threads.max(1);
+        let mut handles = Vec::with_capacity(threads);
+        let mut setup_err = None;
+        for i in 0..threads {
+            match spawn_reactor_thread(i, &listener, &handler, &shared) {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    setup_err = Some(err);
+                    break;
+                }
+            }
+        }
+        if let Some(err) = setup_err {
+            // A partial fleet must not outlive the failed bind: stop the
+            // threads already running (they hold listener clones, so the
+            // port would otherwise stay open and accepting forever).
+            shared.shutdown.store(true, Ordering::SeqCst);
+            for waker in shared.wakers.lock().iter_mut() {
+                let _ = waker.write(&[1]);
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+            return Err(transport_err(err));
+        }
+
+        Ok(ReactorServer {
+            local_addr,
+            shared,
+            threads: handles,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of currently established connections across all reactor
+    /// threads.
+    pub fn active_connections(&self) -> usize {
+        self.shared.connections.load(Ordering::SeqCst)
+    }
+
+    /// Stops the event loops, closes every connection and joins all
+    /// reactor threads. Idempotent; also called on drop — the same
+    /// graceful-shutdown contract as
+    /// [`TcpServer::shutdown`](crate::tcp::TcpServer::shutdown).
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for waker in self.shared.wakers.lock().iter_mut() {
+            let _ = waker.write(&[1]);
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ReactorServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReactorServer")
+            .field("local_addr", &self.local_addr)
+            .field("active_connections", &self.active_connections())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Sets up one reactor thread: wake channel registered with `shared`, its
+/// own listener clone, and the spawned event loop.
+fn spawn_reactor_thread(
+    index: usize,
+    listener: &TcpListener,
+    handler: &Arc<dyn RequestHandler>,
+    shared: &Arc<Shared>,
+) -> std::io::Result<JoinHandle<()>> {
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
+    shared.wakers.lock().push(wake_tx);
+    let thread = ReactorThread::new(
+        listener.try_clone()?,
+        wake_rx,
+        Arc::clone(handler),
+        Arc::clone(shared),
+    )?;
+    std::thread::Builder::new()
+        .name(format!("brmi-reactor-{index}"))
+        .spawn(move || thread.run())
+}
+
+/// One connection's state machine: input accumulator, pending output and
+/// the scratch buffer replies are encoded into before being queued.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed as complete frames.
+    in_buf: Vec<u8>,
+    /// Reply bytes not yet written to the socket; `write_pos` marks how
+    /// far the kernel has taken them.
+    out_buf: Vec<u8>,
+    write_pos: usize,
+    /// Reused encode scratch for replies.
+    scratch: Vec<u8>,
+    /// The epoll interest mask currently registered for this socket.
+    interest: u32,
+    /// The peer sent FIN: no more requests will arrive, but already-queued
+    /// replies are still drained before the connection closes (a client
+    /// may pipeline a burst, shutdown its write side, then read).
+    read_closed: bool,
+}
+
+enum ConnFate {
+    Keep,
+    Close,
+}
+
+struct ReactorThread {
+    epoll: Epoll,
+    listener: TcpListener,
+    wake: UnixStream,
+    handler: Arc<dyn RequestHandler>,
+    shared: Arc<Shared>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Reusable read staging buffer shared by every connection on this
+    /// thread: zero-initialized once, so per-event reads cost no memset.
+    chunk: Vec<u8>,
+}
+
+impl ReactorThread {
+    fn new(
+        listener: TcpListener,
+        wake: UnixStream,
+        handler: Arc<dyn RequestHandler>,
+        shared: Arc<Shared>,
+    ) -> std::io::Result<ReactorThread> {
+        use std::os::unix::io::AsRawFd;
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.add(wake.as_raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+        Ok(ReactorThread {
+            epoll,
+            listener,
+            wake,
+            handler,
+            shared,
+            conns: Vec::new(),
+            free: Vec::new(),
+            chunk: vec![0; READ_CHUNK],
+        })
+    }
+
+    fn run(mut self) {
+        let mut events = vec![sys::EpollEvent::zeroed(); 256];
+        while let Ok(ready) = self.epoll.wait(&mut events) {
+            for event in &events[..ready] {
+                let (token, flags) = (event.token(), event.events());
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => {
+                        let mut sink = [0u8; 64];
+                        while matches!(self.wake.read(&mut sink), Ok(n) if n > 0) {}
+                    }
+                    token => {
+                        let idx = (token - TOKEN_CONN_BASE) as usize;
+                        if let ConnFate::Close = self.conn_ready(idx, flags) {
+                            self.close_conn(idx);
+                        }
+                    }
+                }
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        // Drop closes every connection; keep the shared count honest.
+        let live = self.conns.iter().filter(|c| c.is_some()).count();
+        self.shared.connections.fetch_sub(live, Ordering::SeqCst);
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.register(stream).is_err() {
+                        // Registration failure affects that socket only.
+                        continue;
+                    }
+                }
+                Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn register(&mut self, stream: TcpStream) -> std::io::Result<()> {
+        use std::os::unix::io::AsRawFd;
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.conns.push(None);
+                self.conns.len() - 1
+            }
+        };
+        let token = idx as u64 + TOKEN_CONN_BASE;
+        if let Err(err) = self
+            .epoll
+            .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
+        {
+            self.free.push(idx);
+            return Err(err);
+        }
+        self.conns[idx] = Some(Conn {
+            stream,
+            in_buf: Vec::new(),
+            out_buf: Vec::new(),
+            write_pos: 0,
+            scratch: Vec::new(),
+            interest: EPOLLIN | EPOLLRDHUP,
+            read_closed: false,
+        });
+        self.shared.connections.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        use std::os::unix::io::AsRawFd;
+        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            self.free.push(idx);
+            self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Advances one connection's state machine for an epoll readiness
+    /// report: read what the socket has, dispatch every complete frame,
+    /// flush what the socket will take.
+    fn conn_ready(&mut self, idx: usize, flags: u32) -> ConnFate {
+        let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return ConnFate::Keep;
+        };
+        let fate = self.drive(&mut conn, flags, idx);
+        match fate {
+            ConnFate::Keep => {
+                self.conns[idx] = Some(conn);
+                ConnFate::Keep
+            }
+            ConnFate::Close => {
+                // Put it back so close_conn can do the bookkeeping.
+                self.conns[idx] = Some(conn);
+                ConnFate::Close
+            }
+        }
+    }
+
+    fn drive(&mut self, conn: &mut Conn, flags: u32, idx: usize) -> ConnFate {
+        // EPOLLHUP means both directions are gone (reset or full close):
+        // nothing queued can be delivered any more. A bare EPOLLRDHUP is
+        // only the peer's FIN — requests already buffered must still be
+        // answered, so it is handled through the read path below.
+        if flags & (EPOLLERR | EPOLLHUP) != 0 {
+            return ConnFate::Close;
+        }
+        // Read only while the reply backlog is under the high-water mark;
+        // a paused connection has EPOLLIN deregistered, so its input stops
+        // accumulating in the kernel, not in server memory.
+        if !conn.read_closed
+            && flags & (EPOLLIN | EPOLLRDHUP) != 0
+            && conn.out_buf.len() - conn.write_pos <= HIGH_WATER
+        {
+            if let ReadOutcome::Closed = read_available(conn, &mut self.chunk) {
+                conn.read_closed = true;
+            }
+        }
+        // Alternate dispatch and flush until quiescent: stop only when no
+        // complete frame is waiting, or backpressure persists because the
+        // socket will not take more (an EPOLLOUT wake resumes us). Exiting
+        // with dispatchable frames and an empty, unregistered socket would
+        // strand the connection — no event would ever fire again.
+        loop {
+            if let ConnFate::Close = self.dispatch_frames(conn) {
+                return ConnFate::Close;
+            }
+            if let ConnFate::Close = flush_writes(conn) {
+                return ConnFate::Close;
+            }
+            let backlogged = conn.out_buf.len() - conn.write_pos > HIGH_WATER;
+            if backlogged || !has_complete_frame(&conn.in_buf) {
+                break;
+            }
+        }
+        // After a FIN the connection lives exactly as long as it still has
+        // replies to deliver. (The loop above guarantees nothing
+        // dispatchable remains when the backlog is drained, so an empty
+        // out_buf really means all replies went out; leftover in_buf bytes
+        // can only be a forever-incomplete frame.)
+        if conn.read_closed && conn.out_buf.len() == conn.write_pos {
+            return ConnFate::Close;
+        }
+        self.update_interest(conn, idx)
+    }
+
+    /// Consumes every complete frame in `in_buf` (until backpressure),
+    /// dispatching each through the zero-copy handler path and queueing
+    /// the replies.
+    fn dispatch_frames(&mut self, conn: &mut Conn) -> ConnFate {
+        let mut consumed = 0usize;
+        let fate = loop {
+            if conn.out_buf.len() - conn.write_pos > HIGH_WATER {
+                break ConnFate::Keep;
+            }
+            let pending = &conn.in_buf[consumed..];
+            if pending.len() < 4 {
+                break ConnFate::Keep;
+            }
+            let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]);
+            if len > MAX_FRAME {
+                break ConnFate::Close;
+            }
+            let total = 4 + len as usize;
+            if pending.len() < total {
+                break ConnFate::Keep;
+            }
+            let reply = match FrameRef::from_wire_bytes(&pending[4..total]) {
+                Ok(frame) => self.handler.handle_ref(frame),
+                Err(_) => break ConnFate::Close,
+            };
+            reply.encode_into(&mut conn.scratch);
+            let Ok(reply_len) = u32::try_from(conn.scratch.len()) else {
+                break ConnFate::Close;
+            };
+            conn.out_buf.extend_from_slice(&reply_len.to_le_bytes());
+            conn.out_buf.extend_from_slice(&conn.scratch);
+            consumed += total;
+        };
+        if consumed > 0 {
+            conn.in_buf.drain(..consumed);
+            trim_buf(&mut conn.scratch);
+            // An outlier inbound frame must not pin its capacity for the
+            // connection's lifetime; only safe once no live bytes remain.
+            if conn.in_buf.is_empty() {
+                trim_buf(&mut conn.in_buf);
+            }
+        }
+        fate
+    }
+
+    /// Re-registers the connection's epoll interest when it changed:
+    /// `EPOLLOUT` only while a partial write is pending, `EPOLLIN` only
+    /// while the reply backlog is under the high-water mark and the peer
+    /// has not sent FIN.
+    fn update_interest(&mut self, conn: &mut Conn, idx: usize) -> ConnFate {
+        use std::os::unix::io::AsRawFd;
+        let backlog = conn.out_buf.len() - conn.write_pos;
+        let mut interest = 0;
+        if !conn.read_closed && backlog <= HIGH_WATER {
+            interest |= EPOLLIN | EPOLLRDHUP;
+        }
+        if backlog > 0 {
+            interest |= EPOLLOUT;
+        }
+        if interest == conn.interest {
+            return ConnFate::Keep;
+        }
+        let token = idx as u64 + TOKEN_CONN_BASE;
+        match self.epoll.modify(conn.stream.as_raw_fd(), interest, token) {
+            Ok(()) => {
+                conn.interest = interest;
+                ConnFate::Keep
+            }
+            Err(_) => ConnFate::Close,
+        }
+    }
+}
+
+/// Whether `in_buf` starts with a dispatchable frame. An over-limit
+/// length prefix counts as dispatchable so the dispatch loop runs and
+/// closes the connection rather than waiting for bytes that never come.
+fn has_complete_frame(in_buf: &[u8]) -> bool {
+    if in_buf.len() < 4 {
+        return false;
+    }
+    let len = u32::from_le_bytes([in_buf[0], in_buf[1], in_buf[2], in_buf[3]]);
+    len > MAX_FRAME || in_buf.len() >= 4 + len as usize
+}
+
+enum ReadOutcome {
+    Progress,
+    Closed,
+}
+
+/// Reads whatever the socket currently has into `in_buf` via the reactor
+/// thread's reusable `chunk` (one `read` syscall per chunk — the declared
+/// frame length is never pre-allocated, and nothing is re-zeroed on the
+/// hot path), up to [`READ_BUDGET`] bytes per call.
+fn read_available(conn: &mut Conn, chunk: &mut [u8]) -> ReadOutcome {
+    let start = conn.in_buf.len();
+    loop {
+        if conn.in_buf.len() - start >= READ_BUDGET {
+            return ReadOutcome::Progress;
+        }
+        match conn.stream.read(chunk) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => {
+                conn.in_buf.extend_from_slice(&chunk[..n]);
+                if n < chunk.len() {
+                    // Short read: the socket is (momentarily) drained.
+                    return ReadOutcome::Progress;
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => {
+                return ReadOutcome::Progress;
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+}
+
+/// Writes as much pending output as the socket will take. Fully drained
+/// buffers are reset and trimmed; a buffer that never quite empties (a
+/// peer reading over a slow link) has its flushed prefix compacted away
+/// once it exceeds [`crate::framing::KEEP_BUF`], so per-connection memory
+/// tracks the *unsent* backlog rather than everything ever sent.
+fn flush_writes(conn: &mut Conn) -> ConnFate {
+    while conn.write_pos < conn.out_buf.len() {
+        match conn.stream.write(&conn.out_buf[conn.write_pos..]) {
+            Ok(0) => return ConnFate::Close,
+            Ok(n) => conn.write_pos += n,
+            Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return ConnFate::Close,
+        }
+    }
+    if conn.write_pos == conn.out_buf.len() {
+        conn.out_buf.clear();
+        conn.write_pos = 0;
+        trim_buf(&mut conn.out_buf);
+    } else if conn.write_pos > crate::framing::KEEP_BUF {
+        conn.out_buf.drain(..conn.write_pos);
+        conn.write_pos = 0;
+    }
+    ConnFate::Keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpTransport;
+    use crate::Transport;
+    use brmi_wire::protocol::Frame;
+    use brmi_wire::value::Value;
+    use brmi_wire::ObjectId;
+
+    struct EchoHandler;
+
+    impl RequestHandler for EchoHandler {
+        fn handle(&self, frame: Frame) -> Frame {
+            match frame {
+                Frame::Call { args, .. } => Frame::Return(Value::List(args)),
+                _ => Frame::Return(Value::Null),
+            }
+        }
+    }
+
+    fn call(args: Vec<Value>) -> Frame {
+        Frame::Call {
+            target: ObjectId(1),
+            method: "echo".into(),
+            args,
+        }
+    }
+
+    fn echo_server() -> ReactorServer {
+        ReactorServer::bind("127.0.0.1:0", Arc::new(EchoHandler)).unwrap()
+    }
+
+    #[test]
+    fn request_reply_over_the_reactor() {
+        let server = echo_server();
+        let client = TcpTransport::connect(server.local_addr()).unwrap();
+        let reply = client.request(call(vec![Value::I32(42)])).unwrap();
+        assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(42)])));
+    }
+
+    #[test]
+    fn sequential_requests_reuse_the_connection() {
+        let server = echo_server();
+        let client = TcpTransport::connect(server.local_addr()).unwrap();
+        for i in 0..50 {
+            let reply = client.request(call(vec![Value::I32(i)])).unwrap();
+            assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(i)])));
+        }
+        assert_eq!(server.active_connections(), 1);
+    }
+
+    #[test]
+    fn pipelined_frames_in_one_burst_all_get_replies() {
+        let server = echo_server();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        // Write 10 frames back-to-back before reading anything.
+        let mut burst = Vec::new();
+        for i in 0..10 {
+            let mut payload = Vec::new();
+            call(vec![Value::I32(i)]).encode_into(&mut payload);
+            burst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            burst.extend_from_slice(&payload);
+        }
+        stream.write_all(&burst).unwrap();
+        let mut read_buf = Vec::new();
+        for i in 0..10 {
+            assert!(crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+            let reply = Frame::from_wire_bytes(&read_buf).unwrap();
+            assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(i)])));
+        }
+    }
+
+    /// A client may pipeline a burst, shut down its write side, and only
+    /// then read: the FIN must not discard queued replies.
+    #[test]
+    fn half_close_still_drains_queued_replies() {
+        let server = echo_server();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut burst = Vec::new();
+        for i in 0..5 {
+            let mut payload = Vec::new();
+            call(vec![Value::I32(i)]).encode_into(&mut payload);
+            burst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            burst.extend_from_slice(&payload);
+        }
+        stream.write_all(&burst).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut read_buf = Vec::new();
+        for i in 0..5 {
+            assert!(crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+            let reply = Frame::from_wire_bytes(&read_buf).unwrap();
+            assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(i)])));
+        }
+        assert!(!crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+    }
+
+    /// Backpressure regression: a pipelined burst whose replies total far
+    /// more than 2 × HIGH_WATER, written before any reply is read and
+    /// ended with a half-close. Every reply must still arrive — frames
+    /// parked in `in_buf` behind the high-water mark may not be stranded
+    /// when the write side drains, nor discarded at the FIN.
+    #[test]
+    fn deep_pipelined_burst_through_backpressure_and_half_close() {
+        const FRAMES: i32 = 40;
+        const BLOB: usize = 128 * 1024; // 40 × 128 KB ≈ 5 MB each way
+        let server = echo_server();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let reader = {
+            let mut stream = stream.try_clone().unwrap();
+            std::thread::spawn(move || {
+                let mut read_buf = Vec::new();
+                for i in 0..FRAMES {
+                    assert!(crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+                    let reply = Frame::from_wire_bytes(&read_buf).unwrap();
+                    let expected = vec![Value::I32(i), Value::Bytes(vec![i as u8; BLOB])];
+                    assert_eq!(reply, Frame::Return(Value::List(expected)));
+                }
+                assert!(!crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+            })
+        };
+        let mut payload = Vec::new();
+        for i in 0..FRAMES {
+            call(vec![Value::I32(i), Value::Bytes(vec![i as u8; BLOB])]).encode_into(&mut payload);
+            stream
+                .write_all(&(payload.len() as u32).to_le_bytes())
+                .unwrap();
+            stream.write_all(&payload).unwrap();
+        }
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        reader.join().unwrap();
+    }
+
+    #[test]
+    fn large_payload_round_trips_through_partial_writes() {
+        let server = echo_server();
+        let client = TcpTransport::connect(server.local_addr()).unwrap();
+        // Several megabytes forces the reactor through the EPOLLOUT path.
+        let blob = Value::Bytes((0..4_000_000u32).map(|i| i as u8).collect());
+        let reply = client.request(call(vec![blob.clone()])).unwrap();
+        assert_eq!(reply, Frame::Return(Value::List(vec![blob])));
+    }
+
+    #[test]
+    fn oversized_length_prefix_closes_only_that_connection() {
+        let server = echo_server();
+        let mut bad = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        bad.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        bad.write_all(&[0u8; 8]).unwrap();
+        // The malformed connection dies...
+        let mut buf = Vec::new();
+        assert!(!crate::framing::read_frame_bytes(&mut bad, &mut buf).unwrap_or(false));
+        // ...while a well-behaved one keeps working.
+        let good = TcpTransport::connect(server.local_addr()).unwrap();
+        let reply = good.request(call(vec![Value::I32(7)])).unwrap();
+        assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(7)])));
+    }
+
+    #[test]
+    fn undecodable_frame_closes_only_that_connection() {
+        let server = echo_server();
+        let mut bad = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        bad.write_all(&8u32.to_le_bytes()).unwrap();
+        bad.write_all(&[0xFF; 8]).unwrap();
+        let mut buf = Vec::new();
+        assert!(!crate::framing::read_frame_bytes(&mut bad, &mut buf).unwrap_or(false));
+        let good = TcpTransport::connect(server.local_addr()).unwrap();
+        assert!(good.request(call(vec![])).is_ok());
+    }
+
+    #[test]
+    fn many_concurrent_clients_on_two_reactor_threads() {
+        let server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(EchoHandler),
+            ReactorConfig { reactor_threads: 2 },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..32)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let client = TcpTransport::connect(addr).unwrap();
+                    for j in 0..20 {
+                        let value = Value::I32(i * 1000 + j);
+                        let reply = client.request(call(vec![value.clone()])).unwrap();
+                        assert_eq!(reply, Frame::Return(Value::List(vec![value])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn connection_count_tracks_connects_and_disconnects() {
+        let server = echo_server();
+        assert_eq!(server.active_connections(), 0);
+        let a = TcpTransport::connect(server.local_addr()).unwrap();
+        let b = TcpTransport::connect(server.local_addr()).unwrap();
+        a.request(call(vec![])).unwrap();
+        b.request(call(vec![])).unwrap();
+        assert_eq!(server.active_connections(), 2);
+        drop(b);
+        // The reactor notices the FIN on its next wakeup.
+        for _ in 0..100 {
+            if server.active_connections() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(server.active_connections(), 1);
+        drop(a);
+        drop(server);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins_threads() {
+        let mut server = echo_server();
+        let client = TcpTransport::connect(server.local_addr()).unwrap();
+        client.request(call(vec![Value::I32(1)])).unwrap();
+        server.shutdown();
+        server.shutdown();
+        assert!(server.threads.is_empty());
+        assert!(client.request(call(vec![])).is_err());
+    }
+}

@@ -3,95 +3,39 @@
 //! This transport exists to prove the middleware is a working distributed
 //! system, not a simulation artifact: the integration suite runs every
 //! client/server scenario over real sockets. Each frame travels as a 4-byte
-//! little-endian length followed by the encoded frame.
+//! little-endian length followed by the encoded frame (see
+//! [`crate::framing`]).
+//!
+//! [`TcpServer`] is the simple thread-per-connection server; it is easy to
+//! reason about and fine for a handful of peers. For hundreds of concurrent
+//! connections use the [reactor server](crate::reactor::ReactorServer),
+//! which serves all of them from a fixed set of event-loop threads.
 
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use brmi_wire::codec::WireCodec;
 use brmi_wire::protocol::{Frame, FrameRef};
 use brmi_wire::RemoteError;
 use parking_lot::Mutex;
 
+use crate::framing::{decode_error, read_frame_bytes, trim_buf, write_frame, ClientConn};
 use crate::{RequestHandler, Transport};
 
-/// Maximum accepted frame size; larger frames indicate a protocol error.
-const MAX_FRAME: u32 = 64 * 1024 * 1024;
-
-/// Reused frame buffers are allowed to keep this much capacity between
-/// frames; anything larger (a one-off bulk payload) is released after the
-/// round trip so an outlier frame cannot pin tens of megabytes per
-/// connection for its lifetime.
-const KEEP_BUF: usize = 256 * 1024;
-
-/// Shrinks an oversized reused buffer back to the retention threshold.
-fn trim_buf(buf: &mut Vec<u8>) {
-    if buf.capacity() > KEEP_BUF {
-        buf.truncate(KEEP_BUF);
-        buf.shrink_to(KEEP_BUF);
-    }
-}
-
-/// Encodes `frame` into `buf` (cleared, capacity kept) and writes it as a
-/// length-prefixed frame. Reusing `buf` across frames makes steady-state
-/// sends allocation-free.
-fn write_frame(stream: &mut TcpStream, frame: &Frame, buf: &mut Vec<u8>) -> std::io::Result<()> {
-    frame.encode_into(buf);
-    let len = u32::try_from(buf.len())
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
-    stream.write_all(&len.to_le_bytes())?;
-    stream.write_all(buf)?;
-    stream.flush()
-}
-
-/// Reads one length-prefixed frame into `buf` (cleared, capacity kept).
-/// Returns `Ok(false)` on a clean EOF between frames. The caller decodes
-/// `buf` owned (client side) or borrowed (server dispatch side).
-fn read_frame_bytes(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std::io::Result<bool> {
-    let mut len_buf = [0u8; 4];
-    match stream.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        // A clean EOF between frames means the peer closed the connection.
-        Err(err) if err.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(false),
-        Err(err) => return Err(err),
-    }
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds maximum"),
-        ));
-    }
-    buf.clear();
-    buf.resize(len as usize, 0);
-    stream.read_exact(buf)?;
-    Ok(true)
-}
-
-fn decode_error(err: brmi_wire::WireError) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, err.to_string())
-}
-
-/// A client connection to a [`TcpServer`].
+/// A client connection to a [`TcpServer`] (or a
+/// [`ReactorServer`](crate::reactor::ReactorServer)).
 ///
 /// The underlying stream is mutex-protected; RMI semantics are one
 /// outstanding request per connection, so callers wanting concurrency open
 /// one transport per thread (exactly as BRMI requires one batch stub per
-/// thread, paper Section 4.5).
+/// thread, paper Section 4.5) — or share one [`TcpPool`](crate::pool::TcpPool),
+/// which checks out a pooled connection per round trip instead of
+/// serializing callers on a single socket.
 pub struct TcpTransport {
     conn: Mutex<ClientConn>,
     peer: SocketAddr,
-}
-
-/// The stream plus its reused frame buffers; one outstanding request per
-/// connection means the buffers can live with the stream under one lock.
-struct ClientConn {
-    stream: TcpStream,
-    write_buf: Vec<u8>,
-    read_buf: Vec<u8>,
 }
 
 impl TcpTransport {
@@ -102,20 +46,10 @@ impl TcpTransport {
     /// Returns a transport-kind [`RemoteError`] when the connection cannot
     /// be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, RemoteError> {
-        let stream = TcpStream::connect(addr)
+        let (conn, peer) = ClientConn::dial_resolved(addr)
             .map_err(|err| RemoteError::transport(format!("connect failed: {err}")))?;
-        stream
-            .set_nodelay(true)
-            .map_err(|err| RemoteError::transport(format!("set_nodelay failed: {err}")))?;
-        let peer = stream
-            .peer_addr()
-            .map_err(|err| RemoteError::transport(format!("peer_addr failed: {err}")))?;
         Ok(TcpTransport {
-            conn: Mutex::new(ClientConn {
-                stream,
-                write_buf: Vec::new(),
-                read_buf: Vec::new(),
-            }),
+            conn: Mutex::new(conn),
             peer,
         })
     }
@@ -137,27 +71,33 @@ impl std::fmt::Debug for TcpTransport {
 impl Transport for TcpTransport {
     fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
         let conn = &mut *self.conn.lock();
-        write_frame(&mut conn.stream, &frame, &mut conn.write_buf)
-            .map_err(|err| RemoteError::transport(format!("send failed: {err}")))?;
-        let reply = match read_frame_bytes(&mut conn.stream, &mut conn.read_buf) {
-            Ok(true) => Frame::from_wire_bytes(&conn.read_buf)
-                .map_err(|err| RemoteError::transport(format!("receive failed: {err}"))),
-            Ok(false) => Err(RemoteError::transport("connection closed by server")),
-            Err(err) => Err(RemoteError::transport(format!("receive failed: {err}"))),
-        };
-        trim_buf(&mut conn.write_buf);
-        trim_buf(&mut conn.read_buf);
-        reply
+        conn.round_trip(&frame)
+            .map(|(reply, _)| reply)
+            .map_err(|err| RemoteError::transport(format!("round trip failed: {err}")))
     }
+}
+
+/// Connection bookkeeping shared between the accept loop and
+/// [`TcpServer::shutdown`]: a clone of every live stream (so shutdown can
+/// unblock reads) and the join handle of every spawned thread (so shutdown
+/// leaks none of them).
+#[derive(Default)]
+struct ConnRegistry {
+    next_id: u64,
+    streams: HashMap<u64, TcpStream>,
+    handles: Vec<JoinHandle<()>>,
 }
 
 /// A threaded TCP server feeding a [`RequestHandler`].
 ///
 /// Accepts connections until shut down; each connection gets its own thread
-/// handling requests sequentially.
+/// handling requests sequentially. [`TcpServer::shutdown`] (also run on
+/// drop) closes every live connection and joins all threads — accept loop
+/// and per-connection handlers alike.
 pub struct TcpServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    registry: Arc<Mutex<ConnRegistry>>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -178,16 +118,19 @@ impl TcpServer {
             .local_addr()
             .map_err(|err| RemoteError::transport(format!("local_addr failed: {err}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let registry = Arc::new(Mutex::new(ConnRegistry::default()));
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_registry = Arc::clone(&registry);
         let accept_thread = std::thread::Builder::new()
             .name("brmi-tcp-accept".into())
-            .spawn(move || accept_loop(listener, handler, accept_shutdown))
+            .spawn(move || accept_loop(listener, handler, accept_shutdown, accept_registry))
             .map_err(|err| RemoteError::transport(format!("spawn failed: {err}")))?;
 
         Ok(TcpServer {
             local_addr,
             shutdown,
+            registry,
             accept_thread: Some(accept_thread),
         })
     }
@@ -197,8 +140,8 @@ impl TcpServer {
         self.local_addr
     }
 
-    /// Stops accepting connections and joins the accept thread.
-    /// Idempotent; also called on drop.
+    /// Stops accepting connections, closes every live connection and joins
+    /// all server threads. Idempotent; also called on drop.
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -206,6 +149,19 @@ impl TcpServer {
         // Poke the listener so the blocking accept returns.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Unblock every connection thread parked in a read, then join them.
+        // The handles are taken out of the lock first so an exiting thread
+        // (which removes its own stream entry) can never deadlock with us.
+        let handles = {
+            let mut registry = self.registry.lock();
+            for stream in registry.streams.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            std::mem::take(&mut registry.handles)
+        };
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -225,7 +181,12 @@ impl Drop for TcpServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, handler: Arc<dyn RequestHandler>, shutdown: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    handler: Arc<dyn RequestHandler>,
+    shutdown: Arc<AtomicBool>,
+    registry: Arc<Mutex<ConnRegistry>>,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -234,11 +195,35 @@ fn accept_loop(listener: TcpListener, handler: Arc<dyn RequestHandler>, shutdown
                 }
                 let handler = Arc::clone(&handler);
                 let conn_shutdown = Arc::clone(&shutdown);
+                let conn_registry = Arc::clone(&registry);
+                // Without a registered stream clone, shutdown() could not
+                // unblock this connection's read and would hang joining it;
+                // refuse the connection instead (clone fails only under fd
+                // exhaustion, where serving it was doomed anyway).
+                let Ok(clone) = stream.try_clone() else {
+                    continue;
+                };
+                let mut guard = registry.lock();
+                let id = guard.next_id;
+                guard.next_id += 1;
+                guard.streams.insert(id, clone);
+                // Reap handles of finished threads so a long-lived server
+                // under connection churn holds O(live connections), not
+                // O(connections ever served). (Dropping a finished handle
+                // detaches a thread that has already exited.)
+                guard.handles.retain(|handle| !handle.is_finished());
                 let spawned = std::thread::Builder::new()
                     .name("brmi-tcp-conn".into())
-                    .spawn(move || connection_loop(stream, handler, conn_shutdown));
-                if spawned.is_err() {
-                    return;
+                    .spawn(move || {
+                        connection_loop(stream, handler, conn_shutdown);
+                        conn_registry.lock().streams.remove(&id);
+                    });
+                match spawned {
+                    Ok(handle) => guard.handles.push(handle),
+                    Err(_) => {
+                        guard.streams.remove(&id);
+                        return;
+                    }
                 }
             }
             Err(_) => {
@@ -370,22 +355,31 @@ mod tests {
     }
 
     #[test]
-    fn trim_buf_releases_outlier_capacity_only() {
-        let mut outlier = vec![0u8; 4 * 1024 * 1024];
-        trim_buf(&mut outlier);
-        assert!(outlier.capacity() <= KEEP_BUF);
-        let mut steady = Vec::with_capacity(1024);
-        steady.push(1u8);
-        let capacity = steady.capacity();
-        trim_buf(&mut steady);
-        assert_eq!(steady.capacity(), capacity, "small buffers keep capacity");
-        assert_eq!(steady, vec![1u8]);
-    }
-
-    #[test]
     fn shutdown_is_idempotent() {
         let mut server = TcpServer::bind("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
         server.shutdown();
         server.shutdown();
+    }
+
+    /// The graceful-shutdown contract: with clients parked mid-connection
+    /// (their threads blocked in a read), `shutdown()` must close the
+    /// connections and join every thread rather than leaking them.
+    #[test]
+    fn shutdown_joins_idle_connection_threads() {
+        let mut server = TcpServer::bind("127.0.0.1:0", Arc::new(EchoHandler)).unwrap();
+        let clients: Vec<TcpTransport> = (0..4)
+            .map(|_| TcpTransport::connect(server.local_addr()).unwrap())
+            .collect();
+        // Prove the connections are established and idle.
+        for client in &clients {
+            client.request(call(vec![Value::I32(1)])).unwrap();
+        }
+        server.shutdown();
+        // All connection threads were joined, so the registry is empty and
+        // subsequent requests fail cleanly.
+        assert!(server.registry.lock().handles.is_empty());
+        for client in &clients {
+            assert!(client.request(call(vec![])).is_err());
+        }
     }
 }
