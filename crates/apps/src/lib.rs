@@ -17,6 +17,9 @@
 //! * [`stress`] — the many-client stress workload: N pooled clients ×
 //!   pipelined batches against one reactor server, with deterministic
 //!   count/byte outputs for the committed bench baseline.
+//! * [`relay`] — the multi-tier topology on top of `stress`: the same
+//!   clients behind an edge [`BatchRelay`](brmi_transport::relay::BatchRelay)
+//!   that coalesces their batches into origin super-batches.
 //!
 //! Every application ships an RMI client and a BRMI client with identical
 //! observable behaviour; the unit tests in each module are differential
@@ -30,6 +33,8 @@ pub mod fileserver;
 pub mod implicit_clients;
 pub mod list;
 pub mod noop;
+#[cfg(target_os = "linux")]
+pub mod relay;
 pub mod simulation;
 #[cfg(target_os = "linux")]
 pub mod stress;

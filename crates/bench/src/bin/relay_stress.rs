@@ -1,0 +1,27 @@
+//! Multi-tier relay sweep — `cargo run -p brmi-bench --bin relay_stress`.
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_relay.json` baseline. Only the deterministic wire-level series
+//! (origin round trips vs direct, upstream flushes, calls, bytes) are
+//! baseline-checked; the measured round-trip reduction and wall-clock
+//! throughput are printed for humans. See [`brmi_bench::relay`].
+
+use std::process::ExitCode;
+
+#[cfg(target_os = "linux")]
+fn main() -> ExitCode {
+    use brmi_bench::baseline::{run_cli, SeriesTable};
+    println!("BRMI multi-tier relay sweep (client → edge → origin, real sockets)\n");
+    let (figure, reports) = brmi_bench::relay::relay_topology_figure();
+    figure.print();
+    brmi_bench::relay::print_measured_reduction(&reports);
+    let tables = vec![SeriesTable::from(&figure)];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&tables, &args)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() -> ExitCode {
+    eprintln!("relay_stress requires Linux (the origin server is epoll-based)");
+    ExitCode::FAILURE
+}

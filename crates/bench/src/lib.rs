@@ -16,6 +16,8 @@
 //! * [`stress`] — the reactor TCP throughput sweep over real sockets:
 //!   growing client counts against one epoll reactor server, with
 //!   deterministic wire-level series for the committed baseline;
+//! * [`relay`] — the multi-tier topology sweep: the same clients behind an
+//!   edge relay, measuring origin round trips saved by coalescing;
 //! * binaries `fig05_noop_lan` … `fig13_files_wireless`, `all_figures`,
 //!   `ablations` and `extensions` print paper-style series;
 //! * `benches/middleware_cpu.rs` (Criterion) measures the real CPU cost of
@@ -28,6 +30,8 @@ pub mod baseline;
 pub mod extensions;
 pub mod figures;
 pub mod model;
+#[cfg(target_os = "linux")]
+pub mod relay;
 pub mod rig;
 #[cfg(target_os = "linux")]
 pub mod stress;

@@ -16,12 +16,13 @@ use std::sync::Arc;
 
 use brmi_rmi::{Connection, RemoteRef};
 use brmi_wire::invocation::{
-    Arg, BatchRequest, CallSeq, InvocationData, PolicySpec, SessionId, SlotOutcome, Target,
+    Arg, BatchRequest, BatchResponse, CallSeq, InvocationData, PolicySpec, SessionId, SlotOutcome,
+    Target,
 };
 use brmi_wire::{RemoteError, RemoteErrorKind, Value};
 use parking_lot::Mutex;
 
-use crate::future::FutureSlot;
+use crate::future::{FlushGate, FutureSlot};
 use crate::stats::BatchStats;
 use crate::stub::{BatchStub, CursorHandle, RecordArg, StubKind};
 
@@ -67,6 +68,10 @@ struct BatchInner {
     slots: HashMap<u32, Arc<FutureSlot>>,
     cursors: HashMap<u32, CursorState>,
     session: Option<SessionId>,
+    /// The most recent pipelined flush still (possibly) in flight. A later
+    /// flush — pipelined or not — joins it first, so segments reach the
+    /// server in recording order.
+    inflight: Option<Arc<FlushGate>>,
     stats: BatchStats,
 }
 
@@ -109,6 +114,44 @@ impl std::fmt::Debug for Batch {
     }
 }
 
+/// Handle to a pipelined flush started by [`Batch::flush_async`] or
+/// [`Batch::flush_and_continue_async`].
+///
+/// The round trip runs on a worker thread. Joining is optional: touching
+/// any future of the shipped segment claims the reply too, and dropping
+/// the handle never cancels the flush.
+pub struct PendingFlush {
+    gate: Arc<FlushGate>,
+}
+
+impl PendingFlush {
+    /// Waits for the flush to complete and returns its outcome — exactly
+    /// what the equivalent synchronous [`Batch::flush`] call would have
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures of the shipped segment, or the
+    /// recording error that poisoned it.
+    pub fn join(&self) -> Result<(), RemoteError> {
+        self.gate.wait()
+    }
+
+    /// True once the flush has completed (successfully or not), without
+    /// blocking.
+    pub fn is_done(&self) -> bool {
+        self.gate.try_result().is_some()
+    }
+}
+
+impl std::fmt::Debug for PendingFlush {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingFlush")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
 /// Result of recording one call.
 pub(crate) struct Recorded {
     pub(crate) seq: u32,
@@ -139,6 +182,7 @@ impl Batch {
                 slots: HashMap::new(),
                 cursors: HashMap::new(),
                 session: None,
+                inflight: None,
                 stats: BatchStats::default(),
             })),
         }
@@ -170,6 +214,32 @@ impl Batch {
     /// As for [`Batch::flush`].
     pub fn flush_and_continue(&self) -> Result<(), RemoteError> {
         self.do_flush(true)
+    }
+
+    /// Ships the batch without waiting for the reply — the *pipelined*
+    /// flush. The round trip runs on a worker thread; the returned handle
+    /// joins it explicitly, and any of the batch's futures claims the
+    /// reply implicitly on first touch (`get`/`ok`). The batch is finished
+    /// for recording immediately, exactly like [`Batch::flush`].
+    ///
+    /// Transport and recording errors surface at
+    /// [`PendingFlush::join`] (and re-throw from the covered futures), not
+    /// here — communication failures still surface "at flush", just at the
+    /// point the flush is observed.
+    #[must_use = "the flush outcome surfaces at join() or on the futures"]
+    pub fn flush_async(&self) -> PendingFlush {
+        self.do_flush_async(false)
+    }
+
+    /// Pipelined variant of [`Batch::flush_and_continue`]: ships the
+    /// current segment without waiting and keeps the chain open, so the
+    /// client can record (and even flush) the next segment while this one
+    /// is on the wire. A subsequent flush — pipelined or not — joins every
+    /// in-flight predecessor before sending, so segments reach the server
+    /// in recording order.
+    #[must_use = "the flush outcome surfaces at join() or on the futures"]
+    pub fn flush_and_continue_async(&self) -> PendingFlush {
+        self.do_flush_async(true)
     }
 
     /// Counters for this batch chain.
@@ -482,16 +552,161 @@ impl Batch {
     }
 
     fn do_flush(&self, keep: bool) -> Result<(), RemoteError> {
-        let mut inner = self.inner.lock();
+        self.join_inflight();
+        let (request, seqs, conn) = match self.prepare_flush(keep)? {
+            Some(prepared) => prepared,
+            None => return Ok(()),
+        };
+        let result = conn.invoke_batch(request);
+        self.apply_flush(&seqs, keep, result)
+    }
 
-        if let Some(poison) = inner.poisoned.take() {
-            let seqs: Vec<u32> = inner.pending.iter().map(|c| c.seq.0).collect();
-            for seq in seqs {
-                if let Some(slot) = inner.slots.get(&seq) {
-                    slot.set_failed(poison.clone());
+    /// Ships one segment on a worker thread. The returned handle (and the
+    /// flush gates attached to the segment's slots) complete after the
+    /// response has been applied.
+    fn do_flush_async(&self, keep: bool) -> PendingFlush {
+        let gate = FlushGate::new();
+        let (calls, prev) = {
+            let mut inner = self.inner.lock();
+            if let Some(poison) = inner.poisoned.take() {
+                Batch::fail_pending_locked(&mut inner, &poison);
+                inner.phase = Phase::Finished;
+                if let Some(session) = inner.session.take() {
+                    let _ = inner.conn.release_session(session);
+                }
+                gate.complete(Err(poison));
+                return PendingFlush { gate };
+            }
+            if inner.phase == Phase::Finished {
+                gate.complete(Err(already_executed()));
+                return PendingFlush { gate };
+            }
+            let calls = std::mem::take(&mut inner.pending);
+            // Every covered future can claim this flush on first touch.
+            for call in &calls {
+                if let Some(slot) = inner.slots.get(&call.seq.0) {
+                    slot.attach_flush(Arc::clone(&gate));
                 }
             }
-            inner.pending.clear();
+            let prev = inner.inflight.replace(Arc::clone(&gate));
+            if !keep {
+                // Recording is over immediately, exactly like `flush`; the
+                // reply just hasn't been claimed yet.
+                inner.phase = Phase::Finished;
+            }
+            (calls, prev)
+        };
+
+        // The job is shared with the worker closure (instead of moved into
+        // it) so a failed spawn can still run the very same flush inline —
+        // the segment's calls must not be lost with the dropped closure.
+        let job = Arc::new(Mutex::new(Some((calls, prev))));
+        let batch = self.clone();
+        let worker_gate = Arc::clone(&gate);
+        let worker_job = Arc::clone(&job);
+        // One detached worker per in-flight segment; the gate (not the
+        // join handle) is the completion primitive.
+        let spawned = std::thread::Builder::new()
+            .name("brmi-flush".into())
+            .spawn(move || {
+                if let Some((calls, prev)) = worker_job.lock().take() {
+                    batch.run_async_flush(calls, prev, keep, worker_gate);
+                }
+            });
+        if spawned.is_err() {
+            // Could not spawn: degrade to a synchronous flush on this
+            // thread so the handle still resolves.
+            if let Some((calls, prev)) = job.lock().take() {
+                self.run_async_flush(calls, prev, keep, Arc::clone(&gate));
+            }
+        }
+        PendingFlush { gate }
+    }
+
+    /// Worker half of a pipelined flush.
+    fn run_async_flush(
+        &self,
+        calls: Vec<InvocationData>,
+        prev: Option<Arc<FlushGate>>,
+        keep: bool,
+        gate: Arc<FlushGate>,
+    ) {
+        // Preserve segment order: the previous in-flight flush must be on
+        // the server before this one is sent (it may also establish the
+        // session id this segment continues).
+        if let Some(prev) = prev {
+            if prev.wait().is_err() {
+                // The chain is broken; this segment fails the way a sync
+                // flush after a failed flush would.
+                let err = already_executed();
+                let inner = self.inner.lock();
+                for call in &calls {
+                    if let Some(slot) = inner.slots.get(&call.seq.0) {
+                        slot.set_failed(err.clone());
+                    }
+                }
+                drop(inner);
+                gate.complete(Err(err));
+                return;
+            }
+        }
+        let (request, seqs, conn) = {
+            let mut inner = self.inner.lock();
+            if calls.is_empty() && inner.session.is_none() {
+                if !keep {
+                    inner.phase = Phase::Finished;
+                }
+                drop(inner);
+                gate.complete(Ok(()));
+                return;
+            }
+            let seqs: Vec<u32> = calls.iter().map(|c| c.seq.0).collect();
+            let request = BatchRequest {
+                session: inner.session,
+                calls,
+                policy: inner.policy.clone(),
+                keep_session: keep,
+            };
+            (request, seqs, inner.conn.clone())
+        };
+        let result = conn.invoke_batch(request);
+        gate.complete(self.apply_flush(&seqs, keep, result));
+    }
+
+    /// Blocks until every in-flight pipelined flush has completed.
+    fn join_inflight(&self) {
+        loop {
+            let gate = self.inner.lock().inflight.take();
+            match gate {
+                Some(gate) => {
+                    let _ = gate.wait();
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Fails every recorded-but-unflushed call with `err` (lock held).
+    fn fail_pending_locked(inner: &mut BatchInner, err: &RemoteError) {
+        let seqs: Vec<u32> = inner.pending.iter().map(|c| c.seq.0).collect();
+        for seq in seqs {
+            if let Some(slot) = inner.slots.get(&seq) {
+                slot.set_failed(err.clone());
+            }
+        }
+        inner.pending.clear();
+    }
+
+    /// First half of a flush: validates the phase and takes the pending
+    /// segment off the batch. Returns `None` when there is nothing to send.
+    #[allow(clippy::type_complexity)]
+    fn prepare_flush(
+        &self,
+        keep: bool,
+    ) -> Result<Option<(BatchRequest, Vec<u32>, Connection)>, RemoteError> {
+        let mut inner = self.inner.lock();
+        if let Some(poison) = inner.poisoned.take() {
+            Batch::fail_pending_locked(&mut inner, &poison);
             inner.phase = Phase::Finished;
             if let Some(session) = inner.session.take() {
                 let _ = inner.conn.release_session(session);
@@ -499,10 +714,7 @@ impl Batch {
             return Err(poison);
         }
         if inner.phase == Phase::Finished {
-            return Err(RemoteError::new(
-                RemoteErrorKind::Protocol,
-                "batch already executed; create a new batch",
-            ));
+            return Err(already_executed());
         }
 
         let calls = std::mem::take(&mut inner.pending);
@@ -510,7 +722,7 @@ impl Batch {
             if !keep {
                 inner.phase = Phase::Finished;
             }
-            return Ok(());
+            return Ok(None);
         }
         let seqs: Vec<u32> = calls.iter().map(|c| c.seq.0).collect();
         let request = BatchRequest {
@@ -519,13 +731,24 @@ impl Batch {
             policy: inner.policy.clone(),
             keep_session: keep,
         };
+        Ok(Some((request, seqs, inner.conn.clone())))
+    }
 
-        let response = match inner.conn.invoke_batch(request) {
+    /// Second half of a flush: applies the server's response (or the
+    /// transport failure) to the segment's slots and the chain state.
+    fn apply_flush(
+        &self,
+        seqs: &[u32],
+        keep: bool,
+        result: Result<BatchResponse, RemoteError>,
+    ) -> Result<(), RemoteError> {
+        let mut inner = self.inner.lock();
+        let response = match result {
             Ok(response) => response,
             Err(err) => {
                 // All communication errors surface at flush (Section 3.3):
                 // the futures of this segment fail with the same error.
-                for seq in &seqs {
+                for seq in seqs {
                     if let Some(slot) = inner.slots.get(seq) {
                         slot.set_failed(err.clone());
                     }
@@ -552,7 +775,7 @@ impl Batch {
                 apply_outcome(slot, outcome);
             }
         }
-        for seq in &seqs {
+        for seq in seqs {
             if !responded.contains(seq) {
                 if let Some(slot) = inner.slots.get(seq) {
                     slot.set_failed(RemoteError::new(
@@ -575,11 +798,14 @@ impl Batch {
         }
         // A cursor whose creating call failed has no results: its member
         // futures re-throw the creation error (dependency rule, §3.3).
+        // `check_applied` (not the claiming `check`) — this runs inside
+        // the flush being applied, whose own gate completes only after we
+        // return; claiming here would wait on it and self-deadlock.
         let mut failed_members: Vec<(u32, RemoteError)> = Vec::new();
         for (cursor_seq, state) in &inner.cursors {
             if state.flushed.is_none() && !state.members.is_empty() {
                 if let Some(slot) = inner.slots.get(cursor_seq) {
-                    if let Err(err) = slot.check() {
+                    if let Err(err) = slot.check_applied() {
                         for member in &state.members {
                             failed_members.push((*member, err.clone()));
                         }
@@ -648,6 +874,13 @@ fn apply_outcome(slot: &FutureSlot, outcome: SlotOutcome) {
         }
         SlotOutcome::InCursor => {}
     }
+}
+
+fn already_executed() -> RemoteError {
+    RemoteError::new(
+        RemoteErrorKind::Protocol,
+        "batch already executed; create a new batch",
+    )
 }
 
 fn foreign_stub() -> RemoteError {

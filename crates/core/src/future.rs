@@ -7,15 +7,65 @@
 //! `next()` (Section 4.3).
 
 use std::marker::PhantomData;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 use brmi_wire::{FromValue, RemoteError, RemoteErrorKind, Value};
 use parking_lot::Mutex;
+
+/// Completion cell for one pipelined flush ([`Batch::flush_async`]): the
+/// worker thread performing the round trip completes it after the
+/// response has been applied to every slot, and anyone joining the flush —
+/// the [`PendingFlush`] handle or a future touched before the reply
+/// arrived — blocks here.
+///
+/// [`Batch::flush_async`]: crate::Batch::flush_async
+/// [`PendingFlush`]: crate::batch::PendingFlush
+#[derive(Debug)]
+pub(crate) struct FlushGate {
+    result: StdMutex<Option<Result<(), RemoteError>>>,
+    done: Condvar,
+}
+
+impl FlushGate {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(FlushGate {
+            result: StdMutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Publishes the flush outcome and wakes every waiter. Call only after
+    /// the response (or failure) has been applied to the slots.
+    pub(crate) fn complete(&self, result: Result<(), RemoteError>) {
+        *self.result.lock().expect("flush gate lock") = Some(result);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the flush completes; returns its outcome.
+    pub(crate) fn wait(&self) -> Result<(), RemoteError> {
+        let mut guard = self.result.lock().expect("flush gate lock");
+        loop {
+            if let Some(result) = guard.as_ref() {
+                return result.clone();
+            }
+            guard = self.done.wait(guard).expect("flush gate lock");
+        }
+    }
+
+    /// The outcome if the flush has completed, without blocking.
+    pub(crate) fn try_result(&self) -> Option<Result<(), RemoteError>> {
+        self.result.lock().expect("flush gate lock").clone()
+    }
+}
 
 /// The shared state behind one future (and behind stub `ok()` checks).
 #[derive(Debug)]
 pub(crate) struct FutureSlot {
     state: Mutex<SlotState>,
+    /// Set while a pipelined flush covering this slot is in flight; the
+    /// first `get()`/`ok()` touch claims the reply by waiting on it
+    /// (paper-style "replies claimed on first future touch").
+    flush: Mutex<Option<Arc<FlushGate>>>,
 }
 
 #[derive(Debug, Clone)]
@@ -33,7 +83,35 @@ impl FutureSlot {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(FutureSlot {
             state: Mutex::new(SlotState::Pending),
+            flush: Mutex::new(None),
         })
+    }
+
+    /// Marks this slot as covered by an in-flight pipelined flush.
+    pub(crate) fn attach_flush(&self, gate: Arc<FlushGate>) {
+        *self.flush.lock() = Some(gate);
+    }
+
+    /// Claims the slot's value: when a pipelined flush is in flight, a
+    /// touch blocks until the flush completes (the worker populates every
+    /// slot before releasing waiters), then re-reads the state.
+    ///
+    /// The gate is *cloned*, not taken: any number of threads may touch
+    /// futures of the same segment concurrently, and each must find the
+    /// gate to wait on. It is cleared only after the wait, once the flush
+    /// is known to be complete.
+    pub(crate) fn claim(&self) -> SlotState {
+        if !matches!(self.snapshot(), SlotState::Pending) {
+            return self.snapshot();
+        }
+        let gate = self.flush.lock().clone();
+        if let Some(gate) = gate {
+            let _ = gate.wait();
+            *self.flush.lock() = None;
+        }
+        // Re-read either way: a flush may have applied the result between
+        // the first snapshot and the gate lookup.
+        self.snapshot()
     }
 
     pub(crate) fn set_ready(&self, value: Value) {
@@ -48,8 +126,20 @@ impl FutureSlot {
         self.state.lock().clone()
     }
 
-    /// The `ok()` view: succeeded, failed, or not yet executed.
+    /// The `ok()` view: succeeded, failed, or not yet executed. Claims the
+    /// reply of an in-flight pipelined flush first.
     pub(crate) fn check(&self) -> Result<(), RemoteError> {
+        match self.claim() {
+            SlotState::Pending => Err(not_flushed()),
+            SlotState::Ready(_) => Ok(()),
+            SlotState::Failed(err) => Err(err),
+        }
+    }
+
+    /// As [`FutureSlot::check`] but *without* claiming an in-flight flush —
+    /// for callers inside the flush-apply path itself, where waiting on the
+    /// current flush's own gate would self-deadlock.
+    pub(crate) fn check_applied(&self) -> Result<(), RemoteError> {
         match self.snapshot() {
             SlotState::Pending => Err(not_flushed()),
             SlotState::Ready(_) => Ok(()),
@@ -133,8 +223,14 @@ impl<T: FromValue> BatchFuture<T> {
     /// * when any call this result depends on threw — that exception,
     ///   re-thrown here (paper Section 3.3);
     /// * when the value cannot convert to `T` — a marshalling error.
+    ///
+    /// When the batch was shipped with [`Batch::flush_async`], the first
+    /// touch of any of its futures blocks until the in-flight round trip
+    /// completes, then behaves as above.
+    ///
+    /// [`Batch::flush_async`]: crate::Batch::flush_async
     pub fn get(&self) -> Result<T, RemoteError> {
-        match self.slot.snapshot() {
+        match self.slot.claim() {
             SlotState::Pending => Err(not_flushed()),
             SlotState::Ready(value) => T::from_value(value),
             SlotState::Failed(err) => Err(err),

@@ -79,7 +79,7 @@ pub mod policy;
 pub mod stats;
 pub mod stub;
 
-pub use batch::Batch;
+pub use batch::{Batch, PendingFlush};
 pub use executor::BatchExecutor;
 pub use future::BatchFuture;
 pub use interface::{BatchCtor, BatchParam, Companions, CursorCtor, StubCtor};

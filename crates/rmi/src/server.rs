@@ -241,19 +241,40 @@ impl RmiServer {
         Ok(self.marshal_out(out))
     }
 
-    /// Runs a borrowed batch request through the installed batch handler.
-    fn handle_batch(&self, request: BatchRequestRef<'_>) -> Frame {
+    /// Runs one borrowed batch request through the installed batch handler.
+    fn invoke_batch_ref(&self, request: BatchRequestRef<'_>) -> Result<BatchResponse, RemoteError> {
         let handler = self.batch_handler.read().clone();
         match handler {
-            Some(handler) => match handler.invoke_batch(&self.strong(), request) {
-                Ok(response) => Frame::BatchReturn(response),
-                Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
-            },
-            None => Frame::Error(ErrorEnvelope::from(&RemoteError::new(
+            Some(handler) => handler.invoke_batch(&self.strong(), request),
+            None => Err(RemoteError::new(
                 RemoteErrorKind::Protocol,
                 "server has no batch support installed",
-            ))),
+            )),
         }
+    }
+
+    /// Runs a borrowed batch request through the installed batch handler.
+    fn handle_batch(&self, request: BatchRequestRef<'_>) -> Frame {
+        match self.invoke_batch_ref(request) {
+            Ok(response) => Frame::BatchReturn(response),
+            Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+        }
+    }
+
+    /// Runs a relay super-batch: every inner batch executes independently,
+    /// exactly as if it had arrived in its own round trip, so the edge tier
+    /// coalescing traffic from many clients changes no per-batch semantics
+    /// (sessions, policies and exception cursors are all per inner batch).
+    /// One failing inner batch yields an error entry; the others still run.
+    fn handle_super_batch(&self, batches: Vec<BatchRequestRef<'_>>) -> Frame {
+        let replies = batches
+            .into_iter()
+            .map(|request| {
+                self.invoke_batch_ref(request)
+                    .map_err(|err| ErrorEnvelope::from(&err))
+            })
+            .collect();
+        Frame::SuperBatchReturn(replies)
     }
 
     /// Marshals a method result for the wire: remote objects are exported
@@ -310,6 +331,9 @@ impl RequestHandler for RmiServer {
             // through `handle_ref`, which decodes the borrowed form
             // directly.
             Frame::BatchCall(request) => self.handle_batch(request.to_ref()),
+            Frame::SuperBatchCall(batches) => {
+                self.handle_super_batch(batches.iter().map(|b| b.to_ref()).collect())
+            }
             Frame::ReleaseSession(session) => {
                 if let Some(handler) = self.batch_handler.read().clone() {
                     handler.release_session(session);
@@ -370,6 +394,7 @@ impl RequestHandler for RmiServer {
                 Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
             },
             FrameRef::BatchCall(request) => self.handle_batch(request),
+            FrameRef::SuperBatchCall(batches) => self.handle_super_batch(batches),
             FrameRef::Other(frame) => self.handle(frame),
         }
     }
@@ -510,6 +535,27 @@ mod tests {
         match reply {
             Frame::Error(env) => assert_eq!(env.kind, "protocol"),
             other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn super_batch_without_handler_errors_per_entry() {
+        let server = RmiServer::new();
+        let batch = BatchRequest {
+            session: None,
+            calls: vec![],
+            policy: Default::default(),
+            keep_session: false,
+        };
+        let reply = server.handle(Frame::SuperBatchCall(vec![batch.clone(), batch]));
+        match reply {
+            Frame::SuperBatchReturn(replies) => {
+                assert_eq!(replies.len(), 2);
+                for entry in replies {
+                    assert_eq!(entry.unwrap_err().kind, "protocol");
+                }
+            }
+            other => panic!("expected super-batch return, got {other:?}"),
         }
     }
 

@@ -2,14 +2,19 @@
 //!
 //! The paper notes that with explicit batching all network and communication
 //! errors surface at `flush` (Section 3.3); the failure-injection tests use
-//! this transport to verify exactly that.
+//! this transport to verify exactly that. Besides dropping requests, the
+//! wrapper can also *delay* every request by charging a fixed duration to a
+//! [`Clock`] — a [`SleepClock`](crate::clock::SleepClock) makes the latency
+//! real, a [`VirtualClock`](crate::clock::VirtualClock) keeps it simulated.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use brmi_wire::protocol::Frame;
 use brmi_wire::RemoteError;
 
+use crate::clock::Clock;
 use crate::Transport;
 
 /// When a [`FaultyTransport`] should fail.
@@ -34,6 +39,7 @@ pub struct FaultyTransport<T> {
     plan: FaultPlan,
     attempts: AtomicU64,
     injected: AtomicU64,
+    delay: Option<(Arc<dyn Clock>, Duration)>,
 }
 
 impl<T> FaultyTransport<T> {
@@ -44,6 +50,25 @@ impl<T> FaultyTransport<T> {
             plan,
             attempts: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            delay: None,
+        })
+    }
+
+    /// As [`FaultyTransport::new`], additionally charging `delay` to
+    /// `clock` before every request (including the ones that then fail) —
+    /// models a slow link on top of the failure plan.
+    pub fn with_delay(
+        inner: T,
+        plan: FaultPlan,
+        clock: Arc<dyn Clock>,
+        delay: Duration,
+    ) -> Arc<Self> {
+        Arc::new(FaultyTransport {
+            inner,
+            plan,
+            attempts: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            delay: Some((clock, delay)),
         })
     }
 
@@ -80,6 +105,9 @@ impl<T> std::fmt::Debug for FaultyTransport<T> {
 impl<T: Transport> Transport for FaultyTransport<T> {
     fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
         let attempt = self.attempts.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some((clock, delay)) = &self.delay {
+            clock.advance(*delay);
+        }
         if self.should_fail(attempt) {
             self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(RemoteError::transport(format!(
@@ -154,6 +182,22 @@ mod tests {
             outcomes,
             vec![true, true, false, true, true, false, true, true, false]
         );
+    }
+
+    #[test]
+    fn delay_is_charged_to_the_clock_even_when_failing() {
+        use crate::clock::{Clock, VirtualClock};
+        use std::time::Duration;
+        let clock = VirtualClock::new();
+        let t = FaultyTransport::with_delay(
+            InProcTransport::new(Arc::new(NullHandler)),
+            FaultPlan::OnNth(2),
+            clock.clone(),
+            Duration::from_millis(7),
+        );
+        assert!(t.request(call()).is_ok());
+        assert!(t.request(call()).is_err());
+        assert_eq!(Clock::elapsed(&*clock), Duration::from_millis(14));
     }
 
     #[test]

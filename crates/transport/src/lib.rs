@@ -12,10 +12,13 @@
 //! * [`pool`] — the client counterpart: a connection pool checking sockets
 //!   out per round trip, so threads sharing one transport are not
 //!   serialized;
+//! * [`relay`] — the multi-tier edge node: coalesces batch frames from many
+//!   downstream clients into upstream super-batches over any of the above;
 //! * [`sim`] — the experimental testbed: real frames, simulated network cost
 //!   charged to a [virtual clock](clock::VirtualClock) according to a
 //!   [`NetworkProfile`];
-//! * [`fault`] — failure injection for testing error paths.
+//! * [`fault`] — failure injection (drops and delays) for testing error
+//!   paths.
 //!
 //! [`Frame`]: brmi_wire::protocol::Frame
 
@@ -33,6 +36,7 @@ pub mod pool;
 pub mod profile;
 #[cfg(target_os = "linux")]
 pub mod reactor;
+pub mod relay;
 pub mod sim;
 pub mod tcp;
 
@@ -158,12 +162,33 @@ impl TransportStats {
 /// directions. The simulated network charges a per-reference marshalling
 /// cost (see [`NetworkProfile::per_remote_ref_cpu`]).
 pub fn frame_remote_refs(frame: &Frame) -> usize {
-    use brmi_wire::invocation::{Arg, SlotOutcome};
+    use brmi_wire::invocation::{Arg, BatchRequest, BatchResponse, SlotOutcome};
     fn outcome_refs(outcome: &SlotOutcome) -> usize {
         match outcome {
             SlotOutcome::Ok(v) => v.count_remote_refs(),
             _ => 0,
         }
+    }
+    fn request_refs(req: &BatchRequest) -> usize {
+        req.calls
+            .iter()
+            .flat_map(|call| call.args.iter())
+            .map(|arg| match arg {
+                Arg::Value(v) => v.count_remote_refs(),
+                _ => 0,
+            })
+            .sum()
+    }
+    fn response_refs(resp: &BatchResponse) -> usize {
+        let slot_refs: usize = resp.slots.iter().map(|(_, o)| outcome_refs(o)).sum();
+        let cursor_refs: usize = resp
+            .cursors
+            .iter()
+            .flat_map(|c| c.rows.iter())
+            .flat_map(|row| row.iter())
+            .map(outcome_refs)
+            .sum();
+        slot_refs + cursor_refs
     }
     match frame {
         Frame::Call { args, .. } => args.iter().map(Value::count_remote_refs).sum(),
@@ -172,26 +197,13 @@ pub fn frame_remote_refs(frame: &Frame) -> usize {
         // DGC ids identify leases, not marshalled stubs: no per-reference
         // marshalling cost.
         Frame::Dirty { .. } | Frame::Leased { .. } | Frame::Clean { .. } | Frame::Cleaned => 0,
-        Frame::BatchCall(req) => req
-            .calls
+        Frame::BatchCall(req) => request_refs(req),
+        Frame::BatchReturn(resp) => response_refs(resp),
+        Frame::SuperBatchCall(batches) => batches.iter().map(request_refs).sum(),
+        Frame::SuperBatchReturn(replies) => replies
             .iter()
-            .flat_map(|call| call.args.iter())
-            .map(|arg| match arg {
-                Arg::Value(v) => v.count_remote_refs(),
-                _ => 0,
-            })
+            .map(|reply| reply.as_ref().map_or(0, response_refs))
             .sum(),
-        Frame::BatchReturn(resp) => {
-            let slot_refs: usize = resp.slots.iter().map(|(_, o)| outcome_refs(o)).sum();
-            let cursor_refs: usize = resp
-                .cursors
-                .iter()
-                .flat_map(|c| c.rows.iter())
-                .flat_map(|row| row.iter())
-                .map(outcome_refs)
-                .sum();
-            slot_refs + cursor_refs
-        }
     }
 }
 

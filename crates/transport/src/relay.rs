@@ -1,0 +1,765 @@
+//! Multi-tier batch relay: an edge node that re-batches many clients.
+//!
+//! Explicit batching amortizes round-trip latency for *one* client; the
+//! natural scale-out is a batching **topology**: an edge tier close to the
+//! clients accepts their batch frames, coalesces compatible in-flight
+//! batches from different connections into one upstream *super-batch*
+//! ([`Frame::SuperBatchCall`]), ships it to the origin in a single round
+//! trip, and demultiplexes the per-batch replies back to the originating
+//! connections.
+//!
+//! ```text
+//!   client ──batch──┐
+//!   client ──batch──┤   ┌────────────┐  super-batch   ┌────────┐
+//!   client ──batch──┼──▶│ BatchRelay │ ─────────────▶ │ origin │
+//!   client ──batch──┘   └────────────┘  (one RT for   └────────┘
+//!                          edge tier     many batches)
+//! ```
+//!
+//! # Semantics
+//!
+//! The origin executes every inner batch of a super-batch independently and
+//! in order, exactly as if each had arrived in its own round trip — so
+//! per-batch sessions, exception policies, abort cursors and remote-result
+//! identity are all preserved, and relayed execution is observably
+//! identical to direct execution (the property tests in `brmi-apps` assert
+//! this over random programs). Because each downstream connection has at
+//! most one request outstanding, per-client ordering is preserved by
+//! construction.
+//!
+//! At-most-once: the relay never retries upstream. If the upstream round
+//! trip fails mid-super-batch (drop, disconnect), every member batch fails
+//! with that transport error at its client's `flush` — the origin either
+//! executed the whole super-batch or never saw it, and nothing is replayed.
+//!
+//! # Flush policy
+//!
+//! [`RelayPolicy`] bounds how long a batch may wait to be coalesced: a
+//! super-batch is flushed as soon as the pending call count reaches
+//! `max_coalesced_calls`, or once the oldest pending batch has waited
+//! `max_delay`. Time comes from a pluggable [`RelayTimeSource`] — wall
+//! clock by default, or a [`VirtualClock`] so tests drive the delay path
+//! deterministically.
+//!
+//! # Serving the edge
+//!
+//! [`BatchRelay`] is a [`RequestHandler`]; any transport can front it. The
+//! downstream handler *blocks* until its batch's super-batch completes, so
+//! the edge should be served by a thread-per-connection
+//! [`TcpServer`](crate::tcp::TcpServer) (or the in-process transport in
+//! tests) — parking a reactor thread would stall unrelated connections.
+//! Fronting the relay with the epoll reactor needs worker-pool dispatch
+//! first (see ROADMAP). Non-batch frames (plain calls, registry lookups,
+//! session releases, DGC traffic) are forwarded upstream one-for-one.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use brmi_wire::invocation::{BatchRequest, ErrorEnvelope};
+use brmi_wire::protocol::Frame;
+use brmi_wire::{RemoteError, RemoteErrorKind};
+
+use crate::clock::{Clock, VirtualClock};
+use crate::{RequestHandler, Transport};
+
+/// When the relay flushes a super-batch upstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelayPolicy {
+    /// Flush once this many calls (summed over pending batches) are
+    /// waiting. A single batch larger than the budget still ships alone.
+    pub max_coalesced_calls: usize,
+    /// Flush once the oldest pending batch has waited this long, even if
+    /// the call budget is not reached.
+    pub max_delay: Duration,
+}
+
+impl Default for RelayPolicy {
+    fn default() -> Self {
+        RelayPolicy {
+            max_coalesced_calls: 256,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Source of elapsed time for the flush-delay policy.
+///
+/// The default [`RealTime`] measures wall clock; a [`VirtualClock`] makes
+/// the delay path deterministic — the flusher polls, and time only moves
+/// when the test advances the clock.
+pub trait RelayTimeSource: Send + Sync {
+    /// Monotonic elapsed time since some fixed origin.
+    fn now(&self) -> Duration;
+
+    /// How long the flusher may block waiting for arrivals before it must
+    /// recheck the deadline. Real time can sleep the whole remainder; a
+    /// virtual clock is advanced externally, so the flusher polls.
+    fn wait_slice(&self, remaining: Duration) -> Duration {
+        remaining
+    }
+}
+
+/// Wall-clock time source (the default).
+#[derive(Debug)]
+pub struct RealTime(Instant);
+
+impl RealTime {
+    /// Anchors the time source at "now".
+    pub fn new() -> Arc<Self> {
+        Arc::new(RealTime(Instant::now()))
+    }
+}
+
+impl RelayTimeSource for RealTime {
+    fn now(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+impl RelayTimeSource for VirtualClock {
+    fn now(&self) -> Duration {
+        Clock::elapsed(self)
+    }
+
+    fn wait_slice(&self, remaining: Duration) -> Duration {
+        remaining.min(Duration::from_millis(1))
+    }
+}
+
+/// Cumulative relay counters.
+#[derive(Debug, Default)]
+pub struct RelayStats {
+    batches: AtomicU64,
+    super_batches: AtomicU64,
+    coalesced_batches: AtomicU64,
+    forwarded: AtomicU64,
+    largest_group: AtomicU64,
+}
+
+impl RelayStats {
+    /// Downstream batch frames accepted for relaying.
+    pub fn batches_relayed(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Upstream flushes performed (super-batches plus singleton batches).
+    pub fn upstream_flushes(&self) -> u64 {
+        self.super_batches.load(Ordering::Relaxed)
+    }
+
+    /// Batches that shipped sharing an upstream round trip with at least
+    /// one other batch.
+    pub fn coalesced_batches(&self) -> u64 {
+        self.coalesced_batches.load(Ordering::Relaxed)
+    }
+
+    /// Non-batch frames forwarded upstream one-for-one.
+    pub fn forwarded_frames(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Largest number of batches coalesced into one upstream round trip.
+    pub fn largest_group(&self) -> u64 {
+        self.largest_group.load(Ordering::Relaxed)
+    }
+
+    fn record_group(&self, group: usize) {
+        self.super_batches.fetch_add(1, Ordering::Relaxed);
+        if group > 1 {
+            self.coalesced_batches
+                .fetch_add(group as u64, Ordering::Relaxed);
+        }
+        self.largest_group
+            .fetch_max(group as u64, Ordering::Relaxed);
+    }
+}
+
+/// One downstream batch waiting to be coalesced.
+struct PendingBatch {
+    request: BatchRequest,
+    /// Budget weight: call count, but at least one so empty batches (pure
+    /// session traffic) still make progress toward a flush.
+    weight: usize,
+    reply: Arc<ReplySlot>,
+}
+
+/// Hand-off cell between a blocked downstream handler and the flusher.
+struct ReplySlot {
+    frame: Mutex<Option<Frame>>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplySlot {
+            frame: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn deliver(&self, frame: Frame) {
+        *self.frame.lock().expect("relay reply lock") = Some(frame);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Frame {
+        let mut guard = self.frame.lock().expect("relay reply lock");
+        loop {
+            if let Some(frame) = guard.take() {
+                return frame;
+            }
+            guard = self.ready.wait(guard).expect("relay reply lock");
+        }
+    }
+}
+
+struct Queue {
+    pending: VecDeque<PendingBatch>,
+    pending_weight: usize,
+    /// When the oldest pending batch was enqueued ([`RelayTimeSource`]
+    /// time); `None` while the queue is empty.
+    oldest_at: Option<Duration>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    arrivals: Condvar,
+    policy: RelayPolicy,
+    time: Arc<dyn RelayTimeSource>,
+    upstream: Arc<dyn Transport>,
+    stats: Arc<RelayStats>,
+}
+
+/// The edge node: coalesces downstream batch frames into upstream
+/// super-batches. See the [module docs](self).
+pub struct BatchRelay {
+    shared: Arc<Shared>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl BatchRelay {
+    /// Creates a relay over `upstream` with wall-clock delay accounting and
+    /// starts its flusher thread.
+    pub fn new(upstream: Arc<dyn Transport>, policy: RelayPolicy) -> Arc<Self> {
+        Self::with_time_source(upstream, policy, RealTime::new())
+    }
+
+    /// As [`BatchRelay::new`] with an explicit time source (pass a
+    /// [`VirtualClock`] for deterministic delay tests).
+    pub fn with_time_source(
+        upstream: Arc<dyn Transport>,
+        policy: RelayPolicy,
+        time: Arc<dyn RelayTimeSource>,
+    ) -> Arc<Self> {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                pending: VecDeque::new(),
+                pending_weight: 0,
+                oldest_at: None,
+                shutdown: false,
+            }),
+            arrivals: Condvar::new(),
+            policy: RelayPolicy {
+                max_coalesced_calls: policy.max_coalesced_calls.max(1),
+                max_delay: policy.max_delay,
+            },
+            time,
+            upstream,
+            stats: Arc::new(RelayStats::default()),
+        });
+        let flusher_shared = Arc::clone(&shared);
+        let flusher = std::thread::Builder::new()
+            .name("brmi-relay-flush".into())
+            .spawn(move || flusher_loop(&flusher_shared))
+            .expect("spawn relay flusher");
+        Arc::new(BatchRelay {
+            shared,
+            flusher: Mutex::new(Some(flusher)),
+        })
+    }
+
+    /// The relay's counters.
+    pub fn stats(&self) -> Arc<RelayStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Number of batches currently waiting to be coalesced.
+    pub fn pending_batches(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("relay queue lock")
+            .pending
+            .len()
+    }
+
+    /// Stops the flusher after draining every pending batch. New batch
+    /// frames are rejected afterwards. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("relay queue lock");
+            if queue.shutdown {
+                return;
+            }
+            queue.shutdown = true;
+        }
+        self.shared.arrivals.notify_all();
+        if let Some(handle) = self.flusher.lock().expect("relay flusher lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for BatchRelay {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for BatchRelay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchRelay")
+            .field("policy", &self.shared.policy)
+            .field("pending_batches", &self.pending_batches())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RequestHandler for BatchRelay {
+    fn handle(&self, frame: Frame) -> Frame {
+        match frame {
+            Frame::BatchCall(request) => {
+                let reply = ReplySlot::new();
+                {
+                    let mut queue = self.shared.queue.lock().expect("relay queue lock");
+                    if queue.shutdown {
+                        return Frame::Error(ErrorEnvelope::from(&relay_down()));
+                    }
+                    let weight = request.calls.len().max(1);
+                    queue.pending_weight += weight;
+                    if queue.oldest_at.is_none() {
+                        queue.oldest_at = Some(self.shared.time.now());
+                    }
+                    queue.pending.push_back(PendingBatch {
+                        request,
+                        weight,
+                        reply: Arc::clone(&reply),
+                    });
+                }
+                self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                self.shared.arrivals.notify_all();
+                reply.wait()
+            }
+            // Everything else — plain calls, registry traffic, session
+            // releases, DGC frames — passes through one-for-one.
+            other => {
+                self.shared.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                match self.shared.upstream.request(other) {
+                    Ok(reply) => reply,
+                    Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+                }
+            }
+        }
+    }
+}
+
+fn relay_down() -> RemoteError {
+    RemoteError::new(RemoteErrorKind::Transport, "relay is shut down")
+}
+
+/// Takes the next super-batch group off the queue: batches in arrival
+/// order until the call budget is filled (always at least one).
+fn take_group(queue: &mut Queue, budget: usize, now: Duration) -> Vec<PendingBatch> {
+    let mut group = Vec::new();
+    let mut weight = 0usize;
+    while let Some(next) = queue.pending.front() {
+        if !group.is_empty() && weight + next.weight > budget {
+            break;
+        }
+        weight += next.weight;
+        let batch = queue.pending.pop_front().expect("front checked");
+        queue.pending_weight -= batch.weight;
+        group.push(batch);
+    }
+    // Batches left behind start a fresh delay window: they become the
+    // oldest the moment this group ships.
+    queue.oldest_at = if queue.pending.is_empty() {
+        None
+    } else {
+        Some(now)
+    };
+    group
+}
+
+fn flusher_loop(shared: &Shared) {
+    loop {
+        let group = {
+            let mut queue = shared.queue.lock().expect("relay queue lock");
+            loop {
+                if queue.pending.is_empty() {
+                    if queue.shutdown {
+                        return;
+                    }
+                    queue = shared.arrivals.wait(queue).expect("relay queue lock");
+                    continue;
+                }
+                let now = shared.time.now();
+                let waited = queue
+                    .oldest_at
+                    .map_or(Duration::ZERO, |oldest| now.saturating_sub(oldest));
+                if queue.shutdown
+                    || queue.pending_weight >= shared.policy.max_coalesced_calls
+                    || waited >= shared.policy.max_delay
+                {
+                    break take_group(&mut queue, shared.policy.max_coalesced_calls, now);
+                }
+                let remaining = shared.policy.max_delay - waited;
+                let slice = shared
+                    .time
+                    .wait_slice(remaining)
+                    .max(Duration::from_micros(50));
+                let (guard, _) = shared
+                    .arrivals
+                    .wait_timeout(queue, slice)
+                    .expect("relay queue lock");
+                queue = guard;
+            }
+        };
+        flush_group(shared, group);
+    }
+}
+
+/// Ships one group upstream and distributes the replies. A single batch
+/// travels as a plain [`Frame::BatchCall`] (the relay is then a transparent
+/// proxy); two or more travel as one [`Frame::SuperBatchCall`].
+fn flush_group(shared: &Shared, group: Vec<PendingBatch>) {
+    shared.stats.record_group(group.len());
+    if group.len() == 1 {
+        let batch = group.into_iter().next().expect("singleton group");
+        let reply = match shared.upstream.request(Frame::BatchCall(batch.request)) {
+            Ok(reply) => reply,
+            Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+        };
+        batch.reply.deliver(reply);
+        return;
+    }
+
+    // Split each pending batch into its request (moved onto the wire) and
+    // its reply slot (kept for demultiplexing) — no cloning on the hot path.
+    let (requests, slots): (Vec<BatchRequest>, Vec<Arc<ReplySlot>>) =
+        group.into_iter().map(|b| (b.request, b.reply)).unzip();
+    match shared.upstream.request(Frame::SuperBatchCall(requests)) {
+        Ok(Frame::SuperBatchReturn(replies)) if replies.len() == slots.len() => {
+            for (slot, reply) in slots.into_iter().zip(replies) {
+                slot.deliver(match reply {
+                    Ok(response) => Frame::BatchReturn(response),
+                    Err(env) => Frame::Error(env),
+                });
+            }
+        }
+        Ok(Frame::Error(env)) => {
+            // The origin rejected the super-batch as a whole; every member
+            // sees the same error at its flush.
+            for slot in slots {
+                slot.deliver(Frame::Error(env.clone()));
+            }
+        }
+        Ok(other) => {
+            let env = ErrorEnvelope::from(&RemoteError::new(
+                RemoteErrorKind::Protocol,
+                format!("unexpected super-batch reply frame: {}", other.kind_name()),
+            ));
+            for slot in slots {
+                slot.deliver(Frame::Error(env.clone()));
+            }
+        }
+        Err(err) => {
+            // At-most-once: a mid-super-batch transport failure is NOT
+            // retried — the origin may or may not have executed the group,
+            // and replaying could double-apply non-idempotent calls. Every
+            // member batch fails at its client's flush instead.
+            let env = ErrorEnvelope::from(&err);
+            for slot in slots {
+                slot.deliver(Frame::Error(env.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyTransport};
+    use crate::inproc::InProcTransport;
+    use brmi_wire::invocation::{
+        BatchResponse, CallSeq, InvocationData, PolicySpec, SlotOutcome, Target,
+    };
+    use brmi_wire::{ObjectId, Value};
+    use std::sync::Barrier;
+
+    /// Upstream test double: answers batch frames with one `Ok(I32(seq))`
+    /// per call and records what arrived.
+    struct RecordingOrigin {
+        frames: Mutex<Vec<Frame>>,
+    }
+
+    impl RecordingOrigin {
+        fn new() -> Arc<Self> {
+            Arc::new(RecordingOrigin {
+                frames: Mutex::new(Vec::new()),
+            })
+        }
+
+        fn frames(&self) -> Vec<Frame> {
+            self.frames.lock().unwrap().clone()
+        }
+
+        fn respond(request: &BatchRequest) -> BatchResponse {
+            BatchResponse {
+                session: None,
+                slots: request
+                    .calls
+                    .iter()
+                    .map(|call| (call.seq, SlotOutcome::Ok(Value::I32(call.seq.0 as i32))))
+                    .collect(),
+                cursors: vec![],
+                restarts: 0,
+            }
+        }
+    }
+
+    impl RequestHandler for RecordingOrigin {
+        fn handle(&self, frame: Frame) -> Frame {
+            self.frames.lock().unwrap().push(frame.clone());
+            match frame {
+                Frame::BatchCall(request) => Frame::BatchReturn(RecordingOrigin::respond(&request)),
+                Frame::SuperBatchCall(batches) => Frame::SuperBatchReturn(
+                    batches
+                        .iter()
+                        .map(|request| Ok(RecordingOrigin::respond(request)))
+                        .collect(),
+                ),
+                Frame::Call { .. } => Frame::Return(Value::Str("forwarded".into())),
+                _ => Frame::Released,
+            }
+        }
+    }
+
+    fn batch_frame(calls: usize) -> Frame {
+        Frame::BatchCall(BatchRequest {
+            session: None,
+            calls: (0..calls)
+                .map(|i| InvocationData {
+                    seq: CallSeq(i as u32),
+                    target: Target::Remote(ObjectId(1)),
+                    method: "noop".into(),
+                    args: vec![],
+                    cursor: None,
+                    opens_cursor: false,
+                })
+                .collect(),
+            policy: PolicySpec::Abort,
+            keep_session: false,
+        })
+    }
+
+    fn expect_batch_return(frame: Frame, calls: usize) {
+        match frame {
+            Frame::BatchReturn(response) => assert_eq!(response.slots.len(), calls),
+            other => panic!("expected batch return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_batches_coalesce_into_one_super_batch() {
+        let origin = RecordingOrigin::new();
+        let upstream = Arc::new(InProcTransport::new(origin.clone()));
+        let relay = BatchRelay::new(
+            upstream,
+            RelayPolicy {
+                max_coalesced_calls: 4 * 3,
+                // Generous: the test triggers on the call budget.
+                max_delay: Duration::from_secs(30),
+            },
+        );
+
+        let gate = Arc::new(Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let relay = Arc::clone(&relay);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    relay.handle(batch_frame(3))
+                })
+            })
+            .collect();
+        for handle in handles {
+            expect_batch_return(handle.join().unwrap(), 3);
+        }
+
+        let frames = origin.frames();
+        let supers = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::SuperBatchCall(_)))
+            .count();
+        let singles = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::BatchCall(_)))
+            .count();
+        // All four batches arrive before the budget fills, so the origin
+        // sees strictly fewer round trips than batches; with the full
+        // budget available, at least one super-batch formed.
+        assert!(supers >= 1, "expected coalescing, got {frames:?}");
+        assert!(supers + singles < 4, "no round trips were saved");
+        assert_eq!(relay.stats().batches_relayed(), 4);
+        assert!(relay.stats().largest_group() >= 2);
+    }
+
+    #[test]
+    fn lone_batch_ships_as_plain_batch_call_after_delay() {
+        let origin = RecordingOrigin::new();
+        let upstream = Arc::new(InProcTransport::new(origin.clone()));
+        let relay = BatchRelay::new(
+            upstream,
+            RelayPolicy {
+                max_coalesced_calls: 1000,
+                max_delay: Duration::from_millis(5),
+            },
+        );
+        expect_batch_return(relay.handle(batch_frame(2)), 2);
+        let frames = origin.frames();
+        assert_eq!(frames.len(), 1);
+        assert!(matches!(frames[0], Frame::BatchCall(_)));
+        assert_eq!(relay.stats().upstream_flushes(), 1);
+        assert_eq!(relay.stats().coalesced_batches(), 0);
+    }
+
+    #[test]
+    fn virtual_clock_drives_the_delay_flush_deterministically() {
+        let origin = RecordingOrigin::new();
+        let upstream = Arc::new(InProcTransport::new(origin.clone()));
+        let clock = VirtualClock::new();
+        let relay = BatchRelay::with_time_source(
+            upstream,
+            RelayPolicy {
+                max_coalesced_calls: 1000,
+                max_delay: Duration::from_millis(10),
+            },
+            clock.clone(),
+        );
+        let worker = {
+            let relay = Arc::clone(&relay);
+            std::thread::spawn(move || relay.handle(batch_frame(1)))
+        };
+        // Until the virtual clock passes max_delay the batch stays queued.
+        while relay.pending_batches() == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            relay.pending_batches(),
+            1,
+            "flushed before virtual time moved"
+        );
+        clock.advance(Duration::from_millis(11));
+        expect_batch_return(worker.join().unwrap(), 1);
+        assert_eq!(origin.frames().len(), 1);
+    }
+
+    #[test]
+    fn oversized_batch_still_ships_alone() {
+        let origin = RecordingOrigin::new();
+        let upstream = Arc::new(InProcTransport::new(origin.clone()));
+        let relay = BatchRelay::new(
+            upstream,
+            RelayPolicy {
+                max_coalesced_calls: 2,
+                max_delay: Duration::from_secs(30),
+            },
+        );
+        expect_batch_return(relay.handle(batch_frame(9)), 9);
+        assert_eq!(origin.frames().len(), 1);
+    }
+
+    #[test]
+    fn non_batch_frames_pass_through() {
+        let origin = RecordingOrigin::new();
+        let upstream = Arc::new(InProcTransport::new(origin.clone()));
+        let relay = BatchRelay::new(upstream, RelayPolicy::default());
+        let reply = relay.handle(Frame::Call {
+            target: ObjectId(1),
+            method: "m".into(),
+            args: vec![],
+        });
+        assert_eq!(reply, Frame::Return(Value::Str("forwarded".into())));
+        assert_eq!(relay.stats().forwarded_frames(), 1);
+        assert_eq!(relay.stats().batches_relayed(), 0);
+    }
+
+    #[test]
+    fn upstream_fault_fails_every_member_batch_without_retry() {
+        let origin = RecordingOrigin::new();
+        let upstream =
+            FaultyTransport::new(InProcTransport::new(origin.clone()), FaultPlan::Always);
+        let relay = BatchRelay::new(
+            Arc::clone(&upstream) as Arc<dyn Transport>,
+            RelayPolicy {
+                max_coalesced_calls: 2 * 2,
+                max_delay: Duration::from_secs(30),
+            },
+        );
+        let gate = Arc::new(Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let relay = Arc::clone(&relay);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    relay.handle(batch_frame(2))
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join().unwrap() {
+                Frame::Error(env) => assert_eq!(env.kind, "transport"),
+                other => panic!("expected error frame, got {other:?}"),
+            }
+        }
+        // Nothing reached the origin, and the relay attempted each group
+        // exactly once (no replay after a failure).
+        assert!(origin.frames().is_empty());
+        assert_eq!(upstream.injected(), upstream.attempts());
+    }
+
+    #[test]
+    fn shutdown_drains_pending_and_rejects_new_batches() {
+        let origin = RecordingOrigin::new();
+        let upstream = Arc::new(InProcTransport::new(origin.clone()));
+        let relay = BatchRelay::new(
+            upstream,
+            RelayPolicy {
+                max_coalesced_calls: 1000,
+                max_delay: Duration::from_secs(30),
+            },
+        );
+        let worker = {
+            let relay = Arc::clone(&relay);
+            std::thread::spawn(move || relay.handle(batch_frame(1)))
+        };
+        while relay.pending_batches() == 0 {
+            std::thread::yield_now();
+        }
+        relay.shutdown();
+        // The queued batch was drained, not dropped.
+        expect_batch_return(worker.join().unwrap(), 1);
+        match relay.handle(batch_frame(1)) {
+            Frame::Error(env) => assert_eq!(env.kind, "transport"),
+            other => panic!("expected error after shutdown, got {other:?}"),
+        }
+    }
+}

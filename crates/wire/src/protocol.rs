@@ -31,6 +31,16 @@ pub enum Frame {
     BatchCall(BatchRequest),
     /// Reply to a [`Frame::BatchCall`].
     BatchReturn(BatchResponse),
+    /// Execute several independent batches in one round trip — the
+    /// multi-tier relay's upstream frame. An edge node coalesces in-flight
+    /// batches from many downstream clients into one of these; the origin
+    /// executes each inner batch exactly as if it had arrived alone, so
+    /// per-batch sessions, policies and exception cursors are preserved.
+    SuperBatchCall(Vec<BatchRequest>),
+    /// Reply to a [`Frame::SuperBatchCall`]: one entry per inner batch, in
+    /// request order — either that batch's response or the protocol error
+    /// that prevented it from running (other entries are unaffected).
+    SuperBatchReturn(Vec<Result<BatchResponse, ErrorEnvelope>>),
     /// Discard a chained-batch session and the objects it pinned.
     ReleaseSession(SessionId),
     /// Acknowledgement of a [`Frame::ReleaseSession`].
@@ -69,6 +79,8 @@ impl Frame {
             Frame::Error(_) => "error",
             Frame::BatchCall(_) => "batch-call",
             Frame::BatchReturn(_) => "batch-return",
+            Frame::SuperBatchCall(_) => "super-batch-call",
+            Frame::SuperBatchReturn(_) => "super-batch-return",
             Frame::ReleaseSession(_) => "release-session",
             Frame::Released => "released",
             Frame::Dirty { .. } => "dirty",
@@ -84,6 +96,7 @@ impl Frame {
             self,
             Frame::Call { .. }
                 | Frame::BatchCall(_)
+                | Frame::SuperBatchCall(_)
                 | Frame::ReleaseSession(_)
                 | Frame::Dirty { .. }
                 | Frame::Clean { .. }
@@ -104,6 +117,8 @@ const TAG_DIRTY: u8 = 7;
 const TAG_LEASED: u8 = 8;
 const TAG_CLEAN: u8 = 9;
 const TAG_CLEANED: u8 = 10;
+const TAG_SUPER_BATCH_CALL: u8 = 11;
+const TAG_SUPER_BATCH_RETURN: u8 = 12;
 
 impl WireCodec for Frame {
     fn encode(&self, enc: &mut Encoder) {
@@ -136,6 +151,29 @@ impl WireCodec for Frame {
             Frame::BatchReturn(resp) => {
                 enc.put_u8(TAG_BATCH_RETURN);
                 resp.encode(enc);
+            }
+            Frame::SuperBatchCall(batches) => {
+                enc.put_u8(TAG_SUPER_BATCH_CALL);
+                enc.put_varint(batches.len() as u64);
+                for batch in batches {
+                    batch.encode(enc);
+                }
+            }
+            Frame::SuperBatchReturn(replies) => {
+                enc.put_u8(TAG_SUPER_BATCH_RETURN);
+                enc.put_varint(replies.len() as u64);
+                for reply in replies {
+                    match reply {
+                        Ok(resp) => {
+                            enc.put_u8(0);
+                            resp.encode(enc);
+                        }
+                        Err(env) => {
+                            enc.put_u8(1);
+                            env.encode(enc);
+                        }
+                    }
+                }
             }
             Frame::ReleaseSession(SessionId(id)) => {
                 enc.put_u8(TAG_RELEASE);
@@ -193,6 +231,26 @@ impl Frame {
             TAG_ERROR => Ok(Frame::Error(ErrorEnvelope::decode(dec)?)),
             TAG_BATCH_CALL => Ok(Frame::BatchCall(BatchRequest::decode(dec)?)),
             TAG_BATCH_RETURN => Ok(Frame::BatchReturn(BatchResponse::decode(dec)?)),
+            TAG_SUPER_BATCH_CALL => {
+                let count = dec.take_length(CTX)?;
+                let mut batches = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    batches.push(BatchRequest::decode(dec)?);
+                }
+                Ok(Frame::SuperBatchCall(batches))
+            }
+            TAG_SUPER_BATCH_RETURN => {
+                let count = dec.take_length(CTX)?;
+                let mut replies = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    replies.push(match dec.take_u8(CTX)? {
+                        0 => Ok(BatchResponse::decode(dec)?),
+                        1 => Err(ErrorEnvelope::decode(dec)?),
+                        tag => return Err(WireError::UnknownTag { context: CTX, tag }),
+                    });
+                }
+                Ok(Frame::SuperBatchReturn(replies))
+            }
             TAG_RELEASE => Ok(Frame::ReleaseSession(SessionId(dec.take_varint(CTX)?))),
             TAG_RELEASED => Ok(Frame::Released),
             TAG_DIRTY => {
@@ -244,6 +302,9 @@ pub enum FrameRef<'a> {
     },
     /// A recorded batch; call descriptors are borrowed.
     BatchCall(BatchRequestRef<'a>),
+    /// A relay super-batch; every inner batch's call descriptors are
+    /// borrowed.
+    SuperBatchCall(Vec<BatchRequestRef<'a>>),
     /// Any other frame, decoded owned (no bulk payload to borrow).
     Other(Frame),
 }
@@ -273,6 +334,14 @@ impl<'a> FrameRef<'a> {
                 })
             }
             TAG_BATCH_CALL => Ok(FrameRef::BatchCall(BatchRequestRef::decode(dec)?)),
+            TAG_SUPER_BATCH_CALL => {
+                let count = dec.take_length(CTX)?;
+                let mut batches = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    batches.push(BatchRequestRef::decode(dec)?);
+                }
+                Ok(FrameRef::SuperBatchCall(batches))
+            }
             other => Ok(FrameRef::Other(Frame::decode_body(other, dec)?)),
         }
     }
@@ -317,6 +386,12 @@ impl<'a> FrameRef<'a> {
                 args: args.into_iter().map(ValueRef::into_owned).collect(),
             },
             FrameRef::BatchCall(request) => Frame::BatchCall(request.into_owned()),
+            FrameRef::SuperBatchCall(batches) => Frame::SuperBatchCall(
+                batches
+                    .into_iter()
+                    .map(BatchRequestRef::into_owned)
+                    .collect(),
+            ),
             FrameRef::Other(frame) => frame,
         }
     }
@@ -326,6 +401,7 @@ impl<'a> FrameRef<'a> {
         match self {
             FrameRef::Call { .. } => "call",
             FrameRef::BatchCall(_) => "batch-call",
+            FrameRef::SuperBatchCall(_) => "super-batch-call",
             FrameRef::Other(frame) => frame.kind_name(),
         }
     }
@@ -387,6 +463,72 @@ mod tests {
         assert_eq!(round_trip(&call), call);
         let ret = Frame::BatchReturn(BatchResponse::default());
         assert_eq!(round_trip(&ret), ret);
+    }
+
+    #[test]
+    fn super_batch_frames_round_trip() {
+        let call = Frame::SuperBatchCall(vec![
+            BatchRequest {
+                session: None,
+                calls: vec![],
+                policy: PolicySpec::Abort,
+                keep_session: false,
+            },
+            BatchRequest {
+                session: Some(SessionId(4)),
+                calls: vec![],
+                policy: PolicySpec::Continue,
+                keep_session: true,
+            },
+        ]);
+        assert_eq!(round_trip(&call), call);
+        let ret = Frame::SuperBatchReturn(vec![
+            Ok(BatchResponse::default()),
+            Err(ErrorEnvelope {
+                kind: "protocol".into(),
+                exception: "protocol".into(),
+                message: "unknown session".into(),
+            }),
+        ]);
+        assert_eq!(round_trip(&ret), ret);
+        // Empty super-batches are legal on the wire too.
+        let empty = Frame::SuperBatchCall(vec![]);
+        assert_eq!(round_trip(&empty), empty);
+    }
+
+    #[test]
+    fn borrowed_super_batch_matches_owned_decode() {
+        let frame = Frame::SuperBatchCall(vec![BatchRequest {
+            session: None,
+            calls: vec![crate::invocation::InvocationData {
+                seq: crate::invocation::CallSeq(0),
+                target: crate::invocation::Target::Remote(ObjectId(3)),
+                method: "get_file".into(),
+                args: vec![crate::invocation::Arg::Value(Value::Str("x".into()))],
+                cursor: None,
+                opens_cursor: false,
+            }],
+            policy: PolicySpec::Abort,
+            keep_session: false,
+        }]);
+        let bytes = frame.to_wire_bytes();
+        let borrowed = FrameRef::from_wire_bytes(&bytes).unwrap();
+        match &borrowed {
+            FrameRef::SuperBatchCall(batches) => {
+                let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+                let method = batches[0].calls[0].method;
+                assert!(range.contains(&(method.as_ptr() as usize)));
+            }
+            other => panic!("expected super-batch call, got {other:?}"),
+        }
+        assert_eq!(borrowed.kind_name(), "super-batch-call");
+        assert_eq!(borrowed.into_owned(), frame);
+    }
+
+    #[test]
+    fn super_batch_classification() {
+        assert!(Frame::SuperBatchCall(vec![]).is_request());
+        assert!(!Frame::SuperBatchReturn(vec![]).is_request());
     }
 
     #[test]
@@ -473,6 +615,8 @@ mod tests {
                 keep_session: false,
             }),
             Frame::BatchReturn(BatchResponse::default()),
+            Frame::SuperBatchCall(vec![]),
+            Frame::SuperBatchReturn(vec![]),
             Frame::ReleaseSession(SessionId(0)),
             Frame::Released,
             Frame::Dirty {

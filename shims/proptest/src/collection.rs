@@ -46,13 +46,43 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
         let span = (self.size.max - self.size.min) as u64;
         let len = self.size.min + rng.below(span) as usize;
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    /// Truncates toward the minimum length (never below it), then shrinks
+    /// individual elements through the inner strategy — so a minimal
+    /// counterexample is short *and* holds small values.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let len = value.len();
+        let min = self.size.min;
+        if len > min {
+            out.push(value[..min].to_vec());
+            let half = min + (len - min) / 2;
+            if half != min && half != len {
+                out.push(value[..half].to_vec());
+            }
+            if len - 1 != min {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        for (index, element) in value.iter().enumerate() {
+            for candidate in self.element.shrink(element).into_iter().take(2) {
+                let mut copy = value.clone();
+                copy[index] = candidate;
+                out.push(copy);
+            }
+        }
+        out
     }
 }
 
@@ -76,5 +106,25 @@ mod tests {
         let s = vec(any::<bool>(), 3);
         let mut rng = TestRng::for_case(1);
         assert_eq!(s.sample(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn shrink_truncates_toward_min_and_shrinks_elements() {
+        use crate::strategy::Strategy;
+        let s = vec(0u32..100, 2..9);
+        let value = vec![50u32, 60, 70, 80, 90];
+        let cands = s.shrink(&value);
+        // Never below the minimum length.
+        assert!(cands.iter().all(|c| c.len() >= 2));
+        assert!(cands.contains(&vec![50, 60]), "truncate to min");
+        assert!(cands.contains(&vec![50, 60, 70, 80]), "drop last");
+        // Element-wise shrinking keeps length but shrinks a value.
+        assert!(cands
+            .iter()
+            .any(|c| c.len() == value.len() && c[0] < value[0]));
+        // A minimal-length vector of minimal values still offers element
+        // shrinks only while elements can shrink.
+        let s_min = vec(0u32..100, 1..4);
+        assert!(s_min.shrink(&vec![0u32]).is_empty());
     }
 }

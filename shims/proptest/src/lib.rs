@@ -3,22 +3,30 @@
 //!
 //! Differences from real proptest, by design:
 //!
-//! * **no shrinking** — a failing case panics with the sampled inputs' assert
-//!   message but is not minimised;
+//! * **basic shrinking** — after a failure the runner greedily descends
+//!   through [`Strategy::shrink`](strategy::Strategy::shrink) candidates
+//!   (integers halve toward the range start, vectors truncate toward their
+//!   minimum length and shrink elements, `any` values halve toward zero)
+//!   and reports the minimal still-failing input alongside the original.
+//!   Values produced by `prop_map`/`prop_recursive` don't shrink (the
+//!   construction cannot be inverted), and argument values must be
+//!   `Clone + Debug` so the runner can re-run and report them;
 //! * **deterministic** — case `i` of every test draws from a generator seeded
 //!   with `i`, so failures reproduce exactly across runs and machines;
 //! * strategies are sampled eagerly; `prop_recursive` pre-expands its
 //!   recursion to the requested depth.
 //!
-//! Supported surface: `Strategy` (`prop_map`, `prop_recursive`, `boxed`),
-//! `Just`, `any`, ranges, `&str` regex-subset strategies (`[class]{m,n}`,
-//! `.{m,n}`), tuples, `collection::vec`, `option::of`, `prop_oneof!`
-//! (weighted and unweighted), `proptest!` with `#![proptest_config(..)]`,
-//! `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//! Supported surface: `Strategy` (`prop_map`, `prop_recursive`, `boxed`,
+//! `shrink`), `Just`, `any`, ranges, `&str` regex-subset strategies
+//! (`[class]{m,n}`, `.{m,n}`), tuples, `collection::vec`, `option::of`,
+//! `prop_oneof!` (weighted and unweighted), `proptest!` with
+//! `#![proptest_config(..)]`, `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!`.
 //!
 //! The container this workspace builds in has no access to crates.io, so the
 //! real dependency cannot be fetched; this shim keeps the public surface
-//! source-compatible until it can be swapped back in.
+//! source-compatible until it can be swapped back in (see the swap note in
+//! the workspace `Cargo.toml`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,6 +84,9 @@ macro_rules! prop_assert_ne {
 
 /// Declares property tests: each `fn name(arg in strategy, ..) { body }`
 /// becomes a test running `body` over `config.cases` sampled inputs.
+/// On failure the inputs are greedily shrunk (see the crate docs) and the
+/// minimal counterexample reported; argument values must therefore be
+/// `Clone + Debug`.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -86,7 +97,8 @@ macro_rules! proptest {
     };
 }
 
-/// Implementation detail of [`proptest!`].
+/// Implementation detail of [`proptest!`]: sample → run → on failure,
+/// greedily shrink one argument at a time to a minimal counterexample.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_impl {
@@ -99,9 +111,173 @@ macro_rules! __proptest_impl {
             let __config: $crate::ProptestConfig = $cfg;
             for __case in 0..__config.cases {
                 let mut __rng = $crate::test_runner::TestRng::for_case(__case);
-                $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
-                $body
+                // Each argument keeps its strategy (for shrink candidates)
+                // and its current value in a cell, so the re-run closure
+                // can observe replacements without re-capturing.
+                $( let $arg = {
+                    let __strat = $strat;
+                    let __value = $crate::strategy::Strategy::sample(&__strat, &mut __rng);
+                    (::std::cell::RefCell::new(__value), __strat)
+                }; )+
+                let __payload: ::std::cell::RefCell<
+                    Option<Box<dyn ::std::any::Any + Send>>,
+                > = ::std::cell::RefCell::new(None);
+                // Runs the body on clones of the current values; true on
+                // panic (the payload is stashed for the final report).
+                let __attempt = || -> bool {
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            $( let $arg = $arg.0.borrow().clone(); )+
+                            $body
+                        }),
+                    );
+                    match __result {
+                        Ok(()) => false,
+                        Err(__panic) => {
+                            *__payload.borrow_mut() = Some(__panic);
+                            true
+                        }
+                    }
+                };
+                if __attempt() {
+                    let __original: Vec<String> = vec![ $( format!(
+                        "{} = {:?}", stringify!($arg), $arg.0.borrow()
+                    ) ),+ ];
+                    let mut __shrinks = 0u32;
+                    let mut __attempts = 0u32;
+                    let mut __progress = true;
+                    while __progress && __attempts < 512 {
+                        __progress = false;
+                        $(
+                            // Descend fully on this argument before moving
+                            // on; candidates are recomputed from the new
+                            // value after every accepted shrink.
+                            loop {
+                                if __attempts >= 512 {
+                                    break;
+                                }
+                                let __cands = {
+                                    let __v = $arg.0.borrow();
+                                    $crate::strategy::Strategy::shrink(&$arg.1, &*__v)
+                                };
+                                let mut __improved = false;
+                                for __cand in __cands {
+                                    __attempts += 1;
+                                    let __saved = $arg.0.replace(__cand);
+                                    if __attempt() {
+                                        __shrinks += 1;
+                                        __progress = true;
+                                        __improved = true;
+                                        break;
+                                    }
+                                    let _ = $arg.0.replace(__saved);
+                                    if __attempts >= 512 {
+                                        break;
+                                    }
+                                }
+                                if !__improved {
+                                    break;
+                                }
+                            }
+                        )+
+                    }
+                    let __minimal: Vec<String> = vec![ $( format!(
+                        "{} = {:?}", stringify!($arg), $arg.0.borrow()
+                    ) ),+ ];
+                    $crate::test_runner::fail_minimal(
+                        __case,
+                        __shrinks,
+                        &__original,
+                        &__minimal,
+                        __payload.borrow_mut().take(),
+                    );
+                }
             }
         }
     )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+
+    // Deliberately failing properties, declared without `#[test]` so the
+    // tests below can drive them under `catch_unwind` and inspect the
+    // minimal counterexample in the panic message.
+    crate::proptest! {
+        #![proptest_config(crate::ProptestConfig::with_cases(4))]
+        fn fails_from_ten_up(v in 0u32..1000) {
+            crate::prop_assert!(v < 10);
+        }
+
+        fn fails_on_long_vecs(v in crate::collection::vec(0u32..50, 0..12)) {
+            crate::prop_assert!(v.len() < 3);
+        }
+
+        fn multi_arg_failure(a in 0i32..100, b in 0i32..100) {
+            crate::prop_assert!(a + b < 25);
+        }
+    }
+
+    fn failure_message(property: fn()) -> String {
+        let panic = std::panic::catch_unwind(property).expect_err("property must fail");
+        panic
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("fail_minimal panics with a String")
+    }
+
+    #[test]
+    fn integer_counterexample_shrinks_to_the_boundary() {
+        let message = failure_message(fails_from_ten_up);
+        assert!(
+            message.contains("minimal: v = 10"),
+            "expected the exact boundary, got: {message}"
+        );
+    }
+
+    #[test]
+    fn vec_counterexample_shrinks_to_minimal_length_and_values() {
+        let message = failure_message(fails_on_long_vecs);
+        assert!(
+            message.contains("v = [0, 0, 0]"),
+            "expected three zeroed elements, got: {message}"
+        );
+    }
+
+    #[test]
+    fn multi_arg_counterexample_shrinks_every_argument() {
+        let message = failure_message(multi_arg_failure);
+        // Greedy per-argument descent: one argument reaches 0, the other
+        // lands exactly on the failing boundary sum.
+        assert!(
+            message.contains("minimal: a = 0, b = 25")
+                || message.contains("minimal: a = 25, b = 0"),
+            "expected a boundary pair, got: {message}"
+        );
+    }
+
+    #[test]
+    fn passing_properties_never_invoke_the_shrinker() {
+        crate::proptest! {
+            #![proptest_config(crate::ProptestConfig::with_cases(16))]
+            fn always_holds(v in 0u32..100) {
+                crate::prop_assert!(v < 100);
+            }
+        }
+        always_holds();
+    }
+
+    #[test]
+    fn shrink_respects_strategy_constraints() {
+        // The shrinker only proposes in-range candidates, so a property
+        // relying on its strategy's bounds cannot be "minimised" into a
+        // spurious out-of-range counterexample.
+        let strat = 5u32..50;
+        for value in [6u32, 20, 49] {
+            for cand in strat.shrink(&value) {
+                assert!((5..50).contains(&cand));
+            }
+        }
+    }
 }

@@ -23,6 +23,15 @@ impl<S: Strategy> Strategy for OptionStrategy<S> {
             None
         }
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        match value {
+            None => Vec::new(),
+            Some(inner) => std::iter::once(None)
+                .chain(self.inner.shrink(inner).into_iter().map(Some))
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

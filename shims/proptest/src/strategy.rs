@@ -6,14 +6,25 @@ use std::sync::Arc;
 
 use crate::test_runner::TestRng;
 
-/// A recipe producing random values of one type. The shim samples eagerly:
-/// there is no shrinking tree behind a value.
+/// A recipe producing random values of one type. The shim samples eagerly;
+/// instead of real proptest's lazy shrinking tree, each strategy offers
+/// [`Strategy::shrink`] — a list of strictly "smaller" candidate values the
+/// test runner greedily descends through after a failure.
 pub trait Strategy: 'static {
     /// The type of value this strategy produces.
     type Value;
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, each still within
+    /// this strategy's constraints (ranges shrink toward their start,
+    /// collections toward their minimum length). The default is no
+    /// candidates — combinators that cannot invert their construction
+    /// (`prop_map`, `prop_recursive`) simply don't shrink.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transforms every sampled value with `f`.
     fn prop_map<U, F>(self, f: F) -> Map<Self, F>
@@ -58,25 +69,35 @@ pub trait Strategy: 'static {
         current
     }
 
-    /// Erases the concrete strategy type.
+    /// Erases the concrete strategy type (shrinking is preserved).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized,
         Self::Value: 'static,
     {
-        BoxedStrategy::from_fn(move |rng| self.sample(rng))
+        let sampler = Arc::new(self);
+        let shrinker = Arc::clone(&sampler);
+        BoxedStrategy {
+            sampler: Arc::new(move |rng| sampler.sample(rng)),
+            shrinker: Arc::new(move |value| shrinker.shrink(value)),
+        }
     }
 }
+
+/// Type-erased shrink candidates function behind a [`BoxedStrategy`].
+type Shrinker<T> = Arc<dyn Fn(&T) -> Vec<T>>;
 
 /// A type-erased, cheaply clonable strategy.
 pub struct BoxedStrategy<T> {
     sampler: Arc<dyn Fn(&mut TestRng) -> T>,
+    shrinker: Shrinker<T>,
 }
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
         Self {
             sampler: Arc::clone(&self.sampler),
+            shrinker: Arc::clone(&self.shrinker),
         }
     }
 }
@@ -85,6 +106,7 @@ impl<T: 'static> BoxedStrategy<T> {
     fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
         Self {
             sampler: Arc::new(f),
+            shrinker: Arc::new(|_| Vec::new()),
         }
     }
 }
@@ -94,6 +116,10 @@ impl<T: 'static> Strategy for BoxedStrategy<T> {
 
     fn sample(&self, rng: &mut TestRng) -> T {
         (self.sampler)(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrinker)(value)
     }
 }
 
@@ -161,6 +187,16 @@ impl<T: 'static> Strategy for Union<T> {
         }
         unreachable!("weighted pick out of range")
     }
+
+    /// The producing arm of a value is unknown after sampling, so every
+    /// arm proposes its candidates; invalid ones simply won't reproduce
+    /// the failure and are discarded by the runner.
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.arms
+            .iter()
+            .flat_map(|(_, strat)| strat.shrink(value))
+            .collect()
+    }
 }
 
 /// Produces any value of a type; used through [`any`].
@@ -171,6 +207,12 @@ pub struct Any<T>(PhantomData<T>);
 pub trait Arbitrary: Sized {
     /// Draws one arbitrary value.
     fn arbitrary_from(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications of a failing value (toward zero/false);
+    /// backs [`Strategy::shrink`] for [`any`].
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 /// Strategy for any value of `T`, edge-case biased.
@@ -183,6 +225,10 @@ impl<T: Arbitrary + 'static> Strategy for Any<T> {
 
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary_from(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
     }
 }
 
@@ -198,6 +244,21 @@ macro_rules! impl_arbitrary_int {
                     rng.next_u64() as $t
                 }
             }
+
+            /// Halves toward zero, plus zero itself and the one-step
+            /// neighbour, so greedy descent converges on the boundary.
+            fn shrink_value(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0 as $t, v / 2];
+                let step = if v > 0 { v - 1 } else { v + 1 };
+                out.push(step);
+                out.retain(|c| *c != v);
+                out.dedup();
+                out
+            }
         }
     )*};
 }
@@ -207,6 +268,14 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary_from(rng: &mut TestRng) -> Self {
         rng.flip()
+    }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -232,6 +301,14 @@ impl Arbitrary for f64 {
             _ => (rng.unit_f64() - 0.5) * 2.0e9,
         }
     }
+
+    fn shrink_value(&self) -> Vec<Self> {
+        let v = *self;
+        if !v.is_finite() || v == 0.0 {
+            return Vec::new();
+        }
+        vec![0.0, v / 2.0]
+    }
 }
 
 impl Arbitrary for () {
@@ -248,6 +325,20 @@ macro_rules! impl_range_strategy_int {
                 let span = (self.end as i128 - self.start as i128) as u128;
                 let draw = (u128::from(rng.next_u64()) << 64 | u128::from(rng.next_u64())) % span;
                 (self.start as i128 + draw as i128) as $t
+            }
+
+            /// Shrinks toward the range start (never outside the range):
+            /// the start itself, the halfway point, and one step down.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value as i128;
+                let start = self.start as i128;
+                if v <= start {
+                    return Vec::new();
+                }
+                let mut out = vec![self.start, (start + (v - start) / 2) as $t, (v - 1) as $t];
+                out.retain(|c| *c != *value);
+                out.dedup();
+                out
             }
         }
     )*};
@@ -425,7 +516,46 @@ mod tests {
     }
 
     #[test]
+    fn range_shrink_stays_in_range_and_descends() {
+        let strat = 10i32..20;
+        let cands = strat.shrink(&17);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!((10..17).contains(c), "candidate {c} escaped or grew");
+        }
+        assert!(cands.contains(&10), "range start is the prime candidate");
+        assert!(strat.shrink(&10).is_empty(), "minimum does not shrink");
+    }
+
+    #[test]
+    fn any_int_shrinks_toward_zero() {
+        let strat = any::<i64>();
+        let cands = strat.shrink(&-40);
+        assert!(cands.contains(&0));
+        assert!(cands.contains(&-20));
+        assert!(cands.contains(&-39));
+        assert!(strat.shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn boxed_strategies_preserve_shrinking() {
+        let boxed = (0u32..100).boxed();
+        assert!(boxed.shrink(&50).contains(&0));
+        // Union arms delegate too.
+        let union = Union::new(vec![(1, (0u32..100).boxed())]);
+        assert!(union.shrink(&50).contains(&25));
+    }
+
+    #[test]
+    fn mapped_strategies_do_not_shrink() {
+        let strat = (0u32..10).prop_map(|n| n * 2);
+        assert!(strat.shrink(&6).is_empty());
+    }
+
+    #[test]
     fn recursive_strategies_terminate() {
+        // `collection::vec` requires `Clone` elements (for shrinking).
+        #[derive(Clone)]
         enum Tree {
             Leaf,
             Node(Vec<Tree>),

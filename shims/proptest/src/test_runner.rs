@@ -1,4 +1,5 @@
-//! Per-test configuration and the deterministic generator behind sampling.
+//! Per-test configuration, the deterministic generator behind sampling,
+//! and the failure reporter behind shrinking.
 
 /// Configuration for a `proptest!` block, mirroring `proptest::ProptestConfig`.
 #[derive(Debug, Clone)]
@@ -75,6 +76,45 @@ impl TestRng {
     pub fn flip(&mut self) -> bool {
         self.next_u64() & 1 == 1
     }
+}
+
+/// Reports a failed property: prints the minimal counterexample the
+/// shrinker reached (and the pre-shrink input when they differ), then
+/// panics with the original assertion's message.
+///
+/// # Panics
+///
+/// Always — this is the property-failure exit.
+pub fn fail_minimal(
+    case: u32,
+    shrinks: u32,
+    original: &[String],
+    minimal: &[String],
+    payload: Option<Box<dyn std::any::Any + Send>>,
+) -> ! {
+    let message = payload
+        .as_ref()
+        .and_then(|p| {
+            p.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+        })
+        .unwrap_or_else(|| "<non-string panic payload>".to_owned());
+    eprintln!("proptest: case {case} failed; minimal counterexample after {shrinks} shrink(s):");
+    for line in minimal {
+        eprintln!("    {line}");
+    }
+    if shrinks > 0 {
+        eprintln!("  shrunk from the sampled input:");
+        for line in original {
+            eprintln!("    {line}");
+        }
+    }
+    panic!(
+        "proptest case {case} failed after {shrinks} shrink(s): {message} \
+         [minimal: {}]",
+        minimal.join(", ")
+    );
 }
 
 #[cfg(test)]
