@@ -8,13 +8,16 @@
 //! instead of one per client batch.
 //!
 //! ```text
-//!  N clients ──TcpPool──▶ edge (TcpServer + BatchRelay) ──TcpPool──▶ origin (epoll reactor)
+//!  N clients ──TcpPool──▶ edge (reactor + worker pool + BatchRelay) ──TcpPool──▶ origin (epoll reactor)
 //! ```
 //!
-//! The edge is served thread-per-connection: a relaying handler *blocks*
-//! until its super-batch completes, which would stall an event loop (the
-//! reactor fronts the origin instead, where dispatch never blocks). The
-//! workload is deterministic by construction: every client runs the same
+//! Both tiers run on the epoll reactor. The edge's relaying handler
+//! *blocks* until its super-batch completes, so the edge reactor uses
+//! worker-pool dispatch ([`ReactorConfig::dispatch_workers`]): socket IO
+//! stays on two event-loop threads while the flush-waits park on the
+//! dispatch workers — the thread-per-connection edge of the original
+//! topology is retired. The workload is deterministic by construction:
+//! every client runs the same
 //! fixed batch shape and a full wave of `clients` batches is exactly one
 //! coalescing budget, so the wire-level counts — origin round trips,
 //! super-batches, bytes both hops — are reproducible bit for bit and form
@@ -29,7 +32,6 @@ use brmi_rmi::{Connection, RemoteRef, RmiServer};
 use brmi_transport::pool::TcpPool;
 use brmi_transport::reactor::{ReactorConfig, ReactorServer};
 use brmi_transport::relay::{BatchRelay, RelayPolicy};
-use brmi_transport::tcp::TcpServer;
 use brmi_transport::Transport;
 use brmi_wire::RemoteError;
 
@@ -50,6 +52,11 @@ pub struct RelayStressConfig {
     /// ([`RelayStressConfig::default_coalescing`]) is one full wave —
     /// every client's in-flight batch.
     pub coalesce_batches: usize,
+    /// Dispatch workers on the edge reactor — the relay handler blocks
+    /// until its super-batch completes, so this must cover the peak number
+    /// of concurrently waiting batches (the default sizes it to `clients`,
+    /// which full-wave coalescing requires).
+    pub edge_dispatch_workers: usize,
     /// Upper bound a batch may wait at the edge for company; generous by
     /// default because the workload triggers on the call budget, and a
     /// delay flush would only fire if clients stall pathologically.
@@ -69,6 +76,7 @@ impl RelayStressConfig {
             calls_per_batch,
             reactor_threads: 2,
             coalesce_batches: clients,
+            edge_dispatch_workers: clients.max(1),
             max_delay: Duration::from_secs(30),
         }
     }
@@ -144,10 +152,12 @@ pub fn run_relay_stress(config: &RelayStressConfig) -> Result<RelayStressReport,
         origin,
         ReactorConfig {
             reactor_threads: config.reactor_threads,
+            dispatch_workers: 0,
         },
     )?;
 
-    // Edge: a relay over a pooled upstream, served thread-per-connection.
+    // Edge: a relay over a pooled upstream, served by a second reactor
+    // whose worker pool absorbs the blocking flush-waits.
     let upstream = Arc::new(TcpPool::connect(reactor.local_addr())?);
     let upstream_stats = upstream.stats();
     let relay = BatchRelay::new(
@@ -157,7 +167,14 @@ pub fn run_relay_stress(config: &RelayStressConfig) -> Result<RelayStressReport,
             max_delay: config.max_delay,
         },
     );
-    let mut edge = TcpServer::bind("127.0.0.1:0", relay.clone())?;
+    let mut edge = ReactorServer::bind_with(
+        "127.0.0.1:0",
+        relay.clone(),
+        ReactorConfig {
+            reactor_threads: 2,
+            dispatch_workers: config.edge_dispatch_workers.max(1),
+        },
+    )?;
 
     // Clients: one pool shared by every thread, against the edge.
     let pool = Arc::new(TcpPool::connect(edge.local_addr())?);

@@ -13,6 +13,14 @@
 //! executed, bytes on the wire) are exactly reproducible and serve as the
 //! committed baseline for the `reactor_stress` bench binary; wall-clock
 //! throughput is reported alongside for humans.
+//!
+//! [`run_mux_stress`] is the client-side mirror: the *same* caller
+//! population served first by one multiplexed socket
+//! ([`MuxClient`](brmi_transport::mux::MuxClient), bursts coalesced into
+//! single vectored writes) and then by the [`TcpPool`] baseline (one
+//! socket and one write syscall per concurrent caller and call). Its
+//! socket and write-syscall counts are deterministic and form the
+//! committed `BENCH_mux.json` baseline.
 
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -20,9 +28,12 @@ use std::time::{Duration, Instant};
 use brmi::BatchExecutor;
 use brmi_rmi::RmiServer;
 use brmi_rmi::{Connection, RemoteRef};
+use brmi_transport::mux::MuxClient;
 use brmi_transport::pool::TcpPool;
 use brmi_transport::reactor::{ReactorConfig, ReactorServer};
-use brmi_wire::RemoteError;
+use brmi_transport::{Transport, TransportStats};
+use brmi_wire::protocol::Frame;
+use brmi_wire::{ObjectId, RemoteError};
 
 use crate::noop::{brmi_noops, NoopServer, NoopSkeleton};
 
@@ -104,6 +115,7 @@ pub fn run_reactor_stress(config: &StressConfig) -> Result<StressReport, RemoteE
         server,
         ReactorConfig {
             reactor_threads: config.reactor_threads,
+            dispatch_workers: 0,
         },
     )?;
 
@@ -157,6 +169,231 @@ pub fn run_reactor_stress(config: &StressConfig) -> Result<StressReport, RemoteE
     })
 }
 
+/// Shape of one mux-vs-pool stress run.
+#[derive(Debug, Clone)]
+pub struct MuxStressConfig {
+    /// Concurrent caller threads sharing the one mux socket (and, in the
+    /// baseline phase, the connection pool).
+    pub callers: usize,
+    /// Call bursts each caller issues.
+    pub bursts_per_caller: usize,
+    /// No-op calls per burst — one mux frame each, pipelined; the pool
+    /// baseline pays one full round trip each.
+    pub calls_per_burst: usize,
+    /// Origin reactor event-loop threads.
+    pub reactor_threads: usize,
+}
+
+impl Default for MuxStressConfig {
+    fn default() -> Self {
+        MuxStressConfig {
+            callers: 32,
+            bursts_per_caller: 8,
+            calls_per_burst: 16,
+            reactor_threads: 2,
+        }
+    }
+}
+
+/// What one mux-vs-pool run did. Socket, frame and write-syscall counts
+/// are deterministic for a given config; the elapsed fields are wall
+/// clock.
+#[derive(Debug, Clone)]
+pub struct MuxStressReport {
+    /// The configuration that produced this report.
+    pub config: MuxStressConfig,
+    /// No-op invocations executed in each phase (mux and pool runs execute
+    /// the same count).
+    pub calls_executed: u64,
+    /// Request frames the mux client sent (lookup + one per call).
+    pub mux_frames: u64,
+    /// Write syscalls the mux client performed: the lookup plus one
+    /// vectored write per burst — `calls_per_burst` frames per syscall.
+    pub mux_write_syscalls: u64,
+    /// Sockets the mux phase held to the origin (always 1).
+    pub mux_sockets: u64,
+    /// Request bytes the mux client sent (payloads, excluding envelopes).
+    pub mux_bytes_sent: u64,
+    /// Response bytes the mux client received.
+    pub mux_bytes_received: u64,
+    /// Round trips the pool baseline performed (lookup + one per call) —
+    /// also its write-syscall count, at one vectored write per frame.
+    pub pool_round_trips: u64,
+    /// Sockets the pool baseline needs for `callers` concurrent callers
+    /// (one each — the quantity the mux collapses to 1).
+    pub pool_sockets: u64,
+    /// Wall-clock duration of the mux caller phase.
+    pub elapsed_mux: Duration,
+    /// Wall-clock duration of the pool caller phase.
+    pub elapsed_pool: Duration,
+}
+
+impl MuxStressReport {
+    /// Write syscalls per executed call on the mux path.
+    pub fn mux_syscalls_per_call(&self) -> f64 {
+        self.mux_write_syscalls as f64 / (self.calls_executed as f64).max(1.0)
+    }
+
+    /// Write syscalls per executed call on the pool path (1.0: one
+    /// vectored write per round trip).
+    pub fn pool_syscalls_per_call(&self) -> f64 {
+        self.pool_round_trips as f64 / (self.calls_executed as f64).max(1.0)
+    }
+
+    /// Mux-phase calls per wall-clock second.
+    pub fn mux_calls_per_sec(&self) -> f64 {
+        self.calls_executed as f64 / self.elapsed_mux.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Pool-phase calls per wall-clock second.
+    pub fn pool_calls_per_sec(&self) -> f64 {
+        self.calls_executed as f64 / self.elapsed_pool.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+/// Binds a fresh reactor-served no-op origin for one phase.
+fn noop_origin(reactor_threads: usize) -> Result<(ReactorServer, Arc<NoopServer>), RemoteError> {
+    let server = RmiServer::new();
+    BatchExecutor::install(&server);
+    let noop = NoopServer::new();
+    server
+        .bind("noop", NoopSkeleton::remote_arc(noop.clone()))
+        .expect("fresh server bind");
+    let reactor = ReactorServer::bind_with(
+        "127.0.0.1:0",
+        server,
+        ReactorConfig {
+            reactor_threads,
+            dispatch_workers: 0,
+        },
+    )?;
+    Ok((reactor, noop))
+}
+
+/// Joins the caller threads, surfacing the first error (panics propagate).
+fn join_callers(
+    handles: Vec<std::thread::JoinHandle<Result<(), RemoteError>>>,
+) -> Result<(), RemoteError> {
+    let mut first_error = None;
+    for handle in handles {
+        if let Err(err) = handle.join().expect("mux stress caller panicked") {
+            first_error = first_error.or(Some(err));
+        }
+    }
+    first_error.map_or(Ok(()), Err)
+}
+
+/// Runs the same caller population over one multiplexed socket and then
+/// over the pooled baseline, against fresh reactor origins, and reports
+/// the socket/syscall economics of each.
+///
+/// # Errors
+///
+/// Returns the first caller error; a healthy run never fails.
+///
+/// # Panics
+///
+/// Panics when a caller thread itself panics.
+pub fn run_mux_stress(config: &MuxStressConfig) -> Result<MuxStressReport, RemoteError> {
+    let noop_call = |target: ObjectId| Frame::Call {
+        target,
+        method: "noop".into(),
+        args: vec![],
+    };
+    let expect_return = |frame: Frame| -> Result<(), RemoteError> {
+        match frame {
+            Frame::Return(_) => Ok(()),
+            Frame::Error(env) => Err(RemoteError::from(&env)),
+            other => Err(RemoteError::transport(format!(
+                "unexpected reply frame: {}",
+                other.kind_name()
+            ))),
+        }
+    };
+
+    // Phase 1: every caller multiplexed over ONE socket, bursts pipelined.
+    let (mux_reactor, mux_noop) = noop_origin(config.reactor_threads)?;
+    let mux = MuxClient::connect(mux_reactor.local_addr())?;
+    let target = Connection::new(mux.clone() as Arc<dyn Transport>)
+        .lookup("noop")?
+        .id();
+    let mux_sockets = mux_reactor.active_connections() as u64;
+    let gate = Arc::new(Barrier::new(config.callers + 1));
+    let handles: Vec<_> = (0..config.callers)
+        .map(|_| {
+            let mux = Arc::clone(&mux);
+            let gate = Arc::clone(&gate);
+            let (bursts, calls) = (config.bursts_per_caller, config.calls_per_burst);
+            std::thread::spawn(move || -> Result<(), RemoteError> {
+                let frames: Vec<Frame> = (0..calls).map(|_| noop_call(target)).collect();
+                gate.wait();
+                for _ in 0..bursts {
+                    // One vectored write ships the whole burst; replies are
+                    // claimed as they land in the per-call slots.
+                    for pending in mux.call_burst(&frames)? {
+                        expect_return(pending.wait()?)?;
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    gate.wait();
+    let started = Instant::now();
+    join_callers(handles)?;
+    let elapsed_mux = started.elapsed();
+    let mux_stats: Arc<TransportStats> = mux.stats();
+    let (mux_frames, mux_write_syscalls) = (mux.frames_sent(), mux.write_syscalls());
+    let (mux_bytes_sent, mux_bytes_received) = (mux_stats.bytes_sent(), mux_stats.bytes_received());
+    let mux_calls = mux_noop.calls();
+    drop(mux);
+    drop(mux_reactor);
+
+    // Phase 2: the pooled baseline — same workload, one socket and one
+    // write syscall per concurrent caller and call.
+    let (pool_reactor, pool_noop) = noop_origin(config.reactor_threads)?;
+    let pool = Arc::new(TcpPool::connect(pool_reactor.local_addr())?);
+    let pool_stats = pool.stats();
+    let target = Connection::new(pool.clone() as Arc<dyn Transport>)
+        .lookup("noop")?
+        .id();
+    let gate = Arc::new(Barrier::new(config.callers + 1));
+    let handles: Vec<_> = (0..config.callers)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let gate = Arc::clone(&gate);
+            let (bursts, calls) = (config.bursts_per_caller, config.calls_per_burst);
+            std::thread::spawn(move || -> Result<(), RemoteError> {
+                gate.wait();
+                for _ in 0..bursts * calls {
+                    expect_return(pool.request(noop_call(target))?)?;
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    gate.wait();
+    let started = Instant::now();
+    join_callers(handles)?;
+    let elapsed_pool = started.elapsed();
+    let pool_calls = pool_noop.calls();
+    debug_assert_eq!(mux_calls, pool_calls, "phases run identical workloads");
+
+    Ok(MuxStressReport {
+        config: config.clone(),
+        calls_executed: mux_calls,
+        mux_frames,
+        mux_write_syscalls,
+        mux_sockets,
+        mux_bytes_sent,
+        mux_bytes_received,
+        pool_round_trips: pool_stats.requests(),
+        pool_sockets: config.callers as u64,
+        elapsed_mux,
+        elapsed_pool,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +430,48 @@ mod tests {
         assert_eq!(report.round_trips, 3);
         assert!(report.calls_per_sec() > 0.0);
         assert!(report.round_trips_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn mux_counts_are_exact_and_deterministic() {
+        let config = MuxStressConfig {
+            callers: 4,
+            bursts_per_caller: 3,
+            calls_per_burst: 5,
+            reactor_threads: 2,
+        };
+        let a = run_mux_stress(&config).unwrap();
+        assert_eq!(a.calls_executed, 4 * 3 * 5);
+        // One lookup frame plus one frame per call, over exactly one
+        // socket; one vectored write per burst (plus the lookup's).
+        assert_eq!(a.mux_frames, 1 + 4 * 3 * 5);
+        assert_eq!(a.mux_write_syscalls, 1 + 4 * 3);
+        assert_eq!(a.mux_sockets, 1);
+        // The pool baseline pays one round trip (= one vectored write) per
+        // call and one socket per concurrent caller.
+        assert_eq!(a.pool_round_trips, 1 + 4 * 3 * 5);
+        assert_eq!(a.pool_sockets, 4);
+        assert!(a.mux_syscalls_per_call() < a.pool_syscalls_per_call());
+        // Fixed workload ⇒ bit-identical wire traffic across runs — the
+        // property the committed bench baseline rests on.
+        let b = run_mux_stress(&config).unwrap();
+        assert_eq!(a.mux_bytes_sent, b.mux_bytes_sent);
+        assert_eq!(a.mux_bytes_received, b.mux_bytes_received);
+        assert_eq!(a.mux_write_syscalls, b.mux_write_syscalls);
+    }
+
+    #[test]
+    fn mux_single_caller_degenerate_case_works() {
+        let config = MuxStressConfig {
+            callers: 1,
+            bursts_per_caller: 2,
+            calls_per_burst: 3,
+            reactor_threads: 1,
+        };
+        let report = run_mux_stress(&config).unwrap();
+        assert_eq!(report.calls_executed, 6);
+        assert_eq!(report.mux_write_syscalls, 1 + 2);
+        assert!(report.mux_calls_per_sec() > 0.0);
+        assert!(report.pool_calls_per_sec() > 0.0);
     }
 }

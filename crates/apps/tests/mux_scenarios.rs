@@ -1,0 +1,119 @@
+//! The multiplexed client under the full middleware stack: many
+//! concurrent callers — stubs, batches, sessions — sharing **one** socket
+//! to a reactor origin, with replies correlated by request id. The wire
+//! mechanics (interleaved replies, disconnect semantics, syscall
+//! coalescing) are unit-tested in `brmi_transport::mux`; this suite proves
+//! the application layer neither knows nor cares that every round trip is
+//! multiplexed.
+
+#![cfg(target_os = "linux")]
+
+use std::sync::Arc;
+
+use brmi::BatchExecutor;
+use brmi_apps::bank::{brmi_purchase_session, Bank, CreditManagerSkeleton};
+use brmi_apps::noop::{brmi_noops, NoopServer, NoopSkeleton};
+use brmi_apps::stress::{run_mux_stress, MuxStressConfig};
+use brmi_rmi::{Connection, RmiServer};
+use brmi_transport::mux::MuxClient;
+use brmi_transport::reactor::{ReactorConfig, ReactorServer};
+use brmi_transport::Transport;
+
+/// The acceptance bar: ≥ 32 concurrent callers, one socket, exact counts.
+#[test]
+fn thirty_two_concurrent_callers_share_one_socket() {
+    let server = RmiServer::new();
+    BatchExecutor::install(&server);
+    let noop = NoopServer::new();
+    server
+        .bind("noop", NoopSkeleton::remote_arc(noop.clone()))
+        .unwrap();
+    let reactor = ReactorServer::bind_with(
+        "127.0.0.1:0",
+        server,
+        ReactorConfig {
+            reactor_threads: 2,
+            dispatch_workers: 0,
+        },
+    )
+    .unwrap();
+    let mux = MuxClient::connect(reactor.local_addr()).unwrap();
+
+    let callers = 32usize;
+    let batches = 5usize;
+    let calls = 4usize;
+    let gate = Arc::new(std::sync::Barrier::new(callers));
+    let handles: Vec<_> = (0..callers)
+        .map(|_| {
+            let mux = Arc::clone(&mux);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let conn = Connection::new(mux as Arc<dyn Transport>);
+                let root = conn.lookup("noop").unwrap();
+                gate.wait();
+                for _ in 0..batches {
+                    brmi_noops(&conn, &root, calls).unwrap();
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    assert_eq!(noop.calls(), (callers * batches * calls) as u64);
+    assert_eq!(
+        reactor.active_connections(),
+        1,
+        "all {callers} callers share one socket"
+    );
+    assert_eq!(mux.in_flight(), 0);
+    // One lookup per caller plus one frame per batch flush.
+    assert_eq!(mux.frames_sent(), (callers + callers * batches) as u64);
+    assert!(
+        mux.write_syscalls() <= mux.frames_sent(),
+        "coalescing never costs more syscalls than frames"
+    );
+}
+
+/// A stateful session scenario (overdrafts, exceptions) behaves over the
+/// mux exactly as over any other transport.
+#[test]
+fn bank_sessions_over_the_mux_client() {
+    let server = RmiServer::new();
+    BatchExecutor::install(&server);
+    let bank = Bank::new();
+    bank.open_account("alice", 1000.0);
+    server
+        .bind("bank", CreditManagerSkeleton::remote_arc(bank))
+        .unwrap();
+    let reactor = ReactorServer::bind("127.0.0.1:0", server).unwrap();
+    let mux = MuxClient::connect(reactor.local_addr()).unwrap();
+    let conn = Connection::new(mux as Arc<dyn Transport>);
+    let manager = conn.lookup("bank").unwrap();
+    let report = brmi_purchase_session(&conn, &manager, "alice", &[100.0, 2000.0, 50.0]).unwrap();
+    assert_eq!(
+        report.purchase_errors,
+        vec![None, Some("OverdraftException".to_owned()), None]
+    );
+}
+
+/// The mux-vs-pool stress scenario holds its deterministic shape at the
+/// acceptance scale: 32 callers, one socket vs 32, and strictly fewer
+/// write syscalls per call than the pool baseline.
+#[test]
+fn mux_stress_at_acceptance_scale() {
+    let config = MuxStressConfig {
+        callers: 32,
+        bursts_per_caller: 2,
+        calls_per_burst: 8,
+        reactor_threads: 2,
+    };
+    let report = run_mux_stress(&config).unwrap();
+    assert_eq!(report.calls_executed, 32 * 2 * 8);
+    assert_eq!(report.mux_sockets, 1);
+    assert_eq!(report.pool_sockets, 32);
+    assert_eq!(report.mux_write_syscalls, 1 + 32 * 2);
+    assert_eq!(report.pool_round_trips, 1 + 32 * 2 * 8);
+    assert!(report.mux_syscalls_per_call() < report.pool_syscalls_per_call() / 4.0);
+}

@@ -34,6 +34,11 @@ struct ReactorRig {
 
 /// One reactor server with every scenario's root bound by name.
 fn rig() -> ReactorRig {
+    rig_with(0)
+}
+
+/// As [`rig`], dispatching through a worker pool of the given size.
+fn rig_with(dispatch_workers: usize) -> ReactorRig {
     let server = RmiServer::new();
     BatchExecutor::install(&server);
 
@@ -55,9 +60,15 @@ fn rig() -> ReactorRig {
         )
         .unwrap();
 
-    let reactor =
-        ReactorServer::bind_with("127.0.0.1:0", server, ReactorConfig { reactor_threads: 2 })
-            .unwrap();
+    let reactor = ReactorServer::bind_with(
+        "127.0.0.1:0",
+        server,
+        ReactorConfig {
+            reactor_threads: 2,
+            dispatch_workers,
+        },
+    )
+    .unwrap();
     ReactorRig { reactor }
 }
 
@@ -92,6 +103,22 @@ fn bank_scenario_over_the_reactor() {
     assert_eq!(
         missing.credit_line,
         Err("AccountNotFoundException".to_owned())
+    );
+}
+
+/// The worker-pool dispatch path must be observably identical to inline
+/// dispatch for a real application scenario (the blocking-handler and
+/// reply-ordering specifics are unit-tested in `brmi_transport::reactor`).
+#[test]
+fn bank_scenario_over_worker_pool_dispatch() {
+    let rig = rig_with(4);
+    let conn = connect(&rig);
+    let manager = conn.lookup("bank").unwrap();
+    let amounts = [100.0, 2000.0, 50.0];
+    let brmi = brmi_purchase_session(&conn, &manager, "alice", &amounts).unwrap();
+    assert_eq!(
+        brmi.purchase_errors,
+        vec![None, Some("OverdraftException".to_owned()), None]
     );
 }
 

@@ -1,0 +1,27 @@
+//! Mux client sweep — `cargo run -p brmi-bench --bin mux_stress`.
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_mux.json` baseline. Only the deterministic wire-level series
+//! (sockets, frames, write syscalls, bytes) are baseline-checked; the
+//! measured syscalls-per-call and wall-clock throughput are printed for
+//! humans. See [`brmi_bench::mux`].
+
+use std::process::ExitCode;
+
+#[cfg(target_os = "linux")]
+fn main() -> ExitCode {
+    use brmi_bench::baseline::{run_cli, SeriesTable};
+    println!("BRMI mux client sweep (N callers over one socket vs N pooled sockets)\n");
+    let (figure, reports) = brmi_bench::mux::mux_client_figure();
+    figure.print();
+    brmi_bench::mux::print_measured_economics(&reports);
+    let tables = vec![SeriesTable::from(&figure)];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&tables, &args)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() -> ExitCode {
+    eprintln!("mux_stress requires Linux (the origin server is epoll-based)");
+    ExitCode::FAILURE
+}

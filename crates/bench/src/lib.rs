@@ -18,6 +18,9 @@
 //!   deterministic wire-level series for the committed baseline;
 //! * [`relay`] — the multi-tier topology sweep: the same clients behind an
 //!   edge relay, measuring origin round trips saved by coalescing;
+//! * [`mux`] — the evented-client sweep: N concurrent callers over one
+//!   multiplexed socket vs the pooled baseline, measuring sockets and
+//!   write syscalls saved;
 //! * binaries `fig05_noop_lan` … `fig13_files_wireless`, `all_figures`,
 //!   `ablations` and `extensions` print paper-style series;
 //! * `benches/middleware_cpu.rs` (Criterion) measures the real CPU cost of
@@ -30,6 +33,8 @@ pub mod baseline;
 pub mod extensions;
 pub mod figures;
 pub mod model;
+#[cfg(target_os = "linux")]
+pub mod mux;
 #[cfg(target_os = "linux")]
 pub mod relay;
 pub mod rig;

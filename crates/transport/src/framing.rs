@@ -29,6 +29,72 @@ pub(crate) const KEEP_BUF: usize = 256 * 1024;
 /// at most one chunk of memory.
 pub(crate) const READ_CHUNK: usize = 64 * 1024;
 
+/// Correlation-envelope flag: set in the 4-byte length prefix when an
+/// 8-byte request id follows the prefix (before the frame body). The
+/// multiplexed client ([`crate::mux::MuxClient`]) tags every request this
+/// way and the reactor server echoes the id on the reply, so many callers
+/// can share one socket. Unambiguous because [`MAX_FRAME`] leaves the high
+/// bits of a legitimate length zero.
+pub(crate) const MUX_FLAG: u32 = 0x8000_0000;
+
+/// Size of the correlation id that follows a [`MUX_FLAG`]-tagged prefix.
+pub(crate) const MUX_ID_LEN: usize = 8;
+
+/// Most slices handed to one `write_vectored` call (the kernel caps iovec
+/// counts at `IOV_MAX`, typically 1024; staying under it avoids `EINVAL`).
+const MAX_IOV: usize = 1024;
+
+/// Writes every buffer fully, coalescing them into as few vectored
+/// syscalls as the socket accepts (one, absent partial writes). Returns
+/// the number of `write_vectored` calls performed — the syscall count the
+/// mux bench reports.
+pub(crate) fn write_all_vectored<W: Write + ?Sized>(
+    writer: &mut W,
+    bufs: &[&[u8]],
+) -> std::io::Result<usize> {
+    use std::io::IoSlice;
+    let mut syscalls = 0usize;
+    let mut buf_idx = 0usize;
+    let mut offset = 0usize;
+    while buf_idx < bufs.len() {
+        if offset >= bufs[buf_idx].len() {
+            buf_idx += 1;
+            offset = 0;
+            continue;
+        }
+        let mut slices = Vec::with_capacity((bufs.len() - buf_idx).min(MAX_IOV));
+        slices.push(IoSlice::new(&bufs[buf_idx][offset..]));
+        for buf in bufs[buf_idx + 1..].iter().take(MAX_IOV - 1) {
+            slices.push(IoSlice::new(buf));
+        }
+        match writer.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "socket accepted no bytes",
+                ))
+            }
+            Ok(mut n) => {
+                syscalls += 1;
+                while n > 0 {
+                    let remaining = bufs[buf_idx].len() - offset;
+                    if n >= remaining {
+                        n -= remaining;
+                        buf_idx += 1;
+                        offset = 0;
+                    } else {
+                        offset += n;
+                        n = 0;
+                    }
+                }
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(syscalls)
+}
+
 /// Shrinks an oversized reused buffer back to the retention threshold.
 pub(crate) fn trim_buf(buf: &mut Vec<u8>) {
     if buf.capacity() > KEEP_BUF {
@@ -38,9 +104,10 @@ pub(crate) fn trim_buf(buf: &mut Vec<u8>) {
 }
 
 /// Encodes `frame` into `buf` (cleared, capacity kept) and writes it as a
-/// length-prefixed frame. Reusing `buf` across frames makes steady-state
-/// sends allocation-free. Returns the number of payload bytes written
-/// (excluding the 4-byte prefix).
+/// length-prefixed frame — prefix and body in one vectored write, so a
+/// steady-state send costs a single syscall instead of two `write_all`s.
+/// Reusing `buf` across frames makes sends allocation-free. Returns the
+/// number of payload bytes written (excluding the 4-byte prefix).
 pub(crate) fn write_frame(
     stream: &mut TcpStream,
     frame: &Frame,
@@ -49,8 +116,7 @@ pub(crate) fn write_frame(
     frame.encode_into(buf);
     let len = u32::try_from(buf.len())
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
-    stream.write_all(&len.to_le_bytes())?;
-    stream.write_all(buf)?;
+    write_all_vectored(stream, &[&len.to_le_bytes(), buf])?;
     stream.flush()?;
     Ok(buf.len())
 }
@@ -77,7 +143,19 @@ pub(crate) fn read_frame_bytes(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std
             format!("frame length {len} exceeds maximum"),
         ));
     }
-    let len = len as usize;
+    read_body_chunked(stream, len as usize, buf)?;
+    Ok(true)
+}
+
+/// Reads exactly `len` body bytes into `buf` (cleared, capacity kept),
+/// growing one [`READ_CHUNK`] at a time — the declared length is untrusted
+/// until the bytes actually arrive, so it is never pre-allocated. Shared
+/// by [`read_frame_bytes`] and the mux client's reply reader.
+pub(crate) fn read_body_chunked(
+    stream: &mut TcpStream,
+    len: usize,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<()> {
     buf.clear();
     while buf.len() < len {
         let step = READ_CHUNK.min(len - buf.len());
@@ -85,7 +163,7 @@ pub(crate) fn read_frame_bytes(stream: &mut TcpStream, buf: &mut Vec<u8>) -> std
         buf.resize(filled + step, 0);
         stream.read_exact(&mut buf[filled..])?;
     }
-    Ok(true)
+    Ok(())
 }
 
 pub(crate) fn decode_error(err: brmi_wire::WireError) -> std::io::Error {
@@ -220,6 +298,34 @@ mod tests {
             buf.capacity()
         );
         sender.join().unwrap();
+    }
+
+    /// A writer that takes one byte per call forces `write_all_vectored`
+    /// through every partial-write advance path (mid-slice, slice
+    /// boundary, trailing slice).
+    struct OneBytePerCall(Vec<u8>);
+
+    impl Write for OneBytePerCall {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.extend_from_slice(&buf[..1.min(buf.len())]);
+            Ok(1.min(buf.len()))
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        let mut sink = OneBytePerCall(Vec::new());
+        let bufs: [&[u8]; 4] = [b"ab", b"", b"cde", b"f"];
+        let syscalls = write_all_vectored(&mut sink, &bufs).unwrap();
+        assert_eq!(sink.0, b"abcdef");
+        assert_eq!(syscalls, 6, "one syscall per accepted byte");
+        let mut whole = Vec::new();
+        assert_eq!(write_all_vectored(&mut whole, &bufs).unwrap(), 1);
+        assert_eq!(whole, b"abcdef");
     }
 
     #[test]

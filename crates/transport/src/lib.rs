@@ -12,6 +12,9 @@
 //! * [`pool`] — the client counterpart: a connection pool checking sockets
 //!   out per round trip, so threads sharing one transport are not
 //!   serialized;
+//! * [`mux`] — the evented client: N concurrent callers multiplexed over
+//!   *one* socket via request-id envelopes, writes coalesced into vectored
+//!   syscall bursts (pairs with the reactor server);
 //! * [`relay`] — the multi-tier edge node: coalesces batch frames from many
 //!   downstream clients into upstream super-batches over any of the above;
 //! * [`sim`] — the experimental testbed: real frames, simulated network cost
@@ -32,6 +35,7 @@ pub mod clock;
 pub mod fault;
 pub(crate) mod framing;
 pub mod inproc;
+pub mod mux;
 pub mod pool;
 pub mod profile;
 #[cfg(target_os = "linux")]

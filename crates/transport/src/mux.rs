@@ -1,0 +1,753 @@
+//! Multiplexed evented client: N concurrent callers, one socket.
+//!
+//! [`TcpPool`](crate::pool::TcpPool) gives N concurrent callers N sockets
+//! — one checkout, one kernel socket and one request/reply exchange each.
+//! [`MuxClient`] collapses that to **one** socket shared by every caller:
+//! each request travels in a correlation envelope (the length prefix's
+//! high bit plus an 8-byte request id — see [`crate::reactor`], which
+//! echoes the id on the reply), so replies can be demultiplexed to the
+//! right caller no matter how they interleave on the wire.
+//!
+//! ```text
+//!   caller ──call──┐                             ┌──────────────────┐
+//!   caller ──call──┤  pending queue   one socket │ reactor server   │
+//!   caller ──call──┼─▶ (coalesced  ═════════════▶│ (worker pool for │
+//!   caller ──call──┘   writev bursts)            │ blocking work)   │
+//!        ▲                                       └────────┬─────────┘
+//!        └───── reader thread demuxes replies by id ──────┘
+//! ```
+//!
+//! # Write path
+//!
+//! Callers never write the socket directly. A request is encoded into its
+//! envelope and pushed onto a pending queue; the first caller to find no
+//! writer active becomes the *leader* and drains the queue — every frame
+//! pushed by then, its own and its peers', leaves in a single
+//! `write_vectored` syscall (≈1 syscall per burst instead of the blocking
+//! client's historical 2 per frame). [`MuxClient::call_burst`] makes the
+//! coalescing explicit: a caller with several calls ready ships them as
+//! exactly one vectored write and gets one [`MuxPending`] per call back.
+//!
+//! # Read path
+//!
+//! One reader thread owns the receive side: it reads envelopes, decodes
+//! the reply frame and delivers it to the per-call slot registered under
+//! the request id. A caller blocks only on its own slot — slow replies to
+//! other callers never serialize it.
+//!
+//! # Failure semantics (at-most-once)
+//!
+//! A write error, read error, protocol violation or server disconnect
+//! kills the client: every in-flight call fails with a transport error and
+//! every later call fails fast. Nothing is ever replayed — after a request
+//! hits the wire the server may have executed it, and replaying a
+//! non-idempotent call would double-apply it (the same contract as
+//! [`TcpPool`](crate::pool::TcpPool)). Reconnection is the application's
+//! decision, made with full knowledge that in-flight calls were lost.
+//!
+//! The server side must understand the correlation envelope; in this crate
+//! that is the [`reactor`](crate::reactor) server (pair it with
+//! [`ReactorConfig::dispatch_workers`](crate::reactor::ReactorConfig) when
+//! handlers block). The thread-per-connection
+//! [`TcpServer`](crate::tcp::TcpServer) does not speak it.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use brmi_wire::codec::WireCodec;
+use brmi_wire::protocol::Frame;
+use brmi_wire::RemoteError;
+
+use crate::framing::{
+    read_body_chunked, trim_buf, write_all_vectored, MAX_FRAME, MUX_FLAG, MUX_ID_LEN,
+};
+use crate::{Transport, TransportStats};
+
+/// Hand-off cell between the reader thread and one blocked caller.
+struct CallSlot {
+    /// Request payload bytes, for byte accounting at delivery time.
+    sent: usize,
+    reply: Mutex<Option<Result<Frame, RemoteError>>>,
+    ready: Condvar,
+}
+
+impl CallSlot {
+    fn new(sent: usize) -> Arc<CallSlot> {
+        Arc::new(CallSlot {
+            sent,
+            reply: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn deliver(&self, outcome: Result<Frame, RemoteError>) {
+        *self.reply.lock().expect("mux call lock") = Some(outcome);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Frame, RemoteError> {
+        let mut guard = self.reply.lock().expect("mux call lock");
+        loop {
+            if let Some(outcome) = guard.take() {
+                return outcome;
+            }
+            guard = self.ready.wait(guard).expect("mux call lock");
+        }
+    }
+}
+
+/// A reply that has not arrived yet; claim it with [`MuxPending::wait`].
+/// Dropping it abandons the call (the reply is discarded on arrival).
+pub struct MuxPending {
+    slot: Arc<CallSlot>,
+}
+
+impl MuxPending {
+    /// Blocks until the reply arrives (or the connection dies).
+    ///
+    /// # Errors
+    ///
+    /// A transport-kind [`RemoteError`] when the connection failed with
+    /// this call in flight — the call may or may not have executed
+    /// (at-most-once: it is never replayed).
+    pub fn wait(self) -> Result<Frame, RemoteError> {
+        self.slot.wait()
+    }
+}
+
+impl std::fmt::Debug for MuxPending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxPending").finish_non_exhaustive()
+    }
+}
+
+/// One encoded request ready for the wire: the fixed correlation header
+/// plus the frame body, written as two slices of one vectored write — the
+/// body is encoded exactly once and never copied into a combined buffer.
+struct Envelope {
+    header: [u8; 4 + MUX_ID_LEN],
+    body: Vec<u8>,
+}
+
+impl Envelope {
+    /// Flattens envelopes into the slice list one vectored write takes.
+    fn slices(envelopes: &[Envelope]) -> Vec<&[u8]> {
+        let mut slices = Vec::with_capacity(envelopes.len() * 2);
+        for envelope in envelopes {
+            slices.push(&envelope.header[..]);
+            slices.push(envelope.body.as_slice());
+        }
+        slices
+    }
+}
+
+struct SendQueue {
+    pending: Vec<Envelope>,
+    /// Whether some caller is currently the leader draining the queue.
+    writer_active: bool,
+}
+
+struct MuxShared {
+    stream: TcpStream,
+    peer: SocketAddr,
+    /// Serializes actual socket writes (leader drains and explicit bursts).
+    io: Mutex<()>,
+    queue: Mutex<SendQueue>,
+    /// In-flight calls by request id.
+    calls: Mutex<HashMap<u64, Arc<CallSlot>>>,
+    next_id: AtomicU64,
+    /// Once set, the connection is dead: the message every in-flight and
+    /// future call fails with.
+    dead: Mutex<Option<String>>,
+    stats: Arc<TransportStats>,
+    write_syscalls: AtomicU64,
+    frames_sent: AtomicU64,
+}
+
+impl MuxShared {
+    fn dead_error(message: &str) -> RemoteError {
+        RemoteError::transport(format!("mux connection failed: {message}"))
+    }
+
+    /// Marks the connection dead (first cause wins) and fails every
+    /// in-flight call. Also closes the socket so the reader unblocks.
+    fn fail_all(&self, message: &str) {
+        let message = {
+            let mut dead = self.dead.lock().expect("mux dead lock");
+            dead.get_or_insert_with(|| message.to_owned()).clone()
+        };
+        let slots: Vec<Arc<CallSlot>> = {
+            let mut calls = self.calls.lock().expect("mux calls lock");
+            calls.drain().map(|(_, slot)| slot).collect()
+        };
+        for slot in slots {
+            slot.deliver(Err(Self::dead_error(&message)));
+        }
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn check_alive(&self) -> Result<(), RemoteError> {
+        match &*self.dead.lock().expect("mux dead lock") {
+            Some(message) => Err(Self::dead_error(message)),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The multiplexed client. See the [module docs](self). Cloneable via
+/// `Arc`; implements [`Transport`], so the whole RMI/BRMI stack — stubs,
+/// batches, connections — runs over one socket unchanged.
+pub struct MuxClient {
+    shared: Arc<MuxShared>,
+    reader: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl MuxClient {
+    /// Connects to a reactor server at `addr` and starts the reader
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport-kind [`RemoteError`] when the connection cannot
+    /// be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Arc<Self>, RemoteError> {
+        let transport_err =
+            |err: std::io::Error| RemoteError::transport(format!("mux connect failed: {err}"));
+        let stream = TcpStream::connect(addr).map_err(transport_err)?;
+        stream.set_nodelay(true).map_err(transport_err)?;
+        let peer = stream.peer_addr().map_err(transport_err)?;
+        let reader_stream = stream.try_clone().map_err(transport_err)?;
+        let shared = Arc::new(MuxShared {
+            stream,
+            peer,
+            io: Mutex::new(()),
+            queue: Mutex::new(SendQueue {
+                pending: Vec::new(),
+                writer_active: false,
+            }),
+            calls: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+            dead: Mutex::new(None),
+            stats: TransportStats::new(),
+            write_syscalls: AtomicU64::new(0),
+            frames_sent: AtomicU64::new(0),
+        });
+        let reader_shared = Arc::clone(&shared);
+        let reader = std::thread::Builder::new()
+            .name("brmi-mux-reader".into())
+            .spawn(move || reader_loop(reader_stream, &reader_shared))
+            .map_err(transport_err)?;
+        Ok(Arc::new(MuxClient {
+            shared,
+            reader: Mutex::new(Some(reader)),
+        }))
+    }
+
+    /// The server address this client is connected to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.shared.peer
+    }
+
+    /// Round-trip and byte counters (a round trip is recorded when its
+    /// reply is delivered).
+    pub fn stats(&self) -> Arc<TransportStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// `write`/`write_vectored` syscalls performed so far — the number the
+    /// mux bench compares against the pool's one-write-per-frame.
+    pub fn write_syscalls(&self) -> u64 {
+        self.shared.write_syscalls.load(Ordering::Relaxed)
+    }
+
+    /// Request frames sent so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.shared.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Calls currently awaiting a reply.
+    pub fn in_flight(&self) -> usize {
+        self.shared.calls.lock().expect("mux calls lock").len()
+    }
+
+    /// Registers a call slot and encodes `frame` into its envelope.
+    fn prepare(&self, frame: &Frame) -> Result<(u64, Arc<CallSlot>, Envelope), RemoteError> {
+        self.shared.check_alive()?;
+        let mut body = Vec::new();
+        frame.encode_into(&mut body);
+        let len = u32::try_from(body.len())
+            .ok()
+            .filter(|&len| len <= MAX_FRAME)
+            .ok_or_else(|| RemoteError::transport("mux request frame too large"))?;
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut header = [0u8; 4 + MUX_ID_LEN];
+        header[..4].copy_from_slice(&(len | MUX_FLAG).to_le_bytes());
+        header[4..].copy_from_slice(&id.to_le_bytes());
+        let slot = CallSlot::new(body.len());
+        self.shared
+            .calls
+            .lock()
+            .expect("mux calls lock")
+            .insert(id, Arc::clone(&slot));
+        Ok((id, slot, Envelope { header, body }))
+    }
+
+    /// Starts one call: the envelope joins the pending queue and this
+    /// caller drains it if no writer is active (leader election — see the
+    /// module docs). Returns immediately with the pending reply.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast when the connection is already dead or the frame cannot
+    /// travel; write failures surface through [`MuxPending::wait`].
+    pub fn call(&self, frame: &Frame) -> Result<MuxPending, RemoteError> {
+        let (_id, slot, envelope) = self.prepare(frame)?;
+        let lead = {
+            let mut queue = self.shared.queue.lock().expect("mux queue lock");
+            queue.pending.push(envelope);
+            if queue.writer_active {
+                false
+            } else {
+                queue.writer_active = true;
+                true
+            }
+        };
+        if lead {
+            self.drain_queue();
+        }
+        Ok(MuxPending { slot })
+    }
+
+    /// Ships several calls as **one** vectored write and returns one
+    /// pending reply per call, in order. This is the deterministic
+    /// coalescing path: a burst of `n` calls costs one write syscall
+    /// (absent partial writes) instead of `n`.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast when the connection is dead or a frame cannot travel.
+    /// A write failure fails every in-flight call (at-most-once); the
+    /// returned pendings then yield that error.
+    pub fn call_burst(&self, frames: &[Frame]) -> Result<Vec<MuxPending>, RemoteError> {
+        let mut slots = Vec::with_capacity(frames.len());
+        let mut ids = Vec::with_capacity(frames.len());
+        let mut envelopes = Vec::with_capacity(frames.len());
+        for frame in frames {
+            match self.prepare(frame) {
+                Ok((id, slot, envelope)) => {
+                    slots.push(MuxPending { slot });
+                    ids.push(id);
+                    envelopes.push(envelope);
+                }
+                Err(err) => {
+                    // Nothing has touched the wire: unregister the slots
+                    // already inserted so they cannot linger as phantom
+                    // in-flight calls.
+                    let mut calls = self.shared.calls.lock().expect("mux calls lock");
+                    for id in ids {
+                        calls.remove(&id);
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        if !envelopes.is_empty() {
+            let bufs = Envelope::slices(&envelopes);
+            let result = {
+                let _io = self.shared.io.lock().expect("mux io lock");
+                write_all_vectored(&mut (&self.shared.stream), &bufs)
+            };
+            match result {
+                Ok(syscalls) => {
+                    self.shared
+                        .write_syscalls
+                        .fetch_add(syscalls as u64, Ordering::Relaxed);
+                    self.shared
+                        .frames_sent
+                        .fetch_add(envelopes.len() as u64, Ordering::Relaxed);
+                }
+                Err(err) => self.shared.fail_all(&err.to_string()),
+            }
+        }
+        Ok(slots)
+    }
+
+    /// Drains the pending queue as the leader: each pass takes everything
+    /// queued so far — this caller's frame plus any pushed by peers in the
+    /// meantime — and writes it in one vectored syscall.
+    fn drain_queue(&self) {
+        loop {
+            let batch = {
+                let mut queue = self.shared.queue.lock().expect("mux queue lock");
+                if queue.pending.is_empty() {
+                    queue.writer_active = false;
+                    return;
+                }
+                std::mem::take(&mut queue.pending)
+            };
+            let bufs = Envelope::slices(&batch);
+            let result = {
+                let _io = self.shared.io.lock().expect("mux io lock");
+                write_all_vectored(&mut (&self.shared.stream), &bufs)
+            };
+            match result {
+                Ok(syscalls) => {
+                    self.shared
+                        .write_syscalls
+                        .fetch_add(syscalls as u64, Ordering::Relaxed);
+                    self.shared
+                        .frames_sent
+                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                }
+                Err(err) => {
+                    {
+                        let mut queue = self.shared.queue.lock().expect("mux queue lock");
+                        queue.pending.clear();
+                        queue.writer_active = false;
+                    }
+                    self.shared.fail_all(&err.to_string());
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Transport for MuxClient {
+    fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
+        self.call(&frame)?.wait()
+    }
+}
+
+impl std::fmt::Debug for MuxClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxClient")
+            .field("peer", &self.shared.peer)
+            .field("in_flight", &self.in_flight())
+            .field("frames_sent", &self.frames_sent())
+            .field("write_syscalls", &self.write_syscalls())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for MuxClient {
+    fn drop(&mut self) {
+        // Close both directions so the reader unblocks, then join it; the
+        // reader fails any calls still in flight on its way out.
+        let _ = self.shared.stream.shutdown(Shutdown::Both);
+        if let Some(handle) = self.reader.lock().expect("mux reader lock").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The reader thread: reads reply envelopes, demultiplexes by request id
+/// and delivers to the registered slots. Any failure — EOF, IO error,
+/// protocol violation, unknown id — kills the connection and fails every
+/// in-flight call.
+fn reader_loop(mut stream: TcpStream, shared: &MuxShared) {
+    let mut body = Vec::new();
+    let failure = loop {
+        let mut header = [0u8; 4];
+        match stream.read_exact(&mut header) {
+            Ok(()) => {}
+            Err(err) if err.kind() == std::io::ErrorKind::UnexpectedEof => {
+                break "connection closed by server".to_owned();
+            }
+            Err(err) => break err.to_string(),
+        }
+        let raw = u32::from_le_bytes(header);
+        if raw & MUX_FLAG == 0 {
+            break "reply without correlation envelope".to_owned();
+        }
+        let len = (raw & !MUX_FLAG) as usize;
+        if len as u32 > MAX_FRAME {
+            break format!("reply length {len} exceeds maximum");
+        }
+        let mut id_buf = [0u8; MUX_ID_LEN];
+        if let Err(err) = stream.read_exact(&mut id_buf) {
+            break err.to_string();
+        }
+        let id = u64::from_le_bytes(id_buf);
+        // Chunked body read: the declared length is untrusted until the
+        // bytes arrive — shared with `framing::read_frame_bytes`.
+        if let Err(err) = read_body_chunked(&mut stream, len, &mut body) {
+            break err.to_string();
+        }
+        let frame = match Frame::from_wire_bytes(&body) {
+            Ok(frame) => frame,
+            Err(err) => break format!("undecodable reply: {err}"),
+        };
+        let slot = shared.calls.lock().expect("mux calls lock").remove(&id);
+        match slot {
+            Some(slot) => {
+                shared.stats.record(slot.sent, body.len());
+                slot.deliver(Ok(frame));
+            }
+            // An id we never sent (or already answered) is a protocol
+            // violation: the stream cannot be trusted any more.
+            None => break format!("reply for unknown request id {id}"),
+        }
+        trim_buf(&mut body);
+    };
+    shared.fail_all(&failure);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use brmi_wire::value::Value;
+    use brmi_wire::ObjectId;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    fn call_frame(tag: i32) -> Frame {
+        Frame::Call {
+            target: ObjectId(1),
+            method: "echo".into(),
+            args: vec![Value::I32(tag)],
+        }
+    }
+
+    /// Reads one request envelope off a fake server's socket.
+    fn read_envelope(stream: &mut TcpStream) -> Option<(u64, Frame)> {
+        let mut header = [0u8; 4];
+        stream.read_exact(&mut header).ok()?;
+        let raw = u32::from_le_bytes(header);
+        assert_ne!(raw & MUX_FLAG, 0, "requests must be enveloped");
+        let mut id_buf = [0u8; MUX_ID_LEN];
+        stream.read_exact(&mut id_buf).ok()?;
+        let mut body = vec![0u8; (raw & !MUX_FLAG) as usize];
+        stream.read_exact(&mut body).ok()?;
+        Some((
+            u64::from_le_bytes(id_buf),
+            Frame::from_wire_bytes(&body).unwrap(),
+        ))
+    }
+
+    /// Writes one reply envelope from a fake server.
+    fn write_envelope(stream: &mut TcpStream, id: u64, frame: &Frame) {
+        let mut body = Vec::new();
+        frame.encode_into(&mut body);
+        stream
+            .write_all(&((body.len() as u32) | MUX_FLAG).to_le_bytes())
+            .unwrap();
+        stream.write_all(&id.to_le_bytes()).unwrap();
+        stream.write_all(&body).unwrap();
+    }
+
+    fn fake_server() -> (TcpListener, SocketAddr) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        (listener, addr)
+    }
+
+    /// The satellite correlation test: two calls in flight, the server
+    /// replies in *reverse* order, and each caller still receives its own
+    /// reply — routing is by id, not arrival order.
+    #[test]
+    fn interleaved_replies_route_to_the_right_caller() {
+        let (listener, addr) = fake_server();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            let first = read_envelope(&mut peer).unwrap();
+            let second = read_envelope(&mut peer).unwrap();
+            // Echo each request's argument back — in reverse order.
+            for (id, frame) in [second, first] {
+                let Frame::Call { args, .. } = frame else {
+                    panic!("expected a call frame");
+                };
+                write_envelope(&mut peer, id, &Frame::Return(args[0].clone()));
+            }
+            // Hold the connection open until the client is done.
+            let _ = read_envelope(&mut peer);
+        });
+        let client = MuxClient::connect(addr).unwrap();
+        let callers: Vec<_> = [1, 2]
+            .map(|tag| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || client.request(call_frame(tag)))
+            })
+            .into_iter()
+            .collect();
+        let replies: Vec<Frame> = callers
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        let mut tags: Vec<Frame> = replies;
+        tags.sort_by_key(|frame| match frame {
+            Frame::Return(Value::I32(tag)) => *tag,
+            other => panic!("unexpected reply {other:?}"),
+        });
+        assert_eq!(
+            tags,
+            vec![Frame::Return(Value::I32(1)), Frame::Return(Value::I32(2))]
+        );
+        assert_eq!(client.in_flight(), 0);
+        drop(client);
+        server.join().unwrap();
+    }
+
+    /// Each thread's `request` got *its* tag back (not just some tag):
+    /// covered explicitly here with distinguishable replies per caller.
+    #[test]
+    fn reversed_replies_reach_their_own_callers() {
+        let (listener, addr) = fake_server();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            let a = read_envelope(&mut peer).unwrap();
+            let b = read_envelope(&mut peer).unwrap();
+            for (id, frame) in [b, a] {
+                let Frame::Call { args, .. } = frame else {
+                    panic!("expected a call frame");
+                };
+                // Reply = request arg × 10, so caller/reply pairing is
+                // checkable end to end.
+                let Value::I32(tag) = args[0] else { panic!() };
+                write_envelope(&mut peer, id, &Frame::Return(Value::I32(tag * 10)));
+            }
+            let _ = read_envelope(&mut peer);
+        });
+        let client = MuxClient::connect(addr).unwrap();
+        let callers: Vec<_> = [3, 7]
+            .map(|tag| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || (tag, client.request(call_frame(tag)).unwrap()))
+            })
+            .into_iter()
+            .collect();
+        for handle in callers {
+            let (tag, reply) = handle.join().unwrap();
+            assert_eq!(reply, Frame::Return(Value::I32(tag * 10)), "caller {tag}");
+        }
+        drop(client);
+        server.join().unwrap();
+    }
+
+    /// The satellite disconnect test: a mid-flight disconnect fails every
+    /// in-flight call with a transport error, later calls fail fast, and
+    /// nothing is replayed (the server observes each request exactly once).
+    #[test]
+    fn mid_flight_disconnect_fails_all_in_flight_without_replay() {
+        let (listener, addr) = fake_server();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            // Read both in-flight requests, then drop the connection
+            // without answering either.
+            let mut seen = 0;
+            while seen < 2 {
+                read_envelope(&mut peer).unwrap();
+                seen += 1;
+            }
+            seen
+        });
+        let client = MuxClient::connect(addr).unwrap();
+        let callers: Vec<_> = [1, 2]
+            .map(|tag| {
+                let client = Arc::clone(&client);
+                std::thread::spawn(move || client.request(call_frame(tag)))
+            })
+            .into_iter()
+            .collect();
+        for handle in callers {
+            let err = handle.join().unwrap().unwrap_err();
+            assert_eq!(err.kind(), brmi_wire::RemoteErrorKind::Transport);
+        }
+        // The connection is dead: later calls fail fast, nothing in
+        // flight, and no request was ever re-sent (the server read exactly
+        // the two originals before closing).
+        assert!(client.request(call_frame(3)).is_err());
+        assert_eq!(client.in_flight(), 0);
+        assert_eq!(server.join().unwrap(), 2);
+        assert_eq!(client.frames_sent(), 2, "no replay after the disconnect");
+    }
+
+    /// A burst of calls leaves in one vectored write syscall and every
+    /// reply routes home.
+    #[test]
+    fn burst_coalesces_into_one_write_syscall() {
+        let (listener, addr) = fake_server();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            // Echo every request as it arrives.
+            while let Some((id, frame)) = read_envelope(&mut peer) {
+                let Frame::Call { args, .. } = frame else {
+                    panic!("expected a call frame");
+                };
+                write_envelope(&mut peer, id, &Frame::Return(args[0].clone()));
+            }
+        });
+        let client = MuxClient::connect(addr).unwrap();
+        let frames: Vec<Frame> = (0..8).map(call_frame).collect();
+        let before = client.write_syscalls();
+        let pendings = client.call_burst(&frames).unwrap();
+        assert_eq!(
+            client.write_syscalls() - before,
+            1,
+            "one vectored syscall for the whole burst"
+        );
+        for (i, pending) in pendings.into_iter().enumerate() {
+            assert_eq!(pending.wait().unwrap(), Frame::Return(Value::I32(i as i32)));
+        }
+        assert_eq!(client.frames_sent(), 8);
+        drop(client);
+        server.join().unwrap();
+    }
+
+    /// A burst that fails partway through preparation (nothing on the wire
+    /// yet) must unregister the slots it already inserted: no phantom
+    /// in-flight calls, and the connection stays usable.
+    #[test]
+    fn failed_burst_unregisters_already_prepared_calls() {
+        let (listener, addr) = fake_server();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            while let Some((id, frame)) = read_envelope(&mut peer) {
+                let Frame::Call { args, .. } = frame else {
+                    panic!("expected a call frame");
+                };
+                write_envelope(&mut peer, id, &Frame::Return(args[0].clone()));
+            }
+        });
+        let client = MuxClient::connect(addr).unwrap();
+        let huge = Frame::Call {
+            target: ObjectId(1),
+            method: "echo".into(),
+            args: vec![Value::Bytes(vec![0u8; MAX_FRAME as usize + 1])],
+        };
+        let err = client.call_burst(&[call_frame(1), huge]).unwrap_err();
+        assert_eq!(err.kind(), brmi_wire::RemoteErrorKind::Transport);
+        assert_eq!(client.in_flight(), 0, "no phantom in-flight slots");
+        // Nothing from the failed burst touched the wire; the connection
+        // still works.
+        let replies = client.call_burst(&[call_frame(5)]).unwrap();
+        for pending in replies {
+            assert_eq!(pending.wait().unwrap(), Frame::Return(Value::I32(5)));
+        }
+        drop(client);
+        server.join().unwrap();
+    }
+
+    /// An unknown correlation id is a protocol violation that kills the
+    /// connection rather than silently dropping bytes.
+    #[test]
+    fn unknown_correlation_id_kills_the_connection() {
+        let (listener, addr) = fake_server();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            let (id, _) = read_envelope(&mut peer).unwrap();
+            write_envelope(&mut peer, id.wrapping_add(1000), &Frame::Released);
+            let _ = read_envelope(&mut peer);
+        });
+        let client = MuxClient::connect(addr).unwrap();
+        let err = client.request(call_frame(1)).unwrap_err();
+        assert_eq!(err.kind(), brmi_wire::RemoteErrorKind::Transport);
+        assert!(client.request(call_frame(2)).is_err(), "dead thereafter");
+        drop(client);
+        server.join().unwrap();
+    }
+}

@@ -49,11 +49,30 @@
 //! are dispatched back-to-back without extra syscalls, which is exactly the
 //! shape a BRMI client's batch bursts produce.
 //!
-//! Handlers run on the reactor thread itself: BRMI dispatch is CPU-light
-//! (table lookup + method call), so shipping it to a worker pool would cost
-//! more in hand-off than it buys. If a deployment ever grows blocking
-//! handlers, the right evolution is a worker pool behind
-//! [`RequestHandler`], not a reactor change.
+//! By default handlers run on the reactor thread itself: BRMI dispatch is
+//! CPU-light (table lookup + method call), so shipping it to a worker pool
+//! would cost more in hand-off than it buys. Deployments whose handlers
+//! *block* — the batch relay's coalescing flush-wait is the canonical case
+//! — set [`ReactorConfig::dispatch_workers`] instead: frame parsing and all
+//! socket IO stay on the reactor threads, while decoded requests are handed
+//! to a bounded pool of dispatch workers. Replies are routed back to the
+//! owning reactor thread through its wake channel and queued **in request
+//! order per connection** (a reorder buffer holds replies that finish
+//! early), so pipelined peers observe exactly the inline semantics. Queued
+//! work counts toward the same [`HIGH_WATER`] backpressure as reply bytes —
+//! a connection with a full pipeline parked in the pool stops being read —
+//! and shutdown drains the pool: queued jobs finish before the workers
+//! join. Handlers may execute concurrently, including two frames of one
+//! connection; that is already the contract (distinct connections always
+//! dispatched concurrently), and per-connection *reply* order is preserved
+//! regardless.
+//!
+//! Requests may arrive in a correlation envelope (the length prefix's
+//! [`MUX_FLAG`] bit plus an 8-byte id — see [`crate::mux::MuxClient`]); the
+//! reactor echoes the id on the reply so any number of concurrent callers
+//! can share one socket. The listener is registered `EPOLLEXCLUSIVE`, so a
+//! new connection wakes one reactor thread, not the whole fleet (no accept
+//! thundering herd).
 //!
 //! Backpressure: when a connection's `out_buf` backlog exceeds
 //! [`HIGH_WATER`], frame dispatch pauses *and* `EPOLLIN` interest is
@@ -72,6 +91,7 @@
 //!
 //! [`FrameRef`]: brmi_wire::protocol::FrameRef
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
@@ -84,10 +104,10 @@ use brmi_wire::protocol::FrameRef;
 use brmi_wire::RemoteError;
 use parking_lot::Mutex;
 
-use crate::framing::{trim_buf, MAX_FRAME, READ_CHUNK};
+use crate::framing::{trim_buf, MAX_FRAME, MUX_FLAG, MUX_ID_LEN, READ_CHUNK};
 use crate::RequestHandler;
 
-use sys::{Epoll, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use sys::{Epoll, EPOLLERR, EPOLLEXCLUSIVE, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 
 /// Raw epoll bindings: the only unsafe code in the crate, kept to four
 /// syscalls behind a safe RAII wrapper.
@@ -102,6 +122,9 @@ mod sys {
     pub const EPOLLERR: u32 = 0x008;
     pub const EPOLLHUP: u32 = 0x010;
     pub const EPOLLRDHUP: u32 = 0x2000;
+    /// Wake (at most) one waiter per readiness event instead of every
+    /// epoll instance watching the fd — Linux ≥ 4.5, valid on ADD only.
+    pub const EPOLLEXCLUSIVE: u32 = 1 << 28;
 
     const EPOLL_CTL_ADD: c_int = 1;
     const EPOLL_CTL_DEL: c_int = 2;
@@ -228,6 +251,11 @@ const TOKEN_CONN_BASE: u64 = 2;
 /// bytes are queued; resume when the socket drains.
 const HIGH_WATER: usize = 1024 * 1024;
 
+/// Minimum backpressure charge per job queued at the dispatch pool, so a
+/// peer pipelining tiny frames is bounded to `HIGH_WATER / MIN_JOB_CHARGE`
+/// in-flight jobs (≈1k) rather than ~`HIGH_WATER` of them.
+const MIN_JOB_CHARGE: usize = 1024;
+
 /// Per-event cap on bytes read from one connection, so a firehose peer
 /// cannot starve the rest of the slab (level-triggered epoll re-signals
 /// whatever is left).
@@ -239,21 +267,160 @@ pub struct ReactorConfig {
     /// Number of event-loop threads. Two saturates the request-dispatch
     /// workloads in this repo; bump it for handler-heavy deployments.
     pub reactor_threads: usize,
+    /// Dispatch worker threads behind the handler. `0` (the default) runs
+    /// handlers inline on the reactor threads — right for non-blocking
+    /// dispatch. A positive count moves handler execution off-loop so
+    /// *blocking* handlers (e.g. the batch relay's flush-wait) cannot
+    /// stall unrelated connections; size it to the peak number of
+    /// concurrently blocked handlers the deployment needs.
+    pub dispatch_workers: usize,
 }
 
 impl Default for ReactorConfig {
     fn default() -> Self {
-        ReactorConfig { reactor_threads: 2 }
+        ReactorConfig {
+            reactor_threads: 2,
+            dispatch_workers: 0,
+        }
     }
 }
 
-/// State shared between the server handle and its reactor threads.
+/// One request frame handed to the dispatch worker pool.
+struct DispatchJob {
+    /// Index of the reactor thread owning the connection.
+    thread: usize,
+    /// Connection slab slot on that thread.
+    slot: usize,
+    /// Slot generation at submit time; a recycled slot discards stale
+    /// completions.
+    gen: u64,
+    /// Per-connection request sequence — replies flush in this order.
+    seq: u64,
+    /// Correlation id to echo when the request arrived mux-enveloped.
+    mux_id: Option<u64>,
+    /// The encoded request frame (body only, no length prefix).
+    request: Vec<u8>,
+}
+
+/// One finished dispatch, routed back to the owning reactor thread.
+struct DispatchDone {
+    slot: usize,
+    gen: u64,
+    seq: u64,
+    mux_id: Option<u64>,
+    /// Length of the request body, released from the connection's
+    /// queued-work backpressure account.
+    request_len: usize,
+    /// Encoded reply body; `None` when the request failed to decode — the
+    /// connection closes, exactly as on the inline path.
+    reply: Option<Vec<u8>>,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<DispatchJob>,
+    shutdown: bool,
+}
+
+/// Bounded dispatch worker pool: reactor threads push parsed requests,
+/// workers execute them through the handler and hand the encoded replies
+/// back via the owning thread's completion inbox + wake channel.
+struct WorkerPool {
+    queue: std::sync::Mutex<PoolQueue>,
+    available: std::sync::Condvar,
+}
+
+impl WorkerPool {
+    fn new() -> Arc<WorkerPool> {
+        Arc::new(WorkerPool {
+            queue: std::sync::Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: std::sync::Condvar::new(),
+        })
+    }
+
+    fn submit(&self, job: DispatchJob) {
+        self.queue
+            .lock()
+            .expect("worker pool lock")
+            .jobs
+            .push_back(job);
+        self.available.notify_one();
+    }
+
+    /// Blocks for the next job. Returns `None` only once shutdown is
+    /// requested *and* the queue is drained — queued work always finishes.
+    fn next_job(&self) -> Option<DispatchJob> {
+        let mut queue = self.queue.lock().expect("worker pool lock");
+        loop {
+            if let Some(job) = queue.jobs.pop_front() {
+                return Some(job);
+            }
+            if queue.shutdown {
+                return None;
+            }
+            queue = self.available.wait(queue).expect("worker pool lock");
+        }
+    }
+
+    fn shutdown(&self) {
+        self.queue.lock().expect("worker pool lock").shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+/// Executes pool jobs until shutdown drains the queue. Each completion is
+/// pushed to the owning reactor thread's inbox and signalled through its
+/// wake channel; completions for threads that already exited are dropped
+/// there.
+fn worker_loop(pool: &WorkerPool, handler: &Arc<dyn RequestHandler>, shared: &Shared) {
+    while let Some(job) = pool.next_job() {
+        let reply = match FrameRef::from_wire_bytes(&job.request) {
+            Ok(frame) => {
+                // The hand-off owns its buffer: one allocation per pooled
+                // dispatch, in exchange for zero copying at the reactor.
+                let mut reply_buf = Vec::new();
+                handler.handle_ref(frame).encode_into(&mut reply_buf);
+                Some(reply_buf)
+            }
+            Err(_) => None,
+        };
+        shared.deliver(
+            job.thread,
+            DispatchDone {
+                slot: job.slot,
+                gen: job.gen,
+                seq: job.seq,
+                mux_id: job.mux_id,
+                request_len: job.request.len(),
+                reply,
+            },
+        );
+    }
+}
+
+/// State shared between the server handle, its reactor threads and the
+/// dispatch workers.
 struct Shared {
     shutdown: AtomicBool,
     /// Live connections across all reactor threads (test/ops introspection).
     connections: AtomicUsize,
     /// Write ends of each thread's wake channel.
     wakers: Mutex<Vec<UnixStream>>,
+    /// Per-reactor-thread completion inboxes, filled by dispatch workers.
+    inboxes: Vec<Mutex<Vec<DispatchDone>>>,
+}
+
+impl Shared {
+    fn deliver(&self, thread: usize, done: DispatchDone) {
+        if let Some(inbox) = self.inboxes.get(thread) {
+            inbox.lock().push(done);
+        }
+        if let Some(waker) = self.wakers.lock().get_mut(thread) {
+            let _ = waker.write(&[1]);
+        }
+    }
 }
 
 /// The epoll-driven TCP server. Binds like
@@ -265,6 +432,8 @@ pub struct ReactorServer {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
+    pool: Option<Arc<WorkerPool>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ReactorServer {
@@ -298,21 +467,42 @@ impl ReactorServer {
         listener.set_nonblocking(true).map_err(transport_err)?;
         let local_addr = listener.local_addr().map_err(transport_err)?;
 
+        let threads = config.reactor_threads.max(1);
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             wakers: Mutex::new(Vec::new()),
+            inboxes: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
         });
+        let pool = (config.dispatch_workers > 0).then(WorkerPool::new);
 
-        let threads = config.reactor_threads.max(1);
         let mut handles = Vec::with_capacity(threads);
+        let mut workers = Vec::with_capacity(config.dispatch_workers);
         let mut setup_err = None;
         for i in 0..threads {
-            match spawn_reactor_thread(i, &listener, &handler, &shared) {
+            match spawn_reactor_thread(i, &listener, &handler, &shared, pool.clone()) {
                 Ok(handle) => handles.push(handle),
                 Err(err) => {
                     setup_err = Some(err);
                     break;
+                }
+            }
+        }
+        if setup_err.is_none() {
+            if let Some(pool) = &pool {
+                for i in 0..config.dispatch_workers {
+                    let (pool, handler, shared) =
+                        (Arc::clone(pool), Arc::clone(&handler), Arc::clone(&shared));
+                    let spawned = std::thread::Builder::new()
+                        .name(format!("brmi-dispatch-{i}"))
+                        .spawn(move || worker_loop(&pool, &handler, &shared));
+                    match spawned {
+                        Ok(handle) => workers.push(handle),
+                        Err(err) => {
+                            setup_err = Some(err);
+                            break;
+                        }
+                    }
                 }
             }
         }
@@ -327,6 +517,12 @@ impl ReactorServer {
             for handle in handles {
                 let _ = handle.join();
             }
+            if let Some(pool) = &pool {
+                pool.shutdown();
+            }
+            for handle in workers {
+                let _ = handle.join();
+            }
             return Err(transport_err(err));
         }
 
@@ -334,6 +530,8 @@ impl ReactorServer {
             local_addr,
             shared,
             threads: handles,
+            pool,
+            workers,
         })
     }
 
@@ -348,9 +546,10 @@ impl ReactorServer {
         self.shared.connections.load(Ordering::SeqCst)
     }
 
-    /// Stops the event loops, closes every connection and joins all
-    /// reactor threads. Idempotent; also called on drop — the same
-    /// graceful-shutdown contract as
+    /// Stops the event loops, closes every connection, drains the dispatch
+    /// pool (queued jobs finish; their completions are discarded with the
+    /// connections) and joins all reactor and worker threads. Idempotent;
+    /// also called on drop — the same graceful-shutdown contract as
     /// [`TcpServer::shutdown`](crate::tcp::TcpServer::shutdown).
     pub fn shutdown(&mut self) {
         if self.shared.shutdown.swap(true, Ordering::SeqCst) {
@@ -360,6 +559,12 @@ impl ReactorServer {
             let _ = waker.write(&[1]);
         }
         for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(pool) = &self.pool {
+            pool.shutdown();
+        }
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
@@ -387,16 +592,19 @@ fn spawn_reactor_thread(
     listener: &TcpListener,
     handler: &Arc<dyn RequestHandler>,
     shared: &Arc<Shared>,
+    pool: Option<Arc<WorkerPool>>,
 ) -> std::io::Result<JoinHandle<()>> {
     let (wake_tx, wake_rx) = UnixStream::pair()?;
     wake_tx.set_nonblocking(true)?;
     wake_rx.set_nonblocking(true)?;
     shared.wakers.lock().push(wake_tx);
     let thread = ReactorThread::new(
+        index,
         listener.try_clone()?,
         wake_rx,
         Arc::clone(handler),
         Arc::clone(shared),
+        pool,
     )?;
     std::thread::Builder::new()
         .name(format!("brmi-reactor-{index}"))
@@ -421,6 +629,88 @@ struct Conn {
     /// replies are still drained before the connection closes (a client
     /// may pipeline a burst, shutdown its write side, then read).
     read_closed: bool,
+    /// Sequence stamped on the next frame submitted to the dispatch pool.
+    next_seq: u64,
+    /// Sequence whose reply is next in line for `out_buf` — workers may
+    /// finish out of order, but replies flush in request order.
+    flush_seq: u64,
+    /// Replies that finished ahead of their turn (pool mode only; tiny in
+    /// practice — bounded by the in-flight pipeline depth).
+    parked: Vec<DispatchDone>,
+    /// Request bytes queued at or executing in the pool, counted toward
+    /// the [`HIGH_WATER`] backlog so queued work is backpressured exactly
+    /// like unsent reply bytes.
+    inflight_bytes: usize,
+    /// Jobs submitted to the pool whose completions have not come back.
+    inflight_jobs: usize,
+}
+
+impl Conn {
+    /// Bytes this connection holds against the high-water mark: unsent
+    /// replies plus requests parked in the dispatch pool.
+    fn backlog(&self) -> usize {
+        self.out_buf.len() - self.write_pos + self.inflight_bytes
+    }
+}
+
+/// Header of one frame at the head of a connection's input buffer.
+struct FrameHead {
+    /// Correlation id when the frame arrived in a mux envelope.
+    mux_id: Option<u64>,
+    /// Offset of the frame body within the buffer.
+    body_start: usize,
+    /// Frame body length.
+    len: usize,
+}
+
+/// Parses the frame header at the start of `buf`. `Ok(None)` means more
+/// bytes are needed; `Err(())` is a protocol violation (over-limit length)
+/// that closes the connection.
+fn parse_frame_head(buf: &[u8]) -> Result<Option<FrameHead>, ()> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let raw = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    let len = raw & !MUX_FLAG;
+    if len > MAX_FRAME {
+        return Err(());
+    }
+    let enveloped = raw & MUX_FLAG != 0;
+    let body_start = if enveloped { 4 + MUX_ID_LEN } else { 4 };
+    if buf.len() < body_start + len as usize {
+        return Ok(None);
+    }
+    let mux_id = enveloped.then(|| {
+        u64::from_le_bytes(
+            buf[4..4 + MUX_ID_LEN]
+                .try_into()
+                .expect("length checked above"),
+        )
+    });
+    Ok(Some(FrameHead {
+        mux_id,
+        body_start,
+        len: len as usize,
+    }))
+}
+
+/// Appends one encoded reply body to `out_buf`, length-prefixed — inside a
+/// correlation envelope when the request carried one. `Err` means the
+/// reply cannot travel (over-limit) and the connection must close.
+fn queue_reply(out_buf: &mut Vec<u8>, mux_id: Option<u64>, body: &[u8]) -> Result<(), ()> {
+    let len = u32::try_from(body.len()).map_err(|_| ())?;
+    if len > MAX_FRAME {
+        return Err(());
+    }
+    match mux_id {
+        Some(id) => {
+            out_buf.extend_from_slice(&(len | MUX_FLAG).to_le_bytes());
+            out_buf.extend_from_slice(&id.to_le_bytes());
+        }
+        None => out_buf.extend_from_slice(&len.to_le_bytes()),
+    }
+    out_buf.extend_from_slice(body);
+    Ok(())
 }
 
 enum ConnFate {
@@ -429,12 +719,17 @@ enum ConnFate {
 }
 
 struct ReactorThread {
+    index: usize,
     epoll: Epoll,
     listener: TcpListener,
     wake: UnixStream,
     handler: Arc<dyn RequestHandler>,
     shared: Arc<Shared>,
+    pool: Option<Arc<WorkerPool>>,
     conns: Vec<Option<Conn>>,
+    /// Per-slot generation counters; bumped on close so completions from
+    /// the pool cannot land on a recycled slot.
+    gens: Vec<u64>,
     free: Vec<usize>,
     /// Reusable read staging buffer shared by every connection on this
     /// thread: zero-initialized once, so per-event reads cost no memset.
@@ -443,22 +738,33 @@ struct ReactorThread {
 
 impl ReactorThread {
     fn new(
+        index: usize,
         listener: TcpListener,
         wake: UnixStream,
         handler: Arc<dyn RequestHandler>,
         shared: Arc<Shared>,
+        pool: Option<Arc<WorkerPool>>,
     ) -> std::io::Result<ReactorThread> {
         use std::os::unix::io::AsRawFd;
         let epoll = Epoll::new()?;
-        epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        // EPOLLEXCLUSIVE: a new connection wakes one reactor thread, not
+        // every thread sharing the listener (accept thundering herd).
+        epoll.add(
+            listener.as_raw_fd(),
+            EPOLLIN | EPOLLEXCLUSIVE,
+            TOKEN_LISTENER,
+        )?;
         epoll.add(wake.as_raw_fd(), EPOLLIN, TOKEN_WAKE)?;
         Ok(ReactorThread {
+            index,
             epoll,
             listener,
             wake,
             handler,
             shared,
+            pool,
             conns: Vec::new(),
+            gens: Vec::new(),
             free: Vec::new(),
             chunk: vec![0; READ_CHUNK],
         })
@@ -474,6 +780,7 @@ impl ReactorThread {
                     TOKEN_WAKE => {
                         let mut sink = [0u8; 64];
                         while matches!(self.wake.read(&mut sink), Ok(n) if n > 0) {}
+                        self.process_completions();
                     }
                     token => {
                         let idx = (token - TOKEN_CONN_BASE) as usize;
@@ -490,6 +797,53 @@ impl ReactorThread {
         // Drop closes every connection; keep the shared count honest.
         let live = self.conns.iter().filter(|c| c.is_some()).count();
         self.shared.connections.fetch_sub(live, Ordering::SeqCst);
+    }
+
+    /// Applies every dispatch completion the workers have delivered to
+    /// this thread: release the queued-work backpressure, flush replies in
+    /// per-connection request order, and re-drive the connection (reply
+    /// bytes freed may unblock reading or dispatching parked input).
+    fn process_completions(&mut self) {
+        let done = std::mem::take(&mut *self.shared.inboxes[self.index].lock());
+        for item in done {
+            let idx = item.slot;
+            if self.gens.get(idx).copied() != Some(item.gen) {
+                continue; // the connection closed while the job ran
+            }
+            let Some(mut conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+                continue;
+            };
+            let fate = self.apply_completion(&mut conn, item, idx);
+            self.conns[idx] = Some(conn);
+            if let ConnFate::Close = fate {
+                self.close_conn(idx);
+            }
+        }
+    }
+
+    fn apply_completion(&mut self, conn: &mut Conn, done: DispatchDone, idx: usize) -> ConnFate {
+        conn.inflight_jobs -= 1;
+        conn.inflight_bytes -= done.request_len.max(MIN_JOB_CHARGE);
+        conn.parked.push(done);
+        // Queue every reply whose turn has come. A `None` reply (worker
+        // failed to decode — defense in depth, the reactor validates
+        // before submitting) closes the connection when its slot in the
+        // order comes up.
+        while let Some(pos) = conn
+            .parked
+            .iter()
+            .position(|item| item.seq == conn.flush_seq)
+        {
+            let next = conn.parked.swap_remove(pos);
+            let Some(reply) = next.reply else {
+                return ConnFate::Close;
+            };
+            if queue_reply(&mut conn.out_buf, next.mux_id, &reply).is_err() {
+                return ConnFate::Close;
+            }
+            conn.flush_seq += 1;
+        }
+        self.drive(conn, 0, idx)
     }
 
     fn accept_ready(&mut self) {
@@ -516,6 +870,7 @@ impl ReactorThread {
             Some(idx) => idx,
             None => {
                 self.conns.push(None);
+                self.gens.push(0);
                 self.conns.len() - 1
             }
         };
@@ -535,6 +890,11 @@ impl ReactorThread {
             scratch: Vec::new(),
             interest: EPOLLIN | EPOLLRDHUP,
             read_closed: false,
+            next_seq: 0,
+            flush_seq: 0,
+            parked: Vec::new(),
+            inflight_bytes: 0,
+            inflight_jobs: 0,
         });
         self.shared.connections.fetch_add(1, Ordering::SeqCst);
         Ok(())
@@ -544,6 +904,9 @@ impl ReactorThread {
         use std::os::unix::io::AsRawFd;
         if let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            // Stale completions from jobs still in flight are discarded by
+            // the generation check, so the slot can be reused immediately.
+            self.gens[idx] += 1;
             self.free.push(idx);
             self.shared.connections.fetch_sub(1, Ordering::SeqCst);
         }
@@ -578,12 +941,11 @@ impl ReactorThread {
         if flags & (EPOLLERR | EPOLLHUP) != 0 {
             return ConnFate::Close;
         }
-        // Read only while the reply backlog is under the high-water mark;
-        // a paused connection has EPOLLIN deregistered, so its input stops
-        // accumulating in the kernel, not in server memory.
-        if !conn.read_closed
-            && flags & (EPOLLIN | EPOLLRDHUP) != 0
-            && conn.out_buf.len() - conn.write_pos <= HIGH_WATER
+        // Read only while the backlog (unsent replies + pool-queued work)
+        // is under the high-water mark; a paused connection has EPOLLIN
+        // deregistered, so its input stops accumulating in the kernel, not
+        // in server memory.
+        if !conn.read_closed && flags & (EPOLLIN | EPOLLRDHUP) != 0 && conn.backlog() <= HIGH_WATER
         {
             if let ReadOutcome::Closed = read_available(conn, &mut self.chunk) {
                 conn.read_closed = true;
@@ -595,59 +957,82 @@ impl ReactorThread {
         // with dispatchable frames and an empty, unregistered socket would
         // strand the connection — no event would ever fire again.
         loop {
-            if let ConnFate::Close = self.dispatch_frames(conn) {
+            if let ConnFate::Close = self.dispatch_frames(conn, idx) {
                 return ConnFate::Close;
             }
             if let ConnFate::Close = flush_writes(conn) {
                 return ConnFate::Close;
             }
-            let backlogged = conn.out_buf.len() - conn.write_pos > HIGH_WATER;
-            if backlogged || !has_complete_frame(&conn.in_buf) {
+            if conn.backlog() > HIGH_WATER || !has_complete_frame(&conn.in_buf) {
                 break;
             }
         }
         // After a FIN the connection lives exactly as long as it still has
-        // replies to deliver. (The loop above guarantees nothing
-        // dispatchable remains when the backlog is drained, so an empty
-        // out_buf really means all replies went out; leftover in_buf bytes
+        // replies to deliver — queued in out_buf or still in the dispatch
+        // pool. (The loop above guarantees nothing dispatchable remains
+        // when the backlog is drained, so an empty out_buf and an idle
+        // pipeline really mean all replies went out; leftover in_buf bytes
         // can only be a forever-incomplete frame.)
-        if conn.read_closed && conn.out_buf.len() == conn.write_pos {
+        if conn.read_closed && conn.out_buf.len() == conn.write_pos && conn.inflight_jobs == 0 {
             return ConnFate::Close;
         }
         self.update_interest(conn, idx)
     }
 
-    /// Consumes every complete frame in `in_buf` (until backpressure),
-    /// dispatching each through the zero-copy handler path and queueing
-    /// the replies.
-    fn dispatch_frames(&mut self, conn: &mut Conn) -> ConnFate {
+    /// Consumes every complete frame in `in_buf` (until backpressure).
+    /// Inline mode dispatches each through the zero-copy handler path and
+    /// queues the reply; pool mode stamps the frame with the connection's
+    /// next sequence number and submits it to the dispatch workers (the
+    /// completion path queues replies in sequence order).
+    fn dispatch_frames(&mut self, conn: &mut Conn, idx: usize) -> ConnFate {
         let mut consumed = 0usize;
         let fate = loop {
-            if conn.out_buf.len() - conn.write_pos > HIGH_WATER {
+            if conn.backlog() > HIGH_WATER {
                 break ConnFate::Keep;
             }
             let pending = &conn.in_buf[consumed..];
-            if pending.len() < 4 {
-                break ConnFate::Keep;
-            }
-            let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]);
-            if len > MAX_FRAME {
-                break ConnFate::Close;
-            }
-            let total = 4 + len as usize;
-            if pending.len() < total {
-                break ConnFate::Keep;
-            }
-            let reply = match FrameRef::from_wire_bytes(&pending[4..total]) {
-                Ok(frame) => self.handler.handle_ref(frame),
-                Err(_) => break ConnFate::Close,
+            let head = match parse_frame_head(pending) {
+                Ok(Some(head)) => head,
+                Ok(None) => break ConnFate::Keep,
+                Err(()) => break ConnFate::Close,
             };
-            reply.encode_into(&mut conn.scratch);
-            let Ok(reply_len) = u32::try_from(conn.scratch.len()) else {
-                break ConnFate::Close;
-            };
-            conn.out_buf.extend_from_slice(&reply_len.to_le_bytes());
-            conn.out_buf.extend_from_slice(&conn.scratch);
+            let total = head.body_start + head.len;
+            let body = &pending[head.body_start..total];
+            if let Some(pool) = &self.pool {
+                // Validation decode before the hand-off, so a malformed
+                // frame closes the connection immediately — exactly the
+                // inline path — instead of executing pipelined frames
+                // queued behind it. The borrowed decode is cheap next to
+                // the (blocking) handler work the pool exists for.
+                if FrameRef::from_wire_bytes(body).is_err() {
+                    break ConnFate::Close;
+                }
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.inflight_jobs += 1;
+                // Charge at least MIN_JOB_CHARGE per queued job: pure
+                // body-byte accounting would let a peer pipelining tiny
+                // frames park ~HIGH_WATER *jobs* (each with real struct
+                // and allocation overhead) instead of ~HIGH_WATER bytes.
+                conn.inflight_bytes += body.len().max(MIN_JOB_CHARGE);
+                pool.submit(DispatchJob {
+                    thread: self.index,
+                    slot: idx,
+                    gen: self.gens[idx],
+                    seq,
+                    mux_id: head.mux_id,
+                    request: body.to_vec(),
+                });
+            } else {
+                let reply = match FrameRef::from_wire_bytes(body) {
+                    Ok(frame) => self.handler.handle_ref(frame),
+                    Err(_) => break ConnFate::Close,
+                };
+                reply.encode_into(&mut conn.scratch);
+                if queue_reply(&mut conn.out_buf, head.mux_id, &conn.scratch).is_err() {
+                    break ConnFate::Close;
+                }
+            }
             consumed += total;
         };
         if consumed > 0 {
@@ -664,16 +1049,16 @@ impl ReactorThread {
 
     /// Re-registers the connection's epoll interest when it changed:
     /// `EPOLLOUT` only while a partial write is pending, `EPOLLIN` only
-    /// while the reply backlog is under the high-water mark and the peer
-    /// has not sent FIN.
+    /// while the backlog (unsent replies + pool-queued work) is under the
+    /// high-water mark and the peer has not sent FIN.
     fn update_interest(&mut self, conn: &mut Conn, idx: usize) -> ConnFate {
         use std::os::unix::io::AsRawFd;
-        let backlog = conn.out_buf.len() - conn.write_pos;
+        let backlog = conn.backlog();
         let mut interest = 0;
         if !conn.read_closed && backlog <= HIGH_WATER {
             interest |= EPOLLIN | EPOLLRDHUP;
         }
-        if backlog > 0 {
+        if conn.out_buf.len() > conn.write_pos {
             interest |= EPOLLOUT;
         }
         if interest == conn.interest {
@@ -694,11 +1079,7 @@ impl ReactorThread {
 /// length prefix counts as dispatchable so the dispatch loop runs and
 /// closes the connection rather than waiting for bytes that never come.
 fn has_complete_frame(in_buf: &[u8]) -> bool {
-    if in_buf.len() < 4 {
-        return false;
-    }
-    let len = u32::from_le_bytes([in_buf[0], in_buf[1], in_buf[2], in_buf[3]]);
-    len > MAX_FRAME || in_buf.len() >= 4 + len as usize
+    !matches!(parse_frame_head(in_buf), Ok(None))
 }
 
 enum ReadOutcome {
@@ -863,9 +1244,25 @@ mod tests {
     /// when the write side drains, nor discarded at the FIN.
     #[test]
     fn deep_pipelined_burst_through_backpressure_and_half_close() {
+        deep_pipelined_burst(ReactorConfig::default());
+    }
+
+    /// The same backlog discipline must hold when dispatch runs on the
+    /// worker pool: queued jobs count toward HIGH_WATER, and replies
+    /// flush in request order across the reorder buffer.
+    #[test]
+    fn deep_pipelined_burst_through_worker_pool_backpressure() {
+        deep_pipelined_burst(ReactorConfig {
+            reactor_threads: 2,
+            dispatch_workers: 3,
+        });
+    }
+
+    fn deep_pipelined_burst(config: ReactorConfig) {
         const FRAMES: i32 = 40;
         const BLOB: usize = 128 * 1024; // 40 × 128 KB ≈ 5 MB each way
-        let server = echo_server();
+        let server =
+            ReactorServer::bind_with("127.0.0.1:0", Arc::new(EchoHandler), config).unwrap();
         let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
         let reader = {
             let mut stream = stream.try_clone().unwrap();
@@ -934,7 +1331,10 @@ mod tests {
         let server = ReactorServer::bind_with(
             "127.0.0.1:0",
             Arc::new(EchoHandler),
-            ReactorConfig { reactor_threads: 2 },
+            ReactorConfig {
+                reactor_threads: 2,
+                dispatch_workers: 0,
+            },
         )
         .unwrap();
         let addr = server.local_addr();
@@ -986,5 +1386,211 @@ mod tests {
         server.shutdown();
         assert!(server.threads.is_empty());
         assert!(client.request(call(vec![])).is_err());
+    }
+
+    /// Test handler with a blocking method: `"slow"` parks on a channel
+    /// until the test releases it, `"fast"` reports its completion, and
+    /// everything echoes its arguments.
+    struct SlowFastHandler {
+        slow_entered: std::sync::atomic::AtomicUsize,
+        slow_gate: std::sync::Mutex<std::sync::mpsc::Receiver<()>>,
+        fast_done: std::sync::Mutex<std::sync::mpsc::Sender<()>>,
+    }
+
+    impl SlowFastHandler {
+        fn new() -> (
+            Arc<Self>,
+            std::sync::mpsc::Sender<()>,
+            std::sync::mpsc::Receiver<()>,
+        ) {
+            let (release, slow_gate) = std::sync::mpsc::channel();
+            let (fast_done, fast_done_rx) = std::sync::mpsc::channel();
+            let handler = Arc::new(SlowFastHandler {
+                slow_entered: std::sync::atomic::AtomicUsize::new(0),
+                slow_gate: std::sync::Mutex::new(slow_gate),
+                fast_done: std::sync::Mutex::new(fast_done),
+            });
+            (handler, release, fast_done_rx)
+        }
+    }
+
+    impl RequestHandler for SlowFastHandler {
+        fn handle(&self, frame: Frame) -> Frame {
+            match frame {
+                Frame::Call { method, args, .. } => {
+                    if method == "slow" {
+                        self.slow_entered.fetch_add(1, Ordering::SeqCst);
+                        let _ = self.slow_gate.lock().unwrap().recv();
+                    } else if method == "fast" {
+                        let _ = self.fast_done.lock().unwrap().send(());
+                    }
+                    Frame::Return(Value::List(args))
+                }
+                _ => Frame::Return(Value::Null),
+            }
+        }
+    }
+
+    fn named_call(method: &str, args: Vec<Value>) -> Frame {
+        Frame::Call {
+            target: ObjectId(1),
+            method: method.into(),
+            args,
+        }
+    }
+
+    /// The worker-pool contract: a handler blocked on one connection must
+    /// not delay another connection served by the *same* (single) reactor
+    /// thread. Deterministic — the fast call completes while the slow one
+    /// is provably parked inside the handler.
+    #[test]
+    fn blocking_handler_on_workers_does_not_stall_other_connections() {
+        let (handler, release, _fast_done) = SlowFastHandler::new();
+        let mut server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&handler) as Arc<dyn RequestHandler>,
+            ReactorConfig {
+                reactor_threads: 1,
+                dispatch_workers: 2,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let slow_caller = std::thread::spawn(move || {
+            let client = TcpTransport::connect(addr).unwrap();
+            client.request(named_call("slow", vec![Value::I32(1)]))
+        });
+        while handler.slow_entered.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // The slow handler is parked inside the pool; the lone reactor
+        // thread must still serve a different connection end to end.
+        let fast = TcpTransport::connect(addr).unwrap();
+        let reply = fast
+            .request(named_call("fast", vec![Value::I32(2)]))
+            .unwrap();
+        assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(2)])));
+        release.send(()).unwrap();
+        let slow_reply = slow_caller.join().unwrap().unwrap();
+        assert_eq!(slow_reply, Frame::Return(Value::List(vec![Value::I32(1)])));
+        server.shutdown();
+    }
+
+    /// Replies must leave a connection in request order even when a later
+    /// pipelined frame finishes first on the worker pool.
+    #[test]
+    fn worker_pool_preserves_pipelined_reply_order() {
+        let (handler, release, fast_done) = SlowFastHandler::new();
+        let server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&handler) as Arc<dyn RequestHandler>,
+            ReactorConfig {
+                reactor_threads: 1,
+                dispatch_workers: 2,
+            },
+        )
+        .unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut burst = Vec::new();
+        for frame in [
+            named_call("slow", vec![Value::I32(1)]),
+            named_call("fast", vec![Value::I32(2)]),
+        ] {
+            let mut payload = Vec::new();
+            frame.encode_into(&mut payload);
+            burst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            burst.extend_from_slice(&payload);
+        }
+        stream.write_all(&burst).unwrap();
+        // Prove the fast frame *executed* while the slow one was parked...
+        fast_done.recv().unwrap();
+        assert_eq!(handler.slow_entered.load(Ordering::SeqCst), 1);
+        release.send(()).unwrap();
+        // ...yet the replies arrive in request order.
+        let mut read_buf = Vec::new();
+        for expected in [Value::I32(1), Value::I32(2)] {
+            assert!(crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+            let reply = Frame::from_wire_bytes(&read_buf).unwrap();
+            assert_eq!(reply, Frame::Return(Value::List(vec![expected])));
+        }
+    }
+
+    /// Correlation-enveloped requests get their ids echoed on the reply —
+    /// on both the inline and the worker-pool dispatch paths, mixed freely
+    /// with plain frames on the same connection.
+    #[test]
+    fn mux_envelopes_echo_correlation_ids_inline_and_pooled() {
+        for workers in [0usize, 2] {
+            let server = ReactorServer::bind_with(
+                "127.0.0.1:0",
+                Arc::new(EchoHandler),
+                ReactorConfig {
+                    reactor_threads: 1,
+                    dispatch_workers: workers,
+                },
+            )
+            .unwrap();
+            let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+            let ids = [0xDEAD_0001u64, u64::MAX, 7];
+            let mut burst = Vec::new();
+            for (i, id) in ids.iter().enumerate() {
+                let mut payload = Vec::new();
+                call(vec![Value::I32(i as i32)]).encode_into(&mut payload);
+                burst.extend_from_slice(&((payload.len() as u32) | MUX_FLAG).to_le_bytes());
+                burst.extend_from_slice(&id.to_le_bytes());
+                burst.extend_from_slice(&payload);
+            }
+            // A plain (unenveloped) frame rides the same connection.
+            let mut payload = Vec::new();
+            call(vec![Value::I32(99)]).encode_into(&mut payload);
+            burst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            burst.extend_from_slice(&payload);
+            stream.write_all(&burst).unwrap();
+
+            for (i, id) in ids.iter().enumerate() {
+                let mut header = [0u8; 4];
+                stream.read_exact(&mut header).unwrap();
+                let raw = u32::from_le_bytes(header);
+                assert_ne!(raw & MUX_FLAG, 0, "reply must carry the envelope");
+                let mut id_buf = [0u8; MUX_ID_LEN];
+                stream.read_exact(&mut id_buf).unwrap();
+                assert_eq!(u64::from_le_bytes(id_buf), *id, "echoed id");
+                let mut body = vec![0u8; (raw & !MUX_FLAG) as usize];
+                stream.read_exact(&mut body).unwrap();
+                let reply = Frame::from_wire_bytes(&body).unwrap();
+                assert_eq!(
+                    reply,
+                    Frame::Return(Value::List(vec![Value::I32(i as i32)]))
+                );
+            }
+            let mut read_buf = Vec::new();
+            assert!(crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+            let reply = Frame::from_wire_bytes(&read_buf).unwrap();
+            assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(99)])));
+        }
+    }
+
+    /// Worker-pool shutdown must drain queued jobs and join cleanly while
+    /// ordinary traffic is in flight.
+    #[test]
+    fn worker_pool_shutdown_joins_workers() {
+        let mut server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(EchoHandler),
+            ReactorConfig {
+                reactor_threads: 2,
+                dispatch_workers: 4,
+            },
+        )
+        .unwrap();
+        let client = TcpTransport::connect(server.local_addr()).unwrap();
+        for i in 0..20 {
+            let reply = client.request(call(vec![Value::I32(i)])).unwrap();
+            assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(i)])));
+        }
+        server.shutdown();
+        server.shutdown();
+        assert!(server.workers.is_empty());
+        assert!(server.threads.is_empty());
     }
 }

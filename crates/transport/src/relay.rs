@@ -45,12 +45,16 @@
 //!
 //! [`BatchRelay`] is a [`RequestHandler`]; any transport can front it. The
 //! downstream handler *blocks* until its batch's super-batch completes, so
-//! the edge should be served by a thread-per-connection
+//! the edge is served by the epoll reactor with **worker-pool dispatch**
+//! ([`ReactorConfig::dispatch_workers`](crate::reactor::ReactorConfig)
+//! sized to the peak number of concurrently blocked batches): frame IO
+//! stays on the event-loop threads while the flush-waits park on the
+//! dispatch workers, so one edge serves any number of downstream
+//! connections. A thread-per-connection
 //! [`TcpServer`](crate::tcp::TcpServer) (or the in-process transport in
-//! tests) — parking a reactor thread would stall unrelated connections.
-//! Fronting the relay with the epoll reactor needs worker-pool dispatch
-//! first (see ROADMAP). Non-batch frames (plain calls, registry lookups,
-//! session releases, DGC traffic) are forwarded upstream one-for-one.
+//! tests) also works for small deployments. Non-batch frames (plain
+//! calls, registry lookups, session releases, DGC traffic) are forwarded
+//! upstream one-for-one.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
