@@ -16,10 +16,12 @@ use parking_lot::{Mutex, RwLock};
 remote_interface! {
     /// A credit card account (the paper's `CreditCard`).
     pub interface CreditCard {
+        #[read_only]
         /// Remaining credit line.
         fn get_credit_line() -> f64;
         /// Charges the card.
         fn make_purchase(amount: f64);
+        #[read_only]
         /// Total charged so far.
         fn get_balance() -> f64;
     }
@@ -28,6 +30,7 @@ remote_interface! {
 remote_interface! {
     /// Account creation and lookup (the paper's `CreditManager`).
     pub interface CreditManager {
+        #[read_only]
         /// Finds an existing account; throws `AccountNotFoundException`.
         fn find_credit_account(customer: String) -> remote CreditCard;
         /// Creates an account; throws `DuplicateAccountException`.
@@ -187,7 +190,7 @@ pub fn bank_policy() -> CustomPolicy {
     policy.set_default_action(ExceptionAction::Continue);
     policy.set_action(
         "AccountNotFoundException",
-        "find_credit_account",
+        CreditManagerSkeleton::METHOD_FIND_CREDIT_ACCOUNT,
         0,
         ExceptionAction::Break,
     );

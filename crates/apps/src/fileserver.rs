@@ -19,14 +19,19 @@ use parking_lot::RwLock;
 remote_interface! {
     /// A file in the remote filesystem (the paper's `RemoteFile`).
     pub interface RemoteFile {
+        #[read_only]
         /// The file's name.
         fn get_name() -> String;
+        #[read_only]
         /// True for directories.
         fn is_directory() -> bool;
+        #[read_only]
         /// Last-modified timestamp.
         fn last_modified() -> DateMillis;
+        #[read_only]
         /// Size in bytes.
         fn length() -> i64;
+        #[read_only]
         /// The file contents (the macro benchmark's transfer payload).
         fn read_contents() -> Vec<u8>;
         /// Removes the file from its directory.
@@ -37,10 +42,13 @@ remote_interface! {
 remote_interface! {
     /// A directory of remote files (the paper's `Directory`).
     pub interface Directory {
+        #[read_only]
         /// Looks up one file by name.
         fn get_file(name: String) -> remote RemoteFile;
+        #[read_only]
         /// Lists every file — the cursor source of the running example.
         fn list_files() -> remote_array RemoteFile;
+        #[read_only]
         /// Number of entries.
         fn file_count() -> i32;
         /// Stores a copy of `file` (name, date and contents) in this
@@ -261,8 +269,10 @@ remote_interface! {
     /// client pattern, which is exactly the maintenance burden the paper
     /// opens with. The `dto_facade` benchmark compares the two.
     pub interface DirectoryFacade {
+        #[read_only]
         /// Every file's attributes in one round trip.
         fn listing_dto() -> Vec<ListingRow>;
+        #[read_only]
         /// Named files' contents in one round trip.
         fn fetch_dto(names: Vec<String>) -> Vec<(String, Vec<u8>)>;
     }

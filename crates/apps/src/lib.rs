@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod fetcher;
 pub mod fileserver;
 pub mod implicit_clients;
 pub mod list;

@@ -18,8 +18,10 @@ use parking_lot::Mutex;
 remote_interface! {
     /// A linked list of remote nodes (the paper's `RemoteList`).
     pub interface RemoteList {
+        #[read_only]
         /// The successor node; throws `EndOfListException` at the tail.
         fn next() -> remote RemoteList;
+        #[read_only]
         /// This node's value.
         fn get_value() -> i32;
     }

@@ -162,10 +162,10 @@ pub fn run_relay_stress(config: &RelayStressConfig) -> Result<RelayStressReport,
     let upstream_stats = upstream.stats();
     let relay = BatchRelay::new(
         Arc::clone(&upstream) as Arc<dyn Transport>,
-        RelayPolicy {
-            max_coalesced_calls: config.coalesce_batches.max(1) * config.calls_per_batch.max(1),
-            max_delay: config.max_delay,
-        },
+        RelayPolicy::builder()
+            .max_coalesced_calls(config.coalesce_batches.max(1) * config.calls_per_batch.max(1))
+            .max_delay(config.max_delay)
+            .build(),
     );
     let mut edge = ReactorServer::bind_with(
         "127.0.0.1:0",

@@ -40,10 +40,10 @@ fn arb_bank_program() -> impl Strategy<Value = Vec<Vec<f64>>> {
 }
 
 fn relay_policy(budget: usize) -> RelayPolicy {
-    RelayPolicy {
-        max_coalesced_calls: budget,
-        max_delay: Duration::from_millis(1),
-    }
+    RelayPolicy::builder()
+        .max_coalesced_calls(budget)
+        .max_delay(Duration::from_millis(1))
+        .build()
 }
 
 /// Direct reference execution: programs run sequentially against a plain

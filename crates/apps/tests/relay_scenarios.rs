@@ -29,10 +29,10 @@ use brmi_wire::RemoteErrorKind;
 
 /// Budgeted relay policy triggering on `batches × calls` pending calls.
 fn policy(batches: usize, calls: usize) -> RelayPolicy {
-    RelayPolicy {
-        max_coalesced_calls: batches * calls,
-        max_delay: Duration::from_millis(50),
-    }
+    RelayPolicy::builder()
+        .max_coalesced_calls(batches * calls)
+        .max_delay(Duration::from_millis(50))
+        .build()
 }
 
 #[test]
@@ -86,10 +86,10 @@ fn bank_sessions_through_tcp_relay_match_direct_execution() {
     // any grouping.
     let relay = BatchRelay::new(
         Arc::clone(&upstream) as Arc<dyn Transport>,
-        RelayPolicy {
-            max_coalesced_calls: 8,
-            max_delay: Duration::from_millis(2),
-        },
+        RelayPolicy::builder()
+            .max_coalesced_calls(8)
+            .max_delay(Duration::from_millis(2))
+            .build(),
     );
     // The edge reactor's worker pool absorbs the relay handler's blocking
     // flush-waits — one blocked batch per concurrent client.
@@ -162,10 +162,10 @@ fn list_traversals_through_relay_match_direct_including_exceptions() {
     let upstream = Arc::new(InProcTransport::new(origin));
     let relay = BatchRelay::new(
         upstream,
-        RelayPolicy {
-            max_coalesced_calls: 6,
-            max_delay: Duration::from_millis(1),
-        },
+        RelayPolicy::builder()
+            .max_coalesced_calls(6)
+            .max_delay(Duration::from_millis(1))
+            .build(),
     );
     let conn = Connection::new(Arc::new(InProcTransport::new(relay.clone())));
     let root = conn.lookup("list").unwrap();

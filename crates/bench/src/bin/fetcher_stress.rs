@@ -1,0 +1,22 @@
+//! Keyed read-cache sweep — `cargo run -p brmi-bench --bin fetcher_stress`.
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_fetcher.json` baseline. Only the deterministic count series
+//! (client reads, fetched vs pass-through origin executions, cache
+//! hits/misses, probe batches) are baseline-checked; the measured
+//! execution reduction and wall-clock absorption are printed for humans.
+//! See [`brmi_bench::fetcher`].
+
+use std::process::ExitCode;
+
+use brmi_bench::baseline::{run_cli, SeriesTable};
+
+fn main() -> ExitCode {
+    println!("BRMI keyed read-cache sweep (clients → BatchFetcher → origin, in-process)\n");
+    let (figure, points) = brmi_bench::fetcher::fetcher_cache_figure();
+    figure.print();
+    brmi_bench::fetcher::print_measured_reduction(&points);
+    let tables = vec![SeriesTable::from(&figure)];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&tables, &args)
+}

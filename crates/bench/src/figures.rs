@@ -305,7 +305,12 @@ pub fn ablation_policy(profile: &NetworkProfile) -> Figure {
             let mut policy = CustomPolicy::new();
             policy.set_default_action(ExceptionAction::Continue);
             for i in 0..16 {
-                policy.set_action(&format!("E{i}"), "m", i, ExceptionAction::Break);
+                // The committed baseline pins the rule's wire bytes to the
+                // original one-byte method name, so this site deliberately
+                // stays on the raw-string shim (a rule naming a method the
+                // interface doesn't have is legal — it just never matches).
+                #[allow(deprecated)]
+                policy.set_action_named(&format!("E{i}"), "m", i, ExceptionAction::Break);
             }
             let batch = Batch::new(rig.conn.clone(), policy);
             let noop = brmi_apps::noop::BNoop::new(&batch, &rig.root);

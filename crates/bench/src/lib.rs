@@ -18,6 +18,9 @@
 //!   deterministic wire-level series for the committed baseline;
 //! * [`relay`] — the multi-tier topology sweep: the same clients behind an
 //!   edge relay, measuring origin round trips saved by coalescing;
+//! * [`fetcher`] — the keyed read-cache sweep: a client fleet rereading one
+//!   hot key set through a `BatchFetcher`, measuring origin executions
+//!   saved by dedup + caching;
 //! * [`mux`] — the evented-client sweep: N concurrent callers over one
 //!   multiplexed socket vs the pooled baseline, measuring sockets and
 //!   write syscalls saved;
@@ -31,6 +34,7 @@
 
 pub mod baseline;
 pub mod extensions;
+pub mod fetcher;
 pub mod figures;
 pub mod model;
 #[cfg(target_os = "linux")]

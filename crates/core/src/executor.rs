@@ -37,6 +37,11 @@ pub struct ExecutorStats {
     pub batches: u64,
     /// Calls replayed (cursor members counted once per element).
     pub calls_replayed: u64,
+    /// Replayed calls whose skeleton metadata marks them `#[read_only]`
+    /// (see [`MethodMeta`](brmi_wire::MethodMeta)) — the executor-side
+    /// view of how much of the workload the relay's read cache could
+    /// absorb.
+    pub read_calls_replayed: u64,
     /// Total cursor elements iterated server-side.
     pub cursor_elements: u64,
 }
@@ -45,6 +50,7 @@ pub struct ExecutorStats {
 struct StatsCells {
     batches: AtomicU64,
     calls_replayed: AtomicU64,
+    read_calls_replayed: AtomicU64,
     cursor_elements: AtomicU64,
 }
 
@@ -136,6 +142,7 @@ impl BatchExecutor {
         ExecutorStats {
             batches: self.stats.batches.load(Ordering::Relaxed),
             calls_replayed: self.stats.calls_replayed.load(Ordering::Relaxed),
+            read_calls_replayed: self.stats.read_calls_replayed.load(Ordering::Relaxed),
             cursor_elements: self.stats.cursor_elements.load(Ordering::Relaxed),
         }
     }
@@ -639,7 +646,7 @@ impl BatchExecutor {
         allow_restart: bool,
         ctx: &CallCtx,
     ) -> Disposition {
-        self.count_replayed();
+        self.count_replayed(target, call.method);
         let mut attempts = 0u32;
         loop {
             match target.invoke(call.method, in_args.clone(), ctx) {
@@ -670,8 +677,18 @@ impl BatchExecutor {
         }
     }
 
-    fn count_replayed(&self) {
+    /// Counts one dispatched call, classifying it read/write through the
+    /// receiver's own method table rather than by method-name string.
+    fn count_replayed(&self, target: &Arc<dyn RemoteObject>, method: &str) {
         self.stats.calls_replayed.fetch_add(1, Ordering::Relaxed);
+        if target
+            .method_meta(method)
+            .is_some_and(|meta| meta.read_only)
+        {
+            self.stats
+                .read_calls_replayed
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Policy handling for errors raised before the method could run

@@ -96,7 +96,9 @@ pub mod __rt {
         bad_arity, no_such_method, CallCtx, Connection, InArg, Loopback, OutValue, RemoteObject,
         RemoteRef,
     };
-    pub use brmi_wire::{FromValue, ObjectId, RemoteError, ToValue, Value};
+    pub use brmi_wire::{
+        FromValue, InterfaceMeta, MethodMeta, ObjectId, RemoteError, ToValue, Value,
+    };
     pub use paste::paste;
     pub use std::any::Any;
     pub use std::sync::Arc;

@@ -43,7 +43,45 @@
 //!   takes `&IStub`, the batch interface takes any
 //!   [`BatchParam<dyn I>`](crate::BatchParam) (a `BI` or a `CI`).
 //!
+//! ## Method metadata and `#[read_only]`
+//!
+//! A method may be declared read-only by writing `#[read_only]` as the
+//! **first** token of its declaration (before any doc comments):
+//!
+//! ```
+//! use brmi::remote_interface;
+//!
+//! remote_interface! {
+//!     pub interface Account {
+//!         #[read_only]
+//!         /// Never mutates server state: cacheable and retry-safe.
+//!         fn get_balance() -> f64;
+//!         fn deposit(amount: f64);
+//!     }
+//! }
+//! ```
+//!
+//! Every method — annotated or not — is compiled into a
+//! [`MethodMeta`](brmi_wire::MethodMeta) descriptor (name, mutability,
+//! arity, result kind). The table is reachable three ways:
+//!
+//! * `AccountSkeleton::METHOD_META` — the full table, in declaration
+//!   order, plus one `AccountSkeleton::METHOD_GET_BALANCE`-style constant
+//!   per method (for exception-policy rules);
+//! * `<dyn Account as Companions>::interface_meta()` — the
+//!   [`InterfaceMeta`](brmi_wire::InterfaceMeta) used to feed a
+//!   [`MethodRegistry`](brmi_wire::MethodRegistry) for the relay tier;
+//! * [`RemoteObject::method_meta`] — per-object lookup, consulted by the
+//!   batch executor at dispatch time.
+//!
+//! `#[read_only]` is a promise, not a proof: the middleware trusts it the
+//! way the paper trusts interface declarations. A read-only method's
+//! result may be served from the relay-tier read cache and its failures
+//! are safe to retry, so annotating a mutating method is an application
+//! bug.
+//!
 //! [`RemoteObject`]: brmi_rmi::RemoteObject
+//! [`RemoteObject::method_meta`]: brmi_rmi::RemoteObject::method_meta
 
 /// Generates the server trait, skeleton, RMI stub, loopback proxy, batch
 /// interface and cursor interface for one remote interface. See the
@@ -52,7 +90,7 @@
 macro_rules! remote_interface {
     // ---------------------------------------------------------------
     // Entry: munch methods, normalizing each into
-    //   [ #[meta]* fn name args((v a Ty)|(r a Iface)...) ret(...) ]
+    //   [ #[meta]* fn name ro(true|false) ret(...) args((v a Ty)|(r a Iface)...) ]
     // ---------------------------------------------------------------
     (
         $(#[$imeta:meta])*
@@ -64,33 +102,65 @@ macro_rules! remote_interface {
     (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}) => {
         $crate::remote_interface!(@emit [$($imeta)*] $I {$($acc)*});
     };
+    // `#[read_only]` variants must be tried first: the annotation is
+    // required to be the leading token of a method declaration, so these
+    // literal-prefix arms win before the general `$(#[$mm:meta])*` arms
+    // below could swallow it as an ordinary attribute.
+    // read-only, remote-returning
+    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
+        #[read_only] $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> remote $R:ident ; $($rest:tt)*
+    ) => {
+        $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
+            {$(#[$mm])* fn $m ro(true) ret(remote $R)} [] ($($args)*) ; $($rest)*);
+    };
+    // read-only, array-returning (cursor)
+    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
+        #[read_only] $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> remote_array $R:ident ; $($rest:tt)*
+    ) => {
+        $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
+            {$(#[$mm])* fn $m ro(true) ret(array $R)} [] ($($args)*) ; $($rest)*);
+    };
+    // read-only, value-returning
+    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
+        #[read_only] $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> $T:ty ; $($rest:tt)*
+    ) => {
+        $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
+            {$(#[$mm])* fn $m ro(true) ret(value $T)} [] ($($args)*) ; $($rest)*);
+    };
+    // read-only, void (legal but pointless; accepted for uniformity)
+    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
+        #[read_only] $(#[$mm:meta])* fn $m:ident ($($args:tt)*) ; $($rest:tt)*
+    ) => {
+        $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
+            {$(#[$mm])* fn $m ro(true) ret(void)} [] ($($args)*) ; $($rest)*);
+    };
     // remote-returning
     (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
         $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> remote $R:ident ; $($rest:tt)*
     ) => {
         $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ret(remote $R)} [] ($($args)*) ; $($rest)*);
+            {$(#[$mm])* fn $m ro(false) ret(remote $R)} [] ($($args)*) ; $($rest)*);
     };
     // array-returning (cursor)
     (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
         $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> remote_array $R:ident ; $($rest:tt)*
     ) => {
         $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ret(array $R)} [] ($($args)*) ; $($rest)*);
+            {$(#[$mm])* fn $m ro(false) ret(array $R)} [] ($($args)*) ; $($rest)*);
     };
     // value-returning
     (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
         $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> $T:ty ; $($rest:tt)*
     ) => {
         $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ret(value $T)} [] ($($args)*) ; $($rest)*);
+            {$(#[$mm])* fn $m ro(false) ret(value $T)} [] ($($args)*) ; $($rest)*);
     };
     // void
     (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
         $(#[$mm:meta])* fn $m:ident ($($args:tt)*) ; $($rest:tt)*
     ) => {
         $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ret(void)} [] ($($args)*) ; $($rest)*);
+            {$(#[$mm])* fn $m ro(false) ret(void)} [] ($($args)*) ; $($rest)*);
     };
 
     // ---------------------------------------------------------------
@@ -125,7 +195,7 @@ macro_rules! remote_interface {
     // Emission of the generated items
     // ---------------------------------------------------------------
     (@emit [$($imeta:tt)*] $I:ident {
-        $( [ $(#[$mm:meta])* fn $m:ident ret($($mret:tt)*) args($( ($at:ident $a:ident $($aty:tt)*) )*) ] )*
+        $( [ $(#[$mm:meta])* fn $m:ident ro($ro:tt) ret($($mret:tt)*) args($( ($at:ident $a:ident $($aty:tt)*) )*) ] )*
     }) => {
         $crate::__rt::paste! {
             // ------------------------- server trait -------------------------
@@ -174,6 +244,49 @@ macro_rules! remote_interface {
                 pub fn inner(&self) -> $crate::__rt::Arc<dyn $I> {
                     $crate::__rt::Arc::clone(&self.inner)
                 }
+
+                #[doc = concat!(
+                    "Compile-time descriptors for every [`", stringify!($I),
+                    "`] method, in declaration order."
+                )]
+                pub const METHOD_META: &'static [$crate::__rt::MethodMeta] = &[
+                    $(
+                        $crate::__rt::MethodMeta {
+                            interface: stringify!($I),
+                            name: stringify!($m),
+                            read_only: $ro,
+                            arity: $crate::remote_interface!(@count $( ($at) )*),
+                            returns_remote:
+                                $crate::remote_interface!(@returns_remote $($mret)*),
+                        },
+                    )*
+                ];
+
+                #[doc = concat!(
+                    "The [`", stringify!($I), "`] method table as one ",
+                    "queryable descriptor (feed it to a `MethodRegistry`)."
+                )]
+                pub const INTERFACE_META: &'static $crate::__rt::InterfaceMeta =
+                    &$crate::__rt::InterfaceMeta {
+                        interface: stringify!($I),
+                        methods: Self::METHOD_META,
+                    };
+
+                $(
+                    #[doc = concat!(
+                        "Descriptor for [`", stringify!($I), "::",
+                        stringify!($m), "`]."
+                    )]
+                    pub const [<METHOD_ $m:upper>]: &'static $crate::__rt::MethodMeta =
+                        &$crate::__rt::MethodMeta {
+                            interface: stringify!($I),
+                            name: stringify!($m),
+                            read_only: $ro,
+                            arity: $crate::remote_interface!(@count $( ($at) )*),
+                            returns_remote:
+                                $crate::remote_interface!(@returns_remote $($mret)*),
+                        };
+                )*
             }
 
             impl ::std::fmt::Debug for [<$I Skeleton>] {
@@ -219,6 +332,13 @@ macro_rules! remote_interface {
                         stringify!($I),
                         __method,
                     ))
+                }
+
+                fn method_meta(
+                    &self,
+                    __method: &str,
+                ) -> ::core::option::Option<&'static $crate::__rt::MethodMeta> {
+                    Self::INTERFACE_META.method(__method)
                 }
 
                 fn as_any(&self) -> &dyn $crate::__rt::Any {
@@ -482,6 +602,10 @@ macro_rules! remote_interface {
                 type Cursor = [<C $I>];
                 type Stub = [<$I Stub>];
 
+                fn interface_meta() -> &'static $crate::__rt::InterfaceMeta {
+                    [<$I Skeleton>]::INTERFACE_META
+                }
+
                 fn skeleton_of(
                     inner: $crate::__rt::Arc<Self>,
                 ) -> $crate::__rt::Arc<dyn $crate::__rt::RemoteObject> {
@@ -561,6 +685,11 @@ macro_rules! remote_interface {
     // ---------------------------------------------------------------
     (@count) => { 0usize };
     (@count ($f:ident) $( ($r:ident) )*) => { 1usize + $crate::remote_interface!(@count $( ($r) )*) };
+
+    (@returns_remote value $T:ty) => { false };
+    (@returns_remote void) => { false };
+    (@returns_remote remote $R:ident) => { true };
+    (@returns_remote array $R:ident) => { true };
 
     (@extract_arg (v $T:ty) $iter:ident $ctx:ident) => {
         $crate::__rt::value_arg::<$T>($iter.next().expect("arity checked"))?

@@ -17,7 +17,9 @@ use parking_lot::Mutex;
 remote_interface! {
     /// A node in a remote graph.
     pub interface Node {
+        #[read_only]
         fn name() -> String;
+        #[read_only]
         fn value() -> i32;
         fn set_value(v: i32);
         fn next() -> remote Node;

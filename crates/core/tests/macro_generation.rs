@@ -192,3 +192,96 @@ fn empty_interface_dispatch_rejects_everything() {
         .unwrap_err();
     assert_eq!(err.kind(), brmi_wire::RemoteErrorKind::NoSuchMethod);
 }
+
+remote_interface! {
+    /// Exercises the `#[read_only]` metadata grammar.
+    pub interface Meter {
+        #[read_only]
+        /// Doc comments after the annotation still forward.
+        fn reading(sensor: String) -> f64;
+        #[read_only]
+        fn twin() -> remote Meter;
+        fn calibrate(offset: f64);
+    }
+}
+
+#[test]
+fn method_meta_table_captures_mutability_arity_and_result_kind() {
+    let metas = MeterSkeleton::METHOD_META;
+    assert_eq!(metas.len(), 3);
+
+    let reading = &metas[0];
+    assert_eq!(reading.interface, "Meter");
+    assert_eq!(reading.name, "reading");
+    assert!(reading.read_only);
+    assert_eq!(reading.arity, 1);
+    assert!(!reading.returns_remote);
+    assert!(reading.cacheable_read());
+
+    let twin = &metas[1];
+    assert!(twin.read_only, "read-only remote-returning");
+    assert!(twin.returns_remote);
+    assert!(!twin.cacheable_read(), "remote results are never cacheable");
+
+    let calibrate = &metas[2];
+    assert!(!calibrate.read_only);
+    assert_eq!(calibrate.arity, 1);
+}
+
+#[test]
+fn per_method_consts_match_the_table() {
+    assert_eq!(
+        MeterSkeleton::METHOD_READING,
+        &MeterSkeleton::METHOD_META[0]
+    );
+    assert_eq!(MeterSkeleton::METHOD_TWIN, &MeterSkeleton::METHOD_META[1]);
+    assert_eq!(
+        MeterSkeleton::METHOD_CALIBRATE,
+        &MeterSkeleton::METHOD_META[2]
+    );
+}
+
+#[test]
+fn interface_meta_reaches_companions_and_skeleton_dispatch() {
+    use brmi::Companions;
+    use brmi_wire::MethodRegistry;
+
+    let meta = <dyn Meter as Companions>::interface_meta();
+    assert_eq!(meta.interface, "Meter");
+    assert!(meta.method("reading").unwrap().read_only);
+    assert!(meta.method("nope").is_none());
+
+    // The skeleton answers per-object metadata queries (the batch
+    // executor's view).
+    struct MeterImpl;
+    impl Meter for MeterImpl {
+        fn reading(&self, _sensor: String) -> Result<f64, RemoteError> {
+            Ok(1.5)
+        }
+        fn twin(&self) -> Result<Arc<dyn Meter>, RemoteError> {
+            Ok(Arc::new(MeterImpl))
+        }
+        fn calibrate(&self, _offset: f64) -> Result<(), RemoteError> {
+            Ok(())
+        }
+    }
+    let skeleton = MeterSkeleton::remote_arc(Arc::new(MeterImpl));
+    assert!(skeleton.method_meta("reading").unwrap().read_only);
+    assert!(!skeleton.method_meta("calibrate").unwrap().read_only);
+    assert!(skeleton.method_meta("missing").is_none());
+
+    // And the registry consumes the same table.
+    let registry = MethodRegistry::of(&[meta]);
+    assert!(registry.is_cacheable_read("reading"));
+    assert!(!registry.is_cacheable_read("twin"));
+    assert!(!registry.is_cacheable_read("calibrate"));
+}
+
+#[test]
+fn unannotated_methods_default_to_write() {
+    for meta in KitchenSkeleton::METHOD_META {
+        assert!(!meta.read_only, "{} must default to write", meta.name);
+    }
+    assert_eq!(KitchenSkeleton::METHOD_META.len(), 9);
+    assert_eq!(KitchenSkeleton::METHOD_MANY_VALUES.arity, 5);
+}

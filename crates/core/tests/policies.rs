@@ -74,7 +74,12 @@ fn custom_policy_matches_method_and_index() {
     let mut policy = CustomPolicy::new();
     policy.set_default_action(ExceptionAction::Continue);
     // Only position 0 breaking mirrors the paper's bank lookup rule.
-    policy.set_action("Boom", "fail_with", 0, ExceptionAction::Break);
+    policy.set_action(
+        "Boom",
+        common::NodeSkeleton::METHOD_FAIL_WITH,
+        0,
+        ExceptionAction::Break,
+    );
 
     let rig = Rig::chain(&[10]);
     let (batch, root) = rig.batch(policy.clone());

@@ -89,10 +89,15 @@ fn executor_stats_accumulate_across_clients() {
         let (batch, root) = rig.batch(AbortPolicy);
         let _ = root.value();
         let _ = root.name();
+        let _ = root.set_value(1);
         batch.flush().unwrap();
     }
     let stats = rig.executor.stats();
     assert_eq!(stats.batches, 10);
-    assert_eq!(stats.calls_replayed, 20);
+    assert_eq!(stats.calls_replayed, 30);
+    assert_eq!(
+        stats.read_calls_replayed, 20,
+        "value/name are #[read_only], set_value is a write"
+    );
     assert_eq!(stats.cursor_elements, 0);
 }

@@ -33,6 +33,7 @@
 
 pub mod clock;
 pub mod fault;
+pub mod fetcher;
 pub(crate) mod framing;
 pub mod inproc;
 pub mod mux;

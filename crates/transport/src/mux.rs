@@ -60,25 +60,74 @@ use std::thread::JoinHandle;
 
 use brmi_wire::codec::WireCodec;
 use brmi_wire::protocol::Frame;
-use brmi_wire::RemoteError;
+use brmi_wire::{MethodRegistry, RemoteError};
 
 use crate::framing::{
     read_body_chunked, trim_buf, write_all_vectored, MAX_FRAME, MUX_FLAG, MUX_ID_LEN,
 };
 use crate::{Transport, TransportStats};
 
+/// Exception name carried by disconnect errors whose in-flight call was a
+/// declared `#[read_only]` method: the call may or may not have executed,
+/// but re-executing a read cannot double-apply anything, so the caller may
+/// retry it on a fresh connection. Write (or unclassified) calls fail with
+/// the plain `"transport"` exception instead. Requires the client to be
+/// built with [`MuxClient::connect_with_meta`].
+pub const RETRY_SAFE_EXCEPTION: &str = "transport-retry-safe";
+
+/// What a call slot knows about the request it is waiting on, so a
+/// connection failure can say *which* method was lost and whether retrying
+/// it is safe.
+#[derive(Debug, Clone)]
+struct CallLabel {
+    /// The method name (for batches: the first method plus a count).
+    method: String,
+    /// Every call involved is a declared read — see [`RETRY_SAFE_EXCEPTION`].
+    read_safe: bool,
+}
+
+impl CallLabel {
+    /// Derives a label from a request frame. Read-safety requires a method
+    /// registry; without one every call is conservatively a write.
+    fn of(frame: &Frame, registry: Option<&MethodRegistry>) -> Option<CallLabel> {
+        let read_only = |method: &str| registry.is_some_and(|r| r.is_read_only(method));
+        match frame {
+            Frame::Call { method, .. } => Some(CallLabel {
+                method: method.clone(),
+                read_safe: read_only(method),
+            }),
+            Frame::BatchCall(request) => {
+                let first = request.calls.first()?;
+                let method = if request.calls.len() == 1 {
+                    first.method.clone()
+                } else {
+                    format!("{} (+{} more)", first.method, request.calls.len() - 1)
+                };
+                Some(CallLabel {
+                    method,
+                    read_safe: request.calls.iter().all(|call| read_only(&call.method)),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
 /// Hand-off cell between the reader thread and one blocked caller.
 struct CallSlot {
     /// Request payload bytes, for byte accounting at delivery time.
     sent: usize,
+    /// Which method this slot awaits, when the frame named one.
+    label: Option<CallLabel>,
     reply: Mutex<Option<Result<Frame, RemoteError>>>,
     ready: Condvar,
 }
 
 impl CallSlot {
-    fn new(sent: usize) -> Arc<CallSlot> {
+    fn new(sent: usize, label: Option<CallLabel>) -> Arc<CallSlot> {
         Arc::new(CallSlot {
             sent,
+            label,
             reply: Mutex::new(None),
             ready: Condvar::new(),
         })
@@ -163,6 +212,9 @@ struct MuxShared {
     /// Once set, the connection is dead: the message every in-flight and
     /// future call fails with.
     dead: Mutex<Option<String>>,
+    /// Method metadata for labelling failures; `None` when the client was
+    /// built without it (every failure is then an unclassified write).
+    registry: Option<Arc<MethodRegistry>>,
     stats: Arc<TransportStats>,
     write_syscalls: AtomicU64,
     frames_sent: AtomicU64,
@@ -171,6 +223,29 @@ struct MuxShared {
 impl MuxShared {
     fn dead_error(message: &str) -> RemoteError {
         RemoteError::transport(format!("mux connection failed: {message}"))
+    }
+
+    /// The error one in-flight call fails with: names the lost method when
+    /// the slot carries a label, and marks declared reads retry-safe (see
+    /// [`RETRY_SAFE_EXCEPTION`]).
+    fn slot_error(message: &str, label: Option<&CallLabel>) -> RemoteError {
+        let Some(label) = label else {
+            return Self::dead_error(message);
+        };
+        let detail = format!(
+            "mux connection failed with `{}` in flight{}: {message}",
+            label.method,
+            if label.read_safe {
+                " (read-only: safe to retry)"
+            } else {
+                " (may have executed: do not blindly retry)"
+            },
+        );
+        if label.read_safe {
+            RemoteError::from_wire_parts("transport", RETRY_SAFE_EXCEPTION, &detail)
+        } else {
+            RemoteError::transport(detail)
+        }
     }
 
     /// Marks the connection dead (first cause wins) and fails every
@@ -185,7 +260,7 @@ impl MuxShared {
             calls.drain().map(|(_, slot)| slot).collect()
         };
         for slot in slots {
-            slot.deliver(Err(Self::dead_error(&message)));
+            slot.deliver(Err(Self::slot_error(&message, slot.label.as_ref())));
         }
         let _ = self.stream.shutdown(Shutdown::Both);
     }
@@ -215,6 +290,31 @@ impl MuxClient {
     /// Returns a transport-kind [`RemoteError`] when the connection cannot
     /// be established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Arc<Self>, RemoteError> {
+        Self::connect_inner(addr, None)
+    }
+
+    /// As [`MuxClient::connect`], with method metadata attached: when the
+    /// connection later dies, each in-flight call's error names the method
+    /// it was awaiting, and calls the `registry` classifies read-only fail
+    /// with the [`RETRY_SAFE_EXCEPTION`] exception — the caller can retry
+    /// those on a fresh connection without risking double execution,
+    /// something a bare `"transport"` error cannot promise.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport-kind [`RemoteError`] when the connection cannot
+    /// be established.
+    pub fn connect_with_meta(
+        addr: impl ToSocketAddrs,
+        registry: Arc<MethodRegistry>,
+    ) -> Result<Arc<Self>, RemoteError> {
+        Self::connect_inner(addr, Some(registry))
+    }
+
+    fn connect_inner(
+        addr: impl ToSocketAddrs,
+        registry: Option<Arc<MethodRegistry>>,
+    ) -> Result<Arc<Self>, RemoteError> {
         let transport_err =
             |err: std::io::Error| RemoteError::transport(format!("mux connect failed: {err}"));
         let stream = TcpStream::connect(addr).map_err(transport_err)?;
@@ -232,6 +332,7 @@ impl MuxClient {
             calls: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(0),
             dead: Mutex::new(None),
+            registry,
             stats: TransportStats::new(),
             write_syscalls: AtomicU64::new(0),
             frames_sent: AtomicU64::new(0),
@@ -287,7 +388,8 @@ impl MuxClient {
         let mut header = [0u8; 4 + MUX_ID_LEN];
         header[..4].copy_from_slice(&(len | MUX_FLAG).to_le_bytes());
         header[4..].copy_from_slice(&id.to_le_bytes());
-        let slot = CallSlot::new(body.len());
+        let label = CallLabel::of(frame, self.shared.registry.as_deref());
+        let slot = CallSlot::new(body.len(), label);
         self.shared
             .calls
             .lock()
@@ -664,6 +766,82 @@ mod tests {
         assert_eq!(client.in_flight(), 0);
         assert_eq!(server.join().unwrap(), 2);
         assert_eq!(client.frames_sent(), 2, "no replay after the disconnect");
+    }
+
+    /// With method metadata attached, a disconnect error names the lost
+    /// method and marks declared reads retry-safe — so a caller can tell
+    /// "my `get` was lost, retry it" from "my `put` may have executed".
+    #[test]
+    fn disconnect_errors_name_the_method_and_its_read_safety() {
+        use brmi_wire::{InterfaceMeta, MethodMeta};
+        static METHODS: &[MethodMeta] = &[
+            MethodMeta {
+                interface: "Store",
+                name: "get",
+                read_only: true,
+                arity: 1,
+                returns_remote: false,
+            },
+            MethodMeta {
+                interface: "Store",
+                name: "put",
+                read_only: false,
+                arity: 2,
+                returns_remote: false,
+            },
+        ];
+        static META: InterfaceMeta = InterfaceMeta {
+            interface: "Store",
+            methods: METHODS,
+        };
+
+        let (listener, addr) = fake_server();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            // Swallow both requests, then drop the connection unanswered.
+            read_envelope(&mut peer).unwrap();
+            read_envelope(&mut peer).unwrap();
+        });
+        let registry = Arc::new(MethodRegistry::of(&[&META]));
+        let client = MuxClient::connect_with_meta(addr, registry).unwrap();
+        let frame_for = |method: &str| Frame::Call {
+            target: ObjectId(1),
+            method: method.into(),
+            args: vec![],
+        };
+        let callers: Vec<_> = ["get", "put"]
+            .map(|method| {
+                let client = Arc::clone(&client);
+                let frame = frame_for(method);
+                std::thread::spawn(move || (method, client.request(frame)))
+            })
+            .into_iter()
+            .collect();
+        for handle in callers {
+            let (method, result) = handle.join().unwrap();
+            let err = result.unwrap_err();
+            assert_eq!(err.kind(), brmi_wire::RemoteErrorKind::Transport);
+            assert!(
+                err.message().contains(&format!("`{method}`")),
+                "error names the lost method: {err}"
+            );
+            match method {
+                "get" => {
+                    assert_eq!(err.exception(), RETRY_SAFE_EXCEPTION);
+                    assert!(err.message().contains("safe to retry"), "{err}");
+                }
+                _ => {
+                    assert_eq!(err.exception(), "transport");
+                    assert!(err.message().contains("do not blindly retry"), "{err}");
+                }
+            }
+        }
+        // Fail-fast errors for calls that never registered a slot stay
+        // unlabelled.
+        let err = client.request(frame_for("get")).unwrap_err();
+        assert_eq!(err.exception(), "transport");
+        drop(client);
+        server.join().unwrap();
     }
 
     /// A burst of calls leaves in one vectored write syscall and every

@@ -69,7 +69,31 @@ use brmi_wire::{RemoteError, RemoteErrorKind};
 use crate::clock::{Clock, VirtualClock};
 use crate::{RequestHandler, Transport};
 
-/// When the relay flushes a super-batch upstream.
+/// Knobs of the keyed read cache a
+/// [`BatchFetcher`](crate::fetcher::BatchFetcher) layers in front of a
+/// relay. Carried by [`RelayPolicy`] so one builder configures the whole
+/// edge tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadCachePolicy {
+    /// How long a cached read result stays servable after it was stored.
+    pub ttl: Duration,
+    /// Maximum number of cached entries; the oldest-inserted entry is
+    /// evicted first. `0` disables storing (in-flight dedup still works).
+    pub capacity: usize,
+}
+
+impl Default for ReadCachePolicy {
+    fn default() -> Self {
+        ReadCachePolicy {
+            ttl: Duration::from_millis(100),
+            capacity: 1024,
+        }
+    }
+}
+
+/// When the relay flushes a super-batch upstream, plus the read-cache
+/// configuration of an optional fetcher tier. Build one with
+/// [`RelayPolicy::builder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RelayPolicy {
     /// Flush once this many calls (summed over pending batches) are
@@ -78,6 +102,10 @@ pub struct RelayPolicy {
     /// Flush once the oldest pending batch has waited this long, even if
     /// the call budget is not reached.
     pub max_delay: Duration,
+    /// Read-cache knobs for a [`BatchFetcher`](crate::fetcher::BatchFetcher)
+    /// stacked in front of this relay; `None` means the edge runs without
+    /// a caching tier. The relay itself ignores this field.
+    pub read_cache: Option<ReadCachePolicy>,
 }
 
 impl Default for RelayPolicy {
@@ -85,7 +113,61 @@ impl Default for RelayPolicy {
         RelayPolicy {
             max_coalesced_calls: 256,
             max_delay: Duration::from_millis(2),
+            read_cache: None,
         }
+    }
+}
+
+impl RelayPolicy {
+    /// Starts a builder from the default policy.
+    pub fn builder() -> RelayPolicyBuilder {
+        RelayPolicyBuilder {
+            policy: RelayPolicy::default(),
+        }
+    }
+}
+
+/// Builder for [`RelayPolicy`]; the `read_cache_*` setters switch the
+/// read-cache tier on with defaults for whatever they don't set.
+#[derive(Debug, Clone)]
+pub struct RelayPolicyBuilder {
+    policy: RelayPolicy,
+}
+
+impl RelayPolicyBuilder {
+    /// Sets the coalescing call budget per upstream flush.
+    pub fn max_coalesced_calls(mut self, calls: usize) -> Self {
+        self.policy.max_coalesced_calls = calls;
+        self
+    }
+
+    /// Sets the longest a batch may wait at the edge for company.
+    pub fn max_delay(mut self, delay: Duration) -> Self {
+        self.policy.max_delay = delay;
+        self
+    }
+
+    /// Enables the read cache and sets how long entries stay servable.
+    pub fn read_cache_ttl(mut self, ttl: Duration) -> Self {
+        self.policy
+            .read_cache
+            .get_or_insert_with(Default::default)
+            .ttl = ttl;
+        self
+    }
+
+    /// Enables the read cache and bounds how many entries it holds.
+    pub fn read_cache_capacity(mut self, capacity: usize) -> Self {
+        self.policy
+            .read_cache
+            .get_or_insert_with(Default::default)
+            .capacity = capacity;
+        self
+    }
+
+    /// Finishes the policy.
+    pub fn build(self) -> RelayPolicy {
+        self.policy
     }
 }
 
@@ -269,7 +351,7 @@ impl BatchRelay {
             arrivals: Condvar::new(),
             policy: RelayPolicy {
                 max_coalesced_calls: policy.max_coalesced_calls.max(1),
-                max_delay: policy.max_delay,
+                ..policy
             },
             time,
             upstream,
@@ -584,11 +666,10 @@ mod tests {
         let upstream = Arc::new(InProcTransport::new(origin.clone()));
         let relay = BatchRelay::new(
             upstream,
-            RelayPolicy {
-                max_coalesced_calls: 4 * 3,
-                // Generous: the test triggers on the call budget.
-                max_delay: Duration::from_secs(30),
-            },
+            RelayPolicy::builder()
+                .max_coalesced_calls(4 * 3)
+                .max_delay(Duration::from_secs(30))
+                .build(),
         );
 
         let gate = Arc::new(Barrier::new(4));
@@ -630,10 +711,10 @@ mod tests {
         let upstream = Arc::new(InProcTransport::new(origin.clone()));
         let relay = BatchRelay::new(
             upstream,
-            RelayPolicy {
-                max_coalesced_calls: 1000,
-                max_delay: Duration::from_millis(5),
-            },
+            RelayPolicy::builder()
+                .max_coalesced_calls(1000)
+                .max_delay(Duration::from_millis(5))
+                .build(),
         );
         expect_batch_return(relay.handle(batch_frame(2)), 2);
         let frames = origin.frames();
@@ -650,10 +731,10 @@ mod tests {
         let clock = VirtualClock::new();
         let relay = BatchRelay::with_time_source(
             upstream,
-            RelayPolicy {
-                max_coalesced_calls: 1000,
-                max_delay: Duration::from_millis(10),
-            },
+            RelayPolicy::builder()
+                .max_coalesced_calls(1000)
+                .max_delay(Duration::from_millis(10))
+                .build(),
             clock.clone(),
         );
         let worker = {
@@ -681,10 +762,10 @@ mod tests {
         let upstream = Arc::new(InProcTransport::new(origin.clone()));
         let relay = BatchRelay::new(
             upstream,
-            RelayPolicy {
-                max_coalesced_calls: 2,
-                max_delay: Duration::from_secs(30),
-            },
+            RelayPolicy::builder()
+                .max_coalesced_calls(2)
+                .max_delay(Duration::from_secs(30))
+                .build(),
         );
         expect_batch_return(relay.handle(batch_frame(9)), 9);
         assert_eq!(origin.frames().len(), 1);
@@ -712,10 +793,10 @@ mod tests {
             FaultyTransport::new(InProcTransport::new(origin.clone()), FaultPlan::Always);
         let relay = BatchRelay::new(
             Arc::clone(&upstream) as Arc<dyn Transport>,
-            RelayPolicy {
-                max_coalesced_calls: 2 * 2,
-                max_delay: Duration::from_secs(30),
-            },
+            RelayPolicy::builder()
+                .max_coalesced_calls(2 * 2)
+                .max_delay(Duration::from_secs(30))
+                .build(),
         );
         let gate = Arc::new(Barrier::new(2));
         let handles: Vec<_> = (0..2)
@@ -746,10 +827,10 @@ mod tests {
         let upstream = Arc::new(InProcTransport::new(origin.clone()));
         let relay = BatchRelay::new(
             upstream,
-            RelayPolicy {
-                max_coalesced_calls: 1000,
-                max_delay: Duration::from_secs(30),
-            },
+            RelayPolicy::builder()
+                .max_coalesced_calls(1000)
+                .max_delay(Duration::from_secs(30))
+                .build(),
         );
         let worker = {
             let relay = Arc::clone(&relay);

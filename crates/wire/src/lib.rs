@@ -30,9 +30,11 @@
 pub mod codec;
 pub mod error;
 pub mod invocation;
+pub mod meta;
 pub mod protocol;
 pub mod value;
 
 pub use codec::WireCodec;
 pub use error::{RemoteError, RemoteErrorKind, WireError};
+pub use meta::{InterfaceMeta, MethodMeta, MethodRegistry};
 pub use value::{DateMillis, FromValue, ObjectId, ToValue, Value, ValueRef};

@@ -1,8 +1,10 @@
 //! Offline stand-in for the `paste` crate: rewrites `[< A B ... >]` groups
 //! into the single concatenated identifier `AB...`. Supports identifiers and
 //! integer/string-free literals as segments — the forms this workspace's
-//! `remote_interface!` macro emits (`[<$I Skeleton>]`, `[<B $I>]`, ...).
-//! Case modifiers (`:snake`, `:upper`, ...) are not supported.
+//! `remote_interface!` macro emits (`[<$I Skeleton>]`, `[<B $I>]`, ...) —
+//! plus the case modifiers `:upper`, `:lower`, `:snake` and `:camel`, each
+//! applying to the segment immediately before it (real-`paste` semantics,
+//! e.g. `[<METHOD_ $m:upper>]`).
 //!
 //! The container this workspace builds in has no access to crates.io, so the
 //! real dependency cannot be fetched; this shim keeps the public surface
@@ -52,20 +54,60 @@ fn try_concat(group: &Group) -> Option<Ident> {
         return None;
     }
 
-    let mut name = String::new();
+    let mut segments: Vec<String> = Vec::new();
     let mut span = None;
-    for tree in &trees[1..trees.len() - 1] {
+    let mut trees = trees[1..trees.len() - 1].iter().peekable();
+    while let Some(tree) = trees.next() {
         match tree {
             TokenTree::Ident(ident) => {
-                name.push_str(&ident.to_string());
+                segments.push(ident.to_string());
                 span.get_or_insert(ident.span());
             }
-            TokenTree::Literal(lit) => name.push_str(&lit.to_string()),
+            TokenTree::Literal(lit) => segments.push(lit.to_string()),
+            TokenTree::Punct(punct) if punct.as_char() == ':' => {
+                let modifier = match trees.next() {
+                    Some(TokenTree::Ident(ident)) => ident.to_string(),
+                    _ => return None,
+                };
+                let last = segments.last_mut()?;
+                *last = apply_modifier(last, &modifier)?;
+            }
             _ => return None,
         }
     }
+    let name = segments.concat();
     if name.is_empty() {
         return None;
     }
     Some(Ident::new(&name, span.unwrap_or_else(|| group.span())))
+}
+
+/// Applies one case modifier to a segment; `None` for unknown modifiers.
+fn apply_modifier(segment: &str, modifier: &str) -> Option<String> {
+    match modifier {
+        "upper" => Some(segment.to_uppercase()),
+        "lower" => Some(segment.to_lowercase()),
+        "snake" => {
+            let mut out = String::new();
+            for (i, c) in segment.char_indices() {
+                if c.is_uppercase() && i > 0 {
+                    out.push('_');
+                }
+                out.extend(c.to_lowercase());
+            }
+            Some(out)
+        }
+        "camel" => Some(
+            segment
+                .split('_')
+                .filter(|part| !part.is_empty())
+                .map(|part| {
+                    let mut chars = part.chars();
+                    let head = chars.next().map(|c| c.to_uppercase().to_string());
+                    head.unwrap_or_default() + &chars.as_str().to_lowercase()
+                })
+                .collect(),
+        ),
+        _ => None,
+    }
 }
