@@ -16,13 +16,13 @@ use parking_lot::{Mutex, RwLock};
 remote_interface! {
     /// A credit card account (the paper's `CreditCard`).
     pub interface CreditCard {
-        #[read_only]
         /// Remaining credit line.
+        #[read_only]
         fn get_credit_line() -> f64;
         /// Charges the card.
         fn make_purchase(amount: f64);
-        #[read_only]
         /// Total charged so far.
+        #[read_only]
         fn get_balance() -> f64;
     }
 }
@@ -30,8 +30,8 @@ remote_interface! {
 remote_interface! {
     /// Account creation and lookup (the paper's `CreditManager`).
     pub interface CreditManager {
-        #[read_only]
         /// Finds an existing account; throws `AccountNotFoundException`.
+        #[read_only]
         fn find_credit_account(customer: String) -> remote CreditCard;
         /// Creates an account; throws `DuplicateAccountException`.
         fn create_account(customer: String, limit: f64) -> remote CreditCard;

@@ -19,20 +19,22 @@ use parking_lot::RwLock;
 remote_interface! {
     /// A file in the remote filesystem (the paper's `RemoteFile`).
     pub interface RemoteFile {
-        #[read_only]
         /// The file's name.
+        #[read_only]
         fn get_name() -> String;
-        #[read_only]
         /// True for directories.
+        #[read_only]
         fn is_directory() -> bool;
-        #[read_only]
         /// Last-modified timestamp.
+        #[read_only]
         fn last_modified() -> DateMillis;
-        #[read_only]
         /// Size in bytes.
-        fn length() -> i64;
         #[read_only]
+        fn length() -> i64;
         /// The file contents (the macro benchmark's transfer payload).
+        /// `delete()` targets the same object, so per-object invalidation
+        /// keeps cached contents honest.
+        #[read_only]
         fn read_contents() -> Vec<u8>;
         /// Removes the file from its directory.
         fn delete();
@@ -42,14 +44,18 @@ remote_interface! {
 remote_interface! {
     /// A directory of remote files (the paper's `Directory`).
     pub interface Directory {
-        #[read_only]
         /// Looks up one file by name.
+        #[read_only]
         fn get_file(name: String) -> remote RemoteFile;
-        #[read_only]
         /// Lists every file — the cursor source of the running example.
-        fn list_files() -> remote_array RemoteFile;
         #[read_only]
+        fn list_files() -> remote_array RemoteFile;
         /// Number of entries.
+        ///
+        /// Deliberately NOT `#[read_only]`: the entry list is also
+        /// mutated through sibling objects (`RemoteFile::delete` edits
+        /// its parent), which per-object invalidation cannot see — a
+        /// cached count would survive such deletes for a whole TTL.
         fn file_count() -> i32;
         /// Stores a copy of `file` (name, date and contents) in this
         /// directory — the receiving end of the paper's copy-between-
@@ -269,11 +275,15 @@ remote_interface! {
     /// client pattern, which is exactly the maintenance burden the paper
     /// opens with. The `dto_facade` benchmark compares the two.
     pub interface DirectoryFacade {
-        #[read_only]
         /// Every file's attributes in one round trip.
+        ///
+        /// NOT `#[read_only]`: the facade aggregates state owned by the
+        /// directory and its files, so writes land on *other* objects
+        /// (`RemoteFile::delete`, `Directory::add_file_copy`) and would
+        /// never invalidate entries cached under the facade's id.
         fn listing_dto() -> Vec<ListingRow>;
-        #[read_only]
-        /// Named files' contents in one round trip.
+        /// Named files' contents in one round trip. NOT `#[read_only]`
+        /// for the same aliasing reason as `listing_dto`.
         fn fetch_dto(names: Vec<String>) -> Vec<(String, Vec<u8>)>;
     }
 }

@@ -18,11 +18,11 @@ use parking_lot::Mutex;
 remote_interface! {
     /// A linked list of remote nodes (the paper's `RemoteList`).
     pub interface RemoteList {
-        #[read_only]
         /// The successor node; throws `EndOfListException` at the tail.
-        fn next() -> remote RemoteList;
         #[read_only]
+        fn next() -> remote RemoteList;
         /// This node's value.
+        #[read_only]
         fn get_value() -> i32;
     }
 }

@@ -187,6 +187,60 @@ fn explicit_invalidation_forces_a_re_probe() {
 }
 
 #[test]
+fn aggregate_directory_reads_stay_fresh_across_aliased_deletes() {
+    use brmi_apps::fileserver::{
+        BDirectory, DirectorySkeleton, DirectoryStub, InMemoryDirectory, RemoteFileSkeleton,
+    };
+
+    let origin = RmiServer::new();
+    BatchExecutor::install(&origin);
+    let dir = InMemoryDirectory::new();
+    dir.populate(3, 8);
+    origin
+        .bind("files", DirectorySkeleton::remote_arc(dir))
+        .expect("fresh bind");
+    let registry = Arc::new(MethodRegistry::of(&[
+        DirectorySkeleton::INTERFACE_META,
+        RemoteFileSkeleton::INTERFACE_META,
+    ]));
+    let fetcher = BatchFetcher::new(
+        origin as Arc<dyn RequestHandler>,
+        registry,
+        generous_cache(),
+    );
+    let conn = Connection::new(Arc::new(InProcTransport::new(
+        Arc::clone(&fetcher) as Arc<dyn RequestHandler>
+    )));
+    let root = conn.lookup("files").unwrap();
+
+    let count = |conn: &Connection, root: &RemoteRef| {
+        let batch = Batch::new(conn.clone(), AbortPolicy);
+        let n = BDirectory::new(&batch, root).file_count();
+        batch.flush().unwrap();
+        n.get().unwrap()
+    };
+    assert_eq!(count(&conn, &root), 3);
+    assert_eq!(count(&conn, &root), 3);
+
+    // Deleting through the *file* object also mutates the parent
+    // directory's entry list — a write the directory's own epoch never
+    // sees. `file_count` therefore must not be `#[read_only]`: were it
+    // cached, the count would stay 3 until the TTL lapsed.
+    let stub = DirectoryStub::new(root.clone());
+    stub.get_file("file0".into()).unwrap().delete().unwrap();
+    assert_eq!(
+        count(&conn, &root),
+        2,
+        "aggregate read reflects the aliased delete immediately"
+    );
+    assert_eq!(
+        fetcher.stats().cacheable_batches(),
+        0,
+        "aggregate directory reads bypass the cache entirely"
+    );
+}
+
+#[test]
 fn list_traversals_stay_correct_and_remote_returning_reads_bypass_the_cache() {
     let origin = RmiServer::new();
     BatchExecutor::install(&origin);

@@ -45,16 +45,17 @@
 //!
 //! ## Method metadata and `#[read_only]`
 //!
-//! A method may be declared read-only by writing `#[read_only]` as the
-//! **first** token of its declaration (before any doc comments):
+//! A method may be declared read-only by adding a `#[read_only]` marker
+//! anywhere among its attributes — conventionally after the doc comments,
+//! but either order is accepted:
 //!
 //! ```
 //! use brmi::remote_interface;
 //!
 //! remote_interface! {
 //!     pub interface Account {
-//!         #[read_only]
 //!         /// Never mutates server state: cacheable and retry-safe.
+//!         #[read_only]
 //!         fn get_balance() -> f64;
 //!         fn deposit(amount: f64);
 //!     }
@@ -78,7 +79,12 @@
 //! way the paper trusts interface declarations. A read-only method's
 //! result may be served from the relay-tier read cache and its failures
 //! are safe to retry, so annotating a mutating method is an application
-//! bug.
+//! bug. The promise also covers *aliasing*: cache invalidation is
+//! per-target-object, so only annotate methods whose results depend
+//! solely on state mutated through their own object. An aggregate read
+//! whose backing state is edited via sibling objects (a directory count
+//! changed by deleting a *file*) must stay unannotated — or its writers
+//! must invalidate explicitly at the fetcher tier.
 //!
 //! [`RemoteObject`]: brmi_rmi::RemoteObject
 //! [`RemoteObject::method_meta`]: brmi_rmi::RemoteObject::method_meta
@@ -102,65 +108,59 @@ macro_rules! remote_interface {
     (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}) => {
         $crate::remote_interface!(@emit [$($imeta)*] $I {$($acc)*});
     };
-    // `#[read_only]` variants must be tried first: the annotation is
-    // required to be the leading token of a method declaration, so these
-    // literal-prefix arms win before the general `$(#[$mm:meta])*` arms
-    // below could swallow it as an ordinary attribute.
-    // read-only, remote-returning
-    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
-        #[read_only] $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> remote $R:ident ; $($rest:tt)*
-    ) => {
-        $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ro(true) ret(remote $R)} [] ($($args)*) ; $($rest)*);
+    // Every method first passes through the attribute muncher below, which
+    // lifts `#[read_only]` out of the attribute list wherever it appears —
+    // before or after doc comments — so declarations can follow the
+    // conventional docs-first Rust style.
+    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*} $($rest:tt)+) => {
+        $crate::remote_interface!(@mattrs [$($imeta)*] $I {$($acc)*} [] ro(false) $($rest)+);
     };
-    // read-only, array-returning (cursor)
-    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
-        #[read_only] $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> remote_array $R:ident ; $($rest:tt)*
+
+    // ---------------------------------------------------------------
+    // Per-method attribute munching: one attribute at a time, keeping
+    // ordinary metas (doc comments included) in order and folding each
+    // `#[read_only]` marker into the ro(..) flag. The literal arm must
+    // stay above the `$meta:meta` arm or the general one would swallow
+    // the marker and re-emit it on generated items.
+    // ---------------------------------------------------------------
+    (@mattrs [$($imeta:tt)*] $I:ident {$($acc:tt)*} [$($mm:tt)*] ro($ro:tt)
+        #[read_only] $($rest:tt)*
     ) => {
-        $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ro(true) ret(array $R)} [] ($($args)*) ; $($rest)*);
+        $crate::remote_interface!(@mattrs [$($imeta)*] $I {$($acc)*} [$($mm)*] ro(true) $($rest)*);
     };
-    // read-only, value-returning
-    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
-        #[read_only] $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> $T:ty ; $($rest:tt)*
+    (@mattrs [$($imeta:tt)*] $I:ident {$($acc:tt)*} [$($mm:tt)*] ro($ro:tt)
+        #[$meta:meta] $($rest:tt)*
     ) => {
-        $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ro(true) ret(value $T)} [] ($($args)*) ; $($rest)*);
-    };
-    // read-only, void (legal but pointless; accepted for uniformity)
-    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
-        #[read_only] $(#[$mm:meta])* fn $m:ident ($($args:tt)*) ; $($rest:tt)*
-    ) => {
-        $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ro(true) ret(void)} [] ($($args)*) ; $($rest)*);
+        $crate::remote_interface!(@mattrs [$($imeta)*] $I {$($acc)*}
+            [$($mm)* #[$meta]] ro($ro) $($rest)*);
     };
     // remote-returning
-    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
-        $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> remote $R:ident ; $($rest:tt)*
+    (@mattrs [$($imeta:tt)*] $I:ident {$($acc:tt)*} [$($mm:tt)*] ro($ro:tt)
+        fn $m:ident ($($args:tt)*) -> remote $R:ident ; $($rest:tt)*
     ) => {
         $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ro(false) ret(remote $R)} [] ($($args)*) ; $($rest)*);
+            {$($mm)* fn $m ro($ro) ret(remote $R)} [] ($($args)*) ; $($rest)*);
     };
     // array-returning (cursor)
-    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
-        $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> remote_array $R:ident ; $($rest:tt)*
+    (@mattrs [$($imeta:tt)*] $I:ident {$($acc:tt)*} [$($mm:tt)*] ro($ro:tt)
+        fn $m:ident ($($args:tt)*) -> remote_array $R:ident ; $($rest:tt)*
     ) => {
         $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ro(false) ret(array $R)} [] ($($args)*) ; $($rest)*);
+            {$($mm)* fn $m ro($ro) ret(array $R)} [] ($($args)*) ; $($rest)*);
     };
     // value-returning
-    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
-        $(#[$mm:meta])* fn $m:ident ($($args:tt)*) -> $T:ty ; $($rest:tt)*
+    (@mattrs [$($imeta:tt)*] $I:ident {$($acc:tt)*} [$($mm:tt)*] ro($ro:tt)
+        fn $m:ident ($($args:tt)*) -> $T:ty ; $($rest:tt)*
     ) => {
         $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ro(false) ret(value $T)} [] ($($args)*) ; $($rest)*);
+            {$($mm)* fn $m ro($ro) ret(value $T)} [] ($($args)*) ; $($rest)*);
     };
-    // void
-    (@methods [$($imeta:tt)*] $I:ident {$($acc:tt)*}
-        $(#[$mm:meta])* fn $m:ident ($($args:tt)*) ; $($rest:tt)*
+    // void (`#[read_only]` on a void method is legal but pointless)
+    (@mattrs [$($imeta:tt)*] $I:ident {$($acc:tt)*} [$($mm:tt)*] ro($ro:tt)
+        fn $m:ident ($($args:tt)*) ; $($rest:tt)*
     ) => {
         $crate::remote_interface!(@normargs [$($imeta)*] $I {$($acc)*}
-            {$(#[$mm])* fn $m ro(false) ret(void)} [] ($($args)*) ; $($rest)*);
+            {$($mm)* fn $m ro($ro) ret(void)} [] ($($args)*) ; $($rest)*);
     };
 
     // ---------------------------------------------------------------

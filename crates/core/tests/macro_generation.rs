@@ -199,6 +199,7 @@ remote_interface! {
         #[read_only]
         /// Doc comments after the annotation still forward.
         fn reading(sensor: String) -> f64;
+        /// Docs before the annotation — the conventional order — work too.
         #[read_only]
         fn twin() -> remote Meter;
         fn calibrate(offset: f64);

@@ -31,8 +31,10 @@
 //! The fetcher watches every frame it forwards. A call whose method is not
 //! read-only bumps the *epoch* of its target object (or the global epoch
 //! when the target is batch-local and therefore unknown) **before** the
-//! write is forwarded; cached entries and completing probes are only valid
-//! while their epoch snapshots match. A client that writes through the
+//! write is forwarded; cached entries, in-flight joins and completing
+//! probes are all validated against their epoch snapshots — a probe
+//! planned before a write is neither joined nor cached after it. A client
+//! that writes through the
 //! fetcher therefore never reads its own stale value afterwards, errors are
 //! never cached, and [`BatchFetcher::invalidate_object`] /
 //! [`BatchFetcher::invalidate_all`] provide explicit invalidation.
@@ -159,13 +161,21 @@ struct CacheEntry {
 struct Inflight {
     outcome: Mutex<Option<Result<Value, ErrorEnvelope>>>,
     ready: Condvar,
+    /// Epoch snapshots taken when the owning probe was planned. A caller
+    /// may only join while these still match the current epochs: a probe
+    /// planned before a write may legally resolve to the pre-write value,
+    /// which must never be served to a caller arriving after that write.
+    global_epoch: u64,
+    object_epoch: u64,
 }
 
 impl Inflight {
-    fn new() -> Arc<Self> {
+    fn new(global_epoch: u64, object_epoch: u64) -> Arc<Self> {
         Arc::new(Inflight {
             outcome: Mutex::new(None),
             ready: Condvar::new(),
+            global_epoch,
+            object_epoch,
         })
     }
 
@@ -187,8 +197,9 @@ impl Inflight {
 
 struct CacheState {
     entries: HashMap<Vec<u8>, CacheEntry>,
-    /// Insertion order for FIFO eviction; may hold keys already removed
-    /// (skipped when popped).
+    /// Insertion order for FIFO eviction. Kept in lockstep with `entries`
+    /// (one element per cached key): every removal path also drops the key
+    /// here, so invalidation churn cannot grow the queue without bound.
     order: VecDeque<Vec<u8>>,
     inflight: HashMap<Vec<u8>, Arc<Inflight>>,
     global_epoch: u64,
@@ -198,6 +209,12 @@ struct CacheState {
 impl CacheState {
     fn object_epoch(&self, object: ObjectId) -> u64 {
         self.object_epochs.get(&object).copied().unwrap_or(0)
+    }
+
+    /// Removes `key` from both the entry map and the eviction queue.
+    fn drop_entry(&mut self, key: &[u8]) {
+        self.entries.remove(key);
+        self.order.retain(|k| k.as_slice() != key);
     }
 
     /// Serves `key` if present, epoch-valid and within `ttl`; stale
@@ -213,11 +230,11 @@ impl CacheState {
         if entry.global_epoch != self.global_epoch
             || entry.object_epoch != self.object_epoch(entry.object)
         {
-            self.entries.remove(key);
+            self.drop_entry(key);
             return None;
         }
         if now.saturating_sub(entry.stored_at) > ttl {
-            self.entries.remove(key);
+            self.drop_entry(key);
             stats.expirations.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -253,16 +270,14 @@ enum Plan {
     Probe(usize),
 }
 
-/// One call this caller must execute at the origin, with the epoch
-/// snapshots its result may be cached under.
+/// One call this caller must execute at the origin; the epoch snapshots
+/// its result may be cached under live on its [`Inflight`] slot.
 struct ProbeCall {
     key: Vec<u8>,
     object: ObjectId,
     method: String,
     args: Vec<brmi_wire::invocation::Arg>,
     slot: Arc<Inflight>,
-    global_epoch: u64,
-    object_epoch: u64,
 }
 
 /// The read-caching tier. See the [module docs](self).
@@ -318,6 +333,12 @@ impl BatchFetcher {
     /// Number of currently cached read results (test introspection).
     pub fn cached_entries(&self) -> usize {
         self.state.lock().expect("fetcher state lock").entries.len()
+    }
+
+    /// Length of the FIFO eviction queue — always equal to
+    /// [`BatchFetcher::cached_entries`] (test introspection).
+    pub fn eviction_queue_len(&self) -> usize {
+        self.state.lock().expect("fetcher state lock").order.len()
     }
 
     /// Number of probes currently in flight (test introspection).
@@ -413,19 +434,31 @@ impl BatchFetcher {
                     plans.push(Plan::Hit(value));
                     continue;
                 }
-                if let Some(slot) = state.inflight.get(&key) {
-                    // Someone (possibly an earlier duplicate in this very
-                    // batch) is already fetching this key.
-                    self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
-                    plans.push(Plan::Join(Arc::clone(slot)));
-                    continue;
-                }
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                let slot = Inflight::new();
-                state.inflight.insert(key.clone(), Arc::clone(&slot));
                 let Target::Remote(object) = call.target else {
                     unreachable!("cacheable_keys admits only remote targets");
                 };
+                if let Some(slot) = state.inflight.get(&key) {
+                    // Someone (possibly an earlier duplicate in this very
+                    // batch) is already fetching this key — but join only a
+                    // probe planned in the current epoch. An in-flight probe
+                    // that predates a write may resolve to the pre-write
+                    // value; a caller planning *after* the write (perhaps
+                    // its own) must probe freshly instead, or it would read
+                    // stale state (read-your-writes).
+                    if slot.global_epoch == state.global_epoch
+                        && slot.object_epoch == state.object_epoch(object)
+                    {
+                        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                        plans.push(Plan::Join(Arc::clone(slot)));
+                        continue;
+                    }
+                }
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                let slot = Inflight::new(state.global_epoch, state.object_epoch(object));
+                // May replace a stale in-flight entry: callers already
+                // joined to the old slot keep their Arc and still receive
+                // its result, which their (pre-write) plans permit.
+                state.inflight.insert(key.clone(), Arc::clone(&slot));
                 plans.push(Plan::Probe(probes.len()));
                 probes.push(ProbeCall {
                     key,
@@ -433,8 +466,6 @@ impl BatchFetcher {
                     method: call.method.clone(),
                     args: call.args.clone(),
                     slot,
-                    global_epoch: state.global_epoch,
-                    object_epoch: state.object_epoch(object),
                 });
             }
         }
@@ -552,21 +583,29 @@ impl BatchFetcher {
             let mut state = self.state.lock().expect("fetcher state lock");
             let now = self.time.now();
             for (probe, result) in probes.iter().zip(&results) {
-                state.inflight.remove(&probe.key);
+                // Release our slot — unless a post-write caller already
+                // replaced it with a fresh probe, which must keep running.
+                if state
+                    .inflight
+                    .get(&probe.key)
+                    .is_some_and(|current| Arc::ptr_eq(current, &probe.slot))
+                {
+                    state.inflight.remove(&probe.key);
+                }
                 if let Ok(value) = result {
                     // Cache only if no write touched the object (or the
                     // world) since the probe was planned; errors are
                     // published to waiters but never cached.
-                    if state.global_epoch == probe.global_epoch
-                        && state.object_epoch(probe.object) == probe.object_epoch
+                    if state.global_epoch == probe.slot.global_epoch
+                        && state.object_epoch(probe.object) == probe.slot.object_epoch
                     {
                         state.insert(
                             probe.key.clone(),
                             CacheEntry {
                                 value: value.clone(),
                                 stored_at: now,
-                                global_epoch: probe.global_epoch,
-                                object_epoch: probe.object_epoch,
+                                global_epoch: probe.slot.global_epoch,
+                                object_epoch: probe.slot.object_epoch,
                                 object: probe.object,
                             },
                             self.policy.capacity,
@@ -681,9 +720,13 @@ mod tests {
     struct Origin {
         executed: AtomicU64,
         puts: AtomicU64,
-        /// When set, every `get` blocks here before answering (to hold a
-        /// probe in flight deterministically).
+        /// When set, every `get` computes its answer and *then* blocks
+        /// here (to hold a probe, answer decided, in flight
+        /// deterministically).
         gate: Option<Arc<Barrier>>,
+        /// `get`s that have computed their answer (and are parked at or
+        /// past the gate).
+        arrived: AtomicU64,
         /// When non-zero, the first N batch frames answer `Frame::Error`.
         fail_first: AtomicU64,
     }
@@ -694,6 +737,7 @@ mod tests {
                 executed: AtomicU64::new(0),
                 puts: AtomicU64::new(0),
                 gate: None,
+                arrived: AtomicU64::new(0),
                 fail_first: AtomicU64::new(0),
             })
         }
@@ -703,6 +747,7 @@ mod tests {
                 executed: AtomicU64::new(0),
                 puts: AtomicU64::new(0),
                 gate: Some(gate),
+                arrived: AtomicU64::new(0),
                 fail_first: AtomicU64::new(0),
             })
         }
@@ -715,6 +760,10 @@ mod tests {
 
         fn executed(&self) -> u64 {
             self.executed.load(Ordering::Relaxed)
+        }
+
+        fn arrived(&self) -> u64 {
+            self.arrived.load(Ordering::Relaxed)
         }
     }
 
@@ -740,11 +789,12 @@ mod tests {
                     self.executed.fetch_add(1, Ordering::Relaxed);
                     let outcome = match call.method.as_str() {
                         "get" => {
+                            let base = self.puts.load(Ordering::Relaxed) as i64;
                             if let Some(gate) = &self.gate {
+                                self.arrived.fetch_add(1, Ordering::Relaxed);
                                 gate.wait();
                             }
                             if let Arg::Value(Value::I64(k)) = &call.args[0] {
-                                let base = self.puts.load(Ordering::Relaxed) as i64;
                                 SlotOutcome::Ok(Value::I64(base + k))
                             } else {
                                 // Pass-through batches may carry batch-local
@@ -981,6 +1031,69 @@ mod tests {
         assert_eq!(origin.executed(), 1, "one origin execution for both");
         assert_eq!(fetcher.stats().misses(), 1);
         assert_eq!(fetcher.stats().coalesced_reads(), 1);
+    }
+
+    #[test]
+    fn a_probe_planned_before_a_write_is_not_joined_after_it() {
+        let gate = Arc::new(Barrier::new(2));
+        let origin = Origin::gated(Arc::clone(&gate));
+        let fetcher = fetcher_over(&origin, ReadCachePolicy::default());
+
+        // The owner's probe computes its (pre-write) answer and parks.
+        let owner = {
+            let fetcher = Arc::clone(&fetcher);
+            std::thread::spawn(move || fetcher.handle(batch(vec![get_call(0, 1, 4)])))
+        };
+        while origin.arrived() == 0 {
+            std::thread::yield_now();
+        }
+        // A write to the same object completes while the probe is parked.
+        fetcher.handle(batch(vec![put_call(0, 1)]));
+        // The writer now reads the same key. It must NOT join the stale
+        // probe: it probes freshly (the second `get` reaches the barrier
+        // and releases both).
+        let fresh = expect_ok_values(fetcher.handle(batch(vec![get_call(0, 1, 4)])));
+        assert_eq!(fresh, vec![Value::I64(5)], "read-your-write holds");
+        let stale = expect_ok_values(owner.join().unwrap());
+        assert_eq!(
+            stale,
+            vec![Value::I64(4)],
+            "the pre-write probe keeps its answer for its own (older) plan"
+        );
+        assert_eq!(fetcher.stats().coalesced_reads(), 0, "no stale join");
+        assert_eq!(fetcher.stats().misses(), 2);
+        assert_eq!(origin.executed(), 3, "two gets and one put");
+        // Only the fresh result may have entered the cache.
+        assert_eq!(fetcher.cached_entries(), 1);
+        assert_eq!(fetcher.inflight_probes(), 0);
+        assert_eq!(
+            expect_ok_values(fetcher.handle(batch(vec![get_call(0, 1, 4)]))),
+            vec![Value::I64(5)]
+        );
+        assert_eq!(fetcher.stats().hits(), 1);
+    }
+
+    #[test]
+    fn invalidation_churn_keeps_the_eviction_queue_in_lockstep() {
+        let origin = Origin::new();
+        let fetcher = fetcher_over(
+            &origin,
+            ReadCachePolicy {
+                ttl: Duration::from_secs(60),
+                capacity: 8,
+            },
+        );
+        // Read → write-invalidate → re-read on one hot key: each cycle
+        // drops the stale entry and re-inserts the key, which previously
+        // left one dead key per cycle in the eviction queue (it only
+        // drained at capacity, which this workload never reaches).
+        for _ in 0..50 {
+            expect_ok_values(fetcher.handle(batch(vec![get_call(0, 1, 7)])));
+            fetcher.handle(batch(vec![put_call(0, 1)]));
+        }
+        expect_ok_values(fetcher.handle(batch(vec![get_call(0, 1, 7)])));
+        assert_eq!(fetcher.cached_entries(), 1);
+        assert_eq!(fetcher.eviction_queue_len(), 1, "no dead keys accumulate");
     }
 
     #[test]
