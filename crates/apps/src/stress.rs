@@ -28,9 +28,12 @@ use std::time::{Duration, Instant};
 use brmi::BatchExecutor;
 use brmi_rmi::RmiServer;
 use brmi_rmi::{Connection, RemoteRef};
+use brmi_transport::fault::{FaultPlan, FaultPoint, FaultyTransport};
+use brmi_transport::inproc::InProcTransport;
 use brmi_transport::mux::MuxClient;
 use brmi_transport::pool::TcpPool;
 use brmi_transport::reactor::{ReactorConfig, ReactorServer};
+use brmi_transport::retry::{RetryPolicy, RetryTransport};
 use brmi_transport::{Transport, TransportStats};
 use brmi_wire::protocol::Frame;
 use brmi_wire::{ObjectId, RemoteError};
@@ -394,6 +397,143 @@ pub fn run_mux_stress(config: &MuxStressConfig) -> Result<MuxStressReport, Remot
     })
 }
 
+/// Shape of one keyed-retry goodput run.
+#[derive(Debug, Clone)]
+pub struct RetryStressConfig {
+    /// Clients run one after another — sequencing keeps every count
+    /// deterministic, since each client owns its seeded lossy link.
+    pub clients: usize,
+    /// Keyed batches flushed per client.
+    pub batches_per_client: usize,
+    /// No-op calls folded into each batch.
+    pub calls_per_batch: usize,
+    /// Drop probability per request and per reply, in thousandths.
+    pub drop_per_mille: u16,
+    /// Base seed; each client derives its own request and reply drop
+    /// schedules from it.
+    pub seed: u64,
+}
+
+impl Default for RetryStressConfig {
+    fn default() -> Self {
+        RetryStressConfig {
+            clients: 8,
+            batches_per_client: 16,
+            calls_per_batch: 10,
+            drop_per_mille: 100,
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// What one keyed-retry run did. Every count field is deterministic for a
+/// given [`RetryStressConfig`]; `elapsed` is wall clock.
+#[derive(Debug, Clone)]
+pub struct RetryStressReport {
+    /// The configuration that produced this report.
+    pub config: RetryStressConfig,
+    /// No-op invocations the origin actually executed — equal to
+    /// `clients × batches × calls` at *every* drop rate, which is the
+    /// exactly-once story in one number.
+    pub calls_executed: u64,
+    /// Faults injected across both lossy layers (requests and replies).
+    pub injected_drops: u64,
+    /// Re-sends the clients' retry layers performed (excludes first
+    /// attempts).
+    pub client_resends: u64,
+    /// Keyed frames the origin executed fresh.
+    pub origin_executions: u64,
+    /// Duplicate keyed frames the origin answered from its reply cache.
+    pub origin_replays: u64,
+    /// Wall-clock duration of the client phase.
+    pub elapsed: Duration,
+}
+
+impl RetryStressReport {
+    /// Successfully executed calls per wall-clock second — goodput, which
+    /// degrades gracefully with the drop rate while `calls_executed` stays
+    /// exact.
+    pub fn goodput_calls_per_sec(&self) -> f64 {
+        self.calls_executed as f64 / self.elapsed.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Re-sends per executed call (the retry overhead ratio).
+    pub fn resend_overhead(&self) -> f64 {
+        self.client_resends as f64 / (self.calls_executed as f64).max(1.0)
+    }
+}
+
+/// Runs keyed clients over seeded lossy links with transparent retries
+/// against one origin, and reports exactly-once accounting.
+///
+/// Each client gets its own request-drop and reply-drop layers (seeded
+/// from `config.seed` and the client index) under a
+/// [`RetryTransport`]; the origin's reply cache absorbs every re-sent
+/// duplicate. Clients run sequentially so all counters are exactly
+/// reproducible and can serve as a committed bench baseline.
+///
+/// # Errors
+///
+/// Returns the first client error. With the 32-attempt budget a round trip
+/// failing outright needs ~2⁻³² of bad luck per mille configured, so a
+/// healthy run never fails.
+pub fn run_retry_stress(config: &RetryStressConfig) -> Result<RetryStressReport, RemoteError> {
+    let server = RmiServer::new();
+    BatchExecutor::install(&server);
+    let noop = NoopServer::new();
+    server
+        .bind("noop", NoopSkeleton::remote_arc(noop.clone()))
+        .expect("fresh server bind");
+
+    let mut injected_drops = 0u64;
+    let mut client_resends = 0u64;
+    let started = Instant::now();
+    for client in 0..config.clients {
+        let seed = config
+            .seed
+            .wrapping_add(client as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let requests = FaultyTransport::with_fault_point(
+            InProcTransport::new(server.clone()),
+            FaultPlan::Seeded {
+                seed,
+                drop_per_mille: config.drop_per_mille,
+            },
+            FaultPoint::Request,
+        );
+        let replies = FaultyTransport::with_fault_point(
+            Arc::clone(&requests) as Arc<dyn Transport>,
+            FaultPlan::Seeded {
+                seed: seed.rotate_left(19) ^ 0xBAD5_EED0_F00D_CAFE,
+                drop_per_mille: config.drop_per_mille,
+            },
+            FaultPoint::Reply,
+        );
+        let retried = RetryTransport::over(
+            Arc::clone(&replies) as Arc<dyn Transport>,
+            RetryPolicy::immediate(32),
+        );
+        let conn = Connection::new_keyed(Arc::clone(&retried) as Arc<dyn Transport>);
+        let root = conn.lookup("noop")?;
+        for _ in 0..config.batches_per_client {
+            brmi_noops(&conn, &root, config.calls_per_batch)?;
+        }
+        injected_drops += requests.injected() + replies.injected();
+        client_resends += retried.retries();
+    }
+    let elapsed = started.elapsed();
+
+    Ok(RetryStressReport {
+        config: config.clone(),
+        calls_executed: noop.calls(),
+        injected_drops,
+        client_resends,
+        origin_executions: server.reply_cache().executions(),
+        origin_replays: server.reply_cache().replays(),
+        elapsed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,6 +598,53 @@ mod tests {
         assert_eq!(a.mux_bytes_sent, b.mux_bytes_sent);
         assert_eq!(a.mux_bytes_received, b.mux_bytes_received);
         assert_eq!(a.mux_write_syscalls, b.mux_write_syscalls);
+    }
+
+    #[test]
+    fn retry_stress_executes_exactly_once_under_drops() {
+        let config = RetryStressConfig {
+            clients: 3,
+            batches_per_client: 4,
+            calls_per_batch: 5,
+            drop_per_mille: 200,
+            seed: 42,
+        };
+        let a = run_retry_stress(&config).unwrap();
+        // The exactly-once headline: drops never lose or duplicate a call.
+        assert_eq!(a.calls_executed, 3 * 4 * 5);
+        // One keyed lookup plus one keyed batch per flush, each executed
+        // exactly once no matter how often it was re-sent.
+        assert_eq!(a.origin_executions, 3 * (1 + 4));
+        assert!(a.injected_drops > 0, "200‰ over 15 round trips must strike");
+        // Every dropped *keyed* frame is answered by exactly one re-send;
+        // dropped best-effort unkeyed frames (reference releases) are
+        // counted but not retried.
+        assert!(a.client_resends > 0);
+        assert!(a.client_resends <= a.injected_drops);
+        // Seeded schedules ⇒ bit-identical counts across runs — the
+        // property the committed bench baseline rests on.
+        let b = run_retry_stress(&config).unwrap();
+        assert_eq!(a.injected_drops, b.injected_drops);
+        assert_eq!(a.client_resends, b.client_resends);
+        assert_eq!(a.origin_replays, b.origin_replays);
+    }
+
+    #[test]
+    fn retry_stress_clean_link_never_retries() {
+        let config = RetryStressConfig {
+            clients: 2,
+            batches_per_client: 3,
+            calls_per_batch: 4,
+            drop_per_mille: 0,
+            seed: 7,
+        };
+        let report = run_retry_stress(&config).unwrap();
+        assert_eq!(report.calls_executed, 2 * 3 * 4);
+        assert_eq!(report.injected_drops, 0);
+        assert_eq!(report.client_resends, 0);
+        assert_eq!(report.origin_replays, 0);
+        assert_eq!(report.resend_overhead(), 0.0);
+        assert!(report.goodput_calls_per_sec() > 0.0);
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! End-to-end keyed retry over real TCP: the origin process (its
+//! `RmiServer`, executor, bank state and reply cache) stays up while its
+//! TCP listener dies and comes back — the worst realistic outage for a
+//! pooled client. A keyed connection over [`TcpPool`] rides through the
+//! restart: stale idle sockets are discarded, keyed frames are re-sent,
+//! and the origin charges every purchase exactly once.
+
+use std::sync::Arc;
+
+use brmi::BatchExecutor;
+use brmi_apps::bank::{brmi_purchase_session, Bank, CreditManagerSkeleton};
+use brmi_rmi::{Connection, RmiServer};
+use brmi_transport::pool::TcpPool;
+use brmi_transport::retry::RetryPolicy;
+use brmi_transport::tcp::TcpServer;
+use brmi_transport::Transport;
+
+#[test]
+fn keyed_sessions_ride_through_a_listener_restart() {
+    let origin = RmiServer::new();
+    BatchExecutor::install(&origin);
+    let bank = Bank::new();
+    origin
+        .bind("bank", CreditManagerSkeleton::remote_arc(bank.clone()))
+        .expect("fresh origin bind");
+    bank.open_account("carol", 1000.0);
+
+    let mut tcp = TcpServer::bind("127.0.0.1:0", origin.clone()).expect("bind");
+    let addr = tcp.local_addr();
+    let pool = Arc::new(
+        TcpPool::connect(addr)
+            .expect("dial")
+            .with_retry_policy(RetryPolicy::immediate(8)),
+    );
+    let conn = Connection::new_keyed(Arc::clone(&pool) as Arc<dyn Transport>);
+    let root = conn.lookup("bank").expect("lookup");
+
+    let first = brmi_purchase_session(&conn, &root, "carol", &[100.0, 50.0]).expect("session 1");
+    assert_eq!(first.credit_line, Ok(850.0));
+
+    // Kill only the listener; the origin (and its reply cache) lives on.
+    tcp.shutdown();
+    let _tcp = TcpServer::bind(addr, origin.clone()).expect("rebind on the same port");
+
+    // The pool's idle sockets are now dead. Keyed traffic redials and
+    // re-sends; nothing surfaces to the application.
+    let second = brmi_purchase_session(&conn, &root, "carol", &[25.0]).expect("session 2");
+    assert_eq!(second.credit_line, Ok(825.0));
+    assert_eq!(
+        bank.balance_of("carol"),
+        Some(175.0),
+        "every purchase charged exactly once across the restart"
+    );
+    assert_eq!(
+        origin.reply_cache().replays(),
+        0,
+        "a clean re-send after reconnect executes fresh — no duplicate reached the origin"
+    );
+}

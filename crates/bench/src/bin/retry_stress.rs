@@ -1,0 +1,27 @@
+//! Keyed-retry goodput sweep — `cargo run -p brmi-bench --bin retry_stress`.
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_retry.json` baseline. Only the deterministic count series
+//! (calls executed, injected drops, client re-sends, origin executions
+//! and replays) are baseline-checked; the measured retry overhead and
+//! wall-clock goodput are printed for humans. See [`brmi_bench::retry`].
+
+use std::process::ExitCode;
+
+#[cfg(target_os = "linux")]
+fn main() -> ExitCode {
+    use brmi_bench::baseline::{run_cli, SeriesTable};
+    println!("BRMI keyed-retry sweep (lossy links, exactly-once visible semantics)\n");
+    let (figure, reports) = brmi_bench::retry::retry_goodput_figure();
+    figure.print();
+    brmi_bench::retry::print_measured_goodput(&reports);
+    let tables = vec![SeriesTable::from(&figure)];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&tables, &args)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() -> ExitCode {
+    eprintln!("retry_stress requires Linux (the stress workloads are gated there)");
+    ExitCode::FAILURE
+}

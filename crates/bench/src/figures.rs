@@ -289,8 +289,7 @@ pub fn ablation_cursor(profile: &NetworkProfile) -> Figure {
 /// Ablation C — exception-policy overhead on a long healthy batch: Abort
 /// vs Custom with many rules. The "RMI" column holds the custom policy.
 pub fn ablation_policy(profile: &NetworkProfile) -> Figure {
-    use brmi::policy::CustomPolicy;
-    use brmi_wire::invocation::ExceptionAction;
+    use brmi_wire::invocation::{ExceptionAction, PolicyRule, PolicySpec};
 
     let xs: Vec<u32> = [10u32, 20, 40, 80].into();
     let mut abort_ms = Vec::new();
@@ -302,16 +301,22 @@ pub fn ablation_policy(profile: &NetworkProfile) -> Figure {
         }));
         let rig = SimRig::new(profile, NoopSkeleton::remote_arc(NoopServer::new()));
         custom_ms.push(rig.measure_ms(|| {
-            let mut policy = CustomPolicy::new();
-            policy.set_default_action(ExceptionAction::Continue);
-            for i in 0..16 {
-                // The committed baseline pins the rule's wire bytes to the
-                // original one-byte method name, so this site deliberately
-                // stays on the raw-string shim (a rule naming a method the
-                // interface doesn't have is legal — it just never matches).
-                #[allow(deprecated)]
-                policy.set_action_named(&format!("E{i}"), "m", i, ExceptionAction::Break);
-            }
+            // The committed baseline pins each rule's wire bytes to the
+            // original one-byte method name, so the spec is built directly
+            // rather than through `CustomPolicy` and a method descriptor (a
+            // rule naming a method the interface doesn't have is legal — it
+            // just never matches).
+            let policy = PolicySpec::Custom {
+                default: ExceptionAction::Continue,
+                rules: (0..16)
+                    .map(|i| PolicyRule {
+                        exception: Some(format!("E{i}")),
+                        method: Some("m".to_owned()),
+                        index: Some(i),
+                        action: ExceptionAction::Break,
+                    })
+                    .collect(),
+            };
             let batch = Batch::new(rig.conn.clone(), policy);
             let noop = brmi_apps::noop::BNoop::new(&batch, &rig.root);
             let futures: Vec<BatchFuture<()>> = (0..n).map(|_| noop.noop()).collect();

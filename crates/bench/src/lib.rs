@@ -24,6 +24,9 @@
 //! * [`mux`] — the evented-client sweep: N concurrent callers over one
 //!   multiplexed socket vs the pooled baseline, measuring sockets and
 //!   write syscalls saved;
+//! * [`retry`] — the keyed-retry goodput sweep: clients over seeded lossy
+//!   links with transparent re-sends, proving exactly-once visible
+//!   execution at every drop rate;
 //! * binaries `fig05_noop_lan` … `fig13_files_wireless`, `all_figures`,
 //!   `ablations` and `extensions` print paper-style series;
 //! * `benches/middleware_cpu.rs` (Criterion) measures the real CPU cost of
@@ -41,6 +44,8 @@ pub mod model;
 pub mod mux;
 #[cfg(target_os = "linux")]
 pub mod relay;
+#[cfg(target_os = "linux")]
+pub mod retry;
 pub mod rig;
 #[cfg(target_os = "linux")]
 pub mod stress;

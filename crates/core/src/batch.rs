@@ -8,8 +8,24 @@
 //! server-side object array alive so a later batch can reference earlier
 //! results (Section 3.5).
 //!
+//! # Flush delivery semantics
+//!
+//! A flush travels with whatever delivery mode its [`Connection`] provides.
+//! Over a plain connection the batch is sent as a `BatchCall` frame with
+//! **at-most-once** delivery: if the transport fails mid-round-trip nothing
+//! is re-sent (the origin may or may not have executed the segment) and the
+//! failure surfaces through [`PendingFlush::join`] or the per-call futures.
+//! Over a keyed connection ([`Connection::new_keyed`]) the same flush is
+//! stamped with an idempotency key and sent as a `KeyedBatchCall`, which
+//! retry-aware transports may transparently re-send after a reconnect — the
+//! origin's reply cache guarantees the segment still executes **exactly
+//! once**, with duplicates answered from the cached reply. `Batch` itself is
+//! oblivious to the mode; keying and retries compose underneath
+//! [`Connection::invoke_batch`].
+//!
 //! [`BatchStub`]: crate::stub::BatchStub
 //! [`CursorHandle`]: crate::stub::CursorHandle
+//! [`Connection::new_keyed`]: brmi_rmi::Connection::new_keyed
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;

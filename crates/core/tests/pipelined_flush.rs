@@ -10,8 +10,9 @@ use std::time::Duration;
 use brmi::policy::AbortPolicy;
 use brmi::{remote_interface, Batch, BatchExecutor};
 use brmi_rmi::{Connection, RemoteRef, RmiServer};
-use brmi_transport::fault::{FaultPlan, FaultyTransport};
+use brmi_transport::fault::{FaultPlan, FaultPoint, FaultyTransport};
 use brmi_transport::inproc::InProcTransport;
+use brmi_transport::retry::{RetryPolicy, RetryTransport};
 use brmi_transport::Transport;
 use brmi_wire::protocol::Frame;
 use brmi_wire::{RemoteError, RemoteErrorKind};
@@ -203,6 +204,57 @@ fn transport_failure_surfaces_at_join_and_on_futures() {
     // The future re-throws the same communication error.
     assert_eq!(entry.get().unwrap_err().kind(), RemoteErrorKind::Transport);
     assert!(journal.log.lock().is_empty(), "nothing may have executed");
+}
+
+/// Crown-jewel delivery contract at the batch layer: a keyed connection
+/// over a retry-wrapped faulty link re-sends a flush whose *reply* was
+/// lost, and the origin's reply cache answers the duplicate instead of
+/// appending the journal entries a second time.
+#[test]
+fn keyed_flush_survives_reply_loss_without_double_execution() {
+    let server = RmiServer::new();
+    BatchExecutor::install(&server);
+    let journal = Arc::new(JournalServer::default());
+    let id = server
+        .bind("journal", JournalSkeleton::remote_arc(journal.clone()))
+        .expect("fresh bind");
+    // The first round trip *executes* but its reply is dropped on the way
+    // back — the worst case for a retry: blind re-send would double-append.
+    let faulty = FaultyTransport::with_fault_point(
+        InProcTransport::new(server.clone()),
+        FaultPlan::OnNth(1),
+        FaultPoint::Reply,
+    );
+    let retried = RetryTransport::over(
+        faulty.clone() as Arc<dyn Transport>,
+        RetryPolicy::immediate(4),
+    );
+    let conn = Connection::new_keyed(retried as Arc<dyn Transport>);
+    let batch = Batch::new(conn.clone(), AbortPolicy);
+    let stub = BJournal::new(&batch, &conn.reference(id));
+
+    let a = stub.append("a".into());
+    let b = stub.append("b".into());
+    batch.flush().unwrap();
+
+    assert_eq!(a.get().unwrap(), 0);
+    assert_eq!(b.get().unwrap(), 1);
+    assert_eq!(faulty.injected(), 1, "the first reply must have been lost");
+    assert_eq!(
+        rig_cache_counts(&server),
+        (1, 1),
+        "one execution, one replayed duplicate"
+    );
+    assert_eq!(
+        journal.log.lock().as_slice(),
+        ["a", "b"],
+        "the segment executed exactly once"
+    );
+}
+
+fn rig_cache_counts(server: &RmiServer) -> (u64, u64) {
+    let cache = server.reply_cache();
+    (cache.executions(), cache.replays())
 }
 
 #[test]

@@ -1,24 +1,158 @@
 //! The client runtime: connections and remote references.
 
-use std::sync::Arc;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use brmi_transport::Transport;
 use brmi_wire::invocation::{BatchRequest, BatchResponse, SessionId};
-use brmi_wire::protocol::{registry_methods, Frame};
+use brmi_wire::protocol::{registry_methods, Frame, IdemKey, KeyedBatch};
 use brmi_wire::{FromValue, ObjectId, RemoteError, RemoteErrorKind, Value};
+
+/// Process-wide allocator for [`KeySource`] client ids, so every key source
+/// in one process stamps distinct `(client_id, seq)` keys.
+static CLIENT_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// The client half of retry-safe exactly-once visible semantics: mints
+/// [`IdemKey`]s for outgoing requests and tracks the acknowledgement
+/// watermark piggybacked on each of them.
+///
+/// One `KeySource` represents one logical client to the origin's reply
+/// cache. It deliberately lives *outside* any socket: reconnects and
+/// transport swaps keep the same `client_id`, which is what lets a re-sent
+/// key match the cached reply.
+#[derive(Debug)]
+pub struct KeySource {
+    client_id: u64,
+    next_seq: AtomicU64,
+    acks: Mutex<AckWindow>,
+}
+
+#[derive(Debug, Default)]
+struct AckWindow {
+    /// Every seq below this had its reply delivered (or abandoned).
+    floor: u64,
+    /// Delivered seqs at or above `floor`, awaiting contiguity.
+    done: BTreeSet<u64>,
+}
+
+impl KeySource {
+    /// Creates a key source with a fresh process-unique client id.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Arc<Self> {
+        KeySource::with_client_id(CLIENT_IDS.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Creates a key source with an explicit client id (tests; or an
+    /// application-managed identity that must survive process restarts).
+    pub fn with_client_id(client_id: u64) -> Arc<Self> {
+        Arc::new(KeySource {
+            client_id,
+            next_seq: AtomicU64::new(0),
+            acks: Mutex::new(AckWindow::default()),
+        })
+    }
+
+    /// This source's client identity.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
+    /// Mints the key for one outgoing request, carrying the current ack
+    /// watermark.
+    pub fn next(&self) -> IdemKey {
+        // Read the watermark first: a key must never ack its own seq.
+        let acked = self.acks.lock().expect("key source poisoned").floor;
+        IdemKey {
+            client_id: self.client_id,
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            acked,
+        }
+    }
+
+    /// Marks one seq as delivered (its reply reached the caller, or the
+    /// transport gave up and the caller saw the failure — either way the
+    /// cached reply will never be asked for again). The watermark advances
+    /// over every contiguous delivered seq and rides out on later keys.
+    pub fn acknowledge(&self, seq: u64) {
+        let mut acks = self.acks.lock().expect("key source poisoned");
+        if seq < acks.floor {
+            return;
+        }
+        acks.done.insert(seq);
+        let mut floor = acks.floor;
+        while acks.done.remove(&floor) {
+            floor += 1;
+        }
+        acks.floor = floor;
+    }
+
+    /// The current watermark: every seq below it has been acknowledged.
+    pub fn acked_floor(&self) -> u64 {
+        self.acks.lock().expect("key source poisoned").floor
+    }
+}
 
 /// A client connection to one server over any [`Transport`].
 ///
 /// Cheap to clone; clones share the underlying transport.
+///
+/// A connection runs in one of two delivery modes. Plain connections
+/// ([`Connection::new`]) keep RMI's at-most-once contract: a transport
+/// failure after a request was written means the call's fate is unknown.
+/// Keyed connections ([`Connection::new_keyed`]) stamp every call and
+/// batch segment with an [`IdemKey`], so retry-capable transports may
+/// re-send them after a disconnect and the origin's reply cache
+/// guarantees the effect still happens at most once — exactly-once as
+/// observed by the caller.
 #[derive(Clone)]
 pub struct Connection {
     transport: Arc<dyn Transport>,
+    keys: Option<Arc<KeySource>>,
 }
 
 impl Connection {
-    /// Wraps a transport.
+    /// Wraps a transport in at-most-once mode (no idempotency keys).
     pub fn new(transport: Arc<dyn Transport>) -> Self {
-        Connection { transport }
+        Connection {
+            transport,
+            keys: None,
+        }
+    }
+
+    /// Wraps a transport in keyed mode with a fresh [`KeySource`].
+    pub fn new_keyed(transport: Arc<dyn Transport>) -> Self {
+        Connection::with_key_source(transport, KeySource::new())
+    }
+
+    /// Wraps a transport in keyed mode with an explicit [`KeySource`]
+    /// (shared across connections that are the same logical client).
+    pub fn with_key_source(transport: Arc<dyn Transport>, keys: Arc<KeySource>) -> Self {
+        Connection {
+            transport,
+            keys: Some(keys),
+        }
+    }
+
+    /// The key source, when this connection is keyed.
+    pub fn key_source(&self) -> Option<&Arc<KeySource>> {
+        self.keys.as_ref()
+    }
+
+    /// Sends one keyed request and acknowledges its seq as soon as the
+    /// round trip resolves — on success, on an in-band error (the error IS
+    /// the delivered reply), and on final transport failure (the transport
+    /// already gave up retrying; nobody will ask for the cached reply
+    /// again, so holding it would only stall the watermark).
+    fn keyed_request(&self, keys: &KeySource, frame: Frame) -> Result<Frame, RemoteError> {
+        let seq = match &frame {
+            Frame::KeyedCall { key, .. } => key.seq,
+            Frame::KeyedBatchCall(batch) => batch.key.seq,
+            other => unreachable!("not a keyed client frame: {}", other.kind_name()),
+        };
+        let result = self.transport.request(frame);
+        keys.acknowledge(seq);
+        result
     }
 
     /// Invokes `method` on the exported object `target` — one round trip.
@@ -33,11 +167,22 @@ impl Connection {
         method: &str,
         args: Vec<Value>,
     ) -> Result<Value, RemoteError> {
-        let reply = self.transport.request(Frame::Call {
-            target,
-            method: method.to_owned(),
-            args,
-        })?;
+        let reply = match &self.keys {
+            Some(keys) => self.keyed_request(
+                keys,
+                Frame::KeyedCall {
+                    key: keys.next(),
+                    target,
+                    method: method.to_owned(),
+                    args,
+                },
+            )?,
+            None => self.transport.request(Frame::Call {
+                target,
+                method: method.to_owned(),
+                args,
+            })?,
+        };
         match reply {
             Frame::Return(value) => Ok(value),
             Frame::Error(env) => Err(RemoteError::from(&env)),
@@ -52,7 +197,16 @@ impl Connection {
     /// Transport and protocol failures. Per-call outcomes are inside the
     /// response; this only fails when the batch as a whole could not run.
     pub fn invoke_batch(&self, request: BatchRequest) -> Result<BatchResponse, RemoteError> {
-        let reply = self.transport.request(Frame::BatchCall(request))?;
+        let reply = match &self.keys {
+            Some(keys) => self.keyed_request(
+                keys,
+                Frame::KeyedBatchCall(KeyedBatch {
+                    key: keys.next(),
+                    request,
+                }),
+            )?,
+            None => self.transport.request(Frame::BatchCall(request))?,
+        };
         match reply {
             Frame::BatchReturn(response) => Ok(response),
             Frame::Error(env) => Err(RemoteError::from(&env)),
@@ -317,6 +471,97 @@ mod tests {
     fn release_session_round_trips() {
         let conn = connection();
         conn.release_session(SessionId(1)).unwrap();
+    }
+
+    #[test]
+    fn key_source_mints_monotonic_keys_with_watermark() {
+        let keys = KeySource::with_client_id(77);
+        let a = keys.next();
+        let b = keys.next();
+        assert_eq!((a.client_id, a.seq, a.acked), (77, 0, 0));
+        assert_eq!((b.client_id, b.seq, b.acked), (77, 1, 0));
+        // Out-of-order delivery: acking 1 alone moves nothing.
+        keys.acknowledge(1);
+        assert_eq!(keys.acked_floor(), 0);
+        // Acking 0 makes 0..=1 contiguous; the floor jumps past both.
+        keys.acknowledge(0);
+        assert_eq!(keys.acked_floor(), 2);
+        assert_eq!(keys.next().acked, 2);
+        // Re-acking below the floor is a no-op.
+        keys.acknowledge(0);
+        assert_eq!(keys.acked_floor(), 2);
+    }
+
+    #[test]
+    fn key_sources_get_distinct_client_ids() {
+        assert_ne!(KeySource::new().client_id(), KeySource::new().client_id());
+    }
+
+    /// Records the keyed frames it sees and answers calls like
+    /// `SevenHandler`.
+    struct KeyRecorder {
+        seen: Mutex<Vec<IdemKey>>,
+    }
+
+    impl RequestHandler for KeyRecorder {
+        fn handle(&self, frame: Frame) -> Frame {
+            match frame {
+                Frame::KeyedCall { key, .. } => {
+                    self.seen.lock().unwrap().push(key);
+                    Frame::Return(Value::I32(7))
+                }
+                Frame::KeyedBatchCall(batch) => {
+                    self.seen.lock().unwrap().push(batch.key);
+                    Frame::BatchReturn(Default::default())
+                }
+                _ => Frame::Error(brmi_wire::invocation::ErrorEnvelope {
+                    kind: "protocol".into(),
+                    exception: "protocol".into(),
+                    message: "expected a keyed frame".into(),
+                }),
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_connection_stamps_calls_and_segments() {
+        let recorder = Arc::new(KeyRecorder {
+            seen: Mutex::new(Vec::new()),
+        });
+        let transport = Arc::new(InProcTransport::new(
+            Arc::clone(&recorder) as Arc<dyn RequestHandler>
+        ));
+        let conn = Connection::with_key_source(transport, KeySource::with_client_id(9));
+        assert_eq!(
+            conn.call(ObjectId(1), "seven", vec![]).unwrap(),
+            Value::I32(7)
+        );
+        conn.invoke_batch(BatchRequest {
+            session: None,
+            calls: vec![],
+            policy: Default::default(),
+            keep_session: false,
+        })
+        .unwrap();
+        let seen = recorder.seen.lock().unwrap().clone();
+        assert_eq!(seen.len(), 2);
+        assert_eq!((seen[0].client_id, seen[0].seq, seen[0].acked), (9, 0, 0));
+        // The first reply was delivered before the batch went out, so the
+        // batch's key already acks seq 0.
+        assert_eq!((seen[1].client_id, seen[1].seq, seen[1].acked), (9, 1, 1));
+        assert_eq!(conn.key_source().unwrap().acked_floor(), 2);
+    }
+
+    #[test]
+    fn plain_connection_stays_unkeyed() {
+        let conn = connection();
+        assert!(conn.key_source().is_none());
+        // SevenHandler answers plain `Frame::Call`s — a keyed frame would
+        // fall through to its error arm.
+        assert_eq!(
+            conn.call(ObjectId(1), "seven", vec![]).unwrap(),
+            Value::I32(7)
+        );
     }
 
     #[test]

@@ -15,13 +15,14 @@ use std::time::Duration;
 use brmi_transport::clock::Clock;
 use brmi_transport::RequestHandler;
 use brmi_wire::invocation::{BatchRequestRef, BatchResponse, ErrorEnvelope, SessionId};
-use brmi_wire::protocol::{Frame, FrameRef};
+use brmi_wire::protocol::{Frame, FrameRef, IdemKey, KeyedBatchRef};
 use brmi_wire::{ObjectId, RemoteError, RemoteErrorKind, ToValue, Value, ValueRef};
 use parking_lot::RwLock;
 
 use crate::dgc::{DgcConfig, DgcServer};
 use crate::object::{CallCtx, InArg, Loopback, OutValue, RemoteObject};
 use crate::registry::RegistryObject;
+use crate::replay::{ReplyCache, ReplyCacheConfig};
 use crate::table::ObjectTable;
 
 /// Extension point for the batching layer.
@@ -66,6 +67,7 @@ pub struct RmiServer {
     loopback_sim: RwLock<Option<LoopbackSim>>,
     loopback_calls: AtomicU64,
     dgc: RwLock<Option<Arc<DgcServer>>>,
+    reply_cache: ReplyCache,
     weak_self: Weak<RmiServer>,
 }
 
@@ -73,6 +75,13 @@ impl RmiServer {
     /// Creates a server with an empty object table and a registry installed
     /// at [`ObjectId::REGISTRY`].
     pub fn new() -> Arc<Self> {
+        RmiServer::with_reply_cache(ReplyCacheConfig::default())
+    }
+
+    /// As [`RmiServer::new`], with explicit reply-cache sizing (the cache
+    /// backs exactly-once visible semantics for keyed requests; unkeyed
+    /// traffic never touches it).
+    pub fn with_reply_cache(config: ReplyCacheConfig) -> Arc<Self> {
         Arc::new_cyclic(|weak_self| {
             let registry = RegistryObject::new();
             let table = ObjectTable::new();
@@ -87,9 +96,15 @@ impl RmiServer {
                 loopback_sim: RwLock::new(None),
                 loopback_calls: AtomicU64::new(0),
                 dgc: RwLock::new(None),
+                reply_cache: ReplyCache::new(config),
                 weak_self: Weak::clone(weak_self),
             }
         })
+    }
+
+    /// The keyed-request reply cache (introspection for tests and stats).
+    pub fn reply_cache(&self) -> &ReplyCache {
+        &self.reply_cache
     }
 
     /// The export table.
@@ -277,6 +292,39 @@ impl RmiServer {
         Frame::SuperBatchReturn(replies)
     }
 
+    /// Runs one keyed batch under the reply cache: first sighting executes
+    /// and records the reply; a re-sent key replays it without executing.
+    /// The reply is normalized to the frame a bare batch would get
+    /// ([`Frame::BatchReturn`] or [`Frame::Error`]), so a key retried as a
+    /// plain [`Frame::KeyedBatchCall`] and the same key arriving inside a
+    /// [`Frame::KeyedSuperBatchCall`] (the relay regrouped it) share one
+    /// cache slot.
+    fn handle_keyed_batch(&self, key: IdemKey, request: BatchRequestRef<'_>) -> Frame {
+        self.reply_cache
+            .execute_guarded(key, || self.handle_batch(request))
+    }
+
+    /// Runs a keyed super-batch: every inner batch goes through the reply
+    /// cache under its *own* key (they come from different downstream
+    /// clients), then the per-batch frames are folded back into the
+    /// ordinary super-batch reply shape.
+    fn handle_keyed_super_batch(&self, batches: Vec<(IdemKey, BatchRequestRef<'_>)>) -> Frame {
+        let replies = batches
+            .into_iter()
+            .map(
+                |(key, request)| match self.handle_keyed_batch(key, request) {
+                    Frame::BatchReturn(response) => Ok(response),
+                    Frame::Error(env) => Err(env),
+                    other => Err(ErrorEnvelope::from(&RemoteError::new(
+                        RemoteErrorKind::Protocol,
+                        format!("unexpected cached batch reply: {}", other.kind_name()),
+                    ))),
+                },
+            )
+            .collect();
+        Frame::SuperBatchReturn(replies)
+    }
+
     /// Marshals a method result for the wire: remote objects are exported
     /// and replaced by references (this is precisely the step the batch
     /// executor skips to preserve identity — paper Section 4.4).
@@ -334,6 +382,26 @@ impl RequestHandler for RmiServer {
             Frame::SuperBatchCall(batches) => {
                 self.handle_super_batch(batches.iter().map(|b| b.to_ref()).collect())
             }
+            Frame::KeyedCall {
+                key,
+                target,
+                method,
+                args,
+            } => self.reply_cache.execute_guarded(key, || {
+                match self.dispatch_call(target, &method, args) {
+                    Ok(value) => Frame::Return(value),
+                    Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+                }
+            }),
+            Frame::KeyedBatchCall(batch) => {
+                self.handle_keyed_batch(batch.key, batch.request.to_ref())
+            }
+            Frame::KeyedSuperBatchCall(batches) => self.handle_keyed_super_batch(
+                batches
+                    .iter()
+                    .map(|b| (b.key, b.request.to_ref()))
+                    .collect(),
+            ),
             Frame::ReleaseSession(session) => {
                 if let Some(handler) = self.batch_handler.read().clone() {
                     handler.release_session(session);
@@ -395,6 +463,24 @@ impl RequestHandler for RmiServer {
             },
             FrameRef::BatchCall(request) => self.handle_batch(request),
             FrameRef::SuperBatchCall(batches) => self.handle_super_batch(batches),
+            FrameRef::KeyedCall {
+                key,
+                target,
+                method,
+                args,
+            } => self.reply_cache.execute_guarded(key, || {
+                match self.dispatch_call_ref(target, method, &args) {
+                    Ok(value) => Frame::Return(value),
+                    Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+                }
+            }),
+            FrameRef::KeyedBatchCall(batch) => self.handle_keyed_batch(batch.key, batch.request),
+            FrameRef::KeyedSuperBatchCall(batches) => self.handle_keyed_super_batch(
+                batches
+                    .into_iter()
+                    .map(|KeyedBatchRef { key, request }| (key, request))
+                    .collect(),
+            ),
             FrameRef::Other(frame) => self.handle(frame),
         }
     }
@@ -596,6 +682,103 @@ mod tests {
         assert_eq!(value, Value::I64(1));
         assert_eq!(server.loopback_calls(), 1);
         assert_eq!(clock.elapsed(), Duration::from_micros(150));
+    }
+
+    #[test]
+    fn keyed_call_executes_once_and_replays() {
+        let server = RmiServer::new();
+        let id = server.export(counter());
+        let key = brmi_wire::protocol::IdemKey {
+            client_id: 1,
+            seq: 0,
+            acked: 0,
+        };
+        let call = |key| {
+            server.handle(Frame::KeyedCall {
+                key,
+                target: id,
+                method: "hit".into(),
+                args: vec![],
+            })
+        };
+        assert_eq!(call(key), Frame::Return(Value::I64(1)));
+        // A verbatim re-send (transport retry) replays the cached reply;
+        // the counter does not advance.
+        assert_eq!(call(key), Frame::Return(Value::I64(1)));
+        assert_eq!(server.reply_cache().executions(), 1);
+        assert_eq!(server.reply_cache().replays(), 1);
+        // A fresh seq acking the old one executes and releases the slot.
+        let next = brmi_wire::protocol::IdemKey {
+            client_id: 1,
+            seq: 1,
+            acked: 1,
+        };
+        assert_eq!(call(next), Frame::Return(Value::I64(2)));
+        assert_eq!(server.reply_cache().retained(), 1);
+    }
+
+    #[test]
+    fn keyed_error_replies_replay_without_reexecuting() {
+        let server = RmiServer::new();
+        let id = server.export(counter());
+        let key = brmi_wire::protocol::IdemKey {
+            client_id: 2,
+            seq: 0,
+            acked: 0,
+        };
+        let call = || {
+            server.handle(Frame::KeyedCall {
+                key,
+                target: id,
+                method: "fail".into(),
+                args: vec![],
+            })
+        };
+        let first = call();
+        assert!(matches!(&first, Frame::Error(env) if env.exception == "TestError"));
+        assert_eq!(call(), first, "the application error IS the reply");
+        assert_eq!(server.reply_cache().executions(), 1);
+    }
+
+    #[test]
+    fn keyed_batch_and_super_batch_share_cache_slots() {
+        use brmi_wire::protocol::{IdemKey, KeyedBatch};
+        let server = RmiServer::new();
+        // No batch handler installed: every execution is a protocol error,
+        // which is still a cacheable reply — what matters here is the
+        // key-level dedup across the two frame shapes.
+        let key = IdemKey {
+            client_id: 3,
+            seq: 0,
+            acked: 0,
+        };
+        let batch = BatchRequest {
+            session: None,
+            calls: vec![],
+            policy: Default::default(),
+            keep_session: false,
+        };
+        let direct = server.handle(Frame::KeyedBatchCall(KeyedBatch {
+            key,
+            request: batch.clone(),
+        }));
+        assert!(matches!(direct, Frame::Error(_)));
+        assert_eq!(server.reply_cache().executions(), 1);
+        // The same key arriving inside a relay super-batch replays the
+        // recorded reply as that inner batch's error entry.
+        let reply = server.handle(Frame::KeyedSuperBatchCall(vec![KeyedBatch {
+            key,
+            request: batch,
+        }]));
+        match reply {
+            Frame::SuperBatchReturn(entries) => {
+                assert_eq!(entries.len(), 1);
+                assert_eq!(entries[0].as_ref().unwrap_err().kind, "protocol");
+            }
+            other => panic!("expected super-batch return, got {other:?}"),
+        }
+        assert_eq!(server.reply_cache().executions(), 1, "no second execution");
+        assert_eq!(server.reply_cache().replays(), 1);
     }
 
     #[test]

@@ -39,6 +39,11 @@
 //! never cached, and [`BatchFetcher::invalidate_object`] /
 //! [`BatchFetcher::invalidate_all`] provide explicit invalidation.
 //!
+//! Keyed (retry-safe) frames are never *served* by this tier — their
+//! delivery contract belongs to the origin's reply cache — but they are
+//! watched exactly like unkeyed traffic: a keyed write bumps epochs before
+//! it is forwarded, including on transparent re-sends.
+//!
 //! # Semantics
 //!
 //! Probes ship with a `Continue` policy so one failing read cannot skip
@@ -654,6 +659,38 @@ impl RequestHandler for BatchFetcher {
                 }
                 self.inner.handle(Frame::SuperBatchCall(batches))
             }
+            // Keyed (retry-safe) frames bypass the read cache entirely —
+            // their contract is decided by the origin's reply cache, and a
+            // cache answer here would leave the origin with no record to
+            // replay — but their writes must still bump epochs *before*
+            // forwarding, or a retried keyed write could be overtaken by a
+            // stale read served from this tier.
+            Frame::KeyedBatchCall(batch) => {
+                self.note_writes(&batch.request.calls);
+                self.inner.handle(Frame::KeyedBatchCall(batch))
+            }
+            Frame::KeyedSuperBatchCall(batches) => {
+                for batch in &batches {
+                    self.note_writes(&batch.request.calls);
+                }
+                self.inner.handle(Frame::KeyedSuperBatchCall(batches))
+            }
+            Frame::KeyedCall {
+                key,
+                target,
+                method,
+                args,
+            } => {
+                if !self.registry.is_read_only(&method) {
+                    self.bump_epochs(&[target], false);
+                }
+                self.inner.handle(Frame::KeyedCall {
+                    key,
+                    target,
+                    method,
+                    args,
+                })
+            }
             Frame::Call {
                 target,
                 method,
@@ -769,8 +806,12 @@ mod tests {
 
     impl RequestHandler for Origin {
         fn handle(&self, frame: Frame) -> Frame {
-            let Frame::BatchCall(request) = frame else {
-                return Frame::Released;
+            let request = match frame {
+                Frame::BatchCall(request) => request,
+                // This double has no reply cache; it just executes the
+                // inner request (key handling is the RMI server's job).
+                Frame::KeyedBatchCall(batch) => batch.request,
+                _ => return Frame::Released,
             };
             if self
                 .fail_first
@@ -1214,6 +1255,44 @@ mod tests {
         assert_eq!(fetcher.stats().cacheable_batches(), 0);
         assert_eq!(fetcher.cached_entries(), 0);
         assert_eq!(origin.executed(), 4, "all four were forwarded verbatim");
+    }
+
+    #[test]
+    fn keyed_writes_invalidate_but_are_never_served_from_cache() {
+        use brmi_wire::protocol::{IdemKey, KeyedBatch};
+        let origin = Origin::new();
+        let fetcher = fetcher_over(&origin, ReadCachePolicy::default());
+        let keyed = |seq: u64, calls: Vec<InvocationData>| {
+            Frame::KeyedBatchCall(KeyedBatch {
+                key: IdemKey {
+                    client_id: 1,
+                    seq,
+                    acked: 0,
+                },
+                request: BatchRequest {
+                    session: None,
+                    calls,
+                    policy: PolicySpec::Abort,
+                    keep_session: false,
+                },
+            })
+        };
+        // Warm the cache through the unkeyed path.
+        expect_ok_values(fetcher.handle(batch(vec![get_call(0, 1, 5)])));
+        // A keyed *read* forwards to the origin instead of hitting the
+        // cache: the origin must see the key to record a replayable reply.
+        expect_ok_values(fetcher.handle(keyed(0, vec![get_call(0, 1, 5)])));
+        assert_eq!(origin.executed(), 2, "keyed read was not served locally");
+        // A keyed write (as a transparent retry would re-send it) bumps
+        // the epoch before forwarding: the cached read is dropped.
+        fetcher.handle(keyed(1, vec![put_call(0, 1)]));
+        assert_eq!(
+            expect_ok_values(fetcher.handle(batch(vec![get_call(0, 1, 5)]))),
+            vec![Value::I64(6)],
+            "read-your-keyed-write holds"
+        );
+        assert_eq!(fetcher.stats().cacheable_batches(), 2);
+        assert_eq!(fetcher.stats().invalidations(), 1);
     }
 
     #[test]

@@ -17,11 +17,13 @@
 //!   syscall bursts (pairs with the reactor server);
 //! * [`relay`] — the multi-tier edge node: coalesces batch frames from many
 //!   downstream clients into upstream super-batches over any of the above;
+//! * [`retry`] — reconnect-and-retry with capped exponential backoff for
+//!   keyed (retry-safe) traffic; unkeyed traffic keeps at-most-once;
 //! * [`sim`] — the experimental testbed: real frames, simulated network cost
 //!   charged to a [virtual clock](clock::VirtualClock) according to a
 //!   [`NetworkProfile`];
-//! * [`fault`] — failure injection (drops and delays) for testing error
-//!   paths.
+//! * [`fault`] — failure injection (request or reply drops, deterministic
+//!   seeded plans, delays) for testing error paths.
 //!
 //! [`Frame`]: brmi_wire::protocol::Frame
 
@@ -42,6 +44,7 @@ pub mod profile;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod relay;
+pub mod retry;
 pub mod sim;
 pub mod tcp;
 
@@ -209,6 +212,12 @@ pub fn frame_remote_refs(frame: &Frame) -> usize {
             .iter()
             .map(|reply| reply.as_ref().map_or(0, response_refs))
             .sum(),
+        // Idempotency keys carry no stubs; only the payloads count.
+        Frame::KeyedCall { args, .. } => args.iter().map(Value::count_remote_refs).sum(),
+        Frame::KeyedBatchCall(batch) => request_refs(&batch.request),
+        Frame::KeyedSuperBatchCall(batches) => {
+            batches.iter().map(|b| request_refs(&b.request)).sum()
+        }
     }
 }
 

@@ -35,15 +35,30 @@
 //! the request id. A caller blocks only on its own slot — slow replies to
 //! other callers never serialize it.
 //!
-//! # Failure semantics (at-most-once)
+//! # Failure semantics
 //!
 //! A write error, read error, protocol violation or server disconnect
 //! kills the client: every in-flight call fails with a transport error and
-//! every later call fails fast. Nothing is ever replayed — after a request
-//! hits the wire the server may have executed it, and replaying a
-//! non-idempotent call would double-apply it (the same contract as
-//! [`TcpPool`](crate::pool::TcpPool)). Reconnection is the application's
-//! decision, made with full knowledge that in-flight calls were lost.
+//! every later call fails fast. The `MuxClient` itself never replays
+//! anything — after a request hits the wire the server may have executed
+//! it, and replaying a non-idempotent call would double-apply it (the same
+//! contract as [`TcpPool`](crate::pool::TcpPool)). What happens next
+//! depends on the traffic's delivery mode:
+//!
+//! * **At-most-once** (plain calls and batches): reconnection is the
+//!   application's decision, made with full knowledge that in-flight calls
+//!   were lost. With method metadata attached
+//!   ([`MuxClient::connect_with_meta`]) each failure names the lost method,
+//!   and declared read-only calls carry [`RETRY_SAFE_EXCEPTION`] so the
+//!   application knows which losses it may retry by hand.
+//! * **Retry-safe exactly-once visible** (keyed frames,
+//!   [`Frame::is_retry_safe`]): wrap the client in a
+//!   [`RetryTransport`](crate::retry::RetryTransport) whose connect
+//!   factory dials a fresh `MuxClient`. A dead client is then replaced
+//!   transparently and the keyed frame re-sent verbatim — safe even when
+//!   the original executed and only its reply was lost, because the
+//!   origin's reply cache answers the re-sent key with the recorded reply
+//!   instead of executing again.
 //!
 //! The server side must understand the correlation envelope; in this crate
 //! that is the [`reactor`](crate::reactor) server (pair it with
@@ -67,12 +82,14 @@ use crate::framing::{
 };
 use crate::{Transport, TransportStats};
 
-/// Exception name carried by disconnect errors whose in-flight call was a
-/// declared `#[read_only]` method: the call may or may not have executed,
-/// but re-executing a read cannot double-apply anything, so the caller may
-/// retry it on a fresh connection. Write (or unclassified) calls fail with
-/// the plain `"transport"` exception instead. Requires the client to be
-/// built with [`MuxClient::connect_with_meta`].
+/// Exception name carried by disconnect errors whose in-flight request may
+/// be retried on a fresh connection without risk of double execution:
+/// either every call involved was a declared `#[read_only]` method
+/// (re-executing a read cannot double-apply anything; requires the client
+/// to be built with [`MuxClient::connect_with_meta`]), or the frame
+/// carried an idempotency key (the origin's reply cache deduplicates a
+/// re-send). Unclassified write calls fail with the plain `"transport"`
+/// exception instead.
 pub const RETRY_SAFE_EXCEPTION: &str = "transport-retry-safe";
 
 /// What a call slot knows about the request it is waiting on, so a
@@ -82,30 +99,49 @@ pub const RETRY_SAFE_EXCEPTION: &str = "transport-retry-safe";
 struct CallLabel {
     /// The method name (for batches: the first method plus a count).
     method: String,
-    /// Every call involved is a declared read — see [`RETRY_SAFE_EXCEPTION`].
-    read_safe: bool,
+    /// Retrying this request on a fresh connection cannot double-apply:
+    /// either every call involved is a declared read, or the frame carries
+    /// an idempotency key the origin deduplicates — see
+    /// [`RETRY_SAFE_EXCEPTION`].
+    retry_safe: bool,
 }
 
 impl CallLabel {
-    /// Derives a label from a request frame. Read-safety requires a method
-    /// registry; without one every call is conservatively a write.
+    /// Derives a label from a request frame. Keyed frames are retry-safe
+    /// by construction; for unkeyed ones read-safety requires a method
+    /// registry, and without one every call is conservatively a write.
     fn of(frame: &Frame, registry: Option<&MethodRegistry>) -> Option<CallLabel> {
         let read_only = |method: &str| registry.is_some_and(|r| r.is_read_only(method));
+        let batch_method = |request: &brmi_wire::invocation::BatchRequest| {
+            let first = request.calls.first()?;
+            Some(if request.calls.len() == 1 {
+                first.method.clone()
+            } else {
+                format!("{} (+{} more)", first.method, request.calls.len() - 1)
+            })
+        };
         match frame {
             Frame::Call { method, .. } => Some(CallLabel {
                 method: method.clone(),
-                read_safe: read_only(method),
+                retry_safe: read_only(method),
             }),
-            Frame::BatchCall(request) => {
-                let first = request.calls.first()?;
-                let method = if request.calls.len() == 1 {
-                    first.method.clone()
-                } else {
-                    format!("{} (+{} more)", first.method, request.calls.len() - 1)
-                };
+            Frame::BatchCall(request) => Some(CallLabel {
+                method: batch_method(request)?,
+                retry_safe: request.calls.iter().all(|call| read_only(&call.method)),
+            }),
+            Frame::KeyedCall { method, .. } => Some(CallLabel {
+                method: method.clone(),
+                retry_safe: true,
+            }),
+            Frame::KeyedBatchCall(batch) => Some(CallLabel {
+                method: batch_method(&batch.request)?,
+                retry_safe: true,
+            }),
+            Frame::KeyedSuperBatchCall(batches) => {
+                let first = batch_method(&batches.first()?.request)?;
                 Some(CallLabel {
-                    method,
-                    read_safe: request.calls.iter().all(|call| read_only(&call.method)),
+                    method: format!("{first} (super-batch of {})", batches.len()),
+                    retry_safe: true,
                 })
             }
             _ => None,
@@ -235,13 +271,13 @@ impl MuxShared {
         let detail = format!(
             "mux connection failed with `{}` in flight{}: {message}",
             label.method,
-            if label.read_safe {
-                " (read-only: safe to retry)"
+            if label.retry_safe {
+                " (safe to retry)"
             } else {
                 " (may have executed: do not blindly retry)"
             },
         );
-        if label.read_safe {
+        if label.retry_safe {
             RemoteError::from_wire_parts("transport", RETRY_SAFE_EXCEPTION, &detail)
         } else {
             RemoteError::transport(detail)
@@ -907,6 +943,58 @@ mod tests {
             assert_eq!(pending.wait().unwrap(), Frame::Return(Value::I32(5)));
         }
         drop(client);
+        server.join().unwrap();
+    }
+
+    /// Keyed traffic transparently survives a poisoned connection when the
+    /// client is wrapped in a [`RetryTransport`](crate::retry) whose
+    /// connect factory dials a replacement `MuxClient`: the poisoned
+    /// client fails fast, is discarded, and the re-sent keyed frame lands
+    /// on the fresh connection.
+    #[test]
+    fn poisoned_client_is_replaced_and_keyed_traffic_survives() {
+        use crate::retry::{RetryPolicy, RetryTransport};
+        let (listener, addr) = fake_server();
+        let server = std::thread::spawn(move || {
+            // First connection: poison the stream with a reply for an id
+            // that was never issued, then hang up.
+            let (mut peer, _) = listener.accept().unwrap();
+            let (id, _) = read_envelope(&mut peer).unwrap();
+            write_envelope(&mut peer, id.wrapping_add(1000), &Frame::Released);
+            drop(peer);
+            // Second connection (the replacement): serve properly.
+            let (mut peer, _) = listener.accept().unwrap();
+            while let Some((id, frame)) = read_envelope(&mut peer) {
+                let reply = match frame {
+                    Frame::KeyedCall { key, .. } => Frame::Return(Value::I64(key.seq as i64)),
+                    Frame::Call { args, .. } => Frame::Return(args[0].clone()),
+                    _ => Frame::Return(Value::Null),
+                };
+                write_envelope(&mut peer, id, &reply);
+            }
+        });
+        let retry = RetryTransport::new(
+            move || MuxClient::connect(addr).map(|client| client as Arc<dyn Transport>),
+            RetryPolicy::immediate(4),
+        );
+        let keyed = Frame::KeyedCall {
+            key: brmi_wire::protocol::IdemKey {
+                client_id: 3,
+                seq: 11,
+                acked: 0,
+            },
+            target: ObjectId(1),
+            method: "echo".into(),
+            args: vec![],
+        };
+        assert_eq!(retry.request(keyed).unwrap(), Frame::Return(Value::I64(11)));
+        assert_eq!(retry.reconnects(), 2, "poisoned client was replaced");
+        // The replacement connection keeps serving unkeyed traffic too.
+        assert_eq!(
+            retry.request(call_frame(5)).unwrap(),
+            Frame::Return(Value::I32(5))
+        );
+        drop(retry);
         server.join().unwrap();
     }
 

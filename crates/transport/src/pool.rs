@@ -15,13 +15,25 @@
 //! idle pooled connection may have been closed by the server while it sat
 //! in the pool, so checkout probes each candidate (a nonblocking peek —
 //! EOF, errors or stray bytes disqualify it) and discards dead ones in
-//! favour of a fresh dial. Once a request has been written, a failure is
-//! never retried: after the write the server may already have executed the
-//! call, and replaying a non-idempotent request such as a purchase would
-//! double-apply it. The failed connection is simply discarded and the
-//! error surfaced.
+//! favour of a fresh dial.
+//!
+//! Once a request has been *written*, what happens on failure depends on
+//! the frame's delivery mode:
+//!
+//! * **At-most-once** (plain calls and batches): the failure is never
+//!   retried. After the write the server may already have executed the
+//!   call, and replaying a non-idempotent request such as a purchase would
+//!   double-apply it. The failed connection is discarded and the error
+//!   surfaced to the caller.
+//! * **Retry-safe exactly-once visible** (keyed frames,
+//!   [`Frame::is_retry_safe`]): the pool redials and re-sends the frame
+//!   verbatim under its [`RetryPolicy`] (capped exponential backoff).
+//!   Re-sending is safe even when only the reply was lost, because the
+//!   origin's reply cache deduplicates by idempotency key and answers a
+//!   re-sent key with the recorded reply instead of executing again.
 
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use brmi_wire::protocol::Frame;
@@ -29,6 +41,7 @@ use brmi_wire::RemoteError;
 use parking_lot::Mutex;
 
 use crate::framing::ClientConn;
+use crate::retry::RetryPolicy;
 use crate::{Transport, TransportStats};
 
 /// Default cap on idle connections retained between round trips.
@@ -42,6 +55,8 @@ pub struct TcpPool {
     addr: SocketAddr,
     idle: Mutex<Vec<ClientConn>>,
     max_idle: usize,
+    retry: RetryPolicy,
+    retries: AtomicU64,
     stats: Arc<TransportStats>,
 }
 
@@ -71,8 +86,24 @@ impl TcpPool {
             addr,
             idle: Mutex::new(vec![conn]),
             max_idle: max_idle.max(1),
+            retry: RetryPolicy::default(),
+            retries: AtomicU64::new(0),
             stats: TransportStats::new(),
         })
+    }
+
+    /// Replaces the retry policy governing retry-safe (keyed) frames.
+    /// Unkeyed traffic is unaffected — it is never retried regardless of
+    /// the policy (see the [module docs](self)).
+    #[must_use]
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Re-sends performed for retry-safe frames (excludes first attempts).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// The server address this pool dials.
@@ -113,6 +144,23 @@ impl TcpPool {
             idle.push(conn);
         }
     }
+
+    /// One checkout/round-trip/checkin attempt. Every error returned here
+    /// is transport-kind: either the dial failed or the connection broke
+    /// mid-round-trip (in which case it is dropped, never pooled again).
+    fn try_once(&self, frame: &Frame) -> Result<Frame, RemoteError> {
+        let mut conn = self.checkout()?;
+        match conn.round_trip(frame) {
+            Ok((reply, bytes)) => {
+                self.stats.record(bytes.sent, bytes.received);
+                self.checkin(conn);
+                Ok(reply)
+            }
+            // The connection is dropped either way; whether the *frame* is
+            // replayed is decided by the caller's delivery mode.
+            Err(err) => Err(RemoteError::transport(format!("round trip failed: {err}"))),
+        }
+    }
 }
 
 impl std::fmt::Debug for TcpPool {
@@ -127,16 +175,27 @@ impl std::fmt::Debug for TcpPool {
 
 impl Transport for TcpPool {
     fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
-        let mut conn = self.checkout()?;
-        match conn.round_trip(&frame) {
-            Ok((reply, bytes)) => {
-                self.stats.record(bytes.sent, bytes.received);
-                self.checkin(conn);
-                Ok(reply)
+        // Keyed frames may be re-sent (the origin dedupes them); everything
+        // else keeps the classic single attempt — see the module docs.
+        let budget = if frame.is_retry_safe() {
+            self.retry.max_attempts.max(1)
+        } else {
+            1
+        };
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.try_once(&frame) {
+                Ok(reply) => return Ok(reply),
+                Err(err) if attempt >= budget => return Err(err),
+                Err(_) => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    let delay = self.retry.delay_for(attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
             }
-            // No replay: the server may have executed the call (see module
-            // docs); the connection is dropped and the caller decides.
-            Err(err) => Err(RemoteError::transport(format!("round trip failed: {err}"))),
         }
     }
 }
@@ -267,6 +326,85 @@ mod tests {
         let reply = pool.request(call(vec![Value::I32(2)])).unwrap();
         assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(2)])));
         drop(second);
+    }
+
+    /// A hand-rolled server that reads `drop_replies` requests and hangs up
+    /// on each without answering, then serves subsequent connections
+    /// properly. Lets the tests below exercise the written-but-unanswered
+    /// window that the checkout liveness probe cannot catch.
+    fn flaky_server(drop_replies: usize) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        use brmi_wire::WireCodec;
+        let handle = std::thread::spawn(move || {
+            for _ in 0..drop_replies {
+                let (mut peer, _) = listener.accept().unwrap();
+                let mut buf = Vec::new();
+                // Read the request so the client's write succeeds, then
+                // hang up: the reply is lost after execution would have
+                // happened.
+                let _ = crate::framing::read_frame_bytes(&mut peer, &mut buf);
+            }
+            let (mut peer, _) = listener.accept().unwrap();
+            let mut buf = Vec::new();
+            let mut out = Vec::new();
+            while let Ok(true) = crate::framing::read_frame_bytes(&mut peer, &mut buf) {
+                let reply = match Frame::from_wire_bytes(&buf).unwrap() {
+                    Frame::KeyedCall { key, .. } => Frame::Return(Value::I64(key.seq as i64)),
+                    _ => Frame::Return(Value::Null),
+                };
+                crate::framing::write_frame(&mut peer, &reply, &mut out).unwrap();
+            }
+        });
+        (addr, handle)
+    }
+
+    fn keyed(seq: u64) -> Frame {
+        Frame::KeyedCall {
+            key: brmi_wire::protocol::IdemKey {
+                client_id: 9,
+                seq,
+                acked: 0,
+            },
+            target: ObjectId(1),
+            method: "echo".into(),
+            args: vec![],
+        }
+    }
+
+    #[test]
+    fn keyed_request_is_resent_after_reply_loss() {
+        use crate::retry::RetryPolicy;
+        let (addr, server) = flaky_server(2);
+        let pool = TcpPool::connect(addr)
+            .unwrap()
+            .with_retry_policy(RetryPolicy::immediate(5));
+        // The pooled warm connection gets hung up on, as does the first
+        // redial; the third attempt lands on the well-behaved connection.
+        let reply = pool.request(keyed(42)).unwrap();
+        assert_eq!(reply, Frame::Return(Value::I64(42)));
+        assert_eq!(pool.retries(), 2);
+        drop(pool);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unkeyed_request_is_never_resent() {
+        use crate::retry::RetryPolicy;
+        let (addr, server) = flaky_server(1);
+        let pool = TcpPool::connect(addr)
+            .unwrap()
+            .with_retry_policy(RetryPolicy::immediate(5));
+        // At-most-once: the lost reply surfaces as an error instead of a
+        // replay, even though the policy would allow five attempts.
+        assert!(pool.request(call(vec![])).is_err());
+        assert_eq!(pool.retries(), 0);
+        // The pool itself is still healthy: a fresh request dials the
+        // well-behaved connection.
+        let reply = pool.request(call(vec![Value::I32(7)])).unwrap();
+        assert_eq!(reply, Frame::Return(Value::Null));
+        drop(pool);
+        server.join().unwrap();
     }
 
     #[test]

@@ -27,10 +27,22 @@
 //! most one request outstanding, per-client ordering is preserved by
 //! construction.
 //!
-//! At-most-once: the relay never retries upstream. If the upstream round
-//! trip fails mid-super-batch (drop, disconnect), every member batch fails
-//! with that transport error at its client's `flush` — the origin either
-//! executed the whole super-batch or never saw it, and nothing is replayed.
+//! Delivery is per-mode:
+//!
+//! * **At-most-once** (plain batch frames): the relay never retries
+//!   upstream. If the upstream round trip fails mid-super-batch (drop,
+//!   disconnect), every member batch fails with that transport error at
+//!   its client's `flush` — the origin either executed the whole
+//!   super-batch or never saw it, and nothing is replayed.
+//! * **Retry-safe exactly-once visible** (keyed batch frames,
+//!   [`Frame::is_retry_safe`]): keyed members coalesce into keyed
+//!   super-batches ([`Frame::KeyedSuperBatchCall`]) and never share an
+//!   upstream frame with unkeyed ones. With the upstream link wrapped in
+//!   a [`RetryTransport`](crate::retry::RetryTransport)
+//!   ([`BatchRelay::with_upstream_retry`]) a failed keyed flush is redialed
+//!   and re-sent; the origin's reply cache deduplicates each *member* key
+//!   (not the super-batch as a whole), so a re-send — even one the relay
+//!   regrouped differently — can never double-execute a member.
 //!
 //! # Flush policy
 //!
@@ -63,10 +75,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use brmi_wire::invocation::{BatchRequest, ErrorEnvelope};
-use brmi_wire::protocol::Frame;
+use brmi_wire::protocol::{Frame, IdemKey, KeyedBatch};
 use brmi_wire::{RemoteError, RemoteErrorKind};
 
 use crate::clock::{Clock, VirtualClock};
+use crate::retry::{RetryPolicy, RetryTransport};
 use crate::{RequestHandler, Transport};
 
 /// Knobs of the keyed read cache a
@@ -219,6 +232,7 @@ impl RelayTimeSource for VirtualClock {
 #[derive(Debug, Default)]
 pub struct RelayStats {
     batches: AtomicU64,
+    keyed_batches: AtomicU64,
     super_batches: AtomicU64,
     coalesced_batches: AtomicU64,
     forwarded: AtomicU64,
@@ -226,9 +240,15 @@ pub struct RelayStats {
 }
 
 impl RelayStats {
-    /// Downstream batch frames accepted for relaying.
+    /// Downstream batch frames accepted for relaying (keyed and unkeyed).
     pub fn batches_relayed(&self) -> u64 {
         self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Downstream batch frames that carried an idempotency key — the
+    /// retry-safe subset of [`RelayStats::batches_relayed`].
+    pub fn keyed_batches_relayed(&self) -> u64 {
+        self.keyed_batches.load(Ordering::Relaxed)
     }
 
     /// Upstream flushes performed (super-batches plus singleton batches).
@@ -265,6 +285,9 @@ impl RelayStats {
 
 /// One downstream batch waiting to be coalesced.
 struct PendingBatch {
+    /// Idempotency key when the batch arrived keyed (retry-safe mode);
+    /// keyed and unkeyed batches never share an upstream frame.
+    key: Option<IdemKey>,
     request: BatchRequest,
     /// Budget weight: call count, but at least one so empty batches (pure
     /// session traffic) still make progress toward a flush.
@@ -334,6 +357,21 @@ impl BatchRelay {
         Self::with_time_source(upstream, policy, RealTime::new())
     }
 
+    /// As [`BatchRelay::new`], with the upstream link wrapped in a
+    /// [`RetryTransport`] under `retry`: a failed keyed flush is re-sent
+    /// with capped exponential backoff (safe — the origin deduplicates
+    /// each member key), while unkeyed flushes keep their single attempt.
+    pub fn with_upstream_retry(
+        upstream: Arc<dyn Transport>,
+        policy: RelayPolicy,
+        retry: RetryPolicy,
+    ) -> Arc<Self> {
+        Self::new(
+            RetryTransport::over(upstream, retry) as Arc<dyn Transport>,
+            policy,
+        )
+    }
+
     /// As [`BatchRelay::new`] with an explicit time source (pass a
     /// [`VirtualClock`] for deterministic delay tests).
     pub fn with_time_source(
@@ -371,6 +409,38 @@ impl BatchRelay {
     /// The relay's counters.
     pub fn stats(&self) -> Arc<RelayStats> {
         Arc::clone(&self.shared.stats)
+    }
+
+    /// Enqueues one downstream batch (keyed or not) and blocks until its
+    /// super-batch completes.
+    fn relay_batch(&self, key: Option<IdemKey>, request: BatchRequest) -> Frame {
+        let reply = ReplySlot::new();
+        {
+            let mut queue = self.shared.queue.lock().expect("relay queue lock");
+            if queue.shutdown {
+                return Frame::Error(ErrorEnvelope::from(&relay_down()));
+            }
+            let weight = request.calls.len().max(1);
+            queue.pending_weight += weight;
+            if queue.oldest_at.is_none() {
+                queue.oldest_at = Some(self.shared.time.now());
+            }
+            queue.pending.push_back(PendingBatch {
+                key,
+                request,
+                weight,
+                reply: Arc::clone(&reply),
+            });
+        }
+        self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        if key.is_some() {
+            self.shared
+                .stats
+                .keyed_batches
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.arrivals.notify_all();
+        reply.wait()
     }
 
     /// Number of batches currently waiting to be coalesced.
@@ -418,30 +488,12 @@ impl std::fmt::Debug for BatchRelay {
 impl RequestHandler for BatchRelay {
     fn handle(&self, frame: Frame) -> Frame {
         match frame {
-            Frame::BatchCall(request) => {
-                let reply = ReplySlot::new();
-                {
-                    let mut queue = self.shared.queue.lock().expect("relay queue lock");
-                    if queue.shutdown {
-                        return Frame::Error(ErrorEnvelope::from(&relay_down()));
-                    }
-                    let weight = request.calls.len().max(1);
-                    queue.pending_weight += weight;
-                    if queue.oldest_at.is_none() {
-                        queue.oldest_at = Some(self.shared.time.now());
-                    }
-                    queue.pending.push_back(PendingBatch {
-                        request,
-                        weight,
-                        reply: Arc::clone(&reply),
-                    });
-                }
-                self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-                self.shared.arrivals.notify_all();
-                reply.wait()
-            }
-            // Everything else — plain calls, registry traffic, session
-            // releases, DGC frames — passes through one-for-one.
+            Frame::BatchCall(request) => self.relay_batch(None, request),
+            Frame::KeyedBatchCall(batch) => self.relay_batch(Some(batch.key), batch.request),
+            // Everything else — plain and keyed calls, registry traffic,
+            // session releases, DGC frames, super-batches from a
+            // downstream relay — passes through one-for-one (keyed frames
+            // among them are retried by a retry-wrapped upstream link).
             other => {
                 self.shared.stats.forwarded.fetch_add(1, Ordering::Relaxed);
                 match self.shared.upstream.request(other) {
@@ -519,14 +571,34 @@ fn flusher_loop(shared: &Shared) {
     }
 }
 
-/// Ships one group upstream and distributes the replies. A single batch
-/// travels as a plain [`Frame::BatchCall`] (the relay is then a transparent
-/// proxy); two or more travel as one [`Frame::SuperBatchCall`].
+/// Ships one group upstream and distributes the replies. Keyed and unkeyed
+/// members never share an upstream frame (their delivery modes differ), so
+/// a mixed group splits into one flush per mode.
 fn flush_group(shared: &Shared, group: Vec<PendingBatch>) {
+    let (keyed, unkeyed): (Vec<_>, Vec<_>) = group.into_iter().partition(|b| b.key.is_some());
+    flush_uniform(shared, unkeyed);
+    flush_uniform(shared, keyed);
+}
+
+/// Ships one all-keyed or all-unkeyed group. A single batch travels as a
+/// plain [`Frame::BatchCall`] (or [`Frame::KeyedBatchCall`]) — the relay is
+/// then a transparent proxy; two or more travel as one
+/// [`Frame::SuperBatchCall`] (or [`Frame::KeyedSuperBatchCall`]).
+fn flush_uniform(shared: &Shared, group: Vec<PendingBatch>) {
+    if group.is_empty() {
+        return;
+    }
     shared.stats.record_group(group.len());
     if group.len() == 1 {
         let batch = group.into_iter().next().expect("singleton group");
-        let reply = match shared.upstream.request(Frame::BatchCall(batch.request)) {
+        let frame = match batch.key {
+            Some(key) => Frame::KeyedBatchCall(KeyedBatch {
+                key,
+                request: batch.request,
+            }),
+            None => Frame::BatchCall(batch.request),
+        };
+        let reply = match shared.upstream.request(frame) {
             Ok(reply) => reply,
             Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
         };
@@ -536,9 +608,30 @@ fn flush_group(shared: &Shared, group: Vec<PendingBatch>) {
 
     // Split each pending batch into its request (moved onto the wire) and
     // its reply slot (kept for demultiplexing) — no cloning on the hot path.
-    let (requests, slots): (Vec<BatchRequest>, Vec<Arc<ReplySlot>>) =
-        group.into_iter().map(|b| (b.request, b.reply)).unzip();
-    match shared.upstream.request(Frame::SuperBatchCall(requests)) {
+    let mut slots = Vec::with_capacity(group.len());
+    let frame = if group[0].key.is_some() {
+        let batches = group
+            .into_iter()
+            .map(|b| {
+                slots.push(b.reply);
+                KeyedBatch {
+                    key: b.key.expect("keyed partition"),
+                    request: b.request,
+                }
+            })
+            .collect();
+        Frame::KeyedSuperBatchCall(batches)
+    } else {
+        let requests = group
+            .into_iter()
+            .map(|b| {
+                slots.push(b.reply);
+                b.request
+            })
+            .collect();
+        Frame::SuperBatchCall(requests)
+    };
+    match shared.upstream.request(frame) {
         Ok(Frame::SuperBatchReturn(replies)) if replies.len() == slots.len() => {
             for (slot, reply) in slots.into_iter().zip(replies) {
                 slot.deliver(match reply {
@@ -564,10 +657,11 @@ fn flush_group(shared: &Shared, group: Vec<PendingBatch>) {
             }
         }
         Err(err) => {
-            // At-most-once: a mid-super-batch transport failure is NOT
-            // retried — the origin may or may not have executed the group,
-            // and replaying could double-apply non-idempotent calls. Every
-            // member batch fails at its client's flush instead.
+            // The relay itself never retries: the origin may or may not
+            // have executed the group, and replaying unkeyed calls could
+            // double-apply them. Keyed groups get their retries from a
+            // retry-wrapped upstream link (before this error surfaces);
+            // once it gives up, every member fails at its client's flush.
             let env = ErrorEnvelope::from(&err);
             for slot in slots {
                 slot.deliver(Frame::Error(env.clone()));
@@ -623,10 +717,19 @@ mod tests {
             self.frames.lock().unwrap().push(frame.clone());
             match frame {
                 Frame::BatchCall(request) => Frame::BatchReturn(RecordingOrigin::respond(&request)),
+                Frame::KeyedBatchCall(batch) => {
+                    Frame::BatchReturn(RecordingOrigin::respond(&batch.request))
+                }
                 Frame::SuperBatchCall(batches) => Frame::SuperBatchReturn(
                     batches
                         .iter()
                         .map(|request| Ok(RecordingOrigin::respond(request)))
+                        .collect(),
+                ),
+                Frame::KeyedSuperBatchCall(batches) => Frame::SuperBatchReturn(
+                    batches
+                        .iter()
+                        .map(|batch| Ok(RecordingOrigin::respond(&batch.request)))
                         .collect(),
                 ),
                 Frame::Call { .. } => Frame::Return(Value::Str("forwarded".into())),
@@ -650,6 +753,20 @@ mod tests {
                 .collect(),
             policy: PolicySpec::Abort,
             keep_session: false,
+        })
+    }
+
+    fn keyed_batch_frame(seq: u64, calls: usize) -> Frame {
+        let Frame::BatchCall(request) = batch_frame(calls) else {
+            unreachable!()
+        };
+        Frame::KeyedBatchCall(KeyedBatch {
+            key: IdemKey {
+                client_id: 7,
+                seq,
+                acked: 0,
+            },
+            request,
         })
     }
 
@@ -819,6 +936,130 @@ mod tests {
         // exactly once (no replay after a failure).
         assert!(origin.frames().is_empty());
         assert_eq!(upstream.injected(), upstream.attempts());
+    }
+
+    #[test]
+    fn keyed_batches_coalesce_into_a_keyed_super_batch() {
+        let origin = RecordingOrigin::new();
+        let upstream = Arc::new(InProcTransport::new(origin.clone()));
+        let relay = BatchRelay::new(
+            upstream,
+            RelayPolicy::builder()
+                .max_coalesced_calls(4 * 3)
+                .max_delay(Duration::from_secs(30))
+                .build(),
+        );
+        let gate = Arc::new(Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|seq| {
+                let relay = Arc::clone(&relay);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    relay.handle(keyed_batch_frame(seq, 3))
+                })
+            })
+            .collect();
+        for handle in handles {
+            expect_batch_return(handle.join().unwrap(), 3);
+        }
+        let frames = origin.frames();
+        // Every upstream frame stayed keyed — no member was downgraded to
+        // the at-most-once frames — and at least one keyed super-batch
+        // formed.
+        assert!(frames.iter().all(|f| f.is_retry_safe()), "{frames:?}");
+        assert!(
+            frames
+                .iter()
+                .any(|f| matches!(f, Frame::KeyedSuperBatchCall(_))),
+            "expected keyed coalescing, got {frames:?}"
+        );
+        assert_eq!(relay.stats().keyed_batches_relayed(), 4);
+    }
+
+    #[test]
+    fn mixed_groups_split_by_delivery_mode() {
+        let origin = RecordingOrigin::new();
+        let upstream = Arc::new(InProcTransport::new(origin.clone()));
+        // A huge delay plus a tiny budget: both arrivals queue, then one
+        // group containing a keyed and an unkeyed batch flushes at once.
+        let relay = BatchRelay::new(
+            upstream,
+            RelayPolicy::builder()
+                .max_coalesced_calls(2)
+                .max_delay(Duration::from_secs(30))
+                .build(),
+        );
+        let gate = Arc::new(Barrier::new(2));
+        let keyed_worker = {
+            let relay = Arc::clone(&relay);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                relay.handle(keyed_batch_frame(0, 1))
+            })
+        };
+        let unkeyed_worker = {
+            let relay = Arc::clone(&relay);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                gate.wait();
+                relay.handle(batch_frame(1))
+            })
+        };
+        expect_batch_return(keyed_worker.join().unwrap(), 1);
+        expect_batch_return(unkeyed_worker.join().unwrap(), 1);
+        // Whatever the grouping, no upstream frame may mix modes: keyed
+        // members travel in keyed frames, unkeyed in plain ones.
+        for frame in origin.frames() {
+            match &frame {
+                Frame::BatchCall(_) | Frame::SuperBatchCall(_) => {
+                    assert!(!frame.is_retry_safe())
+                }
+                Frame::KeyedBatchCall(_) | Frame::KeyedSuperBatchCall(_) => {
+                    assert!(frame.is_retry_safe())
+                }
+                other => panic!("unexpected upstream frame {other:?}"),
+            }
+        }
+        assert_eq!(relay.stats().batches_relayed(), 2);
+        assert_eq!(relay.stats().keyed_batches_relayed(), 1);
+    }
+
+    #[test]
+    fn keyed_batches_survive_upstream_faults_with_a_retry_wrapped_link() {
+        let origin = RecordingOrigin::new();
+        // Drop the first two upstream attempts; the retry-wrapped link
+        // re-sends the keyed flush until it lands.
+        let upstream =
+            FaultyTransport::new(InProcTransport::new(origin.clone()), FaultPlan::FirstN(2));
+        let relay = BatchRelay::with_upstream_retry(
+            Arc::clone(&upstream) as Arc<dyn Transport>,
+            RelayPolicy::builder()
+                .max_coalesced_calls(2)
+                .max_delay(Duration::from_secs(30))
+                .build(),
+            RetryPolicy::immediate(5),
+        );
+        let gate = Arc::new(Barrier::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|seq| {
+                let relay = Arc::clone(&relay);
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    relay.handle(keyed_batch_frame(seq, 1))
+                })
+            })
+            .collect();
+        for handle in handles {
+            expect_batch_return(handle.join().unwrap(), 1);
+        }
+        assert_eq!(upstream.injected(), 2, "two attempts were dropped");
+        assert!(
+            origin.frames().iter().all(|f| f.is_retry_safe()),
+            "only keyed frames reached the origin"
+        );
     }
 
     #[test]

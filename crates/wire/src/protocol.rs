@@ -10,6 +10,101 @@ use crate::error::WireError;
 use crate::invocation::{BatchRequest, BatchRequestRef, BatchResponse, ErrorEnvelope, SessionId};
 use crate::value::{ObjectId, Value, ValueRef};
 
+/// A client-generated idempotency key: `(client_id, seq)` names one logical
+/// request, and `acked` piggybacks the client's acknowledgement watermark —
+/// every `seq` below it has had its reply delivered, so the origin may drop
+/// those cached replies.
+///
+/// A keyed request may be re-sent verbatim after a transport failure; the
+/// origin's reply cache answers the repeat with the original reply instead
+/// of re-executing (exactly-once *visible* semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IdemKey {
+    /// Process-unique client identity (one per key source, not per
+    /// connection — reconnects keep the same id so retries still match).
+    pub client_id: u64,
+    /// Monotonic per-client sequence number.
+    pub seq: u64,
+    /// Acknowledgement watermark: all replies with `seq < acked` were
+    /// delivered to the caller and may be evicted from the origin's cache.
+    pub acked: u64,
+}
+
+impl WireCodec for IdemKey {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.client_id);
+        enc.put_varint(self.seq);
+        enc.put_varint(self.acked);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(IdemKey {
+            client_id: dec.take_varint(CTX)?,
+            seq: dec.take_varint(CTX)?,
+            acked: dec.take_varint(CTX)?,
+        })
+    }
+}
+
+/// One batch stamped with its idempotency key — the keyed counterpart of a
+/// bare [`BatchRequest`], used by [`Frame::KeyedBatchCall`] and
+/// [`Frame::KeyedSuperBatchCall`]. The key names the *inner* batch, so a
+/// relay may regroup keyed batches across retries (singleton vs coalesced)
+/// without confusing the origin's dedup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedBatch {
+    /// The idempotency key naming this batch.
+    pub key: IdemKey,
+    /// The batch itself, executed exactly as if it were unkeyed.
+    pub request: BatchRequest,
+}
+
+impl WireCodec for KeyedBatch {
+    fn encode(&self, enc: &mut Encoder) {
+        self.key.encode(enc);
+        self.request.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(KeyedBatch {
+            key: IdemKey::decode(dec)?,
+            request: BatchRequest::decode(dec)?,
+        })
+    }
+}
+
+/// Borrowed view of a [`KeyedBatch`] (the key is tiny and always owned;
+/// only the batch payload borrows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyedBatchRef<'a> {
+    /// The idempotency key naming this batch.
+    pub key: IdemKey,
+    /// The batch, call descriptors borrowed from the frame buffer.
+    pub request: BatchRequestRef<'a>,
+}
+
+impl<'a> KeyedBatchRef<'a> {
+    /// Decodes one keyed batch as a borrowed view.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] when the input is truncated or malformed.
+    pub fn decode(dec: &mut Decoder<'a>) -> Result<KeyedBatchRef<'a>, WireError> {
+        Ok(KeyedBatchRef {
+            key: IdemKey::decode(dec)?,
+            request: BatchRequestRef::decode(dec)?,
+        })
+    }
+
+    /// Converts to an owned [`KeyedBatch`], copying borrowed payloads.
+    pub fn into_owned(self) -> KeyedBatch {
+        KeyedBatch {
+            key: self.key,
+            request: self.request.into_owned(),
+        }
+    }
+}
+
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -68,6 +163,26 @@ pub enum Frame {
     },
     /// Acknowledgement of a [`Frame::Clean`].
     Cleaned,
+    /// A [`Frame::Call`] stamped with an idempotency key: safe to re-send
+    /// after a transport failure because the origin dedupes on the key.
+    KeyedCall {
+        /// The idempotency key naming this call.
+        key: IdemKey,
+        /// The exported receiver.
+        target: ObjectId,
+        /// Method name.
+        method: String,
+        /// Arguments, marshalled by copy or as remote references.
+        args: Vec<Value>,
+    },
+    /// A [`Frame::BatchCall`] stamped with an idempotency key.
+    KeyedBatchCall(KeyedBatch),
+    /// A [`Frame::SuperBatchCall`] whose inner batches are each stamped
+    /// with their *own* idempotency key (they come from different
+    /// downstream clients). The reply is an ordinary
+    /// [`Frame::SuperBatchReturn`]; the origin caches each inner reply
+    /// under its inner key.
+    KeyedSuperBatchCall(Vec<KeyedBatch>),
 }
 
 impl Frame {
@@ -87,6 +202,9 @@ impl Frame {
             Frame::Leased { .. } => "leased",
             Frame::Clean { .. } => "clean",
             Frame::Cleaned => "cleaned",
+            Frame::KeyedCall { .. } => "keyed-call",
+            Frame::KeyedBatchCall(_) => "keyed-batch-call",
+            Frame::KeyedSuperBatchCall(_) => "keyed-super-batch-call",
         }
     }
 
@@ -100,6 +218,20 @@ impl Frame {
                 | Frame::ReleaseSession(_)
                 | Frame::Dirty { .. }
                 | Frame::Clean { .. }
+                | Frame::KeyedCall { .. }
+                | Frame::KeyedBatchCall(_)
+                | Frame::KeyedSuperBatchCall(_)
+        )
+    }
+
+    /// True when this frame may be re-sent verbatim after a transport
+    /// failure: it carries idempotency keys, so the origin's reply cache
+    /// answers a repeat with the original reply instead of re-executing.
+    /// Everything else keeps the at-most-once contract.
+    pub fn is_retry_safe(&self) -> bool {
+        matches!(
+            self,
+            Frame::KeyedCall { .. } | Frame::KeyedBatchCall(_) | Frame::KeyedSuperBatchCall(_)
         )
     }
 }
@@ -119,6 +251,9 @@ const TAG_CLEAN: u8 = 9;
 const TAG_CLEANED: u8 = 10;
 const TAG_SUPER_BATCH_CALL: u8 = 11;
 const TAG_SUPER_BATCH_RETURN: u8 = 12;
+const TAG_KEYED_CALL: u8 = 13;
+const TAG_KEYED_BATCH_CALL: u8 = 14;
+const TAG_KEYED_SUPER_BATCH_CALL: u8 = 15;
 
 impl WireCodec for Frame {
     fn encode(&self, enc: &mut Encoder) {
@@ -200,6 +335,32 @@ impl WireCodec for Frame {
                 }
             }
             Frame::Cleaned => enc.put_u8(TAG_CLEANED),
+            Frame::KeyedCall {
+                key,
+                target,
+                method,
+                args,
+            } => {
+                enc.put_u8(TAG_KEYED_CALL);
+                key.encode(enc);
+                enc.put_varint(target.0);
+                enc.put_str(method);
+                enc.put_varint(args.len() as u64);
+                for arg in args {
+                    arg.encode(enc);
+                }
+            }
+            Frame::KeyedBatchCall(batch) => {
+                enc.put_u8(TAG_KEYED_BATCH_CALL);
+                batch.encode(enc);
+            }
+            Frame::KeyedSuperBatchCall(batches) => {
+                enc.put_u8(TAG_KEYED_SUPER_BATCH_CALL);
+                enc.put_varint(batches.len() as u64);
+                for batch in batches {
+                    batch.encode(enc);
+                }
+            }
         }
     }
 
@@ -274,6 +435,31 @@ impl Frame {
                 Ok(Frame::Clean { ids })
             }
             TAG_CLEANED => Ok(Frame::Cleaned),
+            TAG_KEYED_CALL => {
+                let key = IdemKey::decode(dec)?;
+                let target = ObjectId(dec.take_varint(CTX)?);
+                let method = dec.take_str(CTX)?;
+                let count = dec.take_length(CTX)?;
+                let mut args = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    args.push(Value::decode(dec)?);
+                }
+                Ok(Frame::KeyedCall {
+                    key,
+                    target,
+                    method,
+                    args,
+                })
+            }
+            TAG_KEYED_BATCH_CALL => Ok(Frame::KeyedBatchCall(KeyedBatch::decode(dec)?)),
+            TAG_KEYED_SUPER_BATCH_CALL => {
+                let count = dec.take_length(CTX)?;
+                let mut batches = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    batches.push(KeyedBatch::decode(dec)?);
+                }
+                Ok(Frame::KeyedSuperBatchCall(batches))
+            }
             tag => Err(WireError::UnknownTag { context: CTX, tag }),
         }
     }
@@ -305,6 +491,22 @@ pub enum FrameRef<'a> {
     /// A relay super-batch; every inner batch's call descriptors are
     /// borrowed.
     SuperBatchCall(Vec<BatchRequestRef<'a>>),
+    /// A keyed plain call; payloads borrowed, the key owned (it is tiny).
+    KeyedCall {
+        /// The idempotency key naming this call.
+        key: IdemKey,
+        /// The exported receiver.
+        target: ObjectId,
+        /// Method name, borrowed from the frame.
+        method: &'a str,
+        /// Arguments, payloads borrowed from the frame.
+        args: Vec<ValueRef<'a>>,
+    },
+    /// A keyed batch; call descriptors borrowed.
+    KeyedBatchCall(KeyedBatchRef<'a>),
+    /// A keyed relay super-batch; every inner batch borrowed, each with
+    /// its own key.
+    KeyedSuperBatchCall(Vec<KeyedBatchRef<'a>>),
     /// Any other frame, decoded owned (no bulk payload to borrow).
     Other(Frame),
 }
@@ -341,6 +543,31 @@ impl<'a> FrameRef<'a> {
                     batches.push(BatchRequestRef::decode(dec)?);
                 }
                 Ok(FrameRef::SuperBatchCall(batches))
+            }
+            TAG_KEYED_CALL => {
+                let key = IdemKey::decode(dec)?;
+                let target = ObjectId(dec.take_varint(CTX)?);
+                let method = dec.take_str_ref(CTX)?;
+                let count = dec.take_length(CTX)?;
+                let mut args = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    args.push(ValueRef::decode(dec)?);
+                }
+                Ok(FrameRef::KeyedCall {
+                    key,
+                    target,
+                    method,
+                    args,
+                })
+            }
+            TAG_KEYED_BATCH_CALL => Ok(FrameRef::KeyedBatchCall(KeyedBatchRef::decode(dec)?)),
+            TAG_KEYED_SUPER_BATCH_CALL => {
+                let count = dec.take_length(CTX)?;
+                let mut batches = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    batches.push(KeyedBatchRef::decode(dec)?);
+                }
+                Ok(FrameRef::KeyedSuperBatchCall(batches))
             }
             other => Ok(FrameRef::Other(Frame::decode_body(other, dec)?)),
         }
@@ -392,6 +619,21 @@ impl<'a> FrameRef<'a> {
                     .map(BatchRequestRef::into_owned)
                     .collect(),
             ),
+            FrameRef::KeyedCall {
+                key,
+                target,
+                method,
+                args,
+            } => Frame::KeyedCall {
+                key,
+                target,
+                method: method.to_owned(),
+                args: args.into_iter().map(ValueRef::into_owned).collect(),
+            },
+            FrameRef::KeyedBatchCall(batch) => Frame::KeyedBatchCall(batch.into_owned()),
+            FrameRef::KeyedSuperBatchCall(batches) => Frame::KeyedSuperBatchCall(
+                batches.into_iter().map(KeyedBatchRef::into_owned).collect(),
+            ),
             FrameRef::Other(frame) => frame,
         }
     }
@@ -402,6 +644,9 @@ impl<'a> FrameRef<'a> {
             FrameRef::Call { .. } => "call",
             FrameRef::BatchCall(_) => "batch-call",
             FrameRef::SuperBatchCall(_) => "super-batch-call",
+            FrameRef::KeyedCall { .. } => "keyed-call",
+            FrameRef::KeyedBatchCall(_) => "keyed-batch-call",
+            FrameRef::KeyedSuperBatchCall(_) => "keyed-super-batch-call",
             FrameRef::Other(frame) => frame.kind_name(),
         }
     }
@@ -626,11 +871,192 @@ mod tests {
             Frame::Leased { lease_millis: 0 },
             Frame::Clean { ids: vec![] },
             Frame::Cleaned,
+            Frame::KeyedCall {
+                key: IdemKey {
+                    client_id: 1,
+                    seq: 2,
+                    acked: 0,
+                },
+                target: ObjectId(1),
+                method: "m".into(),
+                args: vec![],
+            },
+            Frame::KeyedBatchCall(KeyedBatch {
+                key: IdemKey {
+                    client_id: 1,
+                    seq: 3,
+                    acked: 1,
+                },
+                request: BatchRequest {
+                    session: None,
+                    calls: vec![],
+                    policy: PolicySpec::Abort,
+                    keep_session: false,
+                },
+            }),
+            Frame::KeyedSuperBatchCall(vec![]),
         ];
         let mut names: Vec<_> = frames.iter().map(Frame::kind_name).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), frames.len());
+    }
+
+    #[test]
+    fn keyed_frames_round_trip() {
+        let key = IdemKey {
+            client_id: 7,
+            seq: 300,
+            acked: 297,
+        };
+        let call = Frame::KeyedCall {
+            key,
+            target: ObjectId(5),
+            method: "make_purchase".into(),
+            args: vec![Value::F64(19.99)],
+        };
+        assert_eq!(round_trip(&call), call);
+        let batch = Frame::KeyedBatchCall(KeyedBatch {
+            key,
+            request: BatchRequest {
+                session: Some(SessionId(4)),
+                calls: vec![],
+                policy: PolicySpec::Continue,
+                keep_session: true,
+            },
+        });
+        assert_eq!(round_trip(&batch), batch);
+        let super_batch = Frame::KeyedSuperBatchCall(vec![
+            KeyedBatch {
+                key,
+                request: BatchRequest {
+                    session: None,
+                    calls: vec![],
+                    policy: PolicySpec::Abort,
+                    keep_session: false,
+                },
+            },
+            KeyedBatch {
+                key: IdemKey {
+                    client_id: 8,
+                    seq: 1,
+                    acked: 0,
+                },
+                request: BatchRequest {
+                    session: None,
+                    calls: vec![],
+                    policy: PolicySpec::Continue,
+                    keep_session: false,
+                },
+            },
+        ]);
+        assert_eq!(round_trip(&super_batch), super_batch);
+        let empty = Frame::KeyedSuperBatchCall(vec![]);
+        assert_eq!(round_trip(&empty), empty);
+    }
+
+    #[test]
+    fn keyed_classification() {
+        let key = IdemKey {
+            client_id: 1,
+            seq: 1,
+            acked: 0,
+        };
+        let keyed = Frame::KeyedCall {
+            key,
+            target: ObjectId(1),
+            method: "m".into(),
+            args: vec![],
+        };
+        assert!(keyed.is_request());
+        assert!(keyed.is_retry_safe());
+        assert!(Frame::KeyedSuperBatchCall(vec![]).is_retry_safe());
+        // Unkeyed traffic keeps the at-most-once contract.
+        assert!(!Frame::Call {
+            target: ObjectId(1),
+            method: "m".into(),
+            args: vec![]
+        }
+        .is_retry_safe());
+        assert!(!Frame::BatchCall(BatchRequest {
+            session: None,
+            calls: vec![],
+            policy: PolicySpec::Abort,
+            keep_session: false,
+        })
+        .is_retry_safe());
+        assert!(!Frame::Return(Value::Null).is_retry_safe());
+    }
+
+    #[test]
+    fn borrowed_keyed_frames_match_owned_decode() {
+        let key = IdemKey {
+            client_id: 9,
+            seq: 42,
+            acked: 40,
+        };
+        let call = Frame::KeyedCall {
+            key,
+            target: ObjectId(5),
+            method: "get_name".into(),
+            args: vec![Value::Str("x".into())],
+        };
+        let bytes = call.to_wire_bytes();
+        let borrowed = FrameRef::from_wire_bytes(&bytes).unwrap();
+        match &borrowed {
+            FrameRef::KeyedCall { key: k, method, .. } => {
+                assert_eq!(*k, key);
+                let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+                assert!(range.contains(&(method.as_ptr() as usize)));
+            }
+            other => panic!("expected keyed call, got {other:?}"),
+        }
+        assert_eq!(borrowed.kind_name(), "keyed-call");
+        assert_eq!(borrowed.into_owned(), call);
+
+        let batch = Frame::KeyedBatchCall(KeyedBatch {
+            key,
+            request: BatchRequest {
+                session: None,
+                calls: vec![crate::invocation::InvocationData {
+                    seq: crate::invocation::CallSeq(0),
+                    target: crate::invocation::Target::Remote(ObjectId(3)),
+                    method: "get_file".into(),
+                    args: vec![crate::invocation::Arg::Value(Value::Str("x".into()))],
+                    cursor: None,
+                    opens_cursor: false,
+                }],
+                policy: PolicySpec::Abort,
+                keep_session: false,
+            },
+        });
+        let bytes = batch.to_wire_bytes();
+        let borrowed = FrameRef::from_wire_bytes(&bytes).unwrap();
+        match &borrowed {
+            FrameRef::KeyedBatchCall(kb) => {
+                assert_eq!(kb.key, key);
+                let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+                let method = kb.request.calls[0].method;
+                assert!(range.contains(&(method.as_ptr() as usize)));
+            }
+            other => panic!("expected keyed batch call, got {other:?}"),
+        }
+        assert_eq!(borrowed.into_owned(), batch);
+
+        let super_batch = Frame::KeyedSuperBatchCall(vec![KeyedBatch {
+            key,
+            request: BatchRequest {
+                session: None,
+                calls: vec![],
+                policy: PolicySpec::Continue,
+                keep_session: true,
+            },
+        }]);
+        let bytes = super_batch.to_wire_bytes();
+        let borrowed = FrameRef::from_wire_bytes(&bytes).unwrap();
+        assert!(matches!(&borrowed, FrameRef::KeyedSuperBatchCall(b) if b.len() == 1));
+        assert_eq!(borrowed.kind_name(), "keyed-super-batch-call");
+        assert_eq!(borrowed.into_owned(), super_batch);
     }
 
     #[test]
