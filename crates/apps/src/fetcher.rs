@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use brmi::policy::AbortPolicy;
 use brmi::{Batch, BatchExecutor};
+use brmi_obs::{MetricsSnapshot, Registry, Snapshot};
 use brmi_rmi::{Connection, RemoteRef, RmiServer};
 use brmi_transport::fetcher::BatchFetcher;
 use brmi_transport::inproc::InProcTransport;
@@ -104,6 +105,10 @@ pub struct FetcherStressReport {
     pub misses: u64,
     /// Probe batches the fetcher sent upstream.
     pub probe_batches: u64,
+    /// Unified registry snapshot of the run's fetcher and executor
+    /// metrics — deterministic fields only (counters and gauges), ready
+    /// for `--metrics-json`.
+    pub metrics: MetricsSnapshot,
     /// Wall-clock duration of the concurrent phase.
     pub elapsed: Duration,
 }
@@ -236,6 +241,11 @@ pub fn run_fetcher_stress(
         return Err(err);
     }
 
+    let registry = Registry::new();
+    executor.register_metrics(&registry);
+    if let Some(fetcher) = &fetcher {
+        fetcher.stats().register_metrics(&registry);
+    }
     let executor_stats = executor.stats();
     let fetcher_stats = fetcher.as_ref().map(|fetcher| fetcher.stats());
     let stat = |f: fn(&brmi_transport::fetcher::FetcherStats) -> u64| {
@@ -252,6 +262,7 @@ pub fn run_fetcher_stress(
         coalesced: stat(|s| s.coalesced_reads()),
         misses: stat(|s| s.misses()),
         probe_batches: stat(|s| s.probe_batches()),
+        metrics: registry.snapshot().deterministic_only(),
         elapsed,
     })
 }

@@ -26,6 +26,7 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use brmi::BatchExecutor;
+use brmi_obs::{MetricsSnapshot, Registry, Snapshot};
 use brmi_rmi::RmiServer;
 use brmi_rmi::{Connection, RemoteRef};
 use brmi_transport::fault::{FaultPlan, FaultPoint, FaultyTransport};
@@ -79,6 +80,10 @@ pub struct StressReport {
     pub bytes_sent: u64,
     /// Response bytes on the wire.
     pub bytes_received: u64,
+    /// Unified registry snapshot of the run's transport, reactor and
+    /// executor metrics — deterministic fields only (counters and
+    /// gauges), ready for `--metrics-json`.
+    pub metrics: MetricsSnapshot,
     /// Wall-clock duration of the client phase.
     pub elapsed: Duration,
 }
@@ -108,14 +113,14 @@ impl StressReport {
 /// Panics when a client thread itself panics.
 pub fn run_reactor_stress(config: &StressConfig) -> Result<StressReport, RemoteError> {
     let server = RmiServer::new();
-    BatchExecutor::install(&server);
+    let executor = BatchExecutor::install(&server);
     let noop = NoopServer::new();
     server
         .bind("noop", NoopSkeleton::remote_arc(noop.clone()))
         .expect("fresh server bind");
     let reactor = ReactorServer::bind_with(
         "127.0.0.1:0",
-        server,
+        server.clone() as Arc<dyn brmi_transport::RequestHandler>,
         ReactorConfig {
             reactor_threads: config.reactor_threads,
             dispatch_workers: 0,
@@ -124,6 +129,11 @@ pub fn run_reactor_stress(config: &StressConfig) -> Result<StressReport, RemoteE
 
     let pool = Arc::new(TcpPool::connect(reactor.local_addr())?);
     let stats = pool.stats();
+    let registry = Registry::new();
+    pool.register_metrics(&registry);
+    reactor.register_metrics(&registry);
+    executor.register_metrics(&registry);
+    server.reply_cache().register_metrics(&registry);
 
     // All clients arm before any starts, so the measured window really has
     // `clients` concurrent request streams.
@@ -168,6 +178,7 @@ pub fn run_reactor_stress(config: &StressConfig) -> Result<StressReport, RemoteE
         calls_executed: noop.calls(),
         bytes_sent: stats.bytes_sent(),
         bytes_received: stats.bytes_received(),
+        metrics: registry.snapshot().deterministic_only(),
         elapsed,
     })
 }
@@ -445,6 +456,9 @@ pub struct RetryStressReport {
     pub origin_executions: u64,
     /// Duplicate keyed frames the origin answered from its reply cache.
     pub origin_replays: u64,
+    /// Unified registry snapshot of the origin-side executor and replay
+    /// metrics — deterministic fields only, ready for `--metrics-json`.
+    pub metrics: MetricsSnapshot,
     /// Wall-clock duration of the client phase.
     pub elapsed: Duration,
 }
@@ -479,11 +493,14 @@ impl RetryStressReport {
 /// healthy run never fails.
 pub fn run_retry_stress(config: &RetryStressConfig) -> Result<RetryStressReport, RemoteError> {
     let server = RmiServer::new();
-    BatchExecutor::install(&server);
+    let executor = BatchExecutor::install(&server);
     let noop = NoopServer::new();
     server
         .bind("noop", NoopSkeleton::remote_arc(noop.clone()))
         .expect("fresh server bind");
+    let registry = Registry::new();
+    executor.register_metrics(&registry);
+    server.reply_cache().register_metrics(&registry);
 
     let mut injected_drops = 0u64;
     let mut client_resends = 0u64;
@@ -530,6 +547,7 @@ pub fn run_retry_stress(config: &RetryStressConfig) -> Result<RetryStressReport,
         client_resends,
         origin_executions: server.reply_cache().executions(),
         origin_replays: server.reply_cache().replays(),
+        metrics: registry.snapshot().deterministic_only(),
         elapsed,
     })
 }

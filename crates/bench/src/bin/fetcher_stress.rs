@@ -5,7 +5,9 @@
 //! (client reads, fetched vs pass-through origin executions, cache
 //! hits/misses, probe batches) are baseline-checked; the measured
 //! execution reduction and wall-clock absorption are printed for humans.
-//! See [`brmi_bench::fetcher`].
+//! `--metrics-json` prints the unified registry snapshot of the last
+//! point's cached run (deterministic fields only). See
+//! [`brmi_bench::fetcher`].
 
 use std::process::ExitCode;
 
@@ -16,7 +18,13 @@ fn main() -> ExitCode {
     let (figure, points) = brmi_bench::fetcher::fetcher_cache_figure();
     figure.print();
     brmi_bench::fetcher::print_measured_reduction(&points);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_json = args.iter().any(|arg| arg == "--metrics-json");
+    args.retain(|arg| arg != "--metrics-json");
+    if metrics_json {
+        let point = points.last().expect("non-empty sweep");
+        println!("{}", point.cached.metrics.to_json());
+    }
     let tables = vec![SeriesTable::from(&figure)];
-    let args: Vec<String> = std::env::args().skip(1).collect();
     run_cli(&tables, &args)
 }

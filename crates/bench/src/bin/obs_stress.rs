@@ -1,0 +1,41 @@
+//! Observability sweep — `cargo run -p brmi-bench --bin obs_stress`.
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_obs.json` baseline. Everything here runs under virtual time,
+//! so every series — span counts, client-flush latency quantiles from
+//! the deterministic histogram, wire bytes, and the trace-envelope
+//! overhead — is baseline-checked. `--metrics-json` additionally prints
+//! the unified registry snapshot of the largest sweep point
+//! (deterministic fields only). See [`brmi_bench::obs`].
+
+use std::process::ExitCode;
+
+use brmi_bench::baseline::{run_cli, SeriesTable};
+
+fn main() -> ExitCode {
+    println!("BRMI observability sweep (traced client → relay → simulated origin)\n");
+    let (figure, points) = brmi_bench::obs::obs_observability_figure();
+    figure.print();
+    brmi_bench::obs::assert_overhead_within_budget(&points);
+    println!(
+        "\noverhead guard: ≤{} envelope bytes per flush everywhere, ≤{:.1}% of bare wire \
+         bytes from batch {} up",
+        brmi_bench::obs::MAX_ENVELOPE_BYTES_PER_FLUSH,
+        brmi_bench::obs::MAX_ENVELOPE_OVERHEAD_PCT,
+        brmi_bench::obs::OVERHEAD_PCT_MIN_BATCH
+    );
+    if let Some(point) = points.last() {
+        println!("\nsample waterfall (batch = {}):", point.batch_size);
+        println!("{}", point.waterfall);
+    }
+
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_json = args.iter().any(|arg| arg == "--metrics-json");
+    args.retain(|arg| arg != "--metrics-json");
+    if metrics_json {
+        let point = points.last().expect("non-empty sweep");
+        println!("{}", point.metrics.deterministic_only().to_json());
+    }
+    let tables = vec![SeriesTable::from(&figure)];
+    run_cli(&tables, &args)
+}

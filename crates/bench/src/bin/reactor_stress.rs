@@ -3,7 +3,9 @@
 //! Accepts `--json PATH` / `--check PATH` for the committed
 //! `BENCH_reactor.json` baseline. Only the deterministic wire-level series
 //! (round trips, calls, bytes) are baseline-checked; measured wall-clock
-//! throughput is printed for humans. See [`brmi_bench::stress`].
+//! throughput is printed for humans. `--metrics-json` prints the unified
+//! registry snapshot of the last sweep point (deterministic fields
+//! only). See [`brmi_bench::stress`].
 
 use std::process::ExitCode;
 
@@ -14,8 +16,14 @@ fn main() -> ExitCode {
     let (figure, reports) = brmi_bench::stress::reactor_throughput_figure();
     figure.print();
     brmi_bench::stress::print_measured_throughput(&reports);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_json = args.iter().any(|arg| arg == "--metrics-json");
+    args.retain(|arg| arg != "--metrics-json");
+    if metrics_json {
+        let report = reports.last().expect("non-empty sweep");
+        println!("{}", report.metrics.to_json());
+    }
     let tables = vec![SeriesTable::from(&figure)];
-    let args: Vec<String> = std::env::args().skip(1).collect();
     run_cli(&tables, &args)
 }
 

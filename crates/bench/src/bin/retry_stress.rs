@@ -4,7 +4,9 @@
 //! `BENCH_retry.json` baseline. Only the deterministic count series
 //! (calls executed, injected drops, client re-sends, origin executions
 //! and replays) are baseline-checked; the measured retry overhead and
-//! wall-clock goodput are printed for humans. See [`brmi_bench::retry`].
+//! wall-clock goodput are printed for humans. `--metrics-json` prints
+//! the unified registry snapshot of the last sweep point (deterministic
+//! fields only). See [`brmi_bench::retry`].
 
 use std::process::ExitCode;
 
@@ -15,8 +17,14 @@ fn main() -> ExitCode {
     let (figure, reports) = brmi_bench::retry::retry_goodput_figure();
     figure.print();
     brmi_bench::retry::print_measured_goodput(&reports);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_json = args.iter().any(|arg| arg == "--metrics-json");
+    args.retain(|arg| arg != "--metrics-json");
+    if metrics_json {
+        let report = reports.last().expect("non-empty sweep");
+        println!("{}", report.metrics.to_json());
+    }
     let tables = vec![SeriesTable::from(&figure)];
-    let args: Vec<String> = std::env::args().skip(1).collect();
     run_cli(&tables, &args)
 }
 

@@ -27,6 +27,10 @@
 //! * [`retry`] — the keyed-retry goodput sweep: clients over seeded lossy
 //!   links with transparent re-sends, proving exactly-once visible
 //!   execution at every drop rate;
+//! * [`obs`] — the observability sweep: a fully traced three-tier rig
+//!   under virtual time, measuring span counts, client-flush latency
+//!   quantiles from the deterministic histogram, and the wire-byte
+//!   overhead of the trace envelope against an untraced twin run;
 //! * binaries `fig05_noop_lan` … `fig13_files_wireless`, `all_figures`,
 //!   `ablations` and `extensions` print paper-style series;
 //! * `benches/middleware_cpu.rs` (Criterion) measures the real CPU cost of
@@ -42,6 +46,7 @@ pub mod figures;
 pub mod model;
 #[cfg(target_os = "linux")]
 pub mod mux;
+pub mod obs;
 #[cfg(target_os = "linux")]
 pub mod relay;
 #[cfg(target_os = "linux")]

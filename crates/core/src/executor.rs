@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use brmi_obs::{Counter, MetricsSnapshot, Registry, Snapshot};
 use brmi_rmi::{BatchFrameHandler, CallCtx, InArg, OutValue, RemoteObject, RmiServer};
 use brmi_wire::invocation::{
     ArgRef, BatchRequestRef, BatchResponse, CallSeq, CursorResult, ErrorEnvelope, ExceptionAction,
@@ -46,12 +47,17 @@ pub struct ExecutorStats {
     pub cursor_elements: u64,
 }
 
+/// The executor's live metric cells (the `ExecutorStats`-shaped
+/// [`BatchExecutor::stats`] accessor is a thin copy of these). Registered
+/// under the `executor_*` families — `executor_executions` for batches,
+/// `executor_replays` for replayed calls — by
+/// [`BatchExecutor::register_metrics`].
 #[derive(Debug, Default)]
 struct StatsCells {
-    batches: AtomicU64,
-    calls_replayed: AtomicU64,
-    read_calls_replayed: AtomicU64,
-    cursor_elements: AtomicU64,
+    batches: Counter,
+    calls_replayed: Counter,
+    read_calls_replayed: Counter,
+    cursor_elements: Counter,
 }
 
 /// Server-side batch executor; install on an [`RmiServer`] with
@@ -140,11 +146,34 @@ impl BatchExecutor {
     /// Snapshot of the cumulative execution counters.
     pub fn stats(&self) -> ExecutorStats {
         ExecutorStats {
-            batches: self.stats.batches.load(Ordering::Relaxed),
-            calls_replayed: self.stats.calls_replayed.load(Ordering::Relaxed),
-            read_calls_replayed: self.stats.read_calls_replayed.load(Ordering::Relaxed),
-            cursor_elements: self.stats.cursor_elements.load(Ordering::Relaxed),
+            batches: self.stats.batches.value(),
+            calls_replayed: self.stats.calls_replayed.value(),
+            read_calls_replayed: self.stats.read_calls_replayed.value(),
+            cursor_elements: self.stats.cursor_elements.value(),
         }
+    }
+
+    /// Registers the executor's metric cells with `registry` under the
+    /// `executor_*` families (unified naming: batch executions are
+    /// `executor_executions`, replayed calls are `executor_replays`, with
+    /// the read-only subset labeled `kind="read_only"`).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("executor_executions", &[], &self.stats.batches);
+        registry.register_counter("executor_replays", &[], &self.stats.calls_replayed);
+        registry.register_counter(
+            "executor_replays",
+            &[("kind", "read_only")],
+            &self.stats.read_calls_replayed,
+        );
+        registry.register_counter("executor_cursor_elements", &[], &self.stats.cursor_elements);
+    }
+}
+
+impl Snapshot for BatchExecutor {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.register_metrics(&registry);
+        registry.snapshot()
     }
 }
 
@@ -256,7 +285,7 @@ impl BatchExecutor {
         request: &BatchRequestRef<'_>,
         allow_restart: bool,
     ) -> RunResult {
-        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.batches.inc();
         let calls = &request.calls;
         // cursor seq → indexes of its member calls, in order.
         let mut members_of: HashMap<u32, Vec<usize>> = HashMap::new();
@@ -433,7 +462,7 @@ impl BatchExecutor {
         let mut abort_env: Option<ErrorEnvelope> = None;
 
         'elements: for element in &elements {
-            self.stats.cursor_elements.fetch_add(1, Ordering::Relaxed);
+            self.stats.cursor_elements.inc();
             let mut elem_objects: HashMap<u32, Arc<dyn RemoteObject>> = HashMap::new();
             let mut elem_outcomes: HashMap<u32, Option<ErrorEnvelope>> = HashMap::new();
             let mut row: Vec<SlotOutcome> = Vec::with_capacity(member_idxs.len());
@@ -680,14 +709,12 @@ impl BatchExecutor {
     /// Counts one dispatched call, classifying it read/write through the
     /// receiver's own method table rather than by method-name string.
     fn count_replayed(&self, target: &Arc<dyn RemoteObject>, method: &str) {
-        self.stats.calls_replayed.fetch_add(1, Ordering::Relaxed);
+        self.stats.calls_replayed.inc();
         if target
             .method_meta(method)
             .is_some_and(|meta| meta.read_only)
         {
-            self.stats
-                .read_calls_replayed
-                .fetch_add(1, Ordering::Relaxed);
+            self.stats.read_calls_replayed.inc();
         }
     }
 

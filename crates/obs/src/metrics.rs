@@ -1,0 +1,1031 @@
+//! The metrics registry: lock-free counters and gauges, deterministic
+//! log2 histograms, and snapshot/exposition encoders.
+//!
+//! Everything here is built for two consumers at once:
+//!
+//! * **Production paths** record through [`Counter`], [`Gauge`] and
+//!   [`Histogram`] handles — cheap `Arc`-backed cells that never take a
+//!   lock on the hot path (counters shard across cache-padded cells to
+//!   dodge write contention).
+//! * **Tests and bench bins** read through [`Registry::snapshot`], which
+//!   produces a fully deterministic [`MetricsSnapshot`]: entries sorted by
+//!   `(name, labels)`, histogram quantiles computed by a fixed bucket-edge
+//!   rule, and JSON / Prometheus-text encoders with stable formatting. Under
+//!   `VirtualClock` time the recorded values themselves are exact, so whole
+//!   snapshots diff byte-for-byte in CI.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independent cells a [`Counter`] stripes its increments over.
+/// Sixteen cache lines is enough to make contended increments from the
+/// reactor's worker pool effectively private per thread.
+const COUNTER_SHARDS: usize = 16;
+
+/// One counter cell on its own cache line, so two shards never share one.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedCell(AtomicU64);
+
+/// Returns this thread's stable shard index. Threads are assigned shards
+/// round-robin on first use; the assignment is cached in a thread-local so
+/// the hot path is one TLS read.
+fn shard_index() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    SHARD.with(|slot| {
+        let cached = slot.get();
+        if cached != usize::MAX {
+            return cached;
+        }
+        let assigned = NEXT.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+        slot.set(assigned);
+        assigned
+    })
+}
+
+/// A monotonic event counter, sharded across cache-padded cells so
+/// concurrent writers do not bounce one line. Cloning is cheap and shares
+/// the underlying cells; a counter works standalone or registered in a
+/// [`Registry`] (registration just stores another handle to the same
+/// cells).
+#[derive(Clone, Default)]
+pub struct Counter {
+    cells: Arc<[PaddedCell; COUNTER_SHARDS]>,
+}
+
+impl Counter {
+    /// Creates a detached counter (not registered anywhere).
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cells[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|cell| cell.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Zeroes the counter (used by the legacy `TransportStats::reset`
+    /// surface; not linearizable against concurrent writers, exactly like
+    /// the per-field atomics it replaced).
+    pub fn reset(&self) {
+        for cell in self.cells.iter() {
+            cell.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+/// An instantaneous level (queue depth, active connections). A single
+/// atomic: gauges are read-modify-write by nature, so sharding would buy
+/// nothing. Cloning shares the cell.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a detached gauge (not registered anywhere).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Raises the level to `value` if it is higher (running maximum).
+    #[inline]
+    pub fn set_max(&self, value: i64) {
+        self.cell.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn value(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: four exact unit buckets for
+/// values `0..4`, then four sub-buckets per power-of-two octave up to
+/// `u64::MAX` (62 octaves × 4 + 4 = 252).
+pub const HISTOGRAM_BUCKETS: usize = 252;
+
+/// Maps a value to its bucket index. Deterministic and total: every `u64`
+/// lands in exactly one of the [`HISTOGRAM_BUCKETS`] buckets.
+pub fn bucket_index(value: u64) -> usize {
+    if value < 4 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros() as usize;
+        let sub = ((value >> (exp - 2)) & 3) as usize;
+        4 * (exp - 2) + 4 + sub
+    }
+}
+
+/// The smallest value that lands in bucket `index` (inverse of
+/// [`bucket_index`] on bucket lower edges).
+pub fn bucket_lower(index: usize) -> u64 {
+    debug_assert!(index < HISTOGRAM_BUCKETS);
+    if index < 4 {
+        index as u64
+    } else {
+        let exp = (index - 4) / 4 + 2;
+        let sub = ((index - 4) % 4) as u64;
+        (4 + sub) << (exp - 2)
+    }
+}
+
+/// The largest value that lands in bucket `index` (inclusive upper edge).
+pub fn bucket_upper(index: usize) -> u64 {
+    if index + 1 < HISTOGRAM_BUCKETS {
+        bucket_lower(index + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket log2 latency histogram: sub-bucketed powers of two give
+/// ≤ 25% relative quantile error, the bucket edges are compile-time
+/// deterministic, and two histograms merge by adding bucket counts (plus
+/// exact `count`/`sum`/`min`/`max`). Recording is lock-free — one
+/// `fetch_add` on the bucket plus the aggregate cells.
+///
+/// Under `VirtualClock` time the recorded values are exact integers, so a
+/// snapshot's quantiles are bit-for-bit reproducible across runs and
+/// machines — which is what lets `BENCH_obs.json` commit p50/p99/p999.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates a detached histogram (not registered anywhere).
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let inner = &self.inner;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_nanos(&self, elapsed: std::time::Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Reads a point-in-time snapshot (consistent enough for quiescent or
+    /// virtual-time use; concurrent recording may tear between cells, just
+    /// like the ad-hoc counters this replaces).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.inner;
+        let buckets: Vec<(usize, u64)> = inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(index, cell)| {
+                let count = cell.load(Ordering::Relaxed);
+                (count > 0).then_some((index, count))
+            })
+            .collect();
+        let count = inner.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                inner.min.load(Ordering::Relaxed)
+            },
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An immutable, mergeable view of a [`Histogram`]: sparse non-zero
+/// buckets plus exact aggregates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// `(bucket_index, count)` for every non-zero bucket, ascending.
+    pub buckets: Vec<(usize, u64)>,
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of all observations (wrapping like the recording cell).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by a deterministic rule: take the
+    /// `ceil(q · count)`-th smallest observation's bucket and report that
+    /// bucket's inclusive upper edge, clamped to the exact observed
+    /// maximum. The result is a pure function of the bucket counts and
+    /// `max`, so it is stable under merging and identical across runs.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges two snapshots: bucket counts add, aggregates combine
+    /// exactly. Associative and commutative, with the empty snapshot as
+    /// identity — shard-per-thread histograms can be combined in any
+    /// order.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: BTreeMap<usize, u64> = self.buckets.iter().copied().collect();
+        for &(index, count) in &other.buckets {
+            *buckets.entry(index).or_insert(0) += count;
+        }
+        let count = self.count + other.count;
+        let min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        HistogramSnapshot {
+            buckets: buckets.into_iter().collect(),
+            count,
+            sum: self.sum.wrapping_add(other.sum),
+            min,
+            max: self.max.max(other.max),
+        }
+    }
+}
+
+/// Identity of one registered metric: a family name plus sorted
+/// `(key, value)` labels. Ordering on the key gives every snapshot and
+/// exposition a stable, deterministic entry order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Family name, e.g. `relay_coalesced_batches`.
+    pub name: String,
+    /// Sorted label pairs, e.g. `[("tier", "edge")]`; empty for most.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+
+    /// Renders `name{k="v",…}` (bare name when unlabeled) — the form used
+    /// by both encoders and by test assertions.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = String::new();
+        out.push_str(&self.name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{k}=\"{v}\"");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A registered metric handle (shared cells with whatever recorded it).
+#[derive(Clone)]
+enum MetricHandle {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge level.
+    Gauge(i64),
+    /// A histogram view.
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(key, value)` pair in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// The metric's identity.
+    pub key: MetricKey,
+    /// Its value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// Anything that can report its metrics as one deterministic snapshot:
+/// the [`Registry`] itself, and every migrated per-tier stats façade
+/// (`ExecutorStats`, `RelayStats`, `TransportStats`, …).
+pub trait Snapshot {
+    /// Reads a point-in-time view of every metric this source owns,
+    /// sorted by metric key.
+    fn snapshot(&self) -> MetricsSnapshot;
+}
+
+/// The process-wide (or per-harness) metric registry. Cloning shares the
+/// registry; registration takes a short lock, recording never does (the
+/// handles own their cells). Components register the *same* cells they
+/// record through, so one [`Registry::snapshot`] sees every tier at once.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<MetricKey, MetricHandle>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<MetricKey, MetricHandle>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Gets or creates the unlabeled counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Gets or creates the counter `name` with `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name`+`labels` is already registered as a different
+    /// metric kind — that is a naming bug, not a runtime condition.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| MetricHandle::Counter(Counter::new()))
+        {
+            MetricHandle::Counter(counter) => counter.clone(),
+            _ => panic!("metric {name:?} is registered with a different kind"),
+        }
+    }
+
+    /// Gets or creates the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Gets or creates the gauge `name` with `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind mismatch, as [`Registry::counter_with`].
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| MetricHandle::Gauge(Gauge::new()))
+        {
+            MetricHandle::Gauge(gauge) => gauge.clone(),
+            _ => panic!("metric {name:?} is registered with a different kind"),
+        }
+    }
+
+    /// Gets or creates the unlabeled histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Gets or creates the histogram `name` with `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind mismatch, as [`Registry::counter_with`].
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        let key = MetricKey::new(name, labels);
+        let mut map = self.lock();
+        match map
+            .entry(key)
+            .or_insert_with(|| MetricHandle::Histogram(Histogram::new()))
+        {
+            MetricHandle::Histogram(histogram) => histogram.clone(),
+            _ => panic!("metric {name:?} is registered with a different kind"),
+        }
+    }
+
+    /// Registers an existing counter's cells under `name`+`labels`, so a
+    /// component built before the registry existed (or shared across
+    /// harnesses) shows up in this registry's snapshot. Re-registering a
+    /// key replaces the previous handle (last registration wins).
+    pub fn register_counter(&self, name: &str, labels: &[(&str, &str)], counter: &Counter) {
+        self.lock().insert(
+            MetricKey::new(name, labels),
+            MetricHandle::Counter(counter.clone()),
+        );
+    }
+
+    /// Registers an existing gauge, as [`Registry::register_counter`].
+    pub fn register_gauge(&self, name: &str, labels: &[(&str, &str)], gauge: &Gauge) {
+        self.lock().insert(
+            MetricKey::new(name, labels),
+            MetricHandle::Gauge(gauge.clone()),
+        );
+    }
+
+    /// Registers an existing histogram, as [`Registry::register_counter`].
+    pub fn register_histogram(&self, name: &str, labels: &[(&str, &str)], histogram: &Histogram) {
+        self.lock().insert(
+            MetricKey::new(name, labels),
+            MetricHandle::Histogram(histogram.clone()),
+        );
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+impl Snapshot for Registry {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let entries = self
+            .lock()
+            .iter()
+            .map(|(key, handle)| MetricEntry {
+                key: key.clone(),
+                value: match handle {
+                    MetricHandle::Counter(c) => MetricValue::Counter(c.value()),
+                    MetricHandle::Gauge(g) => MetricValue::Gauge(g.value()),
+                    MetricHandle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// A deterministic point-in-time view of a metric set: entries sorted by
+/// key, with JSON and Prometheus-style text encoders whose output is
+/// byte-stable for equal inputs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// All entries, ascending by [`MetricKey`].
+    pub entries: Vec<MetricEntry>,
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Looks up a metric by its rendered key (see [`MetricKey::render`]).
+    pub fn get(&self, rendered_key: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|entry| entry.key.render() == rendered_key)
+            .map(|entry| &entry.value)
+    }
+
+    /// Convenience: the value of counter `rendered_key`, 0 when absent.
+    pub fn counter(&self, rendered_key: &str) -> u64 {
+        match self.get(rendered_key) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Convenience: the value of gauge `rendered_key`, 0 when absent.
+    pub fn gauge(&self, rendered_key: &str) -> i64 {
+        match self.get(rendered_key) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Convenience: the histogram at `rendered_key`, empty when absent.
+    pub fn histogram(&self, rendered_key: &str) -> HistogramSnapshot {
+        match self.get(rendered_key) {
+            Some(MetricValue::Histogram(h)) => h.clone(),
+            _ => HistogramSnapshot::default(),
+        }
+    }
+
+    /// Keeps only counters and gauges — the deterministic subset a bench
+    /// bin may print or commit (wall-clock histograms vary by machine).
+    pub fn deterministic_only(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|entry| {
+                    matches!(entry.value, MetricValue::Counter(_) | MetricValue::Gauge(_))
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Renders the snapshot as stable, pretty-printed JSON (sorted keys,
+    /// fixed indentation): `{"counters": {...}, "gauges": {...},
+    /// "histograms": {...}}`, histograms as
+    /// `{count, sum, min, max, p50, p90, p99, p999, buckets: [[lower, n]…]}`.
+    pub fn to_json(&self) -> String {
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut gauges: Vec<(String, i64)> = Vec::new();
+        let mut histograms: Vec<(String, &HistogramSnapshot)> = Vec::new();
+        for entry in &self.entries {
+            let key = entry.key.render();
+            match &entry.value {
+                MetricValue::Counter(v) => counters.push((key, *v)),
+                MetricValue::Gauge(v) => gauges.push((key, *v)),
+                MetricValue::Histogram(h) => histograms.push((key, h)),
+            }
+        }
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        for (i, (key, value)) in counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            escape_json(&mut out, key);
+            let _ = write!(out, "\": {value}");
+        }
+        out.push_str(if counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        for (i, (key, value)) in gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            escape_json(&mut out, key);
+            let _ = write!(out, "\": {value}");
+        }
+        out.push_str(if gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        for (i, (key, hist)) in histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    \"");
+            escape_json(&mut out, key);
+            let _ = write!(
+                out,
+                "\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"buckets\": [",
+                hist.count,
+                hist.sum,
+                hist.min,
+                hist.max,
+                hist.quantile(0.50),
+                hist.quantile(0.90),
+                hist.quantile(0.99),
+                hist.quantile(0.999),
+            );
+            for (j, (index, count)) in hist.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{}, {}]", bucket_lower(*index), count);
+            }
+            out.push_str("]}");
+        }
+        out.push_str(if histograms.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push('}');
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// `# TYPE` headers, one sample line per counter/gauge, and the
+    /// conventional `_bucket{le=…}` / `_sum` / `_count` triplet per
+    /// histogram (cumulative counts over this histogram's fixed log2
+    /// edges).
+    pub fn to_prometheus_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for entry in &self.entries {
+            let name = &entry.key.name;
+            let labels = |out: &mut String, extra: Option<(&str, String)>| {
+                let total = entry.key.labels.len() + usize::from(extra.is_some());
+                if total == 0 {
+                    return;
+                }
+                out.push('{');
+                let mut first = true;
+                for (k, v) in &entry.key.labels {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "{k}=\"{v}\"");
+                }
+                if let Some((k, v)) = extra {
+                    if !first {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{k}=\"{v}\"");
+                }
+                out.push('}');
+            };
+            match &entry.value {
+                MetricValue::Counter(value) => {
+                    if *name != last_family {
+                        let _ = writeln!(out, "# TYPE {name} counter");
+                        last_family = name.clone();
+                    }
+                    out.push_str(name);
+                    labels(&mut out, None);
+                    let _ = writeln!(out, " {value}");
+                }
+                MetricValue::Gauge(value) => {
+                    if *name != last_family {
+                        let _ = writeln!(out, "# TYPE {name} gauge");
+                        last_family = name.clone();
+                    }
+                    out.push_str(name);
+                    labels(&mut out, None);
+                    let _ = writeln!(out, " {value}");
+                }
+                MetricValue::Histogram(hist) => {
+                    if *name != last_family {
+                        let _ = writeln!(out, "# TYPE {name} histogram");
+                        last_family = name.clone();
+                    }
+                    let mut cumulative = 0u64;
+                    for (index, count) in &hist.buckets {
+                        cumulative += count;
+                        let _ = write!(out, "{name}_bucket");
+                        labels(&mut out, Some(("le", bucket_upper(*index).to_string())));
+                        let _ = writeln!(out, " {cumulative}");
+                    }
+                    let _ = write!(out, "{name}_bucket");
+                    labels(&mut out, Some(("le", "+Inf".to_owned())));
+                    let _ = writeln!(out, " {}", hist.count);
+                    let _ = write!(out, "{name}_sum");
+                    labels(&mut out, None);
+                    let _ = writeln!(out, " {}", hist.sum);
+                    let _ = write!(out, "{name}_count");
+                    labels(&mut out, None);
+                    let _ = writeln!(out, " {}", hist.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shards_sum_and_reset() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(41);
+        assert_eq!(counter.value(), 42);
+        let clone = counter.clone();
+        clone.add(8);
+        assert_eq!(counter.value(), 50);
+        counter.reset();
+        assert_eq!(clone.value(), 0);
+    }
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), 8000);
+    }
+
+    #[test]
+    fn gauge_levels() {
+        let gauge = Gauge::new();
+        gauge.set(5);
+        gauge.inc();
+        gauge.dec();
+        gauge.add(10);
+        gauge.sub(3);
+        assert_eq!(gauge.value(), 12);
+        gauge.set_max(7);
+        assert_eq!(gauge.value(), 12);
+        gauge.set_max(40);
+        assert_eq!(gauge.value(), 40);
+    }
+
+    #[test]
+    fn bucket_index_and_edges_are_inverse() {
+        // Every bucket's lower edge maps back to that bucket, and the
+        // value one below it maps to the previous bucket (edge landing).
+        for index in 0..HISTOGRAM_BUCKETS {
+            let lower = bucket_lower(index);
+            assert_eq!(bucket_index(lower), index, "lower edge of {index}");
+            assert_eq!(bucket_index(bucket_upper(index)), index, "upper of {index}");
+            if index > 0 {
+                assert_eq!(bucket_index(lower - 1), index - 1, "below edge of {index}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let hist = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count, 4);
+        assert_eq!(snap.sum, 6);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 3);
+        // Width-1 buckets make small quantiles exact.
+        assert_eq!(snap.quantile(0.25), 0);
+        assert_eq!(snap.quantile(0.50), 1);
+        assert_eq!(snap.quantile(0.75), 2);
+        assert_eq!(snap.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn quantile_clamps_to_observed_max() {
+        let hist = Histogram::new();
+        hist.record(1000);
+        let snap = hist.snapshot();
+        // A single observation: every quantile is exactly it (the bucket
+        // upper edge clamps to max).
+        assert_eq!(snap.quantile(0.5), 1000);
+        assert_eq!(snap.quantile(0.999), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.quantile(0.5), 0);
+        assert_eq!(snap.mean(), 0.0);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 0);
+    }
+
+    #[test]
+    fn merge_is_exact_on_aggregates() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(5);
+        a.record(100);
+        b.record(7);
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.sum, 112);
+        assert_eq!(merged.min, 5);
+        assert_eq!(merged.max, 100);
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.merge(&merged), merged);
+        assert_eq!(merged.merge(&empty), merged);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_cells() {
+        let registry = Registry::new();
+        let a = registry.counter("relay_batches");
+        let b = registry.counter("relay_batches");
+        a.add(3);
+        assert_eq!(b.value(), 3);
+        assert_eq!(registry.len(), 1);
+        let labeled = registry.counter_with("relay_batches", &[("tier", "edge")]);
+        labeled.inc();
+        assert_eq!(registry.len(), 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("relay_batches"), 3);
+        assert_eq!(snap.counter("relay_batches{tier=\"edge\"}"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_mismatch() {
+        let registry = Registry::new();
+        registry.counter("depth");
+        registry.gauge("depth");
+    }
+
+    #[test]
+    fn register_existing_handles() {
+        let registry = Registry::new();
+        let counter = Counter::new();
+        counter.add(9);
+        registry.register_counter("executor_batch_executions", &[], &counter);
+        let gauge = Gauge::new();
+        gauge.set(4);
+        registry.register_gauge("reactor_active_connections", &[], &gauge);
+        let hist = Histogram::new();
+        hist.record(10);
+        registry.register_histogram("client_flush_latency_nanos", &[], &hist);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("executor_batch_executions"), 9);
+        assert_eq!(snap.gauge("reactor_active_connections"), 4);
+        assert_eq!(snap.histogram("client_flush_latency_nanos").count, 1);
+        // Live cells: later increments show in later snapshots.
+        counter.inc();
+        assert_eq!(registry.snapshot().counter("executor_batch_executions"), 10);
+    }
+
+    #[test]
+    fn snapshot_encoders_are_stable() {
+        let registry = Registry::new();
+        registry.counter("b_counter").add(2);
+        registry
+            .counter_with("a_counter", &[("tier", "edge")])
+            .inc();
+        registry.gauge("depth").set(-3);
+        let hist = registry.histogram("lat");
+        hist.record(1);
+        hist.record(6);
+        let snap = registry.snapshot();
+        let json = snap.to_json();
+        assert_eq!(json, snap.to_json());
+        assert!(json.contains("\"a_counter{tier=\\\"edge\\\"}\": 1"));
+        assert!(json.contains("\"b_counter\": 2"));
+        assert!(json.contains("\"depth\": -3"));
+        assert!(json.contains("\"p50\": 1"));
+        let text = snap.to_prometheus_text();
+        assert!(text.contains("# TYPE a_counter counter"));
+        assert!(text.contains("a_counter{tier=\"edge\"} 1"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth -3"));
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_sum 7"));
+        assert!(text.contains("lat_count 2"));
+        // Entries come out sorted regardless of registration order.
+        let names: Vec<_> = snap.entries.iter().map(|e| e.key.render()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn deterministic_subset_drops_histograms() {
+        let registry = Registry::new();
+        registry.counter("calls").inc();
+        registry.histogram("lat").record(5);
+        let snap = registry.snapshot().deterministic_only();
+        assert_eq!(snap.entries.len(), 1);
+        assert_eq!(snap.counter("calls"), 1);
+    }
+}

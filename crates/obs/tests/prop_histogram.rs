@@ -1,0 +1,98 @@
+//! Histogram properties against brute-force oracles: bucket edges really
+//! partition `u64`, merging is associative/commutative with the empty
+//! snapshot as identity, and the deterministic quantile rule stays within
+//! one bucket of the exact sorted-vector quantile.
+
+use brmi_obs::{bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Observation values that stress both the exact unit buckets and the
+/// wide log2 octaves, including edges and near-edges.
+fn arb_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => 0u64..16,
+        4 => 0u64..100_000,
+        2 => any::<u64>(),
+        2 => (0u32..64).prop_map(|exp| 1u64 << exp.min(63)),
+        2 => (0u32..64).prop_map(|exp| (1u64 << exp.min(63)).wrapping_sub(1)),
+    ]
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let histogram = Histogram::new();
+    for &value in values {
+        histogram.record(value);
+    }
+    histogram.snapshot()
+}
+
+/// Exact oracle quantile matching the histogram's rule on raw values:
+/// the `ceil(q · n)`-th smallest observation.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    /// Every `u64` lands in exactly one bucket whose `[lower, upper]`
+    /// range contains it, and the edge functions invert `bucket_index`.
+    #[test]
+    fn buckets_partition_the_value_space(value in arb_value()) {
+        let index = bucket_index(value);
+        prop_assert!(bucket_lower(index) <= value);
+        prop_assert!(value <= bucket_upper(index));
+        // Edges are consistent: the lower edge maps back to the bucket,
+        // and its predecessor (when any) maps strictly below.
+        prop_assert_eq!(bucket_index(bucket_lower(index)), index);
+        if bucket_lower(index) > 0 {
+            prop_assert_eq!(bucket_index(bucket_lower(index) - 1), index - 1);
+        }
+    }
+
+    /// Merge is associative and commutative, with empty as identity, so
+    /// shard-per-thread histograms combine in any order.
+    #[test]
+    fn merge_is_associative_commutative_with_identity(
+        a in proptest::collection::vec(arb_value(), 0..40),
+        b in proptest::collection::vec(arb_value(), 0..40),
+        c in proptest::collection::vec(arb_value(), 0..40),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        let empty = HistogramSnapshot::default();
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&empty), sa.clone());
+        prop_assert_eq!(empty.merge(&sa), sa.clone());
+        // Merging equals recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), snapshot_of(&all));
+    }
+
+    /// The histogram quantile may round up to its bucket's upper edge but
+    /// never crosses into another bucket: it is bounded below by the exact
+    /// oracle value and above by the oracle's bucket upper edge (clamped
+    /// to the observed max, exactly like the histogram).
+    #[test]
+    fn quantile_stays_within_the_oracle_bucket(
+        values in proptest::collection::vec(arb_value(), 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let snapshot = snapshot_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        for q in [q, 0.5, 0.99, 1.0] {
+            let exact = oracle_quantile(&values, q);
+            let reported = snapshot.quantile(q);
+            prop_assert!(reported >= exact);
+            prop_assert!(reported <= bucket_upper(bucket_index(exact)).min(snapshot.max));
+        }
+        // p100 is the exact observed maximum, by the clamp.
+        prop_assert_eq!(snapshot.quantile(1.0), snapshot.max);
+        // Aggregates are exact regardless of bucketing.
+        prop_assert_eq!(snapshot.min, values[0]);
+        prop_assert_eq!(snapshot.max, *values.last().unwrap());
+        prop_assert_eq!(snapshot.count, values.len() as u64);
+    }
+}

@@ -4,6 +4,7 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use brmi_obs::Tracer;
 use brmi_transport::Transport;
 use brmi_wire::invocation::{BatchRequest, BatchResponse, SessionId};
 use brmi_wire::protocol::{registry_methods, Frame, IdemKey, KeyedBatch};
@@ -109,6 +110,7 @@ impl KeySource {
 pub struct Connection {
     transport: Arc<dyn Transport>,
     keys: Option<Arc<KeySource>>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Connection {
@@ -117,6 +119,7 @@ impl Connection {
         Connection {
             transport,
             keys: None,
+            tracer: None,
         }
     }
 
@@ -131,7 +134,24 @@ impl Connection {
         Connection {
             transport,
             keys: Some(keys),
+            tracer: None,
         }
+    }
+
+    /// Returns this connection with a tracer installed: every flush then
+    /// runs under a fresh root trace — the batch frame ships inside a
+    /// [`Frame::Traced`] envelope, so downstream tiers (relay, origin)
+    /// chain child spans off it, and the whole round trip is recorded as
+    /// a `client.flush` span against the tracer's sink.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The tracer, when tracing is enabled on this connection.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The key source, when this connection is keyed.
@@ -144,12 +164,12 @@ impl Connection {
     /// the delivered reply), and on final transport failure (the transport
     /// already gave up retrying; nobody will ask for the cached reply
     /// again, so holding it would only stall the watermark).
-    fn keyed_request(&self, keys: &KeySource, frame: Frame) -> Result<Frame, RemoteError> {
-        let seq = match &frame {
-            Frame::KeyedCall { key, .. } => key.seq,
-            Frame::KeyedBatchCall(batch) => batch.key.seq,
-            other => unreachable!("not a keyed client frame: {}", other.kind_name()),
-        };
+    fn keyed_request(
+        &self,
+        keys: &KeySource,
+        seq: u64,
+        frame: Frame,
+    ) -> Result<Frame, RemoteError> {
         let result = self.transport.request(frame);
         keys.acknowledge(seq);
         result
@@ -168,15 +188,19 @@ impl Connection {
         args: Vec<Value>,
     ) -> Result<Value, RemoteError> {
         let reply = match &self.keys {
-            Some(keys) => self.keyed_request(
-                keys,
-                Frame::KeyedCall {
-                    key: keys.next(),
-                    target,
-                    method: method.to_owned(),
-                    args,
-                },
-            )?,
+            Some(keys) => {
+                let key = keys.next();
+                self.keyed_request(
+                    keys,
+                    key.seq,
+                    Frame::KeyedCall {
+                        key,
+                        target,
+                        method: method.to_owned(),
+                        args,
+                    },
+                )?
+            }
             None => self.transport.request(Frame::Call {
                 target,
                 method: method.to_owned(),
@@ -197,16 +221,31 @@ impl Connection {
     /// Transport and protocol failures. Per-call outcomes are inside the
     /// response; this only fails when the batch as a whole could not run.
     pub fn invoke_batch(&self, request: BatchRequest) -> Result<BatchResponse, RemoteError> {
+        // One root span per flush: the envelope context rides the batch
+        // frame so downstream tiers chain children off it, and the whole
+        // round trip is recorded as `client.flush` once the reply lands.
+        let trace = self.tracer.as_ref().map(|tracer| {
+            let ctx = tracer.root();
+            (tracer, ctx, tracer.now())
+        });
+        let ctx = trace.as_ref().map(|(_, ctx, _)| *ctx);
         let reply = match &self.keys {
-            Some(keys) => self.keyed_request(
-                keys,
-                Frame::KeyedBatchCall(KeyedBatch {
-                    key: keys.next(),
-                    request,
-                }),
-            )?,
-            None => self.transport.request(Frame::BatchCall(request))?,
+            Some(keys) => {
+                let key = keys.next();
+                self.keyed_request(
+                    keys,
+                    key.seq,
+                    Frame::KeyedBatchCall(KeyedBatch { key, request }).with_trace(ctx),
+                )?
+            }
+            None => self
+                .transport
+                .request(Frame::BatchCall(request).with_trace(ctx))?,
         };
+        let reply = reply.split_trace().1;
+        if let Some((tracer, ctx, start)) = trace {
+            tracer.record(ctx, "client.flush", start, tracer.now());
+        }
         match reply {
             Frame::BatchReturn(response) => Ok(response),
             Frame::Error(env) => Err(RemoteError::from(&env)),

@@ -24,9 +24,9 @@
 //! the in-flight slot and receive the original reply when it completes.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
+use brmi_obs::{Counter, MetricsSnapshot, Registry, Snapshot};
 use brmi_wire::invocation::ErrorEnvelope;
 use brmi_wire::protocol::{Frame, IdemKey};
 use brmi_wire::{RemoteError, RemoteErrorKind};
@@ -92,14 +92,22 @@ pub struct ReplyCache {
     config: ReplyCacheConfig,
     state: Mutex<CacheState>,
     completed: Condvar,
-    executions: AtomicU64,
-    replays: AtomicU64,
-    evictions: AtomicU64,
+    executions: Counter,
+    replays: Counter,
+    evictions: Counter,
 }
 
 impl Default for ReplyCache {
     fn default() -> Self {
         ReplyCache::new(ReplyCacheConfig::default())
+    }
+}
+
+impl Snapshot for ReplyCache {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.register_metrics(&registry);
+        registry.snapshot()
     }
 }
 
@@ -110,26 +118,36 @@ impl ReplyCache {
             config,
             state: Mutex::new(CacheState::default()),
             completed: Condvar::new(),
-            executions: AtomicU64::new(0),
-            replays: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            executions: Counter::default(),
+            replays: Counter::default(),
+            evictions: Counter::default(),
         }
     }
 
     /// Keyed requests that executed (first sightings).
     pub fn executions(&self) -> u64 {
-        self.executions.load(Ordering::Relaxed)
+        self.executions.value()
     }
 
     /// Keyed requests answered without executing (cached replies and
     /// unanswerable-key errors).
     pub fn replays(&self) -> u64 {
-        self.replays.load(Ordering::Relaxed)
+        self.replays.value()
     }
 
     /// Completed replies dropped by the LRU bound (not by acks).
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.value()
+    }
+
+    /// Registers the cache's metric cells with `registry` under the
+    /// `replay_*` families (unified naming: first-sighting executions are
+    /// `replay_executions`, deduplicated answers are `replay_replays`,
+    /// LRU-evicted replies are `replay_drops`).
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("replay_executions", &[], &self.executions);
+        registry.register_counter("replay_replays", &[], &self.replays);
+        registry.register_counter("replay_drops", &[], &self.evictions);
     }
 
     /// Completed replies currently retained.
@@ -165,7 +183,7 @@ impl ReplyCache {
         loop {
             let entry = state.clients.entry(key.client_id).or_default();
             if key.seq < entry.acked {
-                self.replays.fetch_add(1, Ordering::Relaxed);
+                self.replays.inc();
                 return Begin::Replay(unanswerable(
                     key,
                     "request seq is below the client's own ack watermark",
@@ -174,7 +192,7 @@ impl ReplyCache {
             match entry.slots.get(&key.seq) {
                 Some(Slot::Done(reply)) => {
                     let reply = reply.clone();
-                    self.replays.fetch_add(1, Ordering::Relaxed);
+                    self.replays.inc();
                     return Begin::Replay(reply);
                 }
                 Some(Slot::InFlight) => {
@@ -186,7 +204,7 @@ impl ReplyCache {
                     // Absent below the eviction floor: the reply may have
                     // existed and been evicted, so re-executing could run
                     // the call twice. Fail visibly instead.
-                    self.replays.fetch_add(1, Ordering::Relaxed);
+                    self.replays.inc();
                     return Begin::Replay(unanswerable(
                         key,
                         "reply was evicted from the origin's reply cache",
@@ -194,7 +212,7 @@ impl ReplyCache {
                 }
                 None => {
                     entry.slots.insert(key.seq, Slot::InFlight);
-                    self.executions.fetch_add(1, Ordering::Relaxed);
+                    self.executions.inc();
                     return Begin::Execute;
                 }
             }
@@ -239,7 +257,7 @@ impl ReplyCache {
                 victim.slots.remove(&seq);
                 victim.evicted_floor = victim.evicted_floor.max(seq + 1);
                 state.done -= 1;
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.evictions.inc();
             }
         }
         drop(state);

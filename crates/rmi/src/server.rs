@@ -12,10 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
+use brmi_obs::Tracer;
 use brmi_transport::clock::Clock;
 use brmi_transport::RequestHandler;
 use brmi_wire::invocation::{BatchRequestRef, BatchResponse, ErrorEnvelope, SessionId};
-use brmi_wire::protocol::{Frame, FrameRef, IdemKey, KeyedBatchRef};
+use brmi_wire::protocol::{Frame, FrameRef, IdemKey, KeyedBatchRef, TraceCtx};
 use brmi_wire::{ObjectId, RemoteError, RemoteErrorKind, ToValue, Value, ValueRef};
 use parking_lot::RwLock;
 
@@ -68,6 +69,7 @@ pub struct RmiServer {
     loopback_calls: AtomicU64,
     dgc: RwLock<Option<Arc<DgcServer>>>,
     reply_cache: ReplyCache,
+    tracer: RwLock<Option<Arc<Tracer>>>,
     weak_self: Weak<RmiServer>,
 }
 
@@ -97,6 +99,7 @@ impl RmiServer {
                 loopback_calls: AtomicU64::new(0),
                 dgc: RwLock::new(None),
                 reply_cache: ReplyCache::new(config),
+                tracer: RwLock::new(None),
                 weak_self: Weak::clone(weak_self),
             }
         })
@@ -137,6 +140,31 @@ impl RmiServer {
     /// Installs the batching extension.
     pub fn set_batch_handler(&self, handler: Arc<dyn BatchFrameHandler>) {
         *self.batch_handler.write() = Some(handler);
+    }
+
+    /// Installs a tracer: every [`Frame::Traced`] request then records an
+    /// `origin.execute` span (a child of the sender's span) and the reply
+    /// travels back wrapped in the same envelope. Without a tracer, traced
+    /// requests still execute — the envelope is simply not echoed.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = Some(tracer);
+    }
+
+    /// Executes a traced request: unwrap, time the inner dispatch as an
+    /// `origin.execute` span, re-wrap the reply with the origin's span so
+    /// the caller can close the loop.
+    fn handle_traced(&self, ctx: TraceCtx, run: impl FnOnce() -> Frame) -> Frame {
+        let tracer = self.tracer.read().clone();
+        match tracer {
+            Some(tracer) => {
+                let span = tracer.child(ctx);
+                let start = tracer.now();
+                let reply = run();
+                tracer.record(span, "origin.execute", start, tracer.now());
+                reply.with_trace(Some(span))
+            }
+            None => run(),
+        }
     }
 
     /// Configures simulated cost charged per loopback call (a call made
@@ -440,6 +468,7 @@ impl RequestHandler for RmiServer {
                 self.dgc_sweep();
                 reply
             }
+            Frame::Traced { ctx, inner } => self.handle_traced(ctx, || self.handle(*inner)),
             other => Frame::Error(ErrorEnvelope::from(&RemoteError::new(
                 RemoteErrorKind::Protocol,
                 format!("unexpected request frame: {}", other.kind_name()),
@@ -481,6 +510,7 @@ impl RequestHandler for RmiServer {
                     .map(|KeyedBatchRef { key, request }| (key, request))
                     .collect(),
             ),
+            FrameRef::Traced { ctx, inner } => self.handle_traced(ctx, || self.handle_ref(*inner)),
             FrameRef::Other(frame) => self.handle(frame),
         }
     }

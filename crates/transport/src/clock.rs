@@ -53,6 +53,15 @@ impl Clock for VirtualClock {
     }
 }
 
+// A virtual clock is also an observability time source, so trace span
+// timestamps and simulated network costs can share one timebase — the key
+// to byte-identical latency histograms and waterfalls in `BENCH_obs`.
+impl brmi_obs::TimeSource for VirtualClock {
+    fn now(&self) -> Duration {
+        Clock::elapsed(self)
+    }
+}
+
 /// A clock that really sleeps, for demos where wall-clock latency should be
 /// observable (e.g. the quickstart example on a "wireless" profile).
 #[derive(Debug, Default)]

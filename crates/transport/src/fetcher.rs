@@ -59,10 +59,10 @@
 //! [`MethodMeta`]: brmi_wire::MethodMeta
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use brmi_obs::{Counter, MetricsSnapshot, Registry, Snapshot};
 use brmi_wire::invocation::{
     BatchRequest, BatchResponse, CallSeq, ErrorEnvelope, InvocationData, PolicySpec, SlotOutcome,
     Target,
@@ -75,69 +75,74 @@ use crate::relay::{ReadCachePolicy, RealTime, RelayTimeSource};
 use crate::RequestHandler;
 
 /// Cumulative fetcher counters.
+///
+/// Backed by [`brmi_obs`] counters since the observability migration: the
+/// getters are thin shims, and [`FetcherStats::register_metrics`] attaches
+/// the same cells (families `fetcher_*`, with the unified `*_hits` /
+/// `*_drops` vocabulary) to a [`Registry`] for unified snapshots.
 #[derive(Debug, Default)]
 pub struct FetcherStats {
-    batches: AtomicU64,
-    cacheable_batches: AtomicU64,
-    lookups: AtomicU64,
-    hits: AtomicU64,
-    coalesced: AtomicU64,
-    misses: AtomicU64,
-    probe_batches: AtomicU64,
-    invalidations: AtomicU64,
-    evictions: AtomicU64,
-    expirations: AtomicU64,
+    batches: Counter,
+    cacheable_batches: Counter,
+    lookups: Counter,
+    hits: Counter,
+    coalesced: Counter,
+    misses: Counter,
+    probe_batches: Counter,
+    invalidations: Counter,
+    evictions: Counter,
+    expirations: Counter,
 }
 
 impl FetcherStats {
     /// Batch frames that entered the fetcher.
     pub fn batch_frames(&self) -> u64 {
-        self.batches.load(Ordering::Relaxed)
+        self.batches.value()
     }
 
     /// Batches classified cacheable (every call a declared read).
     pub fn cacheable_batches(&self) -> u64 {
-        self.cacheable_batches.load(Ordering::Relaxed)
+        self.cacheable_batches.value()
     }
 
     /// Individual read calls looked up in the cache.
     pub fn lookups(&self) -> u64 {
-        self.lookups.load(Ordering::Relaxed)
+        self.lookups.value()
     }
 
     /// Reads served from the cache (zero origin work).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.value()
     }
 
     /// Reads that piggybacked on another caller's in-flight probe.
     pub fn coalesced_reads(&self) -> u64 {
-        self.coalesced.load(Ordering::Relaxed)
+        self.coalesced.value()
     }
 
     /// Reads that had to probe the origin.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.value()
     }
 
     /// Probe batches sent towards the origin.
     pub fn probe_batches(&self) -> u64 {
-        self.probe_batches.load(Ordering::Relaxed)
+        self.probe_batches.value()
     }
 
     /// Epoch bumps caused by write sightings or explicit invalidation.
     pub fn invalidations(&self) -> u64 {
-        self.invalidations.load(Ordering::Relaxed)
+        self.invalidations.value()
     }
 
     /// Entries evicted by the capacity bound.
     pub fn evictions(&self) -> u64 {
-        self.evictions.load(Ordering::Relaxed)
+        self.evictions.value()
     }
 
     /// Entries dropped because their TTL had lapsed when they were hit.
     pub fn expirations(&self) -> u64 {
-        self.expirations.load(Ordering::Relaxed)
+        self.expirations.value()
     }
 
     /// Hits plus coalesced waits over all lookups: the fraction of read
@@ -148,6 +153,35 @@ impl FetcherStats {
             return 0.0;
         }
         (self.hits() + self.coalesced_reads()) as f64 / lookups
+    }
+
+    /// Registers the fetcher's metric cells with `registry` under the
+    /// `fetcher_*` families. The three ways an entry leaves the cache
+    /// (invalidation, capacity eviction, TTL expiry) share the
+    /// `fetcher_drops` family, distinguished by a `reason` label.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("fetcher_batches", &[], &self.batches);
+        registry.register_counter("fetcher_cacheable_batches", &[], &self.cacheable_batches);
+        registry.register_counter("fetcher_lookups", &[], &self.lookups);
+        registry.register_counter("fetcher_hits", &[], &self.hits);
+        registry.register_counter("fetcher_coalesced_reads", &[], &self.coalesced);
+        registry.register_counter("fetcher_misses", &[], &self.misses);
+        registry.register_counter("fetcher_probe_batches", &[], &self.probe_batches);
+        registry.register_counter(
+            "fetcher_drops",
+            &[("reason", "invalidated")],
+            &self.invalidations,
+        );
+        registry.register_counter("fetcher_drops", &[("reason", "evicted")], &self.evictions);
+        registry.register_counter("fetcher_drops", &[("reason", "expired")], &self.expirations);
+    }
+}
+
+impl Snapshot for FetcherStats {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.register_metrics(&registry);
+        registry.snapshot()
     }
 }
 
@@ -240,7 +274,7 @@ impl CacheState {
         }
         if now.saturating_sub(entry.stored_at) > ttl {
             self.drop_entry(key);
-            stats.expirations.fetch_add(1, Ordering::Relaxed);
+            stats.expirations.inc();
             return None;
         }
         Some(entry.value.clone())
@@ -255,7 +289,7 @@ impl CacheState {
                 break;
             };
             if self.entries.remove(&victim).is_some() {
-                stats.evictions.fetch_add(1, Ordering::Relaxed);
+                stats.evictions.inc();
             }
         }
         if self.entries.insert(key.clone(), entry).is_none() {
@@ -420,22 +454,22 @@ impl BatchFetcher {
         for object in objects {
             *state.object_epochs.entry(*object).or_insert(0) += 1;
         }
-        self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.stats.invalidations.inc();
     }
 
     /// Serves one cacheable batch: cache hits, coalesced joins, and one
     /// probe batch (run on this caller's thread) for everything else.
     fn serve_cacheable(&self, request: BatchRequest, keys: Vec<Vec<u8>>) -> Frame {
-        self.stats.cacheable_batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.cacheable_batches.inc();
         let now = self.time.now();
         let mut plans = Vec::with_capacity(request.calls.len());
         let mut probes: Vec<ProbeCall> = Vec::new();
         {
             let mut state = self.state.lock().expect("fetcher state lock");
             for (call, key) in request.calls.iter().zip(keys) {
-                self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+                self.stats.lookups.inc();
                 if let Some(value) = state.lookup(&key, now, self.policy.ttl, &self.stats) {
-                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.hits.inc();
                     plans.push(Plan::Hit(value));
                     continue;
                 }
@@ -453,12 +487,12 @@ impl BatchFetcher {
                     if slot.global_epoch == state.global_epoch
                         && slot.object_epoch == state.object_epoch(object)
                     {
-                        self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                        self.stats.coalesced.inc();
                         plans.push(Plan::Join(Arc::clone(slot)));
                         continue;
                     }
                 }
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                self.stats.misses.inc();
                 let slot = Inflight::new(state.global_epoch, state.object_epoch(object));
                 // May replace a stale in-flight entry: callers already
                 // joined to the old slot keep their Arc and still receive
@@ -530,7 +564,7 @@ impl BatchFetcher {
         if probes.is_empty() {
             return Vec::new();
         }
-        self.stats.probe_batches.fetch_add(1, Ordering::Relaxed);
+        self.stats.probe_batches.inc();
         let calls = probes
             .iter()
             .enumerate()
@@ -644,7 +678,7 @@ impl RequestHandler for BatchFetcher {
     fn handle(&self, frame: Frame) -> Frame {
         match frame {
             Frame::BatchCall(request) => {
-                self.stats.batches.fetch_add(1, Ordering::Relaxed);
+                self.stats.batches.inc();
                 match self.cacheable_keys(&request) {
                     Some(keys) => self.serve_cacheable(request, keys),
                     None => {
@@ -705,6 +739,49 @@ impl RequestHandler for BatchFetcher {
                     args,
                 })
             }
+            // The trace envelope is transparent to the caching tier: serve
+            // or watch the inner frame exactly as if it arrived bare, but
+            // keep the context on everything forwarded (so the relay's
+            // span chain survives this tier) and on every reply.
+            Frame::Traced { ctx, inner } => match *inner {
+                Frame::BatchCall(request) => {
+                    self.stats.batches.inc();
+                    match self.cacheable_keys(&request) {
+                        // A cache-served read never reaches the relay; the
+                        // reply is re-enveloped so the client still sees
+                        // its context.
+                        Some(keys) => self.serve_cacheable(request, keys).with_trace(Some(ctx)),
+                        None => {
+                            self.note_writes(&request.calls);
+                            self.inner
+                                .handle(Frame::BatchCall(request).with_trace(Some(ctx)))
+                        }
+                    }
+                }
+                inner => {
+                    match &inner {
+                        Frame::SuperBatchCall(batches) => {
+                            for batch in batches {
+                                self.note_writes(&batch.calls);
+                            }
+                        }
+                        Frame::KeyedBatchCall(batch) => self.note_writes(&batch.request.calls),
+                        Frame::KeyedSuperBatchCall(batches) => {
+                            for batch in batches {
+                                self.note_writes(&batch.request.calls);
+                            }
+                        }
+                        Frame::KeyedCall { target, method, .. }
+                        | Frame::Call { target, method, .. }
+                            if !self.registry.is_read_only(method) =>
+                        {
+                            self.bump_epochs(&[*target], false);
+                        }
+                        _ => {}
+                    }
+                    self.inner.handle(inner.with_trace(Some(ctx)))
+                }
+            },
             other => self.inner.handle(other),
         }
     }
@@ -716,7 +793,7 @@ mod tests {
     use crate::clock::{Clock, VirtualClock};
     use brmi_wire::invocation::Arg;
     use brmi_wire::{InterfaceMeta, MethodMeta};
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Barrier;
 
     static STORE_METHODS: &[MethodMeta] = &[

@@ -48,9 +48,9 @@ pub mod retry;
 pub mod sim;
 pub mod tcp;
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use brmi_obs::{Counter, MetricsSnapshot, Registry, Snapshot};
 use brmi_wire::protocol::{Frame, FrameRef};
 use brmi_wire::{RemoteError, Value};
 
@@ -108,12 +108,18 @@ impl<T: RequestHandler + ?Sized> RequestHandler for Arc<T> {
 }
 
 /// Cumulative traffic counters, shared by transports that keep statistics.
+///
+/// Backed by [`brmi_obs`] counters since the observability migration: the
+/// getter methods are thin shims over the metric cells, and
+/// [`TransportStats::register_metrics`] attaches the same cells to a
+/// [`Registry`] (family `transport_*`, labeled by tier) so one unified
+/// snapshot sees every transport in a harness.
 #[derive(Debug, Default)]
 pub struct TransportStats {
-    requests: AtomicU64,
-    bytes_sent: AtomicU64,
-    bytes_received: AtomicU64,
-    remote_refs: AtomicU64,
+    requests: Counter,
+    bytes_sent: Counter,
+    bytes_received: Counter,
+    remote_refs: Counter,
 }
 
 impl TransportStats {
@@ -124,45 +130,63 @@ impl TransportStats {
 
     /// Records one round trip of `sent`/`received` bytes.
     pub fn record(&self, sent: usize, received: usize) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent.fetch_add(sent as u64, Ordering::Relaxed);
-        self.bytes_received
-            .fetch_add(received as u64, Ordering::Relaxed);
+        self.requests.inc();
+        self.bytes_sent.add(sent as u64);
+        self.bytes_received.add(received as u64);
     }
 
     /// Records remote references observed crossing the wire (counted by
     /// transports that walk payloads, e.g. the simulated one).
     pub fn record_remote_refs(&self, refs: usize) {
-        self.remote_refs.fetch_add(refs as u64, Ordering::Relaxed);
+        self.remote_refs.add(refs as u64);
     }
 
     /// Number of round trips so far.
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.value()
     }
 
     /// Total remote references marshalled so far (both directions; only
     /// counted by payload-walking transports).
     pub fn remote_refs(&self) -> u64 {
-        self.remote_refs.load(Ordering::Relaxed)
+        self.remote_refs.value()
     }
 
     /// Total request bytes so far.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent.load(Ordering::Relaxed)
+        self.bytes_sent.value()
     }
 
     /// Total response bytes so far.
     pub fn bytes_received(&self) -> u64 {
-        self.bytes_received.load(Ordering::Relaxed)
+        self.bytes_received.value()
     }
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.requests.store(0, Ordering::Relaxed);
-        self.bytes_sent.store(0, Ordering::Relaxed);
-        self.bytes_received.store(0, Ordering::Relaxed);
-        self.remote_refs.store(0, Ordering::Relaxed);
+        self.requests.reset();
+        self.bytes_sent.reset();
+        self.bytes_received.reset();
+        self.remote_refs.reset();
+    }
+
+    /// Registers these counters with `registry` under the `transport_*`
+    /// families, labeled `tier` (e.g. `"pool"`, `"mux"`, `"sim"`), so a
+    /// harness-wide snapshot distinguishes each transport's traffic.
+    pub fn register_metrics(&self, registry: &Registry, tier: &str) {
+        let labels: &[(&str, &str)] = &[("tier", tier)];
+        registry.register_counter("transport_requests", labels, &self.requests);
+        registry.register_counter("transport_bytes_sent", labels, &self.bytes_sent);
+        registry.register_counter("transport_bytes_received", labels, &self.bytes_received);
+        registry.register_counter("transport_remote_refs", labels, &self.remote_refs);
+    }
+}
+
+impl Snapshot for TransportStats {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.register_metrics(&registry, "transport");
+        registry.snapshot()
     }
 }
 
@@ -218,6 +242,9 @@ pub fn frame_remote_refs(frame: &Frame) -> usize {
         Frame::KeyedSuperBatchCall(batches) => {
             batches.iter().map(|b| request_refs(&b.request)).sum()
         }
+        // The trace envelope is payload-neutral: only the inner frame's
+        // references cost marshalling.
+        Frame::Traced { inner, .. } => frame_remote_refs(inner),
     }
 }
 

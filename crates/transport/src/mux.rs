@@ -73,6 +73,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use brmi_obs::{Counter, MetricsSnapshot, Registry, Snapshot};
 use brmi_wire::codec::WireCodec;
 use brmi_wire::protocol::Frame;
 use brmi_wire::{MethodRegistry, RemoteError};
@@ -252,8 +253,8 @@ struct MuxShared {
     /// built without it (every failure is then an unclassified write).
     registry: Option<Arc<MethodRegistry>>,
     stats: Arc<TransportStats>,
-    write_syscalls: AtomicU64,
-    frames_sent: AtomicU64,
+    write_syscalls: Counter,
+    frames_sent: Counter,
 }
 
 impl MuxShared {
@@ -370,8 +371,8 @@ impl MuxClient {
             dead: Mutex::new(None),
             registry,
             stats: TransportStats::new(),
-            write_syscalls: AtomicU64::new(0),
-            frames_sent: AtomicU64::new(0),
+            write_syscalls: Counter::default(),
+            frames_sent: Counter::default(),
         });
         let reader_shared = Arc::clone(&shared);
         let reader = std::thread::Builder::new()
@@ -398,17 +399,27 @@ impl MuxClient {
     /// `write`/`write_vectored` syscalls performed so far — the number the
     /// mux bench compares against the pool's one-write-per-frame.
     pub fn write_syscalls(&self) -> u64 {
-        self.shared.write_syscalls.load(Ordering::Relaxed)
+        self.shared.write_syscalls.value()
     }
 
     /// Request frames sent so far.
     pub fn frames_sent(&self) -> u64 {
-        self.shared.frames_sent.load(Ordering::Relaxed)
+        self.shared.frames_sent.value()
     }
 
     /// Calls currently awaiting a reply.
     pub fn in_flight(&self) -> usize {
         self.shared.calls.lock().expect("mux calls lock").len()
+    }
+
+    /// Registers this client's metric cells with `registry`: the shared
+    /// `transport_*` families labeled `tier="mux"`, plus the mux-specific
+    /// `mux_write_syscalls` / `mux_frames_sent` pair whose ratio is the
+    /// write-coalescing win over one-write-per-frame.
+    pub fn register_metrics(&self, registry: &Registry) {
+        self.shared.stats.register_metrics(registry, "mux");
+        registry.register_counter("mux_write_syscalls", &[], &self.shared.write_syscalls);
+        registry.register_counter("mux_frames_sent", &[], &self.shared.frames_sent);
     }
 
     /// Registers a call slot and encodes `frame` into its envelope.
@@ -501,12 +512,8 @@ impl MuxClient {
             };
             match result {
                 Ok(syscalls) => {
-                    self.shared
-                        .write_syscalls
-                        .fetch_add(syscalls as u64, Ordering::Relaxed);
-                    self.shared
-                        .frames_sent
-                        .fetch_add(envelopes.len() as u64, Ordering::Relaxed);
+                    self.shared.write_syscalls.add(syscalls as u64);
+                    self.shared.frames_sent.add(envelopes.len() as u64);
                 }
                 Err(err) => self.shared.fail_all(&err.to_string()),
             }
@@ -534,12 +541,8 @@ impl MuxClient {
             };
             match result {
                 Ok(syscalls) => {
-                    self.shared
-                        .write_syscalls
-                        .fetch_add(syscalls as u64, Ordering::Relaxed);
-                    self.shared
-                        .frames_sent
-                        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    self.shared.write_syscalls.add(syscalls as u64);
+                    self.shared.frames_sent.add(batch.len() as u64);
                 }
                 Err(err) => {
                     {
@@ -558,6 +561,14 @@ impl MuxClient {
 impl Transport for MuxClient {
     fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
         self.call(&frame)?.wait()
+    }
+}
+
+impl Snapshot for MuxClient {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.register_metrics(&registry);
+        registry.snapshot()
     }
 }
 

@@ -33,9 +33,9 @@
 //!   re-sent key with the recorded reply instead of executing again.
 
 use std::net::{SocketAddr, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use brmi_obs::{Counter, MetricsSnapshot, Registry, Snapshot};
 use brmi_wire::protocol::Frame;
 use brmi_wire::RemoteError;
 use parking_lot::Mutex;
@@ -56,7 +56,7 @@ pub struct TcpPool {
     idle: Mutex<Vec<ClientConn>>,
     max_idle: usize,
     retry: RetryPolicy,
-    retries: AtomicU64,
+    retries: Counter,
     stats: Arc<TransportStats>,
 }
 
@@ -87,7 +87,7 @@ impl TcpPool {
             idle: Mutex::new(vec![conn]),
             max_idle: max_idle.max(1),
             retry: RetryPolicy::default(),
-            retries: AtomicU64::new(0),
+            retries: Counter::default(),
             stats: TransportStats::new(),
         })
     }
@@ -103,7 +103,15 @@ impl TcpPool {
 
     /// Re-sends performed for retry-safe frames (excludes first attempts).
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.retries.value()
+    }
+
+    /// Registers this pool's metric cells with `registry`: the shared
+    /// `transport_*` families labeled `tier="pool"`, plus `pool_retries`
+    /// counting re-sends of retry-safe frames.
+    pub fn register_metrics(&self, registry: &Registry) {
+        self.stats.register_metrics(registry, "pool");
+        registry.register_counter("pool_retries", &[], &self.retries);
     }
 
     /// The server address this pool dials.
@@ -173,6 +181,14 @@ impl std::fmt::Debug for TcpPool {
     }
 }
 
+impl Snapshot for TcpPool {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.register_metrics(&registry);
+        registry.snapshot()
+    }
+}
+
 impl Transport for TcpPool {
     fn request(&self, frame: Frame) -> Result<Frame, RemoteError> {
         // Keyed frames may be re-sent (the origin dedupes them); everything
@@ -189,7 +205,7 @@ impl Transport for TcpPool {
                 Ok(reply) => return Ok(reply),
                 Err(err) if attempt >= budget => return Err(err),
                 Err(_) => {
-                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    self.retries.inc();
                     let delay = self.retry.delay_for(attempt);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);

@@ -95,10 +95,11 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use brmi_obs::{Counter, Gauge, MetricsSnapshot, Registry, Snapshot};
 use brmi_wire::codec::WireCodec;
 use brmi_wire::protocol::FrameRef;
 use brmi_wire::RemoteError;
@@ -321,31 +322,85 @@ struct PoolQueue {
     shutdown: bool,
 }
 
+/// Reactor observability cells: connection count, dispatch-queue depth and
+/// backpressure pauses. Registered under the `reactor_*` families by
+/// [`ReactorServer::register_metrics`].
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    connections: Gauge,
+    queue_depth: Gauge,
+    backpressure_pauses: Counter,
+}
+
+impl ReactorStats {
+    /// Currently established connections across all reactor threads.
+    pub fn active_connections(&self) -> u64 {
+        self.connections.value().max(0) as u64
+    }
+
+    /// Dispatch jobs currently queued for the worker pool (always zero in
+    /// inline-dispatch mode).
+    pub fn worker_queue_depth(&self) -> u64 {
+        self.queue_depth.value().max(0) as u64
+    }
+
+    /// Times a connection's `EPOLLIN` interest was dropped because its
+    /// backlog (unsent replies + pool-queued work) crossed the high-water
+    /// mark — each count is one backpressure pause; reads resume when the
+    /// backlog drains.
+    pub fn backpressure_pauses(&self) -> u64 {
+        self.backpressure_pauses.value()
+    }
+
+    /// Registers the reactor's metric cells with `registry` under the
+    /// `reactor_*` families.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_gauge("reactor_active_connections", &[], &self.connections);
+        registry.register_gauge("reactor_worker_queue_depth", &[], &self.queue_depth);
+        registry.register_counter(
+            "reactor_backpressure_pauses",
+            &[],
+            &self.backpressure_pauses,
+        );
+    }
+}
+
+impl Snapshot for ReactorStats {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.register_metrics(&registry);
+        registry.snapshot()
+    }
+}
+
 /// Bounded dispatch worker pool: reactor threads push parsed requests,
 /// workers execute them through the handler and hand the encoded replies
 /// back via the owning thread's completion inbox + wake channel.
 struct WorkerPool {
     queue: std::sync::Mutex<PoolQueue>,
     available: std::sync::Condvar,
+    /// Mirror of the queue length (updated under the queue lock), shared
+    /// with [`ReactorStats`].
+    depth: Gauge,
 }
 
 impl WorkerPool {
-    fn new() -> Arc<WorkerPool> {
+    fn new(depth: Gauge) -> Arc<WorkerPool> {
         Arc::new(WorkerPool {
             queue: std::sync::Mutex::new(PoolQueue {
                 jobs: VecDeque::new(),
                 shutdown: false,
             }),
             available: std::sync::Condvar::new(),
+            depth,
         })
     }
 
     fn submit(&self, job: DispatchJob) {
-        self.queue
-            .lock()
-            .expect("worker pool lock")
-            .jobs
-            .push_back(job);
+        let mut queue = self.queue.lock().expect("worker pool lock");
+        queue.jobs.push_back(job);
+        self.depth.set(queue.jobs.len() as i64);
+        drop(queue);
         self.available.notify_one();
     }
 
@@ -355,6 +410,7 @@ impl WorkerPool {
         let mut queue = self.queue.lock().expect("worker pool lock");
         loop {
             if let Some(job) = queue.jobs.pop_front() {
+                self.depth.set(queue.jobs.len() as i64);
                 return Some(job);
             }
             if queue.shutdown {
@@ -404,8 +460,7 @@ fn worker_loop(pool: &WorkerPool, handler: &Arc<dyn RequestHandler>, shared: &Sh
 /// dispatch workers.
 struct Shared {
     shutdown: AtomicBool,
-    /// Live connections across all reactor threads (test/ops introspection).
-    connections: AtomicUsize,
+    stats: Arc<ReactorStats>,
     /// Write ends of each thread's wake channel.
     wakers: Mutex<Vec<UnixStream>>,
     /// Per-reactor-thread completion inboxes, filled by dispatch workers.
@@ -468,13 +523,15 @@ impl ReactorServer {
         let local_addr = listener.local_addr().map_err(transport_err)?;
 
         let threads = config.reactor_threads.max(1);
+        let stats = Arc::new(ReactorStats::default());
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
-            connections: AtomicUsize::new(0),
+            stats: Arc::clone(&stats),
             wakers: Mutex::new(Vec::new()),
             inboxes: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
         });
-        let pool = (config.dispatch_workers > 0).then(WorkerPool::new);
+        let pool =
+            (config.dispatch_workers > 0).then(|| WorkerPool::new(stats.queue_depth.clone()));
 
         let mut handles = Vec::with_capacity(threads);
         let mut workers = Vec::with_capacity(config.dispatch_workers);
@@ -543,7 +600,18 @@ impl ReactorServer {
     /// Number of currently established connections across all reactor
     /// threads.
     pub fn active_connections(&self) -> usize {
-        self.shared.connections.load(Ordering::SeqCst)
+        self.shared.stats.active_connections() as usize
+    }
+
+    /// The reactor's observability cells.
+    pub fn stats(&self) -> Arc<ReactorStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Registers this server's metric cells with `registry` (families
+    /// `reactor_*`; see [`ReactorStats::register_metrics`]).
+    pub fn register_metrics(&self, registry: &Registry) {
+        self.shared.stats.register_metrics(registry);
     }
 
     /// Stops the event loops, closes every connection, drains the dispatch
@@ -796,7 +864,7 @@ impl ReactorThread {
         }
         // Drop closes every connection; keep the shared count honest.
         let live = self.conns.iter().filter(|c| c.is_some()).count();
-        self.shared.connections.fetch_sub(live, Ordering::SeqCst);
+        self.shared.stats.connections.sub(live as i64);
     }
 
     /// Applies every dispatch completion the workers have delivered to
@@ -896,7 +964,7 @@ impl ReactorThread {
             inflight_bytes: 0,
             inflight_jobs: 0,
         });
-        self.shared.connections.fetch_add(1, Ordering::SeqCst);
+        self.shared.stats.connections.inc();
         Ok(())
     }
 
@@ -908,7 +976,7 @@ impl ReactorThread {
             // the generation check, so the slot can be reused immediately.
             self.gens[idx] += 1;
             self.free.push(idx);
-            self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+            self.shared.stats.connections.dec();
         }
     }
 
@@ -1063,6 +1131,11 @@ impl ReactorThread {
         }
         if interest == conn.interest {
             return ConnFate::Keep;
+        }
+        // Losing EPOLLIN with the peer still sending means the backlog
+        // crossed the high-water mark: one backpressure pause begins here.
+        if conn.interest & EPOLLIN != 0 && interest & EPOLLIN == 0 && !conn.read_closed {
+            self.shared.stats.backpressure_pauses.inc();
         }
         let token = idx as u64 + TOKEN_CONN_BASE;
         match self.epoll.modify(conn.stream.as_raw_fd(), interest, token) {
@@ -1375,6 +1448,93 @@ mod tests {
         assert_eq!(server.active_connections(), 1);
         drop(a);
         drop(server);
+    }
+
+    #[test]
+    fn reactor_stats_surface_in_the_unified_registry() {
+        use brmi_obs::Snapshot as _;
+        let server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(EchoHandler),
+            ReactorConfig {
+                reactor_threads: 1,
+                dispatch_workers: 2,
+            },
+        )
+        .unwrap();
+        let registry = Registry::new();
+        server.register_metrics(&registry);
+
+        let a = TcpTransport::connect(server.local_addr()).unwrap();
+        let b = TcpTransport::connect(server.local_addr()).unwrap();
+        a.request(call(vec![])).unwrap();
+        b.request(call(vec![])).unwrap();
+
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauge("reactor_active_connections"), 2);
+        // Both requests have been answered, so no dispatch job is queued.
+        assert_eq!(snapshot.gauge("reactor_worker_queue_depth"), 0);
+        assert_eq!(snapshot.counter("reactor_backpressure_pauses"), 0);
+        // The same cells through the Snapshot trait, for callers that
+        // only hold the stats handle.
+        assert_eq!(
+            server
+                .stats()
+                .snapshot()
+                .gauge("reactor_active_connections"),
+            2
+        );
+        drop((a, b));
+    }
+
+    /// A peer that writes a multi-megabyte pipelined burst without reading
+    /// replies forces the out-buffer past HIGH_WATER: the reactor must
+    /// pause reads (counted on `reactor_backpressure_pauses`) and resume
+    /// them once the peer finally drains — no reply may be lost.
+    #[test]
+    fn slow_consumer_backpressure_is_counted_and_reads_resume() {
+        const FRAMES: i32 = 32;
+        const BLOB: usize = 512 * 1024; // 16 MB of replies ≫ HIGH_WATER
+        let server = echo_server();
+        assert_eq!(server.stats().backpressure_pauses(), 0);
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let writer = {
+            let mut stream = stream.try_clone().unwrap();
+            std::thread::spawn(move || {
+                let mut payload = Vec::new();
+                for i in 0..FRAMES {
+                    call(vec![Value::I32(i), Value::Bytes(vec![i as u8; BLOB])])
+                        .encode_into(&mut payload);
+                    stream
+                        .write_all(&(payload.len() as u32).to_le_bytes())
+                        .unwrap();
+                    stream.write_all(&payload).unwrap();
+                }
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+            })
+        };
+        // Hold off reading until the pause is observed: with nothing
+        // draining the socket, queued replies must eventually trip the
+        // high-water mark.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while server.stats().backpressure_pauses() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no backpressure pause was ever counted"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Drain: every reply still arrives, in order.
+        let mut read_buf = Vec::new();
+        for i in 0..FRAMES {
+            assert!(crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+            let reply = Frame::from_wire_bytes(&read_buf).unwrap();
+            let expected = vec![Value::I32(i), Value::Bytes(vec![i as u8; BLOB])];
+            assert_eq!(reply, Frame::Return(Value::List(expected)));
+        }
+        assert!(!crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+        writer.join().unwrap();
+        assert!(server.stats().backpressure_pauses() >= 1);
     }
 
     #[test]

@@ -69,13 +69,13 @@
 //! upstream one-for-one.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use brmi_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Registry, Snapshot, Tracer};
 use brmi_wire::invocation::{BatchRequest, ErrorEnvelope};
-use brmi_wire::protocol::{Frame, IdemKey, KeyedBatch};
+use brmi_wire::protocol::{Frame, IdemKey, KeyedBatch, TraceCtx};
 use brmi_wire::{RemoteError, RemoteErrorKind};
 
 use crate::clock::{Clock, VirtualClock};
@@ -229,57 +229,90 @@ impl RelayTimeSource for VirtualClock {
 }
 
 /// Cumulative relay counters.
+///
+/// Backed by [`brmi_obs`] metric cells since the observability migration:
+/// the getters are thin shims, and [`RelayStats::register_metrics`]
+/// attaches the same cells (families `relay_*`) to a [`Registry`] for
+/// unified snapshots. The relay additionally keeps a
+/// `relay_coalesce_wait_nanos` histogram of how long each batch waited at
+/// the edge for company — the coalesce-wait half of the paper's latency
+/// story, exact under virtual time.
 #[derive(Debug, Default)]
 pub struct RelayStats {
-    batches: AtomicU64,
-    keyed_batches: AtomicU64,
-    super_batches: AtomicU64,
-    coalesced_batches: AtomicU64,
-    forwarded: AtomicU64,
-    largest_group: AtomicU64,
+    batches: Counter,
+    keyed_batches: Counter,
+    super_batches: Counter,
+    coalesced_batches: Counter,
+    forwarded: Counter,
+    largest_group: Gauge,
+    coalesce_wait: Histogram,
 }
 
 impl RelayStats {
     /// Downstream batch frames accepted for relaying (keyed and unkeyed).
     pub fn batches_relayed(&self) -> u64 {
-        self.batches.load(Ordering::Relaxed)
+        self.batches.value()
     }
 
     /// Downstream batch frames that carried an idempotency key — the
     /// retry-safe subset of [`RelayStats::batches_relayed`].
     pub fn keyed_batches_relayed(&self) -> u64 {
-        self.keyed_batches.load(Ordering::Relaxed)
+        self.keyed_batches.value()
     }
 
     /// Upstream flushes performed (super-batches plus singleton batches).
     pub fn upstream_flushes(&self) -> u64 {
-        self.super_batches.load(Ordering::Relaxed)
+        self.super_batches.value()
     }
 
     /// Batches that shipped sharing an upstream round trip with at least
     /// one other batch.
     pub fn coalesced_batches(&self) -> u64 {
-        self.coalesced_batches.load(Ordering::Relaxed)
+        self.coalesced_batches.value()
     }
 
     /// Non-batch frames forwarded upstream one-for-one.
     pub fn forwarded_frames(&self) -> u64 {
-        self.forwarded.load(Ordering::Relaxed)
+        self.forwarded.value()
     }
 
     /// Largest number of batches coalesced into one upstream round trip.
     pub fn largest_group(&self) -> u64 {
-        self.largest_group.load(Ordering::Relaxed)
+        self.largest_group.value().max(0) as u64
+    }
+
+    /// Histogram of how long batches waited at the edge before their
+    /// group flushed (nanoseconds, [`RelayTimeSource`] time).
+    pub fn coalesce_wait(&self) -> brmi_obs::HistogramSnapshot {
+        self.coalesce_wait.snapshot()
     }
 
     fn record_group(&self, group: usize) {
-        self.super_batches.fetch_add(1, Ordering::Relaxed);
+        self.super_batches.inc();
         if group > 1 {
-            self.coalesced_batches
-                .fetch_add(group as u64, Ordering::Relaxed);
+            self.coalesced_batches.add(group as u64);
         }
-        self.largest_group
-            .fetch_max(group as u64, Ordering::Relaxed);
+        self.largest_group.set_max(group as i64);
+    }
+
+    /// Registers the relay's metric cells with `registry` under the
+    /// `relay_*` families.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("relay_batches", &[], &self.batches);
+        registry.register_counter("relay_keyed_batches", &[], &self.keyed_batches);
+        registry.register_counter("relay_upstream_flushes", &[], &self.super_batches);
+        registry.register_counter("relay_coalesced_batches", &[], &self.coalesced_batches);
+        registry.register_counter("relay_forwarded_frames", &[], &self.forwarded);
+        registry.register_gauge("relay_largest_group", &[], &self.largest_group);
+        registry.register_histogram("relay_coalesce_wait_nanos", &[], &self.coalesce_wait);
+    }
+}
+
+impl Snapshot for RelayStats {
+    fn snapshot(&self) -> MetricsSnapshot {
+        let registry = Registry::new();
+        self.register_metrics(&registry);
+        registry.snapshot()
     }
 }
 
@@ -292,6 +325,16 @@ struct PendingBatch {
     /// Budget weight: call count, but at least one so empty batches (pure
     /// session traffic) still make progress toward a flush.
     weight: usize,
+    /// When this batch was enqueued ([`RelayTimeSource`] time) — feeds the
+    /// `relay_coalesce_wait_nanos` histogram at flush.
+    enqueued_at: Duration,
+    /// The relay's own span for this batch when it arrived traced: minted
+    /// at enqueue (child of the client's span), recorded as
+    /// `relay.coalesce` at flush, and carried upstream as the envelope
+    /// context.
+    trace: Option<TraceCtx>,
+    /// Tracer timestamp at enqueue (the span's start).
+    trace_start: Duration,
     reply: Arc<ReplySlot>,
 }
 
@@ -341,6 +384,16 @@ struct Shared {
     time: Arc<dyn RelayTimeSource>,
     upstream: Arc<dyn Transport>,
     stats: Arc<RelayStats>,
+    tracer: RwLock<Option<Arc<Tracer>>>,
+}
+
+impl Shared {
+    fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
 }
 
 /// The edge node: coalesces downstream batch frames into upstream
@@ -394,6 +447,7 @@ impl BatchRelay {
             time,
             upstream,
             stats: Arc::new(RelayStats::default()),
+            tracer: RwLock::new(None),
         });
         let flusher_shared = Arc::clone(&shared);
         let flusher = std::thread::Builder::new()
@@ -411,10 +465,44 @@ impl BatchRelay {
         Arc::clone(&self.shared.stats)
     }
 
+    /// Registers this relay's metric cells with `registry` (families
+    /// `relay_*`; see [`RelayStats::register_metrics`]).
+    pub fn register_metrics(&self, registry: &Registry) {
+        self.shared.stats.register_metrics(registry);
+    }
+
+    /// Installs a tracer: every traced downstream batch then records a
+    /// `relay.coalesce` span (enqueue → flush, a child of the client's
+    /// span) and its upstream frame carries the relay's span as the new
+    /// envelope context. Without a tracer, traced batches still relay —
+    /// the client's context is forwarded upstream untouched.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self
+            .shared
+            .tracer
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = Some(tracer);
+    }
+
     /// Enqueues one downstream batch (keyed or not) and blocks until its
-    /// super-batch completes.
-    fn relay_batch(&self, key: Option<IdemKey>, request: BatchRequest) -> Frame {
+    /// super-batch completes. `client_ctx` is the trace context the batch
+    /// arrived enveloped in, if any.
+    fn relay_batch(
+        &self,
+        client_ctx: Option<TraceCtx>,
+        key: Option<IdemKey>,
+        request: BatchRequest,
+    ) -> Frame {
         let reply = ReplySlot::new();
+        let tracer = self.shared.tracer();
+        // The relay's own span: minted at enqueue so the coalesce wait is
+        // part of it; without a tracer the client's context passes through
+        // so downstream tiers still see the trace.
+        let (trace, trace_start) = match (&tracer, client_ctx) {
+            (Some(tracer), Some(ctx)) => (Some(tracer.child(ctx)), tracer.now()),
+            (None, ctx) => (ctx, Duration::ZERO),
+            (Some(_), None) => (None, Duration::ZERO),
+        };
         {
             let mut queue = self.shared.queue.lock().expect("relay queue lock");
             if queue.shutdown {
@@ -422,22 +510,23 @@ impl BatchRelay {
             }
             let weight = request.calls.len().max(1);
             queue.pending_weight += weight;
+            let now = self.shared.time.now();
             if queue.oldest_at.is_none() {
-                queue.oldest_at = Some(self.shared.time.now());
+                queue.oldest_at = Some(now);
             }
             queue.pending.push_back(PendingBatch {
                 key,
                 request,
                 weight,
+                enqueued_at: now,
+                trace,
+                trace_start,
                 reply: Arc::clone(&reply),
             });
         }
-        self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.batches.inc();
         if key.is_some() {
-            self.shared
-                .stats
-                .keyed_batches
-                .fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.keyed_batches.inc();
         }
         self.shared.arrivals.notify_all();
         reply.wait()
@@ -451,6 +540,15 @@ impl BatchRelay {
             .expect("relay queue lock")
             .pending
             .len()
+    }
+
+    /// Forwards one non-batch frame upstream one-for-one.
+    fn forward(&self, frame: Frame) -> Frame {
+        self.shared.stats.forwarded.inc();
+        match self.shared.upstream.request(frame) {
+            Ok(reply) => reply,
+            Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+        }
     }
 
     /// Stops the flusher after draining every pending batch. New batch
@@ -488,19 +586,23 @@ impl std::fmt::Debug for BatchRelay {
 impl RequestHandler for BatchRelay {
     fn handle(&self, frame: Frame) -> Frame {
         match frame {
-            Frame::BatchCall(request) => self.relay_batch(None, request),
-            Frame::KeyedBatchCall(batch) => self.relay_batch(Some(batch.key), batch.request),
+            Frame::BatchCall(request) => self.relay_batch(None, None, request),
+            Frame::KeyedBatchCall(batch) => self.relay_batch(None, Some(batch.key), batch.request),
+            // A traced batch relays exactly like a bare one; the envelope
+            // context feeds the relay's own `relay.coalesce` span. Traced
+            // non-batch frames forward upstream still enveloped.
+            Frame::Traced { ctx, inner } => match *inner {
+                Frame::BatchCall(request) => self.relay_batch(Some(ctx), None, request),
+                Frame::KeyedBatchCall(batch) => {
+                    self.relay_batch(Some(ctx), Some(batch.key), batch.request)
+                }
+                other => self.forward(other.with_trace(Some(ctx))),
+            },
             // Everything else — plain and keyed calls, registry traffic,
             // session releases, DGC frames, super-batches from a
             // downstream relay — passes through one-for-one (keyed frames
             // among them are retried by a retry-wrapped upstream link).
-            other => {
-                self.shared.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-                match self.shared.upstream.request(other) {
-                    Ok(reply) => reply,
-                    Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
-                }
-            }
+            other => self.forward(other),
         }
     }
 }
@@ -589,8 +691,27 @@ fn flush_uniform(shared: &Shared, group: Vec<PendingBatch>) {
         return;
     }
     shared.stats.record_group(group.len());
+    // Per-member accounting at the moment the group ships: the coalesce
+    // wait lands in the histogram, and each traced member's relay span
+    // (enqueue → flush) is recorded against the tracer's sink.
+    let tracer = shared.tracer();
+    let flushed_at = shared.time.now();
+    for member in &group {
+        shared
+            .stats
+            .coalesce_wait
+            .record_nanos(flushed_at.saturating_sub(member.enqueued_at));
+        if let (Some(tracer), Some(ctx)) = (&tracer, member.trace) {
+            tracer.record(ctx, "relay.coalesce", member.trace_start, tracer.now());
+        }
+    }
+    // The upstream frame carries the first traced member's context (the
+    // representative: one envelope per round trip, like one frame per
+    // super-batch). Replies are re-enveloped per member below.
+    let group_ctx = group.iter().find_map(|b| b.trace);
     if group.len() == 1 {
         let batch = group.into_iter().next().expect("singleton group");
+        let trace = batch.trace;
         let frame = match batch.key {
             Some(key) => Frame::KeyedBatchCall(KeyedBatch {
                 key,
@@ -598,22 +719,23 @@ fn flush_uniform(shared: &Shared, group: Vec<PendingBatch>) {
             }),
             None => Frame::BatchCall(batch.request),
         };
-        let reply = match shared.upstream.request(frame) {
-            Ok(reply) => reply,
+        let reply = match shared.upstream.request(frame.with_trace(trace)) {
+            Ok(reply) => reply.split_trace().1,
             Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
         };
-        batch.reply.deliver(reply);
+        batch.reply.deliver(reply.with_trace(trace));
         return;
     }
 
     // Split each pending batch into its request (moved onto the wire) and
-    // its reply slot (kept for demultiplexing) — no cloning on the hot path.
+    // its reply slot plus trace context (kept for demultiplexing) — no
+    // cloning on the hot path.
     let mut slots = Vec::with_capacity(group.len());
     let frame = if group[0].key.is_some() {
         let batches = group
             .into_iter()
             .map(|b| {
-                slots.push(b.reply);
+                slots.push((b.reply, b.trace));
                 KeyedBatch {
                     key: b.key.expect("keyed partition"),
                     request: b.request,
@@ -625,26 +747,31 @@ fn flush_uniform(shared: &Shared, group: Vec<PendingBatch>) {
         let requests = group
             .into_iter()
             .map(|b| {
-                slots.push(b.reply);
+                slots.push((b.reply, b.trace));
                 b.request
             })
             .collect();
         Frame::SuperBatchCall(requests)
     };
-    match shared.upstream.request(frame) {
+    match shared
+        .upstream
+        .request(frame.with_trace(group_ctx))
+        .map(|reply| reply.split_trace().1)
+    {
         Ok(Frame::SuperBatchReturn(replies)) if replies.len() == slots.len() => {
-            for (slot, reply) in slots.into_iter().zip(replies) {
-                slot.deliver(match reply {
+            for ((slot, trace), reply) in slots.into_iter().zip(replies) {
+                let frame = match reply {
                     Ok(response) => Frame::BatchReturn(response),
                     Err(env) => Frame::Error(env),
-                });
+                };
+                slot.deliver(frame.with_trace(trace));
             }
         }
         Ok(Frame::Error(env)) => {
             // The origin rejected the super-batch as a whole; every member
             // sees the same error at its flush.
-            for slot in slots {
-                slot.deliver(Frame::Error(env.clone()));
+            for (slot, trace) in slots {
+                slot.deliver(Frame::Error(env.clone()).with_trace(trace));
             }
         }
         Ok(other) => {
@@ -652,8 +779,8 @@ fn flush_uniform(shared: &Shared, group: Vec<PendingBatch>) {
                 RemoteErrorKind::Protocol,
                 format!("unexpected super-batch reply frame: {}", other.kind_name()),
             ));
-            for slot in slots {
-                slot.deliver(Frame::Error(env.clone()));
+            for (slot, trace) in slots {
+                slot.deliver(Frame::Error(env.clone()).with_trace(trace));
             }
         }
         Err(err) => {
@@ -663,8 +790,8 @@ fn flush_uniform(shared: &Shared, group: Vec<PendingBatch>) {
             // retry-wrapped upstream link (before this error surfaces);
             // once it gives up, every member fails at its client's flush.
             let env = ErrorEnvelope::from(&err);
-            for slot in slots {
-                slot.deliver(Frame::Error(env.clone()));
+            for (slot, trace) in slots {
+                slot.deliver(Frame::Error(env.clone()).with_trace(trace));
             }
         }
     }

@@ -46,6 +46,46 @@ impl WireCodec for IdemKey {
     }
 }
 
+/// A compact trace context carried by a [`Frame::Traced`] envelope: the
+/// observability layer's wire-propagated span identity.
+///
+/// `trace_id` names one end-to-end journey (a client flush and everything it
+/// causes downstream); `span_id` names the sender's span within it; `parent`
+/// is the span that caused this one (`0` for a root span). Each tier that
+/// forwards a traced frame re-wraps it with its *own* span as the new
+/// `span_id` and the received span as `parent`, so a test-side collector can
+/// reassemble the client → relay → origin waterfall from the recorded spans
+/// alone.
+///
+/// All three fields encode as varints, so a typical envelope costs a tag
+/// byte plus three short varints — small enough to stay under the bench
+/// suite's instrumentation-overhead budget on batched traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// End-to-end trace identity, minted once at the root tier.
+    pub trace_id: u64,
+    /// The sending tier's span within the trace.
+    pub span_id: u64,
+    /// The span that caused this one; `0` marks a root span.
+    pub parent: u64,
+}
+
+impl WireCodec for TraceCtx {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.trace_id);
+        enc.put_varint(self.span_id);
+        enc.put_varint(self.parent);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(TraceCtx {
+            trace_id: dec.take_varint(CTX)?,
+            span_id: dec.take_varint(CTX)?,
+            parent: dec.take_varint(CTX)?,
+        })
+    }
+}
+
 /// One batch stamped with its idempotency key — the keyed counterpart of a
 /// bare [`BatchRequest`], used by [`Frame::KeyedBatchCall`] and
 /// [`Frame::KeyedSuperBatchCall`]. The key names the *inner* batch, so a
@@ -183,6 +223,20 @@ pub enum Frame {
     /// [`Frame::SuperBatchReturn`]; the origin caches each inner reply
     /// under its inner key.
     KeyedSuperBatchCall(Vec<KeyedBatch>),
+    /// An observability envelope: any frame, stamped with a [`TraceCtx`].
+    /// Semantically transparent — every tier behaves exactly as if the
+    /// inner frame had arrived bare, but records a span for its share of
+    /// the work and re-wraps what it forwards (and its reply) so the trace
+    /// propagates end to end. Tiers that do not understand tracing may
+    /// treat the envelope as opaque bytes; only frames from tracing-enabled
+    /// senders pay the envelope cost, so golden encodings of all other
+    /// tags are untouched.
+    Traced {
+        /// The sender's span identity.
+        ctx: TraceCtx,
+        /// The enveloped frame, executed exactly as if it were bare.
+        inner: Box<Frame>,
+    },
 }
 
 impl Frame {
@@ -205,34 +259,78 @@ impl Frame {
             Frame::KeyedCall { .. } => "keyed-call",
             Frame::KeyedBatchCall(_) => "keyed-batch-call",
             Frame::KeyedSuperBatchCall(_) => "keyed-super-batch-call",
+            Frame::Traced { .. } => "traced",
         }
     }
 
-    /// True for frames a client sends; false for reply frames.
+    /// True for frames a client sends; false for reply frames. A traced
+    /// envelope classifies as its inner frame.
     pub fn is_request(&self) -> bool {
-        matches!(
-            self,
-            Frame::Call { .. }
-                | Frame::BatchCall(_)
-                | Frame::SuperBatchCall(_)
-                | Frame::ReleaseSession(_)
-                | Frame::Dirty { .. }
-                | Frame::Clean { .. }
-                | Frame::KeyedCall { .. }
-                | Frame::KeyedBatchCall(_)
-                | Frame::KeyedSuperBatchCall(_)
-        )
+        match self {
+            Frame::Traced { inner, .. } => inner.is_request(),
+            _ => matches!(
+                self,
+                Frame::Call { .. }
+                    | Frame::BatchCall(_)
+                    | Frame::SuperBatchCall(_)
+                    | Frame::ReleaseSession(_)
+                    | Frame::Dirty { .. }
+                    | Frame::Clean { .. }
+                    | Frame::KeyedCall { .. }
+                    | Frame::KeyedBatchCall(_)
+                    | Frame::KeyedSuperBatchCall(_)
+            ),
+        }
     }
 
     /// True when this frame may be re-sent verbatim after a transport
     /// failure: it carries idempotency keys, so the origin's reply cache
     /// answers a repeat with the original reply instead of re-executing.
-    /// Everything else keeps the at-most-once contract.
+    /// Everything else keeps the at-most-once contract. A traced envelope
+    /// classifies as its inner frame (the trace context is payload-neutral,
+    /// so re-sending it verbatim re-sends the same keyed request).
     pub fn is_retry_safe(&self) -> bool {
-        matches!(
-            self,
-            Frame::KeyedCall { .. } | Frame::KeyedBatchCall(_) | Frame::KeyedSuperBatchCall(_)
-        )
+        match self {
+            Frame::Traced { inner, .. } => inner.is_retry_safe(),
+            _ => matches!(
+                self,
+                Frame::KeyedCall { .. } | Frame::KeyedBatchCall(_) | Frame::KeyedSuperBatchCall(_)
+            ),
+        }
+    }
+
+    /// The trace context, when this frame is a [`Frame::Traced`] envelope.
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        match self {
+            Frame::Traced { ctx, .. } => Some(*ctx),
+            _ => None,
+        }
+    }
+
+    /// Splits a traced envelope into its context and inner frame; a bare
+    /// frame comes back unchanged with no context. Nested envelopes are
+    /// not produced by any tier, but for robustness the outermost context
+    /// wins and the rest unwrap.
+    pub fn split_trace(self) -> (Option<TraceCtx>, Frame) {
+        match self {
+            Frame::Traced { ctx, inner } => {
+                let (_, frame) = inner.split_trace();
+                (Some(ctx), frame)
+            }
+            frame => (None, frame),
+        }
+    }
+
+    /// Wraps this frame in a [`Frame::Traced`] envelope when a context is
+    /// given; returns it bare otherwise.
+    pub fn with_trace(self, ctx: Option<TraceCtx>) -> Frame {
+        match ctx {
+            Some(ctx) => Frame::Traced {
+                ctx,
+                inner: Box::new(self),
+            },
+            None => self,
+        }
     }
 }
 
@@ -254,6 +352,7 @@ const TAG_SUPER_BATCH_RETURN: u8 = 12;
 const TAG_KEYED_CALL: u8 = 13;
 const TAG_KEYED_BATCH_CALL: u8 = 14;
 const TAG_KEYED_SUPER_BATCH_CALL: u8 = 15;
+const TAG_TRACED: u8 = 16;
 
 impl WireCodec for Frame {
     fn encode(&self, enc: &mut Encoder) {
@@ -361,6 +460,11 @@ impl WireCodec for Frame {
                     batch.encode(enc);
                 }
             }
+            Frame::Traced { ctx, inner } => {
+                enc.put_u8(TAG_TRACED);
+                ctx.encode(enc);
+                inner.encode(enc);
+            }
         }
     }
 
@@ -460,6 +564,23 @@ impl Frame {
                 }
                 Ok(Frame::KeyedSuperBatchCall(batches))
             }
+            TAG_TRACED => {
+                let ctx = TraceCtx::decode(dec)?;
+                // No tier nests envelopes, so reject a traced-in-traced
+                // stream outright — this also bounds decode recursion.
+                let inner_tag = dec.take_u8(CTX)?;
+                if inner_tag == TAG_TRACED {
+                    return Err(WireError::UnknownTag {
+                        context: "traced-inner",
+                        tag: inner_tag,
+                    });
+                }
+                let inner = Frame::decode_body(inner_tag, dec)?;
+                Ok(Frame::Traced {
+                    ctx,
+                    inner: Box::new(inner),
+                })
+            }
             tag => Err(WireError::UnknownTag { context: CTX, tag }),
         }
     }
@@ -507,6 +628,14 @@ pub enum FrameRef<'a> {
     /// A keyed relay super-batch; every inner batch borrowed, each with
     /// its own key.
     KeyedSuperBatchCall(Vec<KeyedBatchRef<'a>>),
+    /// A traced envelope; the inner frame keeps its borrowed form so the
+    /// zero-copy dispatch path survives tracing.
+    Traced {
+        /// The sender's span identity.
+        ctx: TraceCtx,
+        /// The enveloped frame, dispatched exactly as if it were bare.
+        inner: Box<FrameRef<'a>>,
+    },
     /// Any other frame, decoded owned (no bulk payload to borrow).
     Other(Frame),
 }
@@ -520,6 +649,12 @@ impl<'a> FrameRef<'a> {
     /// Returns a [`WireError`] when the input is truncated or malformed.
     pub fn decode(dec: &mut Decoder<'a>) -> Result<FrameRef<'a>, WireError> {
         let tag = dec.take_u8(CTX)?;
+        FrameRef::decode_body(tag, dec)
+    }
+
+    /// Decodes the body of a borrowed frame whose tag byte was already
+    /// consumed.
+    fn decode_body(tag: u8, dec: &mut Decoder<'a>) -> Result<FrameRef<'a>, WireError> {
         match tag {
             TAG_CALL => {
                 let target = ObjectId(dec.take_varint(CTX)?);
@@ -568,6 +703,23 @@ impl<'a> FrameRef<'a> {
                     batches.push(KeyedBatchRef::decode(dec)?);
                 }
                 Ok(FrameRef::KeyedSuperBatchCall(batches))
+            }
+            TAG_TRACED => {
+                let ctx = TraceCtx::decode(dec)?;
+                // Mirror the owned decoder: reject nested envelopes so
+                // recursion stays bounded.
+                let inner_tag = dec.take_u8(CTX)?;
+                if inner_tag == TAG_TRACED {
+                    return Err(WireError::UnknownTag {
+                        context: "traced-inner",
+                        tag: inner_tag,
+                    });
+                }
+                let inner = FrameRef::decode_body(inner_tag, dec)?;
+                Ok(FrameRef::Traced {
+                    ctx,
+                    inner: Box::new(inner),
+                })
             }
             other => Ok(FrameRef::Other(Frame::decode_body(other, dec)?)),
         }
@@ -634,6 +786,10 @@ impl<'a> FrameRef<'a> {
             FrameRef::KeyedSuperBatchCall(batches) => Frame::KeyedSuperBatchCall(
                 batches.into_iter().map(KeyedBatchRef::into_owned).collect(),
             ),
+            FrameRef::Traced { ctx, inner } => Frame::Traced {
+                ctx,
+                inner: Box::new(inner.into_owned()),
+            },
             FrameRef::Other(frame) => frame,
         }
     }
@@ -647,6 +803,7 @@ impl<'a> FrameRef<'a> {
             FrameRef::KeyedCall { .. } => "keyed-call",
             FrameRef::KeyedBatchCall(_) => "keyed-batch-call",
             FrameRef::KeyedSuperBatchCall(_) => "keyed-super-batch-call",
+            FrameRef::Traced { .. } => "traced",
             FrameRef::Other(frame) => frame.kind_name(),
         }
     }
@@ -1057,6 +1214,119 @@ mod tests {
         assert!(matches!(&borrowed, FrameRef::KeyedSuperBatchCall(b) if b.len() == 1));
         assert_eq!(borrowed.kind_name(), "keyed-super-batch-call");
         assert_eq!(borrowed.into_owned(), super_batch);
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_classify_as_inner() {
+        let ctx = TraceCtx {
+            trace_id: 7,
+            span_id: 9,
+            parent: 7,
+        };
+        let inner = Frame::KeyedBatchCall(KeyedBatch {
+            key: IdemKey {
+                client_id: 1,
+                seq: 2,
+                acked: 0,
+            },
+            request: BatchRequest {
+                session: None,
+                calls: vec![],
+                policy: PolicySpec::Abort,
+                keep_session: false,
+            },
+        });
+        let traced = inner.clone().with_trace(Some(ctx));
+        assert_eq!(round_trip(&traced), traced);
+        assert_eq!(traced.kind_name(), "traced");
+        assert_eq!(traced.trace_ctx(), Some(ctx));
+        // Classification delegates to the enveloped frame.
+        assert!(traced.is_request());
+        assert!(traced.is_retry_safe());
+        let unkeyed = Frame::Return(Value::Null).with_trace(Some(ctx));
+        assert!(!unkeyed.is_request());
+        assert!(!unkeyed.is_retry_safe());
+        // split_trace recovers both halves; with_trace(None) is identity.
+        let (got_ctx, got_inner) = traced.split_trace();
+        assert_eq!(got_ctx, Some(ctx));
+        assert_eq!(got_inner, inner);
+        assert_eq!(inner.clone().with_trace(None), inner);
+        assert_eq!(inner.trace_ctx(), None);
+    }
+
+    #[test]
+    fn traced_envelope_is_a_pure_prefix_of_the_bare_encoding() {
+        // The envelope must not perturb the inner frame's bytes: a traced
+        // frame is exactly `TAG_TRACED + ctx` followed by the bare frame's
+        // golden encoding. This is what keeps existing baselines intact.
+        let inner = Frame::BatchCall(BatchRequest {
+            session: Some(SessionId(4)),
+            calls: vec![],
+            policy: PolicySpec::Continue,
+            keep_session: true,
+        });
+        let bare = inner.to_wire_bytes();
+        let ctx = TraceCtx {
+            trace_id: 1,
+            span_id: 2,
+            parent: 0,
+        };
+        let traced = inner.with_trace(Some(ctx)).to_wire_bytes();
+        assert_eq!(traced[0], 16);
+        assert_eq!(&traced[1..4], &[1, 2, 0]);
+        assert_eq!(&traced[4..], &bare[..]);
+    }
+
+    #[test]
+    fn borrowed_traced_frame_stays_zero_copy() {
+        let ctx = TraceCtx {
+            trace_id: 3,
+            span_id: 4,
+            parent: 3,
+        };
+        let frame = Frame::Call {
+            target: ObjectId(5),
+            method: "get_name".into(),
+            args: vec![Value::Str("x".into())],
+        }
+        .with_trace(Some(ctx));
+        let bytes = frame.to_wire_bytes();
+        let borrowed = FrameRef::from_wire_bytes(&bytes).unwrap();
+        match &borrowed {
+            FrameRef::Traced { ctx: got, inner } => {
+                assert_eq!(*got, ctx);
+                match inner.as_ref() {
+                    FrameRef::Call { method, .. } => {
+                        let range = bytes.as_ptr() as usize..bytes.as_ptr() as usize + bytes.len();
+                        assert!(range.contains(&(method.as_ptr() as usize)));
+                    }
+                    other => panic!("expected borrowed call, got {other:?}"),
+                }
+            }
+            other => panic!("expected traced, got {other:?}"),
+        }
+        assert_eq!(borrowed.kind_name(), "traced");
+        assert_eq!(borrowed.into_owned(), frame);
+    }
+
+    #[test]
+    fn nested_traced_envelopes_are_rejected_on_the_wire() {
+        let ctx = TraceCtx {
+            trace_id: 1,
+            span_id: 1,
+            parent: 0,
+        };
+        let nested = Frame::Traced {
+            ctx,
+            inner: Box::new(Frame::Released.with_trace(Some(ctx))),
+        };
+        let bytes = nested.to_wire_bytes();
+        assert!(Frame::from_wire_bytes(&bytes).is_err());
+        assert!(FrameRef::from_wire_bytes(&bytes).is_err());
+        // split_trace still flattens the in-process form.
+        let (got, inner) = nested.split_trace();
+        assert_eq!(got, Some(ctx));
+        assert_eq!(inner, Frame::Released);
     }
 
     #[test]
