@@ -20,6 +20,10 @@
 //! * [`relay`] — the multi-tier topology on top of `stress`: the same
 //!   clients behind an edge [`BatchRelay`](brmi_transport::relay::BatchRelay)
 //!   that coalesces their batches into origin super-batches.
+//! * [`overload`] — the admission-control workloads: thousands of offered
+//!   connections against a capped reactor (every overflow client reads an
+//!   error-coded shed reply), the bounded-queue saturation model, and the
+//!   adaptive relay-window convergence sweep.
 //!
 //! Every application ships an RMI client and a BRMI client with identical
 //! observable behaviour; the unit tests in each module are differential
@@ -34,6 +38,8 @@ pub mod fileserver;
 pub mod implicit_clients;
 pub mod list;
 pub mod noop;
+#[cfg(target_os = "linux")]
+pub mod overload;
 #[cfg(target_os = "linux")]
 pub mod relay;
 pub mod simulation;

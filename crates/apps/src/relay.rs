@@ -153,6 +153,7 @@ pub fn run_relay_stress(config: &RelayStressConfig) -> Result<RelayStressReport,
         ReactorConfig {
             reactor_threads: config.reactor_threads,
             dispatch_workers: 0,
+            ..ReactorConfig::default()
         },
     )?;
 
@@ -173,6 +174,7 @@ pub fn run_relay_stress(config: &RelayStressConfig) -> Result<RelayStressReport,
         ReactorConfig {
             reactor_threads: 2,
             dispatch_workers: config.edge_dispatch_workers.max(1),
+            ..ReactorConfig::default()
         },
     )?;
 

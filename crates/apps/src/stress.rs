@@ -124,6 +124,7 @@ pub fn run_reactor_stress(config: &StressConfig) -> Result<StressReport, RemoteE
         ReactorConfig {
             reactor_threads: config.reactor_threads,
             dispatch_workers: 0,
+            ..ReactorConfig::default()
         },
     )?;
 
@@ -279,6 +280,7 @@ fn noop_origin(reactor_threads: usize) -> Result<(ReactorServer, Arc<NoopServer>
         ReactorConfig {
             reactor_threads,
             dispatch_workers: 0,
+            ..ReactorConfig::default()
         },
     )?;
     Ok((reactor, noop))

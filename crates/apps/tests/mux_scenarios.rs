@@ -34,6 +34,7 @@ fn thirty_two_concurrent_callers_share_one_socket() {
         ReactorConfig {
             reactor_threads: 2,
             dispatch_workers: 0,
+            ..ReactorConfig::default()
         },
     )
     .unwrap();

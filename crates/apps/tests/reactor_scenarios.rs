@@ -66,6 +66,7 @@ fn rig_with(dispatch_workers: usize) -> ReactorRig {
         ReactorConfig {
             reactor_threads: 2,
             dispatch_workers,
+            ..ReactorConfig::default()
         },
     )
     .unwrap();

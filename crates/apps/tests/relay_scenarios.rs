@@ -76,6 +76,7 @@ fn bank_sessions_through_tcp_relay_match_direct_execution() {
         ReactorConfig {
             reactor_threads: 2,
             dispatch_workers: 0,
+            ..ReactorConfig::default()
         },
     )
     .unwrap();
@@ -99,6 +100,7 @@ fn bank_sessions_through_tcp_relay_match_direct_execution() {
         ReactorConfig {
             reactor_threads: 2,
             dispatch_workers: amounts.len(),
+            ..ReactorConfig::default()
         },
     )
     .unwrap();

@@ -1,0 +1,38 @@
+//! Overload & admission-control sweep — `cargo run -p brmi-bench --bin
+//! overload_stress`.
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_overload.json` baseline. Every series is deterministic: the
+//! admission counts are fixed by the connection cap, the saturation
+//! quantiles come from the virtual-time model's histogram, and the
+//! adaptive window is an exact closed form of the virtual arrival
+//! spacing. Wall-clock admission latency is printed for humans only. See
+//! [`brmi_bench::overload`].
+
+use std::process::ExitCode;
+
+#[cfg(target_os = "linux")]
+fn main() -> ExitCode {
+    use brmi_bench::baseline::{run_cli, SeriesTable};
+    println!("BRMI overload sweep (bounded accept, queue shedding, adaptive window)\n");
+    let (admission, reports) = brmi_bench::overload::admission_figure();
+    admission.print();
+    brmi_bench::overload::print_measured_admission(&reports);
+    let (saturation, _) = brmi_bench::overload::saturation_figure();
+    saturation.print();
+    let adaptive = brmi_bench::overload::adaptive_figure();
+    adaptive.print();
+    let tables = vec![
+        SeriesTable::from(&admission),
+        SeriesTable::from(&saturation),
+        SeriesTable::from(&adaptive),
+    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_cli(&tables, &args)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn main() -> ExitCode {
+    eprintln!("overload_stress requires Linux (the reactor server is epoll-based)");
+    ExitCode::FAILURE
+}

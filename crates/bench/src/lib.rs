@@ -31,6 +31,10 @@
 //!   under virtual time, measuring span counts, client-flush latency
 //!   quantiles from the deterministic histogram, and the wire-byte
 //!   overhead of the trace envelope against an untraced twin run;
+//! * [`overload`] — the admission-control sweep: thousands of offered
+//!   connections against a capped reactor (error-coded shed replies,
+//!   never timeouts), bounded-queue tail latency at 2× saturation, and
+//!   the adaptive coalescing-window convergence curve;
 //! * binaries `fig05_noop_lan` … `fig13_files_wireless`, `all_figures`,
 //!   `ablations` and `extensions` print paper-style series;
 //! * `benches/middleware_cpu.rs` (Criterion) measures the real CPU cost of
@@ -47,6 +51,8 @@ pub mod model;
 #[cfg(target_os = "linux")]
 pub mod mux;
 pub mod obs;
+#[cfg(target_os = "linux")]
+pub mod overload;
 #[cfg(target_os = "linux")]
 pub mod relay;
 #[cfg(target_os = "linux")]

@@ -86,6 +86,22 @@
 //! Malformed input — an over-limit length prefix or an undecodable frame —
 //! closes that connection without disturbing the rest.
 //!
+//! Admission control: [`ReactorConfig::max_connections`] bounds the
+//! admitted fleet — a connection over the cap is accepted (clearing its
+//! kernel backlog slot), answered with a single `Overloaded` error frame,
+//! and closed, so overload is error-coded rather than a growing accept
+//! queue the client experiences as a timeout. The cap is claimed through
+//! an atomic CAS, so reactor threads racing at `cap − 1` can never
+//! over-admit. [`ReactorConfig::max_queue_depth`] bounds the dispatch
+//! pool the same way: a request arriving while the pool already has that
+//! many jobs outstanding (queued + executing) is answered `Overloaded`
+//! in per-connection request order instead of queueing. Accept-side
+//! resource exhaustion (`EMFILE`/`ENFILE`) pauses the listener's epoll
+//! interest with an exponential-backoff re-arm — a level-triggered
+//! listener would otherwise re-signal instantly and spin the event loop
+//! at 100% CPU — and every shed, drop and stall is visible through
+//! [`ReactorStats`].
+//!
 //! This server is Linux-only (epoll); the rest of the crate builds
 //! anywhere.
 //!
@@ -95,13 +111,15 @@ use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use brmi_obs::{Counter, Gauge, MetricsSnapshot, Registry, Snapshot};
 use brmi_wire::codec::WireCodec;
-use brmi_wire::protocol::FrameRef;
+use brmi_wire::invocation::ErrorEnvelope;
+use brmi_wire::protocol::{Frame, FrameRef};
 use brmi_wire::RemoteError;
 use parking_lot::Mutex;
 
@@ -215,14 +233,16 @@ mod sys {
             self.ctl(EPOLL_CTL_DEL, fd, std::ptr::null_mut())
         }
 
-        /// Waits for events, retrying on `EINTR`. Returns how many entries
-        /// of `events` were filled.
-        pub fn wait(&self, events: &mut [EpollEvent]) -> io::Result<usize> {
+        /// Waits for events, retrying on `EINTR` (with the same timeout —
+        /// close enough for the backoff re-arm this exists for).
+        /// `timeout_ms` of `-1` blocks indefinitely. Returns how many
+        /// entries of `events` were filled.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: c_int) -> io::Result<usize> {
             loop {
                 let capacity = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
                 // SAFETY: `events` is a live, writable slice and `capacity`
-                // never exceeds its length; -1 blocks indefinitely.
-                let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), capacity, -1) };
+                // never exceeds its length.
+                let n = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), capacity, timeout_ms) };
                 if n >= 0 {
                     return Ok(n as usize);
                 }
@@ -262,6 +282,13 @@ const MIN_JOB_CHARGE: usize = 1024;
 /// whatever is left).
 const READ_BUDGET: usize = 16 * READ_CHUNK;
 
+/// Backoff window for a listener paused by accept-side resource
+/// exhaustion: the first re-arm attempt comes after the minimum, and each
+/// consecutive stall doubles the wait up to the maximum. A successful
+/// accept resets the backoff.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
 /// Configuration for [`ReactorServer::bind_with`].
 #[derive(Debug, Clone)]
 pub struct ReactorConfig {
@@ -275,6 +302,20 @@ pub struct ReactorConfig {
     /// stall unrelated connections; size it to the peak number of
     /// concurrently blocked handlers the deployment needs.
     pub dispatch_workers: usize,
+    /// Maximum concurrently admitted connections across all reactor
+    /// threads; `0` (the default) means unbounded. A connection over the
+    /// cap is *shed*: accepted (which clears its kernel backlog slot),
+    /// answered with a single `Overloaded` error frame, and closed —
+    /// explicit, error-coded admission control instead of a timeout the
+    /// peer cannot distinguish from a hang.
+    pub max_connections: usize,
+    /// Bound on dispatch-pool jobs outstanding (queued + executing);
+    /// `0` (the default) means unbounded. A request arriving over the
+    /// bound is answered with an `Overloaded` error frame — delivered in
+    /// per-connection request order like every other reply — instead of
+    /// queueing behind a saturated pool. Inline dispatch
+    /// (`dispatch_workers == 0`) has no queue and ignores this knob.
+    pub max_queue_depth: usize,
 }
 
 impl Default for ReactorConfig {
@@ -282,6 +323,8 @@ impl Default for ReactorConfig {
         ReactorConfig {
             reactor_threads: 2,
             dispatch_workers: 0,
+            max_connections: 0,
+            max_queue_depth: 0,
         }
     }
 }
@@ -322,14 +365,18 @@ struct PoolQueue {
     shutdown: bool,
 }
 
-/// Reactor observability cells: connection count, dispatch-queue depth and
-/// backpressure pauses. Registered under the `reactor_*` families by
-/// [`ReactorServer::register_metrics`].
+/// Reactor observability cells: connection count, dispatch-queue depth,
+/// backpressure pauses, overload sheds and accept health. Registered under
+/// the `reactor_*` families by [`ReactorServer::register_metrics`].
 #[derive(Debug, Default)]
 pub struct ReactorStats {
     connections: Gauge,
     queue_depth: Gauge,
     backpressure_pauses: Counter,
+    connections_shed: Counter,
+    requests_shed: Counter,
+    accept_failures: Counter,
+    accept_stalled: Gauge,
 }
 
 impl ReactorStats {
@@ -352,6 +399,32 @@ impl ReactorStats {
         self.backpressure_pauses.value()
     }
 
+    /// Connections shed at accept because the fleet was at
+    /// [`ReactorConfig::max_connections`]: each was accepted, answered
+    /// with one `Overloaded` error frame, and closed.
+    pub fn connections_shed(&self) -> u64 {
+        self.connections_shed.value()
+    }
+
+    /// Requests shed because the dispatch pool was at
+    /// [`ReactorConfig::max_queue_depth`]: each was answered `Overloaded`
+    /// in request order instead of queueing.
+    pub fn requests_shed(&self) -> u64 {
+        self.requests_shed.value()
+    }
+
+    /// Accepted sockets dropped because per-socket registration failed,
+    /// plus hard accept errors — previously silent.
+    pub fn accept_failures(&self) -> u64 {
+        self.accept_failures.value()
+    }
+
+    /// Reactor threads whose listener interest is currently paused after
+    /// accept-side resource exhaustion (re-armed with backoff).
+    pub fn accept_stalled(&self) -> u64 {
+        self.accept_stalled.value().max(0) as u64
+    }
+
     /// Registers the reactor's metric cells with `registry` under the
     /// `reactor_*` families.
     pub fn register_metrics(&self, registry: &Registry) {
@@ -362,6 +435,10 @@ impl ReactorStats {
             &[],
             &self.backpressure_pauses,
         );
+        registry.register_counter("reactor_connections_shed", &[], &self.connections_shed);
+        registry.register_counter("reactor_requests_shed", &[], &self.requests_shed);
+        registry.register_counter("reactor_accept_failures", &[], &self.accept_failures);
+        registry.register_gauge("reactor_accept_stalled", &[], &self.accept_stalled);
     }
 }
 
@@ -382,6 +459,12 @@ struct WorkerPool {
     /// Mirror of the queue length (updated under the queue lock), shared
     /// with [`ReactorStats`].
     depth: Gauge,
+    /// Jobs submitted whose handlers have not finished (queued plus
+    /// executing) — the quantity [`ReactorConfig::max_queue_depth`]
+    /// bounds. Unlike `depth`, this cannot transiently read low while a
+    /// worker is mid-handler, so the shed decision is stable under a
+    /// saturated pool.
+    inflight: AtomicUsize,
 }
 
 impl WorkerPool {
@@ -393,15 +476,26 @@ impl WorkerPool {
             }),
             available: std::sync::Condvar::new(),
             depth,
+            inflight: AtomicUsize::new(0),
         })
     }
 
     fn submit(&self, job: DispatchJob) {
+        self.inflight.fetch_add(1, Ordering::SeqCst);
         let mut queue = self.queue.lock().expect("worker pool lock");
         queue.jobs.push_back(job);
         self.depth.set(queue.jobs.len() as i64);
         drop(queue);
         self.available.notify_one();
+    }
+
+    /// Jobs submitted whose handlers have not yet finished.
+    fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    fn job_finished(&self) {
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Blocks for the next job. Returns `None` only once shutdown is
@@ -442,6 +536,7 @@ fn worker_loop(pool: &WorkerPool, handler: &Arc<dyn RequestHandler>, shared: &Sh
             }
             Err(_) => None,
         };
+        pool.job_finished();
         shared.deliver(
             job.thread,
             DispatchDone {
@@ -460,6 +555,11 @@ fn worker_loop(pool: &WorkerPool, handler: &Arc<dyn RequestHandler>, shared: &Sh
 /// dispatch workers.
 struct Shared {
     shutdown: AtomicBool,
+    config: ReactorConfig,
+    /// Connections currently admitted — claimed by CAS in `accept_ready`
+    /// and released on close, so [`ReactorConfig::max_connections`] is an
+    /// exact bound even with reactor threads accepting concurrently.
+    admitted: AtomicUsize,
     stats: Arc<ReactorStats>,
     /// Write ends of each thread's wake channel.
     wakers: Mutex<Vec<UnixStream>>,
@@ -475,6 +575,36 @@ impl Shared {
         if let Some(waker) = self.wakers.lock().get_mut(thread) {
             let _ = waker.write(&[1]);
         }
+    }
+
+    /// Atomically claims one admission slot; `false` once the fleet is at
+    /// [`ReactorConfig::max_connections`]. The CAS loop means two reactor
+    /// threads racing at `cap − 1` can never both admit.
+    fn try_admit(&self) -> bool {
+        let cap = self.config.max_connections;
+        if cap == 0 {
+            self.admitted.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        let mut current = self.admitted.load(Ordering::SeqCst);
+        loop {
+            if current >= cap {
+                return false;
+            }
+            match self.admitted.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    fn release_admissions(&self, n: usize) {
+        self.admitted.fetch_sub(n, Ordering::SeqCst);
     }
 }
 
@@ -526,6 +656,8 @@ impl ReactorServer {
         let stats = Arc::new(ReactorStats::default());
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
+            config: config.clone(),
+            admitted: AtomicUsize::new(0),
             stats: Arc::clone(&stats),
             wakers: Mutex::new(Vec::new()),
             inboxes: (0..threads).map(|_| Mutex::new(Vec::new())).collect(),
@@ -802,6 +934,19 @@ struct ReactorThread {
     /// Reusable read staging buffer shared by every connection on this
     /// thread: zero-initialized once, so per-event reads cost no memset.
     chunk: Vec<u8>,
+    /// Pre-encoded, length-prefixed `Overloaded` error frame written to a
+    /// connection shed at accept.
+    conn_shed_frame: Vec<u8>,
+    /// Pre-encoded `Overloaded` reply body (no prefix — `queue_reply`
+    /// adds it, plus the mux envelope when the request carried one) for
+    /// requests shed at the dispatch-pool bound.
+    request_shed_body: Vec<u8>,
+    /// Deadline at which a stall-paused listener is re-armed; `None`
+    /// while accepting normally.
+    accept_stall: Option<Instant>,
+    /// Next stall's pause length; doubles per consecutive stall, resets
+    /// on a successful accept.
+    accept_backoff: Duration,
 }
 
 impl ReactorThread {
@@ -823,6 +968,18 @@ impl ReactorThread {
             TOKEN_LISTENER,
         )?;
         epoll.add(wake.as_raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+        let mut body = Vec::new();
+        Frame::Error(ErrorEnvelope::from(&RemoteError::overloaded(
+            "connection shed: server at max_connections",
+        )))
+        .encode_into(&mut body);
+        let mut conn_shed_frame = Vec::new();
+        queue_reply(&mut conn_shed_frame, None, &body).expect("shed frame fits");
+        let mut request_shed_body = Vec::new();
+        Frame::Error(ErrorEnvelope::from(&RemoteError::overloaded(
+            "request shed: dispatch queue at max_queue_depth",
+        )))
+        .encode_into(&mut request_shed_body);
         Ok(ReactorThread {
             index,
             epoll,
@@ -835,12 +992,17 @@ impl ReactorThread {
             gens: Vec::new(),
             free: Vec::new(),
             chunk: vec![0; READ_CHUNK],
+            conn_shed_frame,
+            request_shed_body,
+            accept_stall: None,
+            accept_backoff: ACCEPT_BACKOFF_MIN,
         })
     }
 
     fn run(mut self) {
         let mut events = vec![sys::EpollEvent::zeroed(); 256];
-        while let Ok(ready) = self.epoll.wait(&mut events) {
+        while let Ok(ready) = self.epoll.wait(&mut events, self.wait_timeout_ms()) {
+            self.maybe_resume_accept();
             for event in &events[..ready] {
                 let (token, flags) = (event.token(), event.events());
                 match token {
@@ -862,9 +1024,73 @@ impl ReactorThread {
                 break;
             }
         }
-        // Drop closes every connection; keep the shared count honest.
+        // Drop closes every connection; keep the shared counts honest.
         let live = self.conns.iter().filter(|c| c.is_some()).count();
         self.shared.stats.connections.sub(live as i64);
+        self.shared.release_admissions(live);
+        if self.accept_stall.is_some() {
+            self.shared.stats.accept_stalled.dec();
+        }
+    }
+
+    /// `-1` (block indefinitely) unless this thread's listener is
+    /// stall-paused, in which case the wait wakes at the re-arm deadline.
+    fn wait_timeout_ms(&self) -> i32 {
+        match self.accept_stall {
+            None => -1,
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                i32::try_from(remaining.as_millis())
+                    .unwrap_or(i32::MAX)
+                    .max(1)
+            }
+        }
+    }
+
+    /// Re-arms a stall-paused listener once its backoff deadline passes,
+    /// then drains whatever queued in the kernel backlog while paused. If
+    /// exhaustion persists, `accept_ready` re-stalls with a doubled
+    /// backoff.
+    fn maybe_resume_accept(&mut self) {
+        use std::os::unix::io::AsRawFd;
+        let Some(deadline) = self.accept_stall else {
+            return;
+        };
+        if Instant::now() < deadline {
+            return;
+        }
+        if self
+            .epoll
+            .add(
+                self.listener.as_raw_fd(),
+                EPOLLIN | EPOLLEXCLUSIVE,
+                TOKEN_LISTENER,
+            )
+            .is_err()
+        {
+            // Could not re-arm (likely still out of kernel resources):
+            // stay paused for another backoff period.
+            self.accept_stall = Some(Instant::now() + self.accept_backoff);
+            self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            return;
+        }
+        self.accept_stall = None;
+        self.shared.stats.accept_stalled.dec();
+        self.accept_ready();
+    }
+
+    /// Pauses this thread's listener interest after accept-side resource
+    /// exhaustion. Level-triggered epoll would otherwise re-signal the
+    /// listener instantly and spin the event loop at 100% CPU while the
+    /// process is out of fds.
+    fn stall_accept(&mut self) {
+        use std::os::unix::io::AsRawFd;
+        if self.accept_stall.is_some() || self.epoll.delete(self.listener.as_raw_fd()).is_err() {
+            return;
+        }
+        self.shared.stats.accept_stalled.inc();
+        self.accept_stall = Some(Instant::now() + self.accept_backoff);
+        self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
     }
 
     /// Applies every dispatch completion the workers have delivered to
@@ -893,41 +1119,61 @@ impl ReactorThread {
         conn.inflight_jobs -= 1;
         conn.inflight_bytes -= done.request_len.max(MIN_JOB_CHARGE);
         conn.parked.push(done);
-        // Queue every reply whose turn has come. A `None` reply (worker
-        // failed to decode — defense in depth, the reactor validates
-        // before submitting) closes the connection when its slot in the
-        // order comes up.
-        while let Some(pos) = conn
-            .parked
-            .iter()
-            .position(|item| item.seq == conn.flush_seq)
-        {
-            let next = conn.parked.swap_remove(pos);
-            let Some(reply) = next.reply else {
-                return ConnFate::Close;
-            };
-            if queue_reply(&mut conn.out_buf, next.mux_id, &reply).is_err() {
-                return ConnFate::Close;
-            }
-            conn.flush_seq += 1;
+        if let ConnFate::Close = drain_parked(conn) {
+            return ConnFate::Close;
         }
         self.drive(conn, 0, idx)
     }
 
+    /// Accepts until `WouldBlock`, applying admission control: over
+    /// [`ReactorConfig::max_connections`] the socket is shed (accepted,
+    /// answered `Overloaded`, closed); on resource exhaustion the
+    /// listener is stall-paused instead of spinning.
     fn accept_ready(&mut self) {
+        if self.accept_stall.is_some() {
+            return; // paused; maybe_resume_accept re-arms after the backoff
+        }
         loop {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    if !self.shared.try_admit() {
+                        self.shed_connection(stream);
+                        continue;
+                    }
                     if self.register(stream).is_err() {
-                        // Registration failure affects that socket only.
+                        // Registration failure affects that socket only —
+                        // but it must not be silent: the admission slot
+                        // goes back and the drop is counted.
+                        self.shared.release_admissions(1);
+                        self.shared.stats.accept_failures.inc();
                         continue;
                     }
                 }
                 Err(err) if err.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
-                Err(_) => return,
+                Err(err) => {
+                    self.shared.stats.accept_failures.inc();
+                    if is_resource_exhaustion(&err) {
+                        self.stall_accept();
+                    }
+                    return;
+                }
             }
         }
+    }
+
+    /// Best-effort shed reply for a connection over the admission cap:
+    /// the socket was accepted (releasing its kernel backlog slot) but is
+    /// never registered — one `Overloaded` error frame is written and the
+    /// socket closes on drop. The write is nonblocking into a fresh
+    /// socket buffer, so it cannot stall the reactor; if the peer already
+    /// reset, the frame is lost along with the connection.
+    fn shed_connection(&self, stream: TcpStream) {
+        let _ = stream.set_nonblocking(true);
+        let _ = stream.set_nodelay(true);
+        let _ = (&stream).write(&self.conn_shed_frame);
+        self.shared.stats.connections_shed.inc();
     }
 
     fn register(&mut self, stream: TcpStream) -> std::io::Result<()> {
@@ -947,6 +1193,12 @@ impl ReactorThread {
             .epoll
             .add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token)
         {
+            // The slot returns to the free list unused. Bump its
+            // generation anyway: the invariant "a recycled slot never
+            // matches an older job's generation" then holds by
+            // construction, not by the accident that this occupant never
+            // submitted a job.
+            self.gens[idx] += 1;
             self.free.push(idx);
             return Err(err);
         }
@@ -977,6 +1229,7 @@ impl ReactorThread {
             self.gens[idx] += 1;
             self.free.push(idx);
             self.shared.stats.connections.dec();
+            self.shared.release_admissions(1);
         }
     }
 
@@ -1075,6 +1328,31 @@ impl ReactorThread {
                 if FrameRef::from_wire_bytes(body).is_err() {
                     break ConnFate::Close;
                 }
+                let bound = self.shared.config.max_queue_depth;
+                if bound > 0 && pool.inflight() >= bound {
+                    // Shed instead of queueing behind a saturated pool:
+                    // the reply is the pre-encoded Overloaded error,
+                    // stamped with this request's sequence number so it
+                    // leaves in request order behind in-flight replies.
+                    // Nothing is charged to the backpressure account —
+                    // the request never enters the pool.
+                    self.shared.stats.requests_shed.inc();
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.parked.push(DispatchDone {
+                        slot: idx,
+                        gen: self.gens[idx],
+                        seq,
+                        mux_id: head.mux_id,
+                        request_len: 0,
+                        reply: Some(self.request_shed_body.clone()),
+                    });
+                    if let ConnFate::Close = drain_parked(conn) {
+                        break ConnFate::Close;
+                    }
+                    consumed += total;
+                    continue;
+                }
                 let seq = conn.next_seq;
                 conn.next_seq += 1;
                 conn.inflight_jobs += 1;
@@ -1146,6 +1424,40 @@ impl ReactorThread {
             Err(_) => ConnFate::Close,
         }
     }
+}
+
+/// Queues every parked reply whose turn in the per-connection request
+/// order has come. A `None` reply (worker failed to decode — defense in
+/// depth, the reactor validates before submitting) closes the connection
+/// when its slot in the order comes up.
+fn drain_parked(conn: &mut Conn) -> ConnFate {
+    while let Some(pos) = conn
+        .parked
+        .iter()
+        .position(|item| item.seq == conn.flush_seq)
+    {
+        let next = conn.parked.swap_remove(pos);
+        let Some(reply) = next.reply else {
+            return ConnFate::Close;
+        };
+        if queue_reply(&mut conn.out_buf, next.mux_id, &reply).is_err() {
+            return ConnFate::Close;
+        }
+        conn.flush_seq += 1;
+    }
+    ConnFate::Keep
+}
+
+/// Accept errors meaning the *process* (or kernel) is out of resources —
+/// `ENOMEM`, `ENFILE`, `EMFILE`, `ENOBUFS` — rather than something wrong
+/// with one peer (e.g. `ECONNABORTED`). Retrying immediately cannot
+/// succeed, so the reactor pauses accepting and re-arms after a backoff.
+fn is_resource_exhaustion(err: &std::io::Error) -> bool {
+    const ENOMEM: i32 = 12;
+    const ENFILE: i32 = 23;
+    const EMFILE: i32 = 24;
+    const ENOBUFS: i32 = 105;
+    matches!(err.raw_os_error(), Some(ENOMEM | ENFILE | EMFILE | ENOBUFS))
 }
 
 /// Whether `in_buf` starts with a dispatchable frame. An over-limit
@@ -1328,6 +1640,7 @@ mod tests {
         deep_pipelined_burst(ReactorConfig {
             reactor_threads: 2,
             dispatch_workers: 3,
+            ..ReactorConfig::default()
         });
     }
 
@@ -1407,6 +1720,7 @@ mod tests {
             ReactorConfig {
                 reactor_threads: 2,
                 dispatch_workers: 0,
+                ..ReactorConfig::default()
             },
         )
         .unwrap();
@@ -1459,6 +1773,7 @@ mod tests {
             ReactorConfig {
                 reactor_threads: 1,
                 dispatch_workers: 2,
+                ..ReactorConfig::default()
             },
         )
         .unwrap();
@@ -1475,6 +1790,11 @@ mod tests {
         // Both requests have been answered, so no dispatch job is queued.
         assert_eq!(snapshot.gauge("reactor_worker_queue_depth"), 0);
         assert_eq!(snapshot.counter("reactor_backpressure_pauses"), 0);
+        // Unbounded config: nothing shed, nothing dropped, no stall.
+        assert_eq!(snapshot.counter("reactor_connections_shed"), 0);
+        assert_eq!(snapshot.counter("reactor_requests_shed"), 0);
+        assert_eq!(snapshot.counter("reactor_accept_failures"), 0);
+        assert_eq!(snapshot.gauge("reactor_accept_stalled"), 0);
         // The same cells through the Snapshot trait, for callers that
         // only hold the stats handle.
         assert_eq!(
@@ -1612,6 +1932,7 @@ mod tests {
             ReactorConfig {
                 reactor_threads: 1,
                 dispatch_workers: 2,
+                ..ReactorConfig::default()
             },
         )
         .unwrap();
@@ -1647,6 +1968,7 @@ mod tests {
             ReactorConfig {
                 reactor_threads: 1,
                 dispatch_workers: 2,
+                ..ReactorConfig::default()
             },
         )
         .unwrap();
@@ -1687,6 +2009,7 @@ mod tests {
                 ReactorConfig {
                     reactor_threads: 1,
                     dispatch_workers: workers,
+                    ..ReactorConfig::default()
                 },
             )
             .unwrap();
@@ -1730,6 +2053,188 @@ mod tests {
         }
     }
 
+    /// Shed semantics (a): a connection over `max_connections` receives
+    /// one `Overloaded` error frame and then EOF — deterministic, because
+    /// the shed client writes nothing, so no reset can race the reply.
+    #[test]
+    fn connection_over_max_connections_is_shed_with_overloaded_frame() {
+        let server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            Arc::new(EchoHandler),
+            ReactorConfig {
+                max_connections: 2,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+        let a = TcpTransport::connect(server.local_addr()).unwrap();
+        let b = TcpTransport::connect(server.local_addr()).unwrap();
+        a.request(call(vec![Value::I32(1)])).unwrap();
+        b.request(call(vec![Value::I32(2)])).unwrap();
+        assert_eq!(server.active_connections(), 2);
+
+        let mut shed = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        shed.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = Vec::new();
+        assert!(crate::framing::read_frame_bytes(&mut shed, &mut buf).unwrap());
+        match Frame::from_wire_bytes(&buf).unwrap() {
+            Frame::Error(env) => assert_eq!(env.kind, "overloaded"),
+            other => panic!("expected overloaded error, got {other:?}"),
+        }
+        assert!(
+            !crate::framing::read_frame_bytes(&mut shed, &mut buf).unwrap(),
+            "shed connection must close after the error frame"
+        );
+        assert_eq!(server.stats().connections_shed(), 1);
+
+        // Closing an admitted connection frees its slot for a newcomer.
+        drop(b);
+        while server.active_connections() > 1 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let c = TcpTransport::connect(server.local_addr()).unwrap();
+        let reply = c.request(call(vec![Value::I32(3)])).unwrap();
+        assert_eq!(reply, Frame::Return(Value::List(vec![Value::I32(3)])));
+        drop((a, c));
+    }
+
+    /// Shed semantics (b): with the dispatch pool saturated at
+    /// `max_queue_depth`, later pipelined requests shed — yet every
+    /// reply, echo and Overloaded alike, arrives in request order.
+    /// Deterministic: the gate keeps all admitted handlers parked, so the
+    /// pool's outstanding count cannot dip while the burst dispatches.
+    #[test]
+    fn saturated_worker_queue_sheds_requests_in_reply_order() {
+        let (handler, release, _fast_done) = SlowFastHandler::new();
+        let server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&handler) as Arc<dyn RequestHandler>,
+            ReactorConfig {
+                reactor_threads: 1,
+                dispatch_workers: 1,
+                max_queue_depth: 3,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut burst = Vec::new();
+        for i in 0..5 {
+            let mut payload = Vec::new();
+            named_call("slow", vec![Value::I32(i)]).encode_into(&mut payload);
+            burst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            burst.extend_from_slice(&payload);
+        }
+        stream.write_all(&burst).unwrap();
+        // Frames 0–2 fill the pool; 3 and 4 must shed. Wait for both shed
+        // counts before releasing the gate for the three admitted jobs.
+        while server.stats().requests_shed() < 2 {
+            std::thread::yield_now();
+        }
+        for _ in 0..3 {
+            release.send(()).unwrap();
+        }
+        let mut read_buf = Vec::new();
+        for i in 0..3 {
+            assert!(crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+            assert_eq!(
+                Frame::from_wire_bytes(&read_buf).unwrap(),
+                Frame::Return(Value::List(vec![Value::I32(i)]))
+            );
+        }
+        for _ in 0..2 {
+            assert!(crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+            match Frame::from_wire_bytes(&read_buf).unwrap() {
+                Frame::Error(env) => assert_eq!(env.kind, "overloaded"),
+                other => panic!("expected overloaded error, got {other:?}"),
+            }
+        }
+        assert_eq!(server.stats().requests_shed(), 2);
+        // The connection survives shedding: the pool drained, so a fresh
+        // request is admitted and served.
+        let mut payload = Vec::new();
+        named_call("fast", vec![Value::I32(9)]).encode_into(&mut payload);
+        stream
+            .write_all(&(payload.len() as u32).to_le_bytes())
+            .unwrap();
+        stream.write_all(&payload).unwrap();
+        assert!(crate::framing::read_frame_bytes(&mut stream, &mut read_buf).unwrap());
+        assert_eq!(
+            Frame::from_wire_bytes(&read_buf).unwrap(),
+            Frame::Return(Value::List(vec![Value::I32(9)]))
+        );
+    }
+
+    /// Regression for slot/generation bookkeeping: a slot recycled while
+    /// its previous occupant's job still runs in the pool must discard
+    /// the stale completion — otherwise the new connection would receive
+    /// the old connection's reply as its own (both carry seq 0).
+    #[test]
+    fn recycled_slot_discards_stale_pool_completion() {
+        let (handler, release, _fast_done) = SlowFastHandler::new();
+        let server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&handler) as Arc<dyn RequestHandler>,
+            ReactorConfig {
+                reactor_threads: 1,
+                dispatch_workers: 1,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
+        // Conn A pipelines a slow call followed by an undecodable frame:
+        // the protocol error closes A (bumping its slot's generation)
+        // while the slow job is still queued or executing in the pool.
+        let mut a = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut payload = Vec::new();
+        named_call("slow", vec![Value::I32(1)]).encode_into(&mut payload);
+        let mut burst = Vec::new();
+        burst.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        burst.extend_from_slice(&payload);
+        burst.extend_from_slice(&8u32.to_le_bytes());
+        burst.extend_from_slice(&[0xFF; 8]);
+        a.write_all(&burst).unwrap();
+        while server.active_connections() > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Conn B reuses the freed slot (single reactor thread, LIFO free
+        // list) with sequence numbers starting at 0 — exactly what A's
+        // in-flight job carries.
+        let mut b = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        let mut payload = Vec::new();
+        named_call("fast", vec![Value::I32(2)]).encode_into(&mut payload);
+        b.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+        b.write_all(&payload).unwrap();
+        // Unpark A's slow handler: its completion lands on the recycled
+        // slot and must be discarded by the generation check. B's own
+        // reply — the lone worker runs it next — must be the first and
+        // only frame B receives.
+        release.send(()).unwrap();
+        let mut read_buf = Vec::new();
+        assert!(crate::framing::read_frame_bytes(&mut b, &mut read_buf).unwrap());
+        assert_eq!(
+            Frame::from_wire_bytes(&read_buf).unwrap(),
+            Frame::Return(Value::List(vec![Value::I32(2)]))
+        );
+        drop(a);
+    }
+
+    #[test]
+    fn resource_exhaustion_classifier_matches_fd_errors_only() {
+        for code in [12, 23, 24, 105] {
+            assert!(is_resource_exhaustion(&std::io::Error::from_raw_os_error(
+                code
+            )));
+        }
+        // ECONNABORTED (103) and EAGAIN (11) are per-peer / transient.
+        for code in [11, 103] {
+            assert!(!is_resource_exhaustion(&std::io::Error::from_raw_os_error(
+                code
+            )));
+        }
+    }
+
     /// Worker-pool shutdown must drain queued jobs and join cleanly while
     /// ordinary traffic is in flight.
     #[test]
@@ -1740,6 +2245,7 @@ mod tests {
             ReactorConfig {
                 reactor_threads: 2,
                 dispatch_workers: 4,
+                ..ReactorConfig::default()
             },
         )
         .unwrap();

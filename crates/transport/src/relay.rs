@@ -104,6 +104,73 @@ impl Default for ReadCachePolicy {
     }
 }
 
+/// Adaptive coalescing-window mode for [`RelayPolicy`]: instead of the
+/// fixed full-wave `max_delay` constant, the relay tunes its flush delay
+/// from the observed arrival rate, trading a little queueing delay for
+/// upstream round trips only while traffic is dense enough to pay for it.
+///
+/// # The model
+///
+/// The bench cost model (`bench/src/model.rs`) prices a workload as
+/// `T = R·(RTT + c_call) + B·(1/bw + c_byte) + …` — every upstream round
+/// trip costs a fixed [`AdaptivePolicy::upstream_cost`] `U` (the
+/// `RTT + c_call` term) regardless of how many batches share it. With
+/// batches arriving every `a` seconds (EWMA-estimated interarrival) and a
+/// flush window `d`, each flush carries `1 + d/a` batches, so the
+/// per-batch cost is `U/(1 + d/a)` in amortized round trips plus `d/2` in
+/// average added queueing delay. Minimizing `U·a/(a + d) + d/2` over `d`
+/// gives the closed form
+///
+/// ```text
+/// d* = sqrt(2·U·a) − a      (clamped to [min_delay, max_delay])
+/// ```
+///
+/// Dense traffic (`a → 0`) opens the window as `sqrt(2·U·a)`; sparse
+/// traffic (`a ≥ 2·U`) drives `d*` to zero — a lone batch ships at once,
+/// since no company is coming that would repay the wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptivePolicy {
+    /// Modeled fixed cost of one upstream round trip (the `RTT + c_call`
+    /// term of the bench cost model) that coalescing amortizes.
+    pub upstream_cost: Duration,
+    /// Lower clamp for the tuned delay.
+    pub min_delay: Duration,
+    /// Upper clamp for the tuned delay; also the delay used until the
+    /// first interarrival sample exists.
+    pub max_delay: Duration,
+    /// EWMA weight of each new interarrival sample, in per-mille
+    /// (`200` ⇒ `ewma = 0.2·sample + 0.8·ewma`). Values over `1000` are
+    /// treated as `1000` (no smoothing).
+    pub ewma_per_mille: u16,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        AdaptivePolicy {
+            upstream_cost: Duration::from_micros(500),
+            min_delay: Duration::ZERO,
+            max_delay: Duration::from_millis(5),
+            ewma_per_mille: 200,
+        }
+    }
+}
+
+impl AdaptivePolicy {
+    /// The tuned flush delay (nanoseconds) for an EWMA interarrival
+    /// estimate of `ewma_interarrival_nanos`: `sqrt(2·U·a) − a`, clamped
+    /// to `[min_delay, max_delay]`. Pure — the closed-form minimizer of
+    /// the per-batch cost described in the type docs.
+    pub fn tuned_delay_nanos(&self, ewma_interarrival_nanos: f64) -> u64 {
+        let upstream = self.upstream_cost.as_nanos() as f64;
+        let interarrival = ewma_interarrival_nanos.max(0.0);
+        let optimum = (2.0 * upstream * interarrival).sqrt() - interarrival;
+        let clamped = optimum
+            .max(self.min_delay.as_nanos() as f64)
+            .min(self.max_delay.as_nanos() as f64);
+        clamped as u64
+    }
+}
+
 /// When the relay flushes a super-batch upstream, plus the read-cache
 /// configuration of an optional fetcher tier. Build one with
 /// [`RelayPolicy::builder`].
@@ -113,12 +180,17 @@ pub struct RelayPolicy {
     /// waiting. A single batch larger than the budget still ships alone.
     pub max_coalesced_calls: usize,
     /// Flush once the oldest pending batch has waited this long, even if
-    /// the call budget is not reached.
+    /// the call budget is not reached. With [`RelayPolicy::adaptive`]
+    /// set, the tuned delay replaces this constant (which then only
+    /// serves as the fallback for non-adaptive relays).
     pub max_delay: Duration,
     /// Read-cache knobs for a [`BatchFetcher`](crate::fetcher::BatchFetcher)
     /// stacked in front of this relay; `None` means the edge runs without
     /// a caching tier. The relay itself ignores this field.
     pub read_cache: Option<ReadCachePolicy>,
+    /// Arrival-rate-adaptive flush window; `None` (the default) keeps the
+    /// fixed `max_delay` constant.
+    pub adaptive: Option<AdaptivePolicy>,
 }
 
 impl Default for RelayPolicy {
@@ -127,6 +199,7 @@ impl Default for RelayPolicy {
             max_coalesced_calls: 256,
             max_delay: Duration::from_millis(2),
             read_cache: None,
+            adaptive: None,
         }
     }
 }
@@ -157,6 +230,12 @@ impl RelayPolicyBuilder {
     /// Sets the longest a batch may wait at the edge for company.
     pub fn max_delay(mut self, delay: Duration) -> Self {
         self.policy.max_delay = delay;
+        self
+    }
+
+    /// Switches the flush window to arrival-rate-adaptive tuning.
+    pub fn adaptive(mut self, adaptive: AdaptivePolicy) -> Self {
+        self.policy.adaptive = Some(adaptive);
         self
     }
 
@@ -246,6 +325,7 @@ pub struct RelayStats {
     forwarded: Counter,
     largest_group: Gauge,
     coalesce_wait: Histogram,
+    adaptive_delay: Gauge,
 }
 
 impl RelayStats {
@@ -287,6 +367,14 @@ impl RelayStats {
         self.coalesce_wait.snapshot()
     }
 
+    /// The flush window currently in force, in nanoseconds. Only moves
+    /// when the relay runs with an [`AdaptivePolicy`]: it starts at the
+    /// policy's `max_delay` and retunes on every arrival after the first.
+    /// Zero on non-adaptive relays.
+    pub fn adaptive_delay_nanos(&self) -> u64 {
+        self.adaptive_delay.value().max(0) as u64
+    }
+
     fn record_group(&self, group: usize) {
         self.super_batches.inc();
         if group > 1 {
@@ -305,6 +393,7 @@ impl RelayStats {
         registry.register_counter("relay_forwarded_frames", &[], &self.forwarded);
         registry.register_gauge("relay_largest_group", &[], &self.largest_group);
         registry.register_histogram("relay_coalesce_wait_nanos", &[], &self.coalesce_wait);
+        registry.register_gauge("relay_adaptive_delay_nanos", &[], &self.adaptive_delay);
     }
 }
 
@@ -374,6 +463,13 @@ struct Queue {
     /// When the oldest pending batch was enqueued ([`RelayTimeSource`]
     /// time); `None` while the queue is empty.
     oldest_at: Option<Duration>,
+    /// EWMA of the batch interarrival time in nanoseconds (adaptive mode);
+    /// `0.0` doubles as "no sample yet", so the first sample initializes
+    /// the average instead of blending with it.
+    ewma_interarrival_nanos: f64,
+    /// [`RelayTimeSource`] timestamp of the most recent batch arrival, in
+    /// nanoseconds (adaptive mode).
+    last_arrival_nanos: Option<u64>,
     shutdown: bool,
 }
 
@@ -437,6 +533,8 @@ impl BatchRelay {
                 pending: VecDeque::new(),
                 pending_weight: 0,
                 oldest_at: None,
+                ewma_interarrival_nanos: 0.0,
+                last_arrival_nanos: None,
                 shutdown: false,
             }),
             arrivals: Condvar::new(),
@@ -449,6 +547,14 @@ impl BatchRelay {
             stats: Arc::new(RelayStats::default()),
             tracer: RwLock::new(None),
         });
+        // Until the first interarrival sample the adaptive window sits at
+        // its upper clamp — the conservative fixed-delay behaviour.
+        if let Some(adaptive) = shared.policy.adaptive {
+            shared
+                .stats
+                .adaptive_delay
+                .set(adaptive.max_delay.as_nanos() as i64);
+        }
         let flusher_shared = Arc::clone(&shared);
         let flusher = std::thread::Builder::new()
             .name("brmi-relay-flush".into())
@@ -513,6 +619,24 @@ impl BatchRelay {
             let now = self.shared.time.now();
             if queue.oldest_at.is_none() {
                 queue.oldest_at = Some(now);
+            }
+            // Adaptive mode: fold this arrival into the interarrival EWMA
+            // and publish the retuned window before the batch becomes
+            // visible, so the flusher never reads a stale delay for it.
+            if let Some(adaptive) = self.shared.policy.adaptive {
+                let now_nanos = now.as_nanos() as u64;
+                if let Some(last) = queue.last_arrival_nanos {
+                    let sample = now_nanos.saturating_sub(last) as f64;
+                    let alpha = f64::from(adaptive.ewma_per_mille.min(1000)) / 1000.0;
+                    queue.ewma_interarrival_nanos = if queue.ewma_interarrival_nanos == 0.0 {
+                        sample
+                    } else {
+                        alpha * sample + (1.0 - alpha) * queue.ewma_interarrival_nanos
+                    };
+                    let tuned = adaptive.tuned_delay_nanos(queue.ewma_interarrival_nanos);
+                    self.shared.stats.adaptive_delay.set(tuned as i64);
+                }
+                queue.last_arrival_nanos = Some(now_nanos);
             }
             queue.pending.push_back(PendingBatch {
                 key,
@@ -635,6 +759,15 @@ fn take_group(queue: &mut Queue, budget: usize, now: Duration) -> Vec<PendingBat
     group
 }
 
+/// The flush window in force: the tuned delay the enqueue path maintains
+/// when the relay is adaptive, else the fixed `max_delay` constant.
+fn effective_delay(shared: &Shared) -> Duration {
+    match shared.policy.adaptive {
+        Some(_) => Duration::from_nanos(shared.stats.adaptive_delay.value().max(0) as u64),
+        None => shared.policy.max_delay,
+    }
+}
+
 fn flusher_loop(shared: &Shared) {
     loop {
         let group = {
@@ -651,13 +784,16 @@ fn flusher_loop(shared: &Shared) {
                 let waited = queue
                     .oldest_at
                     .map_or(Duration::ZERO, |oldest| now.saturating_sub(oldest));
+                // Recomputed every pass: in adaptive mode each arrival may
+                // retune the window while the flusher is mid-wait.
+                let max_delay = effective_delay(shared);
                 if queue.shutdown
                     || queue.pending_weight >= shared.policy.max_coalesced_calls
-                    || waited >= shared.policy.max_delay
+                    || waited >= max_delay
                 {
                     break take_group(&mut queue, shared.policy.max_coalesced_calls, now);
                 }
-                let remaining = shared.policy.max_delay - waited;
+                let remaining = max_delay - waited;
                 let slice = shared
                     .time
                     .wait_slice(remaining)
@@ -1187,6 +1323,99 @@ mod tests {
             origin.frames().iter().all(|f| f.is_retry_safe()),
             "only keyed frames reached the origin"
         );
+    }
+
+    #[test]
+    fn adaptive_tuned_delay_matches_the_closed_form() {
+        // U = 500µs, no clamping except at zero: d* = sqrt(2·U·a) − a.
+        let adaptive = AdaptivePolicy::default();
+        let cases: [(f64, u64); 6] = [
+            (50_000.0, 173_606),
+            (100_000.0, 216_227),
+            (250_000.0, 250_000),
+            (500_000.0, 207_106),
+            (1_000_000.0, 0),
+            (2_000_000.0, 0),
+        ];
+        for (interarrival, expected) in cases {
+            let tuned = adaptive.tuned_delay_nanos(interarrival);
+            assert!(
+                (tuned as i64 - expected as i64).abs() <= 1,
+                "d*({interarrival}) = {tuned}, expected ~{expected}"
+            );
+        }
+        // The clamps bite on both ends.
+        let clamped = AdaptivePolicy {
+            min_delay: Duration::from_micros(10),
+            max_delay: Duration::from_micros(100),
+            ..adaptive
+        };
+        assert_eq!(clamped.tuned_delay_nanos(2_000_000.0), 10_000);
+        assert_eq!(clamped.tuned_delay_nanos(100_000.0), 100_000);
+    }
+
+    #[test]
+    fn adaptive_policy_converges_under_virtual_clock() {
+        let origin = RecordingOrigin::new();
+        let upstream = Arc::new(InProcTransport::new(origin.clone()));
+        let clock = VirtualClock::new();
+        // ewma_per_mille = 1000: each sample replaces the estimate, so the
+        // tuned window is an exact function of the last interarrival gap.
+        let relay = BatchRelay::with_time_source(
+            upstream,
+            RelayPolicy::builder()
+                .max_coalesced_calls(1000)
+                .adaptive(AdaptivePolicy {
+                    upstream_cost: Duration::from_millis(1),
+                    min_delay: Duration::ZERO,
+                    max_delay: Duration::from_millis(10),
+                    ewma_per_mille: 1000,
+                })
+                .build(),
+            clock.clone(),
+        );
+        let stats = relay.stats();
+        // Before any sample the window sits at its upper clamp.
+        assert_eq!(stats.adaptive_delay_nanos(), 10_000_000);
+
+        let first = {
+            let relay = Arc::clone(&relay);
+            std::thread::spawn(move || relay.handle(batch_frame(1)))
+        };
+        while stats.batches_relayed() < 1 {
+            std::thread::yield_now();
+        }
+        // One arrival is no sample; the window has not moved, so the batch
+        // is still parked waiting for company.
+        assert_eq!(stats.adaptive_delay_nanos(), 10_000_000);
+
+        clock.advance(Duration::from_micros(500));
+        let second = {
+            let relay = Arc::clone(&relay);
+            std::thread::spawn(move || relay.handle(batch_frame(1)))
+        };
+        while stats.batches_relayed() < 2 {
+            std::thread::yield_now();
+        }
+        // a = 500µs, U = 1ms: d* = sqrt(2·U·a) − a = 1ms − 500µs = 500µs
+        // exactly — and the oldest batch has now waited exactly that long,
+        // so the pair flushes as one super-batch without more clock moves.
+        assert_eq!(stats.adaptive_delay_nanos(), 500_000);
+        expect_batch_return(first.join().unwrap(), 1);
+        expect_batch_return(second.join().unwrap(), 1);
+        assert_eq!(stats.upstream_flushes(), 1, "the pair shipped together");
+        assert_eq!(stats.coalesced_batches(), 2);
+
+        // Sparse traffic: a 10ms gap drives the optimum negative, clamped
+        // to zero — a lone batch ships immediately, no waiting.
+        clock.advance(Duration::from_millis(10));
+        let third = {
+            let relay = Arc::clone(&relay);
+            std::thread::spawn(move || relay.handle(batch_frame(1)))
+        };
+        expect_batch_return(third.join().unwrap(), 1);
+        assert_eq!(stats.adaptive_delay_nanos(), 0);
+        assert_eq!(stats.upstream_flushes(), 2);
     }
 
     #[test]

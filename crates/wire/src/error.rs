@@ -94,6 +94,11 @@ pub enum RemoteErrorKind {
     /// The middleware rejected a malformed or out-of-order request
     /// (e.g. an unknown batch session).
     Protocol,
+    /// The server shed this connection or request under overload instead
+    /// of queueing it (admission control). Explicitly error-coded so
+    /// clients distinguish graceful shedding from a timeout; safe to retry
+    /// later against a less-loaded server.
+    Overloaded,
 }
 
 impl RemoteErrorKind {
@@ -110,6 +115,7 @@ impl RemoteErrorKind {
             RemoteErrorKind::Transport => "transport",
             RemoteErrorKind::Marshal => "marshal",
             RemoteErrorKind::Protocol => "protocol",
+            RemoteErrorKind::Overloaded => "overloaded",
         }
     }
 
@@ -126,6 +132,7 @@ impl RemoteErrorKind {
             "transport" => RemoteErrorKind::Transport,
             "marshal" => RemoteErrorKind::Marshal,
             "protocol" => RemoteErrorKind::Protocol,
+            "overloaded" => RemoteErrorKind::Overloaded,
             _ => return None,
         })
     }
@@ -178,6 +185,11 @@ impl RemoteError {
     /// Creates a marshalling failure.
     pub fn marshal(message: impl Into<String>) -> Self {
         Self::new(RemoteErrorKind::Marshal, message)
+    }
+
+    /// Creates an overload-shed rejection (admission control).
+    pub fn overloaded(message: impl Into<String>) -> Self {
+        Self::new(RemoteErrorKind::Overloaded, message)
     }
 
     /// The error's classification.
@@ -260,6 +272,7 @@ mod tests {
             RemoteErrorKind::Transport,
             RemoteErrorKind::Marshal,
             RemoteErrorKind::Protocol,
+            RemoteErrorKind::Overloaded,
         ];
         for kind in kinds {
             assert_eq!(RemoteErrorKind::from_wire(kind.as_str()), Some(kind));
