@@ -14,6 +14,10 @@
 //! * [`implicit_clients`] — the same workloads driven through the
 //!   implicit-batching baseline ([`brmi_implicit`]), quantifying the
 //!   paper's related-work comparison.
+//! * [`durable`] — the durable-origin stress workload: the keyed no-op
+//!   load against a journaled origin vs its in-memory twin, plus a
+//!   recovery replay of the same directory, with deterministic
+//!   append/fsync/replay counts for the committed bench baseline.
 //! * [`stress`] — the many-client stress workload: N pooled clients ×
 //!   pipelined batches against one reactor server, with deterministic
 //!   count/byte outputs for the committed bench baseline.
@@ -33,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod durable;
 pub mod fetcher;
 pub mod fileserver;
 pub mod implicit_clients;

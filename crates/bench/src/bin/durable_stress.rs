@@ -1,0 +1,31 @@
+//! Durable-origin sweep — `cargo run -p brmi-bench --bin durable_stress`.
+//!
+//! Accepts `--json PATH` / `--check PATH` for the committed
+//! `BENCH_durable.json` baseline. Only the deterministic count series
+//! (calls executed, journal appends/bytes/fsyncs, snapshots, replayed
+//! executions, truncated records) are baseline-checked; the append-path
+//! overhead vs the in-memory twin and the recovery wall time are printed
+//! for humans. `--metrics-json` prints the unified registry snapshot of
+//! the last sweep point (deterministic fields only, `durable_*` and
+//! replay families). See [`brmi_bench::durable`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    use brmi_bench::baseline::{run_cli, SeriesTable};
+    println!("BRMI durable-origin sweep (append path + crash recovery)\n");
+    let (figures, reports) = brmi_bench::durable::durable_figures();
+    for figure in &figures {
+        figure.print();
+    }
+    brmi_bench::durable::print_measured_overhead(&reports);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_json = args.iter().any(|arg| arg == "--metrics-json");
+    args.retain(|arg| arg != "--metrics-json");
+    if metrics_json {
+        let report = reports.last().expect("non-empty sweep");
+        println!("{}", report.metrics.to_json());
+    }
+    let tables: Vec<SeriesTable> = figures.iter().map(SeriesTable::from).collect();
+    run_cli(&tables, &args)
+}

@@ -27,6 +27,10 @@
 //! * [`retry`] — the keyed-retry goodput sweep: clients over seeded lossy
 //!   links with transparent re-sends, proving exactly-once visible
 //!   execution at every drop rate;
+//! * [`durable`] — the durable-origin sweep: the keyed workload against a
+//!   journaled origin vs its in-memory twin, and recovery replay vs log
+//!   size, with deterministic append/fsync/replay series for the
+//!   committed baseline;
 //! * [`obs`] — the observability sweep: a fully traced three-tier rig
 //!   under virtual time, measuring span counts, client-flush latency
 //!   quantiles from the deterministic histogram, and the wire-byte
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod durable;
 pub mod extensions;
 pub mod fetcher;
 pub mod figures;

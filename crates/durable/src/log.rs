@@ -1,0 +1,759 @@
+//! The segmented append-only log.
+//!
+//! ## On-disk layout
+//!
+//! A log directory holds three kinds of files:
+//!
+//! * `seg-<base_lsn:020>.log` — a segment: a run of records whose LSNs
+//!   start at `base_lsn` (taken from the filename) and increase by one per
+//!   record. Only the highest segment is ever appended to.
+//! * `snap-<next_lsn:020>.snap` — a compacted snapshot: one record (same
+//!   framing) whose payload captures all state produced by LSNs
+//!   `< next_lsn`. Written to a `.tmp` sibling, fsynced, then renamed, so
+//!   a snapshot file is either absent or complete.
+//! * `*.tmp` — an interrupted snapshot; deleted on open.
+//!
+//! Every record is framed `[u32 LE payload_len][u32 LE crc32(payload)]
+//! [payload]`. Recovery walks segments in LSN order verifying each frame
+//! and **truncates at the first torn or corrupt record** (later segments
+//! are dropped wholesale): nothing past a bad frame was ever acknowledged
+//! as durable, so losing it is correct — and keeping it would risk
+//! resurrecting a half-written mutation.
+//!
+//! ## Commit protocol
+//!
+//! [`Log::append`] assigns an LSN and stages the framed record in memory;
+//! [`Log::commit`] writes *all* staged records with one `write` + one
+//! `fsync` (group commit: concurrent appenders that stage before the
+//! flusher reaches the file ride the same fsync, and a follower whose LSN
+//! is already durable returns without touching the disk).
+//! [`Log::append_durable`] is the two fused for callers without batching
+//! ambitions.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use brmi_obs::{Counter, Registry};
+
+use crate::crash::CrashPoint;
+
+/// Frame header size: 4-byte length + 4-byte CRC.
+const HEADER_BYTES: usize = 8;
+
+/// Tuning knobs for a [`Log`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogConfig {
+    /// Seal the active segment and start a new one once it holds at least
+    /// this many bytes (checked after each commit).
+    pub segment_bytes: u64,
+    /// Recovery treats any frame announcing a payload larger than this as
+    /// corrupt (a torn length field can claim gigabytes).
+    pub max_record_bytes: u32,
+}
+
+impl Default for LogConfig {
+    fn default() -> LogConfig {
+        LogConfig {
+            segment_bytes: 64 * 1024,
+            max_record_bytes: 1 << 26,
+        }
+    }
+}
+
+/// Failures on the log's hot path.
+#[derive(Debug)]
+pub enum LogError {
+    /// A real I/O error from the filesystem.
+    Io(std::io::Error),
+    /// The armed [`CrashPoint`] has struck: the simulated machine is down
+    /// and no further operation will succeed until the log is reopened.
+    Crashed,
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::Io(err) => write!(f, "durable log I/O error: {err}"),
+            LogError::Crashed => write!(f, "durable log crashed (injected power cut)"),
+        }
+    }
+}
+
+impl std::error::Error for LogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LogError::Io(err) => Some(err),
+            LogError::Crashed => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LogError {
+    fn from(err: std::io::Error) -> LogError {
+        LogError::Io(err)
+    }
+}
+
+/// What [`Log::open`] found on disk, in replay order.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The newest intact snapshot, as `(next_lsn, payload)`: the payload
+    /// captures all effects of LSNs `< next_lsn`.
+    pub snapshot: Option<(u64, Vec<u8>)>,
+    /// Every verified record at or above the snapshot floor, as
+    /// `(lsn, payload)`, ascending.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Records discarded because they (or an earlier record) failed
+    /// verification — the unacknowledged torn tail.
+    pub truncated_records: u64,
+    /// Bytes discarded with them.
+    pub truncated_bytes: u64,
+    /// The LSN the reopened log will assign next.
+    pub next_lsn: u64,
+}
+
+/// A point-in-time copy of the log's counters (see
+/// [`Log::register_metrics`] for the metric names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LogStats {
+    /// Records staged via [`Log::append`].
+    pub appends: u64,
+    /// Payload+frame bytes physically written to segment or snapshot
+    /// files.
+    pub bytes: u64,
+    /// `fsync` calls issued (group commit makes this less than appends
+    /// under concurrency).
+    pub fsyncs: u64,
+    /// Times a log was recovered from this directory.
+    pub recoveries: u64,
+    /// Torn/corrupt records truncated during recovery.
+    pub truncated_records: u64,
+    /// Snapshots successfully written.
+    pub snapshots: u64,
+}
+
+/// Where a durable record lives on disk — the in-memory index entry.
+#[derive(Debug, Clone, Copy)]
+struct RecordLoc {
+    seg_base: u64,
+    offset: u64,
+    frame_len: u32,
+}
+
+/// A record staged by `append` but not yet flushed.
+#[derive(Debug, Clone, Copy)]
+struct StagedMeta {
+    lsn: u64,
+    loc: RecordLoc,
+}
+
+#[derive(Debug)]
+struct SealedSeg {
+    base: u64,
+    records: u64,
+    path: PathBuf,
+}
+
+struct Inner {
+    dir: PathBuf,
+    config: LogConfig,
+    crash: Arc<CrashPoint>,
+    /// Active segment file, positioned at its end.
+    file: File,
+    seg_base: u64,
+    seg_records: u64,
+    seg_bytes: u64,
+    sealed: Vec<SealedSeg>,
+    /// Framed records awaiting the next commit.
+    pending: Vec<u8>,
+    pending_meta: Vec<StagedMeta>,
+    next_lsn: u64,
+    durable_lsn: u64,
+    /// `next_lsn` of the latest snapshot (0 when none).
+    snapshot_floor: u64,
+    /// lsn → location, for every durable record still on disk.
+    index: BTreeMap<u64, RecordLoc>,
+}
+
+/// A crash-recoverable segmented append-only log. See the [module
+/// docs](self) for the format and the [crate docs](crate) for the
+/// durability contract.
+pub struct Log {
+    inner: Mutex<Inner>,
+    appends: Counter,
+    bytes: Counter,
+    fsyncs: Counter,
+    recoveries: Counter,
+    truncated: Counter,
+    snapshots: Counter,
+}
+
+impl std::fmt::Debug for Log {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Log").finish_non_exhaustive()
+    }
+}
+
+/// The IEEE CRC-32 (polynomial `0xEDB88320`), bitwise — slow and
+/// dependency-free, plenty for journal-sized records.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn seg_path(dir: &Path, base: u64) -> PathBuf {
+    dir.join(format!("seg-{base:020}.log"))
+}
+
+fn snap_path(dir: &Path, next_lsn: u64) -> PathBuf {
+    dir.join(format!("snap-{next_lsn:020}.snap"))
+}
+
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+fn frame_record(out: &mut Vec<u8>, payload: &[u8]) {
+    let len = u32::try_from(payload.len()).expect("record payload over 4 GiB");
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Parses one frame at `buf[offset..]`. `Ok(Some(payload_range))` on a
+/// verified record, `Ok(None)` for a clean end exactly at the buffer's
+/// end, `Err(())` on a torn or corrupt frame.
+#[allow(clippy::result_unit_err)]
+fn parse_frame(
+    buf: &[u8],
+    offset: usize,
+    max_record_bytes: u32,
+) -> Result<Option<std::ops::Range<usize>>, ()> {
+    if offset == buf.len() {
+        return Ok(None);
+    }
+    if buf.len() - offset < HEADER_BYTES {
+        return Err(());
+    }
+    let len = u32::from_le_bytes(buf[offset..offset + 4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().expect("4 bytes"));
+    if len > max_record_bytes {
+        return Err(());
+    }
+    let len = len as usize;
+    let start = offset + HEADER_BYTES;
+    if buf.len() - start < len {
+        return Err(());
+    }
+    if crc32(&buf[start..start + len]) != crc {
+        return Err(());
+    }
+    Ok(Some(start..start + len))
+}
+
+impl Log {
+    /// Opens (creating if absent) the log in `dir` and recovers whatever
+    /// survives there. Equivalent to [`Log::open_with`] armed with a
+    /// [`CrashPoint`] that never fires.
+    pub fn open(dir: impl AsRef<Path>, config: LogConfig) -> Result<(Log, Recovered), LogError> {
+        Log::open_with(dir, config, CrashPoint::never())
+    }
+
+    /// Opens the log with an explicit crash point armed on its write
+    /// path. Recovery itself only reads, so it cannot trip the point.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: LogConfig,
+        crash: Arc<CrashPoint>,
+    ) -> Result<(Log, Recovered), LogError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        let mut seg_bases: Vec<u64> = Vec::new();
+        let mut snap_lsns: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                let _ = fs::remove_file(entry.path());
+            } else if let Some(base) = parse_numbered(name, "seg-", ".log") {
+                seg_bases.push(base);
+            } else if let Some(lsn) = parse_numbered(name, "snap-", ".snap") {
+                snap_lsns.push(lsn);
+            }
+        }
+        seg_bases.sort_unstable();
+        snap_lsns.sort_unstable();
+
+        // Newest intact snapshot wins; corrupt candidates are removed and
+        // the scan falls back to the next-newest.
+        let mut snapshot: Option<(u64, Vec<u8>)> = None;
+        for &lsn in snap_lsns.iter().rev() {
+            let path = snap_path(&dir, lsn);
+            let buf = fs::read(&path)?;
+            match parse_frame(&buf, 0, config.max_record_bytes) {
+                Ok(Some(range)) if range.end == buf.len() => {
+                    snapshot = Some((lsn, buf[range].to_vec()));
+                    break;
+                }
+                _ => {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+        let snapshot_floor = snapshot.as_ref().map_or(0, |(lsn, _)| *lsn);
+
+        let mut records: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut index: BTreeMap<u64, RecordLoc> = BTreeMap::new();
+        let mut sealed: Vec<SealedSeg> = Vec::new();
+        let mut truncated_records = 0_u64;
+        let mut truncated_bytes = 0_u64;
+        let mut torn = false;
+        // (base, kept records, kept bytes) of the last surviving segment.
+        let mut tail: Option<(u64, u64, u64)> = None;
+
+        for (pos, &base) in seg_bases.iter().enumerate() {
+            let path = seg_path(&dir, base);
+            if torn {
+                // Everything after the first bad record is unacknowledged
+                // tail: drop whole later segments.
+                truncated_bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                truncated_records += count_records(&path, config.max_record_bytes);
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            let buf = fs::read(&path)?;
+            let mut offset = 0_usize;
+            let mut kept = 0_u64;
+            loop {
+                match parse_frame(&buf, offset, config.max_record_bytes) {
+                    Ok(None) => break,
+                    Ok(Some(range)) => {
+                        let lsn = base + kept;
+                        let loc = RecordLoc {
+                            seg_base: base,
+                            offset: offset as u64,
+                            frame_len: (HEADER_BYTES + range.len()) as u32,
+                        };
+                        index.insert(lsn, loc);
+                        if lsn >= snapshot_floor {
+                            records.push((lsn, buf[range.clone()].to_vec()));
+                        }
+                        offset = range.end;
+                        kept += 1;
+                    }
+                    Err(()) => {
+                        torn = true;
+                        truncated_records += 1;
+                        truncated_bytes += (buf.len() - offset) as u64;
+                        let file = OpenOptions::new().write(true).open(&path)?;
+                        file.set_len(offset as u64)?;
+                        file.sync_data()?;
+                        break;
+                    }
+                }
+            }
+            if pos == seg_bases.len() - 1 || torn {
+                tail = Some((base, kept, offset as u64));
+            } else {
+                sealed.push(SealedSeg {
+                    base,
+                    records: kept,
+                    path,
+                });
+            }
+        }
+
+        let (seg_base, seg_records, seg_bytes, file) = match tail {
+            Some((base, kept, bytes)) => {
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(seg_path(&dir, base))?;
+                file.seek(SeekFrom::End(0))?;
+                (base, kept, bytes, file)
+            }
+            None => {
+                let base = snapshot_floor;
+                let file = OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .write(true)
+                    .read(true)
+                    .open(seg_path(&dir, base))?;
+                (base, 0, 0, file)
+            }
+        };
+        let next_lsn = (seg_base + seg_records).max(snapshot_floor);
+
+        let log = Log {
+            inner: Mutex::new(Inner {
+                dir,
+                config,
+                crash,
+                file,
+                seg_base,
+                seg_records,
+                seg_bytes,
+                sealed,
+                pending: Vec::new(),
+                pending_meta: Vec::new(),
+                next_lsn,
+                durable_lsn: next_lsn,
+                snapshot_floor,
+                index,
+            }),
+            appends: Counter::new(),
+            bytes: Counter::new(),
+            fsyncs: Counter::new(),
+            recoveries: Counter::new(),
+            truncated: Counter::new(),
+            snapshots: Counter::new(),
+        };
+        log.recoveries.inc();
+        log.truncated.add(truncated_records);
+        let recovered = Recovered {
+            snapshot,
+            records,
+            truncated_records,
+            truncated_bytes,
+            next_lsn,
+        };
+        Ok((log, recovered))
+    }
+
+    /// Stages `payload` as the next record and returns its LSN. The
+    /// record is **not durable** until a [`Log::commit`] (or
+    /// [`Log::append_durable`]) covering that LSN returns.
+    pub fn append(&self, payload: &[u8]) -> Result<u64, LogError> {
+        let mut g = self.lock();
+        if g.crash.is_crashed() {
+            return Err(LogError::Crashed);
+        }
+        let lsn = g.next_lsn;
+        g.next_lsn += 1;
+        let offset = g.seg_bytes + g.pending.len() as u64;
+        let before = g.pending.len();
+        frame_record(&mut g.pending, payload);
+        let frame_len = (g.pending.len() - before) as u32;
+        let seg_base = g.seg_base;
+        g.pending_meta.push(StagedMeta {
+            lsn,
+            loc: RecordLoc {
+                seg_base,
+                offset,
+                frame_len,
+            },
+        });
+        self.appends.inc();
+        Ok(lsn)
+    }
+
+    /// Group commit: flushes every staged record with one write and one
+    /// fsync, then returns the new durable LSN horizon (all LSNs below it
+    /// are durable). A no-op when nothing is pending.
+    pub fn commit(&self) -> Result<u64, LogError> {
+        let mut g = self.lock();
+        self.flush_locked(&mut g)?;
+        Ok(g.durable_lsn)
+    }
+
+    /// Makes `lsn` durable; returns immediately if a concurrent committer
+    /// already flushed past it (the group-commit fast path).
+    pub fn commit_through(&self, lsn: u64) -> Result<(), LogError> {
+        let mut g = self.lock();
+        if g.durable_lsn > lsn {
+            return Ok(());
+        }
+        self.flush_locked(&mut g)
+    }
+
+    /// [`Log::append`] + [`Log::commit_through`] fused: returns once the
+    /// record (and everything staged before it) is durable.
+    pub fn append_durable(&self, payload: &[u8]) -> Result<u64, LogError> {
+        let lsn = self.append(payload)?;
+        self.commit_through(lsn)?;
+        Ok(lsn)
+    }
+
+    /// Writes a compacted snapshot claiming to capture all effects of
+    /// LSNs `< next_lsn`, then garbage-collects segments (and older
+    /// snapshots) fully covered by it. Pending records are committed
+    /// first so the claim can only cover durable history.
+    pub fn write_snapshot(&self, next_lsn: u64, payload: &[u8]) -> Result<(), LogError> {
+        let mut g = self.lock();
+        self.flush_locked(&mut g)?;
+        assert!(
+            next_lsn <= g.durable_lsn,
+            "snapshot claims undurable lsn {} (durable horizon {})",
+            next_lsn,
+            g.durable_lsn
+        );
+        if g.crash.is_crashed() {
+            return Err(LogError::Crashed);
+        }
+
+        // Frame, write to a .tmp sibling, fsync, rename: the final file
+        // is either absent or complete.
+        let mut framed = Vec::with_capacity(HEADER_BYTES + payload.len());
+        frame_record(&mut framed, payload);
+        let final_path = snap_path(&g.dir, next_lsn);
+        let tmp_path = final_path.with_extension("snap.tmp");
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            self.write_crashing(&g.crash, &mut tmp, &framed)?;
+            if g.crash.is_crashed() {
+                return Err(LogError::Crashed);
+            }
+            tmp.sync_data()?;
+            self.fsyncs.inc();
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        self.sync_dir(&g.dir)?;
+        self.snapshots.inc();
+        g.snapshot_floor = g.snapshot_floor.max(next_lsn);
+
+        // Seal the active segment so future appends land past the floor
+        // and the GC below can eventually reclaim it.
+        if g.seg_records > 0 {
+            self.rotate_locked(&mut g)?;
+        }
+
+        // Reclaim segments whose every record the snapshot covers, and
+        // superseded snapshots.
+        let floor = g.snapshot_floor;
+        let mut kept = Vec::new();
+        for seg in std::mem::take(&mut g.sealed) {
+            if seg.base + seg.records <= floor {
+                let _ = fs::remove_file(&seg.path);
+                let end = seg.base + seg.records;
+                let stale: Vec<u64> = g.index.range(seg.base..end).map(|(lsn, _)| *lsn).collect();
+                for lsn in stale {
+                    g.index.remove(&lsn);
+                }
+            } else {
+                kept.push(seg);
+            }
+        }
+        g.sealed = kept;
+        for entry in fs::read_dir(&g.dir)?.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(lsn) = parse_numbered(name, "snap-", ".snap") {
+                if lsn < floor {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Random-access read of a durable record through the in-memory
+    /// index. Staged-but-uncommitted LSNs and LSNs reclaimed by snapshot
+    /// GC return `None`.
+    pub fn read(&self, lsn: u64) -> Result<Option<Vec<u8>>, LogError> {
+        let g = self.lock();
+        if g.crash.is_crashed() {
+            return Err(LogError::Crashed);
+        }
+        let Some(loc) = g.index.get(&lsn).copied() else {
+            return Ok(None);
+        };
+        let mut file = File::open(seg_path(&g.dir, loc.seg_base))?;
+        file.seek(SeekFrom::Start(loc.offset))?;
+        let mut frame = vec![0_u8; loc.frame_len as usize];
+        file.read_exact(&mut frame)?;
+        match parse_frame(&frame, 0, g.config.max_record_bytes) {
+            Ok(Some(range)) => Ok(Some(frame[range].to_vec())),
+            _ => Err(LogError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("indexed record at lsn {lsn} failed verification"),
+            ))),
+        }
+    }
+
+    /// The LSN the next [`Log::append`] will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.lock().next_lsn
+    }
+
+    /// All LSNs below this horizon are durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.lock().durable_lsn
+    }
+
+    /// `next_lsn` of the newest snapshot (0 when none exists).
+    pub fn snapshot_floor(&self) -> u64 {
+        self.lock().snapshot_floor
+    }
+
+    /// Number of segment files currently on disk (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.lock().sealed.len() + 1
+    }
+
+    /// Replaces the armed crash point (tests arm a fresh one per run on a
+    /// log opened crash-free).
+    pub fn arm_crash(&self, point: Arc<CrashPoint>) {
+        self.lock().crash = point;
+    }
+
+    /// True once the armed crash point has struck.
+    pub fn is_crashed(&self) -> bool {
+        self.lock().crash.is_crashed()
+    }
+
+    /// A point-in-time copy of the log's counters.
+    pub fn stats(&self) -> LogStats {
+        LogStats {
+            appends: self.appends.value(),
+            bytes: self.bytes.value(),
+            fsyncs: self.fsyncs.value(),
+            recoveries: self.recoveries.value(),
+            truncated_records: self.truncated.value(),
+            snapshots: self.snapshots.value(),
+        }
+    }
+
+    /// Registers the log's counters with `registry` under the `durable_*`
+    /// families: `durable_appends`, `durable_bytes`, `durable_fsyncs`,
+    /// `durable_recoveries`, `durable_truncated_records`,
+    /// `durable_snapshots`.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter("durable_appends", &[], &self.appends);
+        registry.register_counter("durable_bytes", &[], &self.bytes);
+        registry.register_counter("durable_fsyncs", &[], &self.fsyncs);
+        registry.register_counter("durable_recoveries", &[], &self.recoveries);
+        registry.register_counter("durable_truncated_records", &[], &self.truncated);
+        registry.register_counter("durable_snapshots", &[], &self.snapshots);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("durable log poisoned")
+    }
+
+    /// Writes `buf` through the crash point: a struck budget cuts the
+    /// write short at the exact admitted byte (the torn tail a power cut
+    /// leaves) and reports [`LogError::Crashed`].
+    fn write_crashing(
+        &self,
+        crash: &CrashPoint,
+        file: &mut File,
+        buf: &[u8],
+    ) -> Result<(), LogError> {
+        let admitted = crash.admit(buf.len());
+        if admitted > 0 {
+            file.write_all(&buf[..admitted])?;
+            self.bytes.add(admitted as u64);
+        }
+        if admitted < buf.len() {
+            // Persist the torn prefix the way a dying kernel might, so
+            // recovery faces the worst case rather than a clean cut.
+            let _ = file.sync_data();
+            return Err(LogError::Crashed);
+        }
+        Ok(())
+    }
+
+    fn flush_locked(&self, g: &mut Inner) -> Result<(), LogError> {
+        if g.crash.is_crashed() {
+            return Err(LogError::Crashed);
+        }
+        if g.pending.is_empty() && g.durable_lsn == g.next_lsn {
+            return Ok(());
+        }
+        if !g.pending.is_empty() {
+            let buf = std::mem::take(&mut g.pending);
+            let metas = std::mem::take(&mut g.pending_meta);
+            let crash = Arc::clone(&g.crash);
+            let written = buf.len() as u64;
+            self.write_crashing(&crash, &mut g.file, &buf)?;
+            g.seg_bytes += written;
+            g.seg_records += metas.len() as u64;
+            for meta in metas {
+                g.index.insert(meta.lsn, meta.loc);
+            }
+        }
+        g.file.sync_data()?;
+        self.fsyncs.inc();
+        g.durable_lsn = g.next_lsn;
+        if g.seg_bytes >= g.config.segment_bytes {
+            self.rotate_locked(g)?;
+        }
+        Ok(())
+    }
+
+    /// Seals the active segment (already fsynced by the caller) and
+    /// starts a fresh one based at the next LSN.
+    fn rotate_locked(&self, g: &mut Inner) -> Result<(), LogError> {
+        if g.crash.is_crashed() {
+            return Err(LogError::Crashed);
+        }
+        debug_assert!(g.pending.is_empty(), "rotate with staged records");
+        let new_base = g.next_lsn;
+        let new_file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .read(true)
+            .open(seg_path(&g.dir, new_base))?;
+        self.sync_dir(&g.dir)?;
+        let old = std::mem::replace(&mut g.file, new_file);
+        drop(old);
+        let sealed = SealedSeg {
+            base: g.seg_base,
+            records: g.seg_records,
+            path: seg_path(&g.dir, g.seg_base),
+        };
+        g.sealed.push(sealed);
+        g.seg_base = new_base;
+        g.seg_records = 0;
+        g.seg_bytes = 0;
+        Ok(())
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<(), LogError> {
+        // Directory fsync so renames/creates survive the cut too; best
+        // effort on filesystems that refuse to open directories.
+        if let Ok(handle) = File::open(dir) {
+            let _ = handle.sync_data();
+        }
+        Ok(())
+    }
+}
+
+/// Best-effort record count of a segment being discarded wholesale (used
+/// only for the recovery report's truncation tally).
+fn count_records(path: &Path, max_record_bytes: u32) -> u64 {
+    let Ok(buf) = fs::read(path) else { return 0 };
+    let mut offset = 0_usize;
+    let mut count = 0_u64;
+    loop {
+        match parse_frame(&buf, offset, max_record_bytes) {
+            Ok(Some(range)) => {
+                offset = range.end;
+                count += 1;
+            }
+            Ok(None) => break,
+            Err(()) => {
+                count += 1;
+                break;
+            }
+        }
+    }
+    count
+}

@@ -1,0 +1,97 @@
+//! A self-cleaning temporary directory for durable-state tests and
+//! bench rigs.
+//!
+//! Every test or stress rig that materialises a log on disk routes its
+//! path through a [`TempDir`] so that a failed assertion (or any other
+//! panic) still removes the directory: the guard's `Drop` runs during
+//! unwinding. Paths are process-unique (pid) and call-unique (atomic
+//! counter), so parallel test threads never collide — no randomness, in
+//! keeping with the workspace's determinism rules.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// An owned temporary directory, recursively deleted on drop (including
+/// panic unwinds). See the [module docs](self).
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<system tmp>/brmi-durable-<pid>-<n>-<tag>/`, empty.
+    ///
+    /// # Panics
+    /// If the directory cannot be created — tests want a loud failure,
+    /// not a silently relocated log.
+    pub fn new(tag: &str) -> TempDir {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("brmi-durable-{}-{}-{}", std::process::id(), n, tag));
+        // A leftover from a previous crashed *process* at the same pid is
+        // stale by definition; start clean.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path }
+    }
+
+    /// The directory's path (exists until the guard drops).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path to `name` inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleans_up_on_drop() {
+        let kept_path;
+        {
+            let dir = TempDir::new("drop-check");
+            kept_path = dir.path().to_path_buf();
+            std::fs::write(dir.join("file.bin"), b"x").expect("write");
+            assert!(kept_path.exists());
+        }
+        assert!(!kept_path.exists(), "guard must remove the tree");
+    }
+
+    #[test]
+    fn cleans_up_when_a_panic_unwinds() {
+        let kept_path = std::sync::Arc::new(std::sync::Mutex::new(None::<PathBuf>));
+        let seen = std::sync::Arc::clone(&kept_path);
+        let result = std::panic::catch_unwind(move || {
+            let dir = TempDir::new("panic-check");
+            *seen.lock().expect("lock") = Some(dir.path().to_path_buf());
+            panic!("simulated test failure");
+        });
+        assert!(result.is_err());
+        let path = kept_path
+            .lock()
+            .expect("lock")
+            .clone()
+            .expect("path captured");
+        assert!(!path.exists(), "guard must clean up during unwinding");
+    }
+
+    #[test]
+    fn parallel_guards_do_not_collide() {
+        let a = TempDir::new("same-tag");
+        let b = TempDir::new("same-tag");
+        assert_ne!(a.path(), b.path());
+    }
+}

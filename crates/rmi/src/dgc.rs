@@ -34,6 +34,8 @@ use brmi_transport::clock::Clock;
 use brmi_wire::ObjectId;
 use parking_lot::Mutex;
 
+use crate::journal::{duration_nanos, nanos_duration, JournalCell, JournalRecord};
+
 /// Tuning for a server-side [`DgcServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DgcConfig {
@@ -82,6 +84,7 @@ pub struct DgcServer {
     clock: Arc<dyn Clock>,
     config: DgcConfig,
     leases: Mutex<LeaseTable>,
+    journal: JournalCell,
 }
 
 impl DgcServer {
@@ -94,15 +97,56 @@ impl DgcServer {
                 expires: HashMap::new(),
                 stats: DgcStats::default(),
             }),
+            journal: JournalCell::default(),
         })
+    }
+
+    /// Wires lease grants/renewals/releases/expiries to `journal`.
+    pub(crate) fn attach_journal(&self, journal: &Arc<crate::journal::Journal>) {
+        self.journal.attach(journal);
+    }
+
+    /// Live leases as `(id, absolute expiry in clock nanoseconds)`,
+    /// sorted by id — snapshot capture.
+    pub(crate) fn export_leases(&self) -> Vec<(u64, u64)> {
+        let table = self.leases.lock();
+        let mut leases: Vec<(u64, u64)> = table
+            .expires
+            .iter()
+            .map(|(&id, &expiry)| (id, duration_nanos(expiry)))
+            .collect();
+        leases.sort_unstable();
+        leases
+    }
+
+    /// Reinstates a recovered lease at an absolute expiry without
+    /// journaling or counting it as a fresh grant.
+    pub(crate) fn restore_lease(&self, id: ObjectId, expires_nanos: u64) {
+        self.leases
+            .lock()
+            .expires
+            .insert(id.0, nanos_duration(expires_nanos));
+    }
+
+    /// Drops a lease during recovery replay (`clean`/expiry records)
+    /// without journaling or touching the stats.
+    pub(crate) fn forget_lease(&self, id: ObjectId) {
+        self.leases.lock().expires.remove(&id.0);
     }
 
     /// Grants the initial lease for a freshly marshalled export.
     pub(crate) fn grant(&self, id: ObjectId) {
         let now = self.clock.elapsed();
-        let mut table = self.leases.lock();
-        table.expires.insert(id.0, now + self.config.max_lease);
-        table.stats.granted += 1;
+        let expiry = now + self.config.max_lease;
+        {
+            let mut table = self.leases.lock();
+            table.expires.insert(id.0, expiry);
+            table.stats.granted += 1;
+        }
+        self.journal.record(|| JournalRecord::LeaseGranted {
+            id,
+            expires_nanos: duration_nanos(expiry),
+        });
     }
 
     /// Handles a `dirty`: renews the leases of `ids`, returning the
@@ -112,12 +156,23 @@ impl DgcServer {
     pub fn dirty(&self, ids: &[ObjectId], requested: Duration) -> Duration {
         let granted = requested.min(self.config.max_lease);
         let now = self.clock.elapsed();
-        let mut table = self.leases.lock();
-        for id in ids {
-            if let Some(expiry) = table.expires.get_mut(&id.0) {
-                *expiry = now + granted;
-                table.stats.renewed += 1;
+        let expiry = now + granted;
+        let mut renewed = Vec::new();
+        {
+            let mut table = self.leases.lock();
+            for id in ids {
+                if let Some(slot) = table.expires.get_mut(&id.0) {
+                    *slot = expiry;
+                    table.stats.renewed += 1;
+                    renewed.push(*id);
+                }
             }
+        }
+        for id in renewed {
+            self.journal.record(|| JournalRecord::LeaseRenewed {
+                id,
+                expires_nanos: duration_nanos(expiry),
+            });
         }
         granted
     }
@@ -125,13 +180,19 @@ impl DgcServer {
     /// Handles a `clean`: forgets the leases of `ids`, returning the ids
     /// that actually held one (the server unexports those).
     pub fn clean(&self, ids: &[ObjectId]) -> Vec<ObjectId> {
-        let mut table = self.leases.lock();
         let mut released = Vec::new();
-        for id in ids {
-            if table.expires.remove(&id.0).is_some() {
-                table.stats.cleaned += 1;
-                released.push(*id);
+        {
+            let mut table = self.leases.lock();
+            for id in ids {
+                if table.expires.remove(&id.0).is_some() {
+                    table.stats.cleaned += 1;
+                    released.push(*id);
+                }
             }
+        }
+        for id in &released {
+            self.journal
+                .record(|| JournalRecord::LeaseCleaned { id: *id });
         }
         released
     }
@@ -141,17 +202,24 @@ impl DgcServer {
     /// the returned ids.
     pub fn take_expired(&self) -> Vec<ObjectId> {
         let now = self.clock.elapsed();
-        let mut table = self.leases.lock();
-        let expired: Vec<ObjectId> = table
-            .expires
-            .iter()
-            .filter(|(_, expiry)| **expiry <= now)
-            .map(|(&id, _)| ObjectId(id))
-            .collect();
+        let expired: Vec<ObjectId> = {
+            let mut table = self.leases.lock();
+            let expired: Vec<ObjectId> = table
+                .expires
+                .iter()
+                .filter(|(_, expiry)| **expiry <= now)
+                .map(|(&id, _)| ObjectId(id))
+                .collect();
+            for id in &expired {
+                table.expires.remove(&id.0);
+            }
+            table.stats.expired += expired.len() as u64;
+            expired
+        };
         for id in &expired {
-            table.expires.remove(&id.0);
+            self.journal
+                .record(|| JournalRecord::LeaseExpired { id: *id });
         }
-        table.stats.expired += expired.len() as u64;
         expired
     }
 

@@ -10,12 +10,19 @@ use brmi_wire::protocol::registry_methods;
 use brmi_wire::{ObjectId, RemoteError, RemoteErrorKind, Value};
 use parking_lot::RwLock;
 
+use crate::journal::{JournalCell, JournalRecord};
 use crate::object::{bad_arity, no_such_method, CallCtx, InArg, OutValue, RemoteObject};
 
 /// Name → object-id bindings served at the well-known registry id.
+///
+/// When the owning server has a durable journal attached, every successful
+/// mutation (`bind`/`rebind`/`unbind`) is journaled so a restarted origin
+/// recovers its name table. Mutations dispatched *inside* a keyed
+/// execution are covered by that execution's journal record instead.
 #[derive(Debug, Default)]
 pub struct RegistryObject {
     bindings: RwLock<BTreeMap<String, ObjectId>>,
+    journal: JournalCell,
 }
 
 impl RegistryObject {
@@ -24,26 +31,50 @@ impl RegistryObject {
         Arc::new(RegistryObject::default())
     }
 
+    /// Wires the registry's mutation paths to `journal`.
+    pub(crate) fn attach_journal(&self, journal: &Arc<crate::journal::Journal>) {
+        self.journal.attach(journal);
+    }
+
+    /// All bindings, sorted by name — snapshot capture.
+    pub(crate) fn export_bindings(&self) -> Vec<(String, ObjectId)> {
+        self.bindings
+            .read()
+            .iter()
+            .map(|(name, id)| (name.clone(), *id))
+            .collect()
+    }
+
     /// Binds `name` to `id` locally (server-side convenience).
     ///
     /// # Errors
     ///
     /// Fails with [`RemoteErrorKind::AlreadyBound`] when the name is taken.
     pub fn bind(&self, name: &str, id: ObjectId) -> Result<(), RemoteError> {
-        let mut bindings = self.bindings.write();
-        if bindings.contains_key(name) {
-            return Err(RemoteError::new(
-                RemoteErrorKind::AlreadyBound,
-                format!("name already bound: {name}"),
-            ));
+        {
+            let mut bindings = self.bindings.write();
+            if bindings.contains_key(name) {
+                return Err(RemoteError::new(
+                    RemoteErrorKind::AlreadyBound,
+                    format!("name already bound: {name}"),
+                ));
+            }
+            bindings.insert(name.to_owned(), id);
         }
-        bindings.insert(name.to_owned(), id);
+        self.journal.record(|| JournalRecord::Bind {
+            name: name.to_owned(),
+            id,
+        });
         Ok(())
     }
 
     /// Binds or replaces `name`.
     pub fn rebind(&self, name: &str, id: ObjectId) {
         self.bindings.write().insert(name.to_owned(), id);
+        self.journal.record(|| JournalRecord::Rebind {
+            name: name.to_owned(),
+            id,
+        });
     }
 
     /// Removes a binding.
@@ -55,6 +86,9 @@ impl RegistryObject {
         if self.bindings.write().remove(name).is_none() {
             return Err(not_bound(name));
         }
+        self.journal.record(|| JournalRecord::Unbind {
+            name: name.to_owned(),
+        });
         Ok(())
     }
 

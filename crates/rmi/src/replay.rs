@@ -186,6 +186,7 @@ impl ReplyCache {
                 self.replays.inc();
                 return Begin::Replay(unanswerable(
                     key,
+                    RemoteErrorKind::Protocol,
                     "request seq is below the client's own ack watermark",
                 ));
             }
@@ -203,11 +204,14 @@ impl ReplyCache {
                 None if key.seq < entry.evicted_floor => {
                     // Absent below the eviction floor: the reply may have
                     // existed and been evicted, so re-executing could run
-                    // the call twice. Fail visibly instead.
+                    // the call twice. Fail visibly instead, with the
+                    // dedicated `reply-evicted` kind so callers can react
+                    // (grow the cache, ack faster) without string matching.
                     self.replays.inc();
                     return Begin::Replay(unanswerable(
                         key,
-                        "reply was evicted from the origin's reply cache",
+                        RemoteErrorKind::ReplyEvicted,
+                        "reply was evicted from the origin's reply cache before the client acked it",
                     ));
                 }
                 None => {
@@ -264,6 +268,57 @@ impl ReplyCache {
         self.completed.notify_all();
     }
 
+    /// Exports every client's retained state — ack watermark, eviction
+    /// floor, and completed replies — for a durable snapshot. Clients are
+    /// sorted by id and replies by seq, so the export is deterministic.
+    /// In-flight slots are skipped (the journal layer quiesces keyed
+    /// execution before snapshotting, so none should exist).
+    pub fn export_state(&self) -> Vec<ClientReplayState> {
+        let state = self.state.lock().expect("reply cache poisoned");
+        let mut clients: Vec<ClientReplayState> = state
+            .clients
+            .iter()
+            .map(|(&client_id, entry)| ClientReplayState {
+                client_id,
+                acked: entry.acked,
+                evicted_floor: entry.evicted_floor,
+                replies: entry
+                    .slots
+                    .iter()
+                    .filter_map(|(&seq, slot)| match slot {
+                        Slot::Done(reply) => Some((seq, reply.clone())),
+                        Slot::InFlight => None,
+                    })
+                    .collect(),
+            })
+            .collect();
+        clients.sort_by_key(|client| client.client_id);
+        clients
+    }
+
+    /// Restores state captured by [`ReplyCache::export_state`] into this
+    /// (freshly created) cache. Replies re-enter the LRU order in export
+    /// order — client id then seq — which is deterministic across runs.
+    pub fn import_state(&self, clients: Vec<ClientReplayState>) {
+        let mut state = self.state.lock().expect("reply cache poisoned");
+        for client in clients {
+            let entry = state.clients.entry(client.client_id).or_default();
+            entry.acked = entry.acked.max(client.acked);
+            entry.evicted_floor = entry.evicted_floor.max(client.evicted_floor);
+            let mut restored = Vec::new();
+            for (seq, reply) in client.replies {
+                if seq < entry.acked {
+                    continue;
+                }
+                if entry.slots.insert(seq, Slot::Done(reply)).is_none() {
+                    restored.push((client.client_id, seq));
+                }
+            }
+            state.done += restored.len();
+            state.order.extend(restored);
+        }
+    }
+
     /// Runs `execute` under the cache: replays when the key was seen,
     /// executes and records otherwise. The in-flight slot is completed
     /// with a protocol error even if `execute` panics, so duplicate
@@ -279,6 +334,20 @@ impl ReplyCache {
             }
         }
     }
+}
+
+/// One client's retained reply-cache state, as captured into (and
+/// restored from) a durable snapshot — see [`ReplyCache::export_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientReplayState {
+    /// The client the state belongs to.
+    pub client_id: u64,
+    /// Every seq below this was delivered and released.
+    pub acked: u64,
+    /// Every seq below this may have been LRU-evicted.
+    pub evicted_floor: u64,
+    /// Retained completed replies, ascending by seq.
+    pub replies: Vec<(u64, Frame)>,
 }
 
 /// Completes the in-flight slot exactly once, with a protocol error if the
@@ -308,9 +377,9 @@ impl Drop for CompleteGuard<'_> {
     }
 }
 
-fn unanswerable(key: IdemKey, why: &str) -> Frame {
+fn unanswerable(key: IdemKey, kind: RemoteErrorKind, why: &str) -> Frame {
     let err = RemoteError::new(
-        RemoteErrorKind::Protocol,
+        kind,
         format!(
             "keyed request (client {}, seq {}) cannot be answered: {why}",
             key.client_id, key.seq
@@ -402,10 +471,11 @@ mod tests {
         }
         assert_eq!(cache.retained(), 2);
         assert_eq!(cache.evictions(), 1);
-        // seq 0 was evicted: retrying it fails visibly.
+        // seq 0 was evicted: retrying it fails visibly, with the
+        // dedicated wire kind and a message naming the exact key.
         match cache.begin(key(1, 0, 0)) {
             Begin::Replay(Frame::Error(env)) => {
-                assert_eq!(env.kind, "protocol");
+                assert_eq!(env.kind, RemoteErrorKind::ReplyEvicted.as_str());
                 assert!(env.message.contains("evicted"));
             }
             other => panic!("expected eviction error, got {other:?}"),
@@ -416,6 +486,77 @@ mod tests {
             other => panic!("expected replay, got {other:?}"),
         }
         assert_eq!(cache.executions(), 3, "nothing ever executed twice");
+    }
+
+    #[test]
+    fn eviction_error_names_the_evicted_key_on_the_wire() {
+        let cache = ReplyCache::new(ReplyCacheConfig { capacity: 1 });
+        for seq in 0..2 {
+            let k = key(7, seq, 0);
+            assert!(matches!(cache.begin(k), Begin::Execute));
+            cache.complete(k, reply(seq as i64));
+        }
+        // seq 0 was evicted before client 7 ever acked it.
+        match cache.begin(key(7, 0, 0)) {
+            Begin::Replay(Frame::Error(env)) => {
+                assert_eq!(env.kind, "reply-evicted");
+                assert_eq!(
+                    RemoteErrorKind::from_wire(&env.kind),
+                    Some(RemoteErrorKind::ReplyEvicted),
+                    "wire name must round-trip"
+                );
+                assert!(
+                    env.message.contains("client 7") && env.message.contains("seq 0"),
+                    "message must name the evicted key, got: {}",
+                    env.message
+                );
+            }
+            other => panic!("expected eviction error, got {other:?}"),
+        }
+        // The ack-watermark path keeps its protocol kind: only genuine
+        // evictions wear the new name.
+        assert!(matches!(cache.begin(key(7, 5, 3)), Begin::Execute));
+        cache.complete(key(7, 5, 3), reply(5));
+        match cache.begin(key(7, 2, 3)) {
+            Begin::Replay(Frame::Error(env)) => assert_eq!(env.kind, "protocol"),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_export_import_round_trips() {
+        let cache = ReplyCache::new(ReplyCacheConfig { capacity: 3 });
+        for seq in 0..4 {
+            let k = key(1, seq, 0);
+            assert!(matches!(cache.begin(k), Begin::Execute));
+            cache.complete(k, reply(seq as i64));
+        }
+        let k = key(2, 0, 0);
+        assert!(matches!(cache.begin(k), Begin::Execute));
+        cache.complete(k, reply(100));
+
+        let exported = cache.export_state();
+        let restored = ReplyCache::new(ReplyCacheConfig { capacity: 3 });
+        restored.import_state(exported.clone());
+
+        assert_eq!(restored.retained(), cache.retained());
+        assert_eq!(restored.export_state(), exported, "round trip is exact");
+        // Evicted floors survive: the restored cache still refuses the
+        // evicted key instead of re-executing.
+        match restored.begin(key(1, 0, 0)) {
+            Begin::Replay(Frame::Error(env)) => assert_eq!(env.kind, "reply-evicted"),
+            other => panic!("expected eviction error, got {other:?}"),
+        }
+        // And retained replies still replay.
+        match restored.begin(key(1, 3, 0)) {
+            Begin::Replay(frame) => assert_eq!(frame, reply(3)),
+            other => panic!("expected replay, got {other:?}"),
+        }
+        assert_eq!(
+            restored.executions(),
+            0,
+            "imports never count as executions"
+        );
     }
 
     #[test]

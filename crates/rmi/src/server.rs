@@ -8,19 +8,27 @@
 //! `UnicastRemoteObject` so every remote object supports batching without
 //! application changes.
 
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
+use brmi_durable::{Log, LogError};
 use brmi_obs::Tracer;
 use brmi_transport::clock::Clock;
 use brmi_transport::RequestHandler;
+use brmi_wire::codec::WireCodec;
 use brmi_wire::invocation::{BatchRequestRef, BatchResponse, ErrorEnvelope, SessionId};
 use brmi_wire::protocol::{Frame, FrameRef, IdemKey, KeyedBatchRef, TraceCtx};
 use brmi_wire::{ObjectId, RemoteError, RemoteErrorKind, ToValue, Value, ValueRef};
 use parking_lot::RwLock;
 
 use crate::dgc::{DgcConfig, DgcServer};
+use crate::journal::{
+    with_suppressed, DurableOptions, DurableReport, DurableState, Journal, JournalRecord,
+    SnapshotState,
+};
 use crate::object::{CallCtx, InArg, Loopback, OutValue, RemoteObject};
 use crate::registry::RegistryObject;
 use crate::replay::{ReplyCache, ReplyCacheConfig};
@@ -70,6 +78,8 @@ pub struct RmiServer {
     dgc: RwLock<Option<Arc<DgcServer>>>,
     reply_cache: ReplyCache,
     tracer: RwLock<Option<Arc<Tracer>>>,
+    journal: RwLock<Option<Arc<Journal>>>,
+    durable_states: RwLock<BTreeMap<String, Arc<dyn DurableState>>>,
     weak_self: Weak<RmiServer>,
 }
 
@@ -100,6 +110,8 @@ impl RmiServer {
                 dgc: RwLock::new(None),
                 reply_cache: ReplyCache::new(config),
                 tracer: RwLock::new(None),
+                journal: RwLock::new(None),
+                durable_states: RwLock::new(BTreeMap::new()),
                 weak_self: Weak::clone(weak_self),
             }
         })
@@ -187,6 +199,9 @@ impl RmiServer {
     /// Returns the DGC handle for introspection and sweeping.
     pub fn enable_dgc(&self, clock: Arc<dyn Clock>, config: DgcConfig) -> Arc<DgcServer> {
         let dgc = DgcServer::new(clock, config);
+        if let Some(journal) = self.journal() {
+            dgc.attach_journal(&journal);
+        }
         *self.dgc.write() = Some(Arc::clone(&dgc));
         dgc
     }
@@ -328,8 +343,14 @@ impl RmiServer {
     /// [`Frame::KeyedSuperBatchCall`] (the relay regrouped it) share one
     /// cache slot.
     fn handle_keyed_batch(&self, key: IdemKey, request: BatchRequestRef<'_>) -> Frame {
-        self.reply_cache
-            .execute_guarded(key, || self.handle_batch(request))
+        match self.journal() {
+            Some(journal) => {
+                self.keyed_durable(&journal, key, Frame::BatchCall(request.into_owned()))
+            }
+            None => self
+                .reply_cache
+                .execute_guarded(key, || self.handle_batch(request)),
+        }
     }
 
     /// Runs a keyed super-batch: every inner batch goes through the reply
@@ -351,6 +372,211 @@ impl RmiServer {
             )
             .collect();
         Frame::SuperBatchReturn(replies)
+    }
+
+    /// The attached durable journal, if any.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.journal.read().clone()
+    }
+
+    /// Registers application state to ride the journal's compacted
+    /// snapshots under `name`. Must be called before
+    /// [`RmiServer::attach_durable`] so a recovered snapshot can find its
+    /// target; registering the same name again replaces the previous
+    /// state.
+    pub fn register_durable_state(&self, name: impl Into<String>, state: Arc<dyn DurableState>) {
+        self.durable_states.write().insert(name.into(), state);
+    }
+
+    /// Attaches a durable journal at `dir`, first recovering whatever a
+    /// previous incarnation persisted there.
+    ///
+    /// Call this **after** server setup (exports, [`RmiServer::bind`],
+    /// [`RmiServer::enable_dgc`], [`RmiServer::set_batch_handler`],
+    /// [`RmiServer::register_durable_state`]) and **before** serving
+    /// traffic. Setup mutations are never journaled — both the original
+    /// and the recovered incarnation perform them identically — so
+    /// recovery only replays what happened *after* attach: the snapshot
+    /// is restored, then every later journal record is re-applied
+    /// (keyed executions re-execute against the application with the
+    /// journaled reply seeded into the reply cache; registry and lease
+    /// records apply as idempotent upserts).
+    ///
+    /// # Errors
+    ///
+    /// [`LogError`] for I/O failures and undecodable (non-torn) journal
+    /// payloads. Torn or corrupt log tails are not errors — they are
+    /// truncated and counted in the report.
+    pub fn attach_durable(
+        &self,
+        dir: impl AsRef<Path>,
+        options: DurableOptions,
+    ) -> Result<DurableReport, LogError> {
+        let dir = dir.as_ref();
+        let (log, recovered) = Log::open(dir, options.log)?;
+        let journal = Journal::new(log, dir, options.snapshot_every);
+        let mut report = DurableReport {
+            truncated_records: recovered.truncated_records,
+            ..DurableReport::default()
+        };
+        with_suppressed(|| -> Result<(), LogError> {
+            if let Some((_, snapshot)) = &recovered.snapshot {
+                let state = SnapshotState::from_wire_bytes(snapshot).map_err(decode_error)?;
+                self.restore_snapshot_state(state);
+                report.restored_snapshot = true;
+            }
+            for (_, payload) in &recovered.records {
+                match JournalRecord::from_wire_bytes(payload).map_err(decode_error)? {
+                    JournalRecord::Executed {
+                        key,
+                        request,
+                        reply,
+                    } => {
+                        report.replayed_executions += 1;
+                        // Re-execute for the application's side effects;
+                        // the journaled reply is the authoritative answer
+                        // a retrying client must see.
+                        self.reply_cache.execute_guarded(key, || {
+                            let _ = self.handle(request);
+                            reply
+                        });
+                    }
+                    JournalRecord::Bind { name, id } | JournalRecord::Rebind { name, id } => {
+                        report.replayed_events += 1;
+                        self.registry.rebind(&name, id);
+                    }
+                    JournalRecord::Unbind { name } => {
+                        report.replayed_events += 1;
+                        let _ = self.registry.unbind(&name);
+                    }
+                    JournalRecord::LeaseGranted { id, expires_nanos }
+                    | JournalRecord::LeaseRenewed { id, expires_nanos } => {
+                        report.replayed_events += 1;
+                        if let Some(dgc) = self.dgc() {
+                            dgc.restore_lease(id, expires_nanos);
+                        }
+                    }
+                    JournalRecord::LeaseCleaned { id } | JournalRecord::LeaseExpired { id } => {
+                        report.replayed_events += 1;
+                        if let Some(dgc) = self.dgc() {
+                            dgc.forget_lease(id);
+                        }
+                        self.table.unexport(id);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        self.registry.attach_journal(&journal);
+        if let Some(dgc) = self.dgc() {
+            dgc.attach_journal(&journal);
+        }
+        *self.journal.write() = Some(journal);
+        Ok(report)
+    }
+
+    /// Creates a fresh server and recovers it from the journal at `dir`
+    /// with default options. Suitable when the durable state is entirely
+    /// middleware-side (registry, leases, reply cache); servers with
+    /// application objects should instead repeat their setup on a new
+    /// server and call [`RmiServer::attach_durable`] themselves.
+    ///
+    /// # Errors
+    ///
+    /// As [`RmiServer::attach_durable`].
+    pub fn recover(dir: impl AsRef<Path>) -> Result<(Arc<RmiServer>, DurableReport), LogError> {
+        let server = RmiServer::new();
+        let report = server.attach_durable(dir, DurableOptions::default())?;
+        Ok((server, report))
+    }
+
+    /// Forces a compacted snapshot now (quiescing keyed traffic). Returns
+    /// `false` when no journal is attached.
+    ///
+    /// # Errors
+    ///
+    /// As [`Journal::snapshot_now`].
+    pub fn durable_snapshot(&self) -> Result<bool, LogError> {
+        match self.journal() {
+            Some(journal) => {
+                journal.snapshot_now(self)?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Captures the durable view of this server for a snapshot. The
+    /// caller (the journal) holds the quiesce lock exclusively, so no
+    /// keyed execution is in flight.
+    pub(crate) fn capture_snapshot_state(&self) -> SnapshotState {
+        let leases = self
+            .dgc()
+            .map(|dgc| dgc.export_leases())
+            .unwrap_or_default();
+        let app_states: Vec<(String, Value)> = self
+            .durable_states
+            .read()
+            .iter()
+            .map(|(name, state)| (name.clone(), state.capture()))
+            .collect();
+        SnapshotState {
+            next_export_id: self.table.next_id(),
+            bindings: self.registry.export_bindings(),
+            leases,
+            clients: self.reply_cache.export_state(),
+            app_states,
+        }
+    }
+
+    /// Restores a recovered snapshot. Runs inside a suppressed scope,
+    /// before any journal is attached.
+    fn restore_snapshot_state(&self, state: SnapshotState) {
+        self.table.reserve_through(state.next_export_id);
+        for (name, id) in state.bindings {
+            self.registry.rebind(&name, id);
+        }
+        if let Some(dgc) = self.dgc() {
+            for (id, expires_nanos) in state.leases {
+                dgc.restore_lease(ObjectId(id), expires_nanos);
+            }
+        }
+        self.reply_cache.import_state(state.clients);
+        let states = self.durable_states.read();
+        for (name, value) in state.app_states {
+            if let Some(target) = states.get(&name) {
+                target.restore(&value);
+            }
+        }
+    }
+
+    /// The durable keyed path: execute under the journal's quiesce lock,
+    /// journal `(key, request, reply)` durably before the reply escapes,
+    /// then (outside the lock) write a compacted snapshot if one is due.
+    ///
+    /// `request` is the *inner*, unkeyed frame ([`Frame::Call`] /
+    /// [`Frame::BatchCall`]): recovery replays it directly through
+    /// [`RequestHandler::handle`] without re-entering this path.
+    fn keyed_durable(&self, journal: &Arc<Journal>, key: IdemKey, request: Frame) -> Frame {
+        let reply = {
+            let _quiesce = journal.begin_keyed();
+            self.reply_cache.execute_guarded(key, || {
+                let reply = with_suppressed(|| self.handle(request.clone()));
+                match journal.executed(key, &request, &reply) {
+                    Ok(()) => reply,
+                    // The execution happened but is not durable: the
+                    // origin is crashing. Answering with a transport
+                    // error (never cached as the journaled reply) keeps
+                    // the client retrying until the recovered origin
+                    // gives the authoritative answer.
+                    Err(err) => Frame::Error(ErrorEnvelope::from(&RemoteError::transport(
+                        format!("origin crashed before the reply became durable: {err}"),
+                    ))),
+                }
+            })
+        };
+        journal.maybe_snapshot(self);
+        reply
     }
 
     /// Marshals a method result for the wire: remote objects are exported
@@ -379,6 +605,15 @@ impl RmiServer {
         }
         id
     }
+}
+
+/// Maps an undecodable (but intact — the CRC matched) journal payload to
+/// a [`LogError`]. This is a version-skew or software bug, not a torn
+/// write, so it surfaces instead of being truncated.
+fn decode_error(err: brmi_wire::WireError) -> LogError {
+    LogError::Io(std::io::Error::other(format!(
+        "undecodable journal payload: {err}"
+    )))
 }
 
 impl std::fmt::Debug for RmiServer {
@@ -415,12 +650,23 @@ impl RequestHandler for RmiServer {
                 target,
                 method,
                 args,
-            } => self.reply_cache.execute_guarded(key, || {
-                match self.dispatch_call(target, &method, args) {
-                    Ok(value) => Frame::Return(value),
-                    Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
-                }
-            }),
+            } => match self.journal() {
+                Some(journal) => self.keyed_durable(
+                    &journal,
+                    key,
+                    Frame::Call {
+                        target,
+                        method,
+                        args,
+                    },
+                ),
+                None => self.reply_cache.execute_guarded(key, || {
+                    match self.dispatch_call(target, &method, args) {
+                        Ok(value) => Frame::Return(value),
+                        Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+                    }
+                }),
+            },
             Frame::KeyedBatchCall(batch) => {
                 self.handle_keyed_batch(batch.key, batch.request.to_ref())
             }
@@ -497,12 +743,23 @@ impl RequestHandler for RmiServer {
                 target,
                 method,
                 args,
-            } => self.reply_cache.execute_guarded(key, || {
-                match self.dispatch_call_ref(target, method, &args) {
-                    Ok(value) => Frame::Return(value),
-                    Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
-                }
-            }),
+            } => match self.journal() {
+                Some(journal) => self.keyed_durable(
+                    &journal,
+                    key,
+                    Frame::Call {
+                        target,
+                        method: method.to_owned(),
+                        args: args.iter().map(|arg| arg.to_value()).collect(),
+                    },
+                ),
+                None => self.reply_cache.execute_guarded(key, || {
+                    match self.dispatch_call_ref(target, method, &args) {
+                        Ok(value) => Frame::Return(value),
+                        Err(err) => Frame::Error(ErrorEnvelope::from(&err)),
+                    }
+                }),
+            },
             FrameRef::KeyedBatchCall(batch) => self.handle_keyed_batch(batch.key, batch.request),
             FrameRef::KeyedSuperBatchCall(batches) => self.handle_keyed_super_batch(
                 batches

@@ -76,6 +76,20 @@ impl ObjectTable {
         self.shard(id.0).write().insert(id.0, object);
     }
 
+    /// The id the next [`ObjectTable::export`] will assign.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Advances the id allocator so no future export is assigned an id
+    /// below `next_id`. Used by durable recovery: a restarted server must
+    /// not hand out ids that references recovered from the journal (or
+    /// still held by clients) already name. Never moves the allocator
+    /// backwards.
+    pub fn reserve_through(&self, next_id: u64) {
+        self.next_id.fetch_max(next_id, Ordering::Relaxed);
+    }
+
     /// Looks up a live object.
     pub fn get(&self, id: ObjectId) -> Option<Arc<dyn RemoteObject>> {
         self.shard(id.0).read().get(&id.0).cloned()

@@ -30,7 +30,8 @@ use brmi_wire::{RemoteError, RemoteErrorKind};
 use crate::Transport;
 
 /// How hard a [`RetryTransport`] tries: attempt budget and capped
-/// exponential backoff between attempts.
+/// exponential backoff between attempts, with seeded deterministic
+/// jitter to spread redial storms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts per request, including the first (so `1` disables
@@ -40,6 +41,16 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Backoff ceiling.
     pub max_delay: Duration,
+    /// Jitter span as a fraction of the nominal backoff, in per-mille
+    /// (`250` spreads each delay ±12.5% around the nominal). `0`
+    /// disables jitter. Without jitter, every client that lost the same
+    /// origin redials on the same doubling schedule and the reconnect
+    /// storm arrives in lockstep waves.
+    pub jitter_per_mille: u16,
+    /// Seed for the jitter stream. Two transports with different seeds
+    /// de-correlate; the same seed reproduces the exact delay sequence,
+    /// keeping tests and benchmarks deterministic.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -48,8 +59,20 @@ impl Default for RetryPolicy {
             max_attempts: 6,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(640),
+            jitter_per_mille: 250,
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
         }
     }
+}
+
+/// SplitMix64: a tiny, well-mixed pure function from one `u64` to
+/// another. Used for jitter so backoff needs no RNG state or `rand`
+/// dependency, and the sequence is reproducible from the seed.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl RetryPolicy {
@@ -59,11 +82,21 @@ impl RetryPolicy {
             max_attempts,
             base_delay: Duration::ZERO,
             max_delay: Duration::ZERO,
+            jitter_per_mille: 0,
+            jitter_seed: 0,
         }
     }
 
-    /// Backoff before retry number `retry` (1-based): `base * 2^(retry-1)`,
-    /// capped at `max_delay`.
+    /// Returns this policy with a different jitter seed (builder-style,
+    /// for giving each client its own de-correlated stream).
+    pub fn with_jitter_seed(mut self, seed: u64) -> Self {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Nominal backoff before retry number `retry` (1-based):
+    /// `base * 2^(retry-1)`, capped at `max_delay`. Jitter-free — the
+    /// schedule's center line.
     pub fn delay_for(&self, retry: u32) -> Duration {
         if self.base_delay.is_zero() {
             return Duration::ZERO;
@@ -74,6 +107,23 @@ impl RetryPolicy {
         self.base_delay
             .checked_mul(factor)
             .map_or(self.max_delay, |d| d.min(self.max_delay))
+    }
+
+    /// The actual backoff slept before retry number `retry`: the nominal
+    /// [`RetryPolicy::delay_for`] spread symmetrically by up to
+    /// `jitter_per_mille`. `salt` distinguishes draws within one stream
+    /// (the transport passes a running retry counter); the same
+    /// `(seed, salt, retry)` always yields the same delay.
+    pub fn jittered_delay(&self, retry: u32, salt: u64) -> Duration {
+        let nominal = self.delay_for(retry);
+        if self.jitter_per_mille == 0 || nominal.is_zero() {
+            return nominal;
+        }
+        let nanos = u64::try_from(nominal.as_nanos()).unwrap_or(u64::MAX);
+        let span = nanos / 1000 * u64::from(self.jitter_per_mille);
+        let draw =
+            splitmix64(self.jitter_seed ^ salt.wrapping_mul(0xA24B_AED4_963E_E407)) % (span + 1);
+        Duration::from_nanos(nanos.saturating_sub(span / 2).saturating_add(draw))
     }
 }
 
@@ -189,8 +239,11 @@ impl Transport for RetryTransport {
                     if attempt >= budget {
                         return Err(err);
                     }
-                    self.retries.fetch_add(1, Ordering::Relaxed);
-                    let delay = self.policy.delay_for(attempt);
+                    // The running retry count salts the jitter stream, so
+                    // consecutive redials (even for the same attempt
+                    // number) land at spread-out offsets.
+                    let salt = self.retries.fetch_add(1, Ordering::Relaxed);
+                    let delay = self.policy.jittered_delay(attempt, salt);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }
@@ -362,6 +415,7 @@ mod tests {
             max_attempts: 10,
             base_delay: Duration::from_millis(10),
             max_delay: Duration::from_millis(50),
+            ..RetryPolicy::default()
         };
         assert_eq!(policy.delay_for(1), Duration::from_millis(10));
         assert_eq!(policy.delay_for(2), Duration::from_millis(20));
@@ -369,5 +423,61 @@ mod tests {
         assert_eq!(policy.delay_for(4), Duration::from_millis(50), "capped");
         assert_eq!(policy.delay_for(63), Duration::from_millis(50));
         assert_eq!(RetryPolicy::immediate(3).delay_for(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_spreads_redials_deterministically() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(640),
+            jitter_per_mille: 250,
+            jitter_seed: 42,
+            ..RetryPolicy::default()
+        };
+        // Pin the redial spread for one retry number across salts: every
+        // delay stays inside nominal ± 12.5%, the draws genuinely
+        // differ (no lockstep redial wave), and the whole sequence is a
+        // pure function of the seed.
+        let nominal = policy.delay_for(2); // 20ms
+        let span = nominal.mul_f64(0.25);
+        let delays: Vec<Duration> = (0..16).map(|salt| policy.jittered_delay(2, salt)).collect();
+        for (salt, delay) in delays.iter().enumerate() {
+            assert!(
+                *delay >= nominal - span / 2 && *delay <= nominal + span / 2,
+                "salt {salt}: {delay:?} outside [{:?}, {:?}]",
+                nominal - span / 2,
+                nominal + span / 2
+            );
+        }
+        let distinct: std::collections::BTreeSet<Duration> = delays.iter().copied().collect();
+        assert!(
+            distinct.len() >= 12,
+            "16 salts must spread widely, got {} distinct delays",
+            distinct.len()
+        );
+        let replay: Vec<Duration> = (0..16).map(|salt| policy.jittered_delay(2, salt)).collect();
+        assert_eq!(delays, replay, "same seed, same spread");
+        let reseeded: Vec<Duration> = (0..16)
+            .map(|salt| policy.with_jitter_seed(7).jittered_delay(2, salt))
+            .collect();
+        assert_ne!(delays, reseeded, "different seeds de-correlate");
+    }
+
+    #[test]
+    fn jitter_zero_and_immediate_policies_stay_nominal() {
+        let no_jitter = RetryPolicy {
+            jitter_per_mille: 0,
+            ..RetryPolicy::default()
+        };
+        for retry in 1..6 {
+            assert_eq!(
+                no_jitter.jittered_delay(retry, 99),
+                no_jitter.delay_for(retry)
+            );
+        }
+        assert_eq!(
+            RetryPolicy::immediate(5).jittered_delay(3, 1),
+            Duration::ZERO
+        );
     }
 }

@@ -99,6 +99,13 @@ pub enum RemoteErrorKind {
     /// clients distinguish graceful shedding from a timeout; safe to retry
     /// later against a less-loaded server.
     Overloaded,
+    /// A keyed retry asked for a reply the origin's reply cache had
+    /// already LRU-evicted (before the client acked it). The call may
+    /// have executed, so re-running it could execute twice — the origin
+    /// answers with this visible error instead. Distinct from
+    /// [`RemoteErrorKind::Protocol`] so clients and relays can recognise
+    /// "resize the cache or ack faster" without string matching.
+    ReplyEvicted,
 }
 
 impl RemoteErrorKind {
@@ -116,6 +123,7 @@ impl RemoteErrorKind {
             RemoteErrorKind::Marshal => "marshal",
             RemoteErrorKind::Protocol => "protocol",
             RemoteErrorKind::Overloaded => "overloaded",
+            RemoteErrorKind::ReplyEvicted => "reply-evicted",
         }
     }
 
@@ -133,6 +141,7 @@ impl RemoteErrorKind {
             "marshal" => RemoteErrorKind::Marshal,
             "protocol" => RemoteErrorKind::Protocol,
             "overloaded" => RemoteErrorKind::Overloaded,
+            "reply-evicted" => RemoteErrorKind::ReplyEvicted,
             _ => return None,
         })
     }
